@@ -1,0 +1,82 @@
+"""Ablation benchmarks for the two approximation transforms (Section 4.2).
+
+These go beyond the paper's figures and quantify the individual mechanisms:
+
+* packed-bit Hamming distance vs the full-precision kernel (the payoff of
+  automatic binarization on a general-purpose host);
+* perforation stride sweep on the similarity search (the knob behind
+  configurations VII/VIII/X);
+* the data-movement reduction reported by the binarization pass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import hdcpp as H
+from repro.ir.builder import clone_program
+from repro.kernels import binary as binkern, reference as ref
+from repro.transforms import AutomaticBinarization
+
+
+@pytest.fixture(scope="module")
+def bipolar_data():
+    rng = np.random.default_rng(0)
+    classes = (rng.integers(0, 2, size=(26, 8192)) * 2 - 1).astype(np.int8)
+    labels = rng.integers(0, 26, size=200)
+    # Queries are noisy copies of their class hypervector (15% flipped bits),
+    # the regime in which perforated similarity search must stay correct.
+    queries = classes[labels].copy()
+    flips = rng.random(queries.shape) < 0.15
+    queries[flips] = -queries[flips]
+    return queries, classes
+
+
+def test_hamming_full_precision_kernel(benchmark, bipolar_data):
+    queries, classes = bipolar_data
+    q32, c32 = queries.astype(np.float32), classes.astype(np.float32)
+    benchmark(lambda: ref.hamming_distance(q32, c32))
+
+
+def test_hamming_packed_bit_kernel(benchmark, bipolar_data):
+    queries, classes = bipolar_data
+    packed_queries = binkern.pack_bipolar(queries)
+    packed_classes = binkern.pack_bipolar(classes)
+    benchmark(lambda: binkern.hamming_distance_packed(packed_queries, packed_classes))
+
+
+@pytest.mark.parametrize("stride", [1, 2, 4, 8])
+def test_perforated_hamming_stride_sweep(benchmark, bipolar_data, stride):
+    queries, classes = bipolar_data
+    out = benchmark(lambda: binkern.hamming_distance_bipolar(queries, classes, 0, None, stride))
+    exact = binkern.hamming_distance_bipolar(queries, classes)
+    # Perforation must preserve the ranking for the vast majority of queries.
+    agreement = (out.argmin(axis=1) == exact.argmin(axis=1)).mean()
+    benchmark.extra_info["ranking_agreement"] = float(agreement)
+    assert agreement > 0.7
+
+
+def test_binarization_pass_cost_and_reduction(benchmark, capsys):
+    """The compile-time cost of Algorithm 1 and the storage it saves."""
+
+    def build():
+        prog = H.Program("ablation")
+
+        @prog.entry(H.hv(617), H.hm(26, 10240), H.hm(10240, 617))
+        def main(query, classes, rp):
+            encoded = H.sign(H.matmul(query, rp))
+            return H.arg_min(H.hamming_distance(encoded, H.sign(classes)))
+
+        return prog
+
+    base = build()
+
+    def run_pass():
+        prog = clone_program(base)
+        return AutomaticBinarization().run(prog)
+
+    report = benchmark(run_pass)
+    with capsys.disabled():
+        print(f"\nAutomatic binarization: {report}")
+    assert report.data_movement_reduction == pytest.approx(32.0)

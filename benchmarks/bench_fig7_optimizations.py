@@ -1,0 +1,54 @@
+"""Figure 7 / Table 3 — approximation optimizations: speedup vs accuracy.
+
+Regenerates the ten optimization settings of Table 3 on HD-Classification
+inference and reports, per setting, the measured speedup over the baseline
+configuration (I), the end-to-end accuracy, and the data-movement reduction
+delivered by automatic binarization.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import HDClassificationInference
+from repro.datasets import make_isolet_like
+from repro.evaluation import EvaluationScale, fig7_optimizations, table3_settings
+
+
+@pytest.fixture(scope="module")
+def fig7_setup(scale):
+    isolet = make_isolet_like(scale.fig7_isolet())
+    trainer = HDClassificationInference(dimension=scale.fig7_dim, similarity="cosine")
+    return isolet, trainer.train_offline(isolet)
+
+
+@pytest.mark.parametrize("setting_id", ["I", "II", "III", "IV", "V", "VI", "VII", "VIII", "IX", "X"])
+def test_optimization_setting(benchmark, scale, fig7_setup, setting_id):
+    isolet, trained = fig7_setup
+    setting = next(s for s in table3_settings(scale.fig7_dim) if s.id == setting_id)
+    app = HDClassificationInference(dimension=scale.fig7_dim, similarity=setting.similarity)
+
+    def run_once():
+        return app.run(isolet, target="gpu", config=setting.config, trained=trained)
+
+    result = benchmark.pedantic(run_once, rounds=1, iterations=1)
+    benchmark.extra_info["setting"] = setting.name
+    benchmark.extra_info["accuracy"] = result.quality
+    benchmark.extra_info["loc_changes"] = setting.loc_changes
+
+
+def test_fig7_report(benchmark, scale, capsys):
+    result = benchmark.pedantic(lambda: fig7_optimizations(scale, repeats=2), rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n=== Figure 7 / Table 3: approximation settings on HD-Classification inference ===")
+        print(result.format())
+        print(
+            "Paper reference: binarized Hamming settings (III, VII, VIII) keep accuracy at or above "
+            "the cosine baseline while perforating the encoding (V, VI, IX) costs the most accuracy."
+        )
+    by_id = {row.setting.id: row for row in result.rows}
+    # Accuracy shape of Figure 7: binarized Hamming configurations stay close
+    # to the baseline, aggressive encoding perforation loses accuracy.
+    assert by_id["III"].accuracy >= by_id["I"].accuracy - 0.05
+    assert by_id["VII"].accuracy >= by_id["I"].accuracy - 0.1
+    assert by_id["VI"].accuracy <= by_id["III"].accuracy

@@ -1,0 +1,64 @@
+"""Microbenchmarks of the HDC primitive kernels used by the back ends.
+
+Not a paper figure, but useful for understanding where the time of the
+figure-level benchmarks goes: encoding GEMMs, similarity searches (float,
+bipolar-GEMM and packed-bit variants), and the element-wise primitives.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kernels import batched, binary as binkern, reference as ref
+
+DIM = 8192
+CLASSES = 26
+QUERIES = 128
+FEATURES = 617
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(2)
+    return {
+        "features": rng.normal(size=(QUERIES, FEATURES)).astype(np.float32),
+        "rp": (rng.integers(0, 2, (DIM, FEATURES)) * 2 - 1).astype(np.float32),
+        "encoded": (rng.integers(0, 2, (QUERIES, DIM)) * 2 - 1).astype(np.float32),
+        "classes": (rng.integers(0, 2, (CLASSES, DIM)) * 2 - 1).astype(np.float32),
+    }
+
+
+def test_encode_gemm_batched(benchmark, data):
+    benchmark(lambda: batched.gemm(data["features"], data["rp"]))
+
+
+def test_encode_matmul_per_sample(benchmark, data):
+    benchmark(lambda: ref.matmul(data["features"][0], data["rp"]))
+
+
+def test_cossim_batched(benchmark, data):
+    benchmark(lambda: batched.pairwise_cossim(data["encoded"], data["classes"]))
+
+
+def test_hamming_batched_bipolar(benchmark, data):
+    benchmark(lambda: batched.pairwise_hamming(data["encoded"], data["classes"]))
+
+
+def test_hamming_reference(benchmark, data):
+    benchmark(lambda: ref.hamming_distance(data["encoded"][:16], data["classes"]))
+
+
+def test_hamming_packed_bits(benchmark, data):
+    packed_q = binkern.pack_bipolar(data["encoded"])
+    packed_c = binkern.pack_bipolar(data["classes"])
+    benchmark(lambda: binkern.hamming_distance_packed(packed_q, packed_c))
+
+
+def test_sign_kernel(benchmark, data):
+    raw = data["features"] @ data["rp"].T
+    benchmark(lambda: ref.sign(raw))
+
+
+def test_wrap_shift(benchmark, data):
+    benchmark(lambda: ref.wrap_shift(data["encoded"], 3))

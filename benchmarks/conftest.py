@@ -1,0 +1,38 @@
+"""Shared configuration for the benchmark harnesses.
+
+Every table and figure of the paper's evaluation has a corresponding
+``bench_*`` module here.  The workload scale is selected with the
+``REPRO_SCALE`` environment variable:
+
+* ``smoke``   — tiny datasets, completes in a couple of minutes (default,
+  so that ``pytest benchmarks/ --benchmark-only`` is quick to run);
+* ``default`` — the scale used for the numbers recorded in EXPERIMENTS.md;
+* ``paper``   — dataset sizes close to the paper's (slow).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.evaluation import EvaluationScale  # noqa: E402
+
+
+def _selected_scale() -> EvaluationScale:
+    name = os.environ.get("REPRO_SCALE", "smoke").lower()
+    if name == "paper":
+        return EvaluationScale.paper()
+    if name == "default":
+        return EvaluationScale.default()
+    return EvaluationScale.smoke()
+
+
+@pytest.fixture(scope="session")
+def scale() -> EvaluationScale:
+    return _selected_scale()

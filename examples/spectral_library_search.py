@@ -1,0 +1,50 @@
+"""HyperOMS scenario: open modification search over a spectral library.
+
+The mass-spectrometry workload that motivates the Hetero-C++ interoperation
+in the paper: level-ID encoding of spectra runs as a generic parallel loop
+(``parallel_map``) while the library search is an HDC ``inference_loop``.
+The example searches a synthetic spectral library, reports recall@1 against
+the known ground truth, and compares with the CUDA-style baseline.
+
+Run with:  python examples/spectral_library_search.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps import HyperOMS
+from repro.baselines import hyperoms_cuda
+from repro.datasets import SpectraConfig, make_spectral_library
+from repro.evaluation.metrics import format_table
+
+
+def main() -> None:
+    dataset = make_spectral_library(SpectraConfig(n_library=200, n_queries=100))
+    app = HyperOMS(dimension=4096)
+
+    rows = []
+    for target in ("cpu", "gpu"):
+        result = app.run(dataset, target=target)
+        rows.append([f"HDC++ ({target})", f"{result.quality:.3f}", f"{result.wall_seconds * 1e3:.1f} ms"])
+
+    baseline = hyperoms_cuda.run(dataset, dimension=4096)
+    rows.append(["CUDA-style baseline (gpu)", f"{baseline.quality:.3f}", f"{baseline.wall_seconds * 1e3:.1f} ms"])
+
+    print("=== HyperOMS: open modification search (recall@1) ===")
+    print(format_table(["Implementation", "Recall@1", "Wall clock"], rows))
+
+    # Show a few example matches, including modified queries.
+    result = app.run(dataset, target="gpu")
+    matches = result.outputs["matches"]
+    print("\nSample query results (query -> matched library spectrum, modification in bins):")
+    for index in range(5):
+        query = dataset.queries[index]
+        print(
+            f"  query {index:3d}: predicted {int(matches[index]):3d}, true {query.library_match:3d}, "
+            f"modification {query.modification_bins:+d}"
+        )
+
+
+if __name__ == "__main__":
+    main()

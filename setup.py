@@ -1,0 +1,5 @@
+"""Setuptools entry point (kept for legacy editable installs without the
+``wheel`` package; all metadata lives in pyproject.toml)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,48 @@
+"""repro — a Python reproduction of HPVM-HDC (ISCA 2025).
+
+HPVM-HDC is a heterogeneous programming system for Hyperdimensional
+Computing.  This package reproduces it end to end:
+
+* :mod:`repro.hdcpp` — the HDC++ embedded DSL (types, the 24 HDC
+  primitives, stage primitives, Hetero-style parallel constructs, tracing).
+* :mod:`repro.ir` — the HPVM-HDC intermediate representation: a
+  hierarchical dataflow graph with HDC intrinsics, plus verifier/printer.
+* :mod:`repro.transforms` — the approximation transforms: automatic
+  binarization and reduction perforation.
+* :mod:`repro.backends` — CPU, GPU, digital HDC ASIC and ReRAM back ends.
+* :mod:`repro.accelerators` — the device simulators and the edge-GPU model.
+* :mod:`repro.apps` / :mod:`repro.baselines` — the five evaluated HDC
+  applications in HDC++ and their hand-written per-target baselines.
+* :mod:`repro.datasets` — synthetic surrogates of the paper's datasets.
+* :mod:`repro.evaluation` — experiment drivers regenerating every table
+  and figure of the paper's evaluation.
+
+Quickstart::
+
+    import numpy as np
+    from repro import hdcpp as H
+    from repro.backends import compile
+
+    prog = H.Program("inference")
+
+    @prog.entry(H.hv(617), H.hm(2048, 617), H.hm(26, 2048))
+    def infer(features, rp_matrix, classes):
+        encoded = H.sign(H.matmul(features, rp_matrix))
+        distances = H.hamming_distance(encoded, H.sign(classes))
+        return H.arg_min(distances)
+
+    compiled = compile(prog, target="cpu")
+    result = compiled.run(features=np.random.rand(617),
+                          rp_matrix=np.random.choice([-1.0, 1.0], (2048, 617)),
+                          classes=np.random.rand(26, 2048))
+    print(result.output)
+"""
+
+from repro import hdcpp
+from repro.backends import compile
+from repro.ir.dataflow import Target
+from repro.transforms import ApproximationConfig, PerforationSpec
+
+__version__ = "1.0.0"
+
+__all__ = ["hdcpp", "compile", "Target", "ApproximationConfig", "PerforationSpec", "__version__"]

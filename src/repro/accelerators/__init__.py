@@ -1,0 +1,44 @@
+"""Device simulators for the HDC accelerators targeted by HPVM-HDC.
+
+The paper compiles applications to two custom HDC accelerators
+(Section 2.2): a taped-out 40 nm digital HDC ASIC and a ReRAM-based HDC
+accelerator, plus it compares them against an NVIDIA Jetson AGX Orin edge
+GPU (Figure 6).  None of this hardware is available offline, so this
+package provides functional + timing simulators:
+
+* :mod:`repro.accelerators.interface` — the coarse-grain functional
+  interface both accelerators expose to the host (Listing 6 of the paper);
+* :mod:`repro.accelerators.digital_asic` — the digital ASIC: cyclic
+  random-projection encoding, pipelined Hamming distance, class updating;
+* :mod:`repro.accelerators.reram` — the ReRAM accelerator: tensorized
+  (Kronecker) encoding, in-memory progressive Hamming distance with early
+  termination, one-shot training;
+* :mod:`repro.accelerators.jetson` — a device-only latency model of an
+  Ampere-class edge GPU used as the Figure 6 comparison point.
+
+The ASIC was measured on silicon in the paper while the ReRAM device was
+itself simulated; here both are simulated with timing/energy parameters
+anchored to the published figures (0.78 TOPS/W for the ASIC HDC module, a
+10 kbps host link, 40 nm macro parameters for ReRAM).
+"""
+
+from repro.accelerators.digital_asic import DigitalHDCASIC, DigitalASICParameters
+from repro.accelerators.interface import (
+    AcceleratorConfig,
+    DeviceCounters,
+    HDCAcceleratorDevice,
+)
+from repro.accelerators.jetson import JetsonOrinModel, JetsonParameters
+from repro.accelerators.reram import ReRAMAccelerator, ReRAMParameters
+
+__all__ = [
+    "AcceleratorConfig",
+    "DeviceCounters",
+    "HDCAcceleratorDevice",
+    "DigitalHDCASIC",
+    "DigitalASICParameters",
+    "ReRAMAccelerator",
+    "ReRAMParameters",
+    "JetsonOrinModel",
+    "JetsonParameters",
+]

@@ -1,0 +1,264 @@
+"""The coarse-grain functional interface of the HDC accelerators.
+
+Both the digital HDC ASIC and the ReRAM accelerator expose the same style
+of host-facing interface (Section 2.2 / Listing 6 of the paper): functions
+for device configuration, data movement, and coarse-grain HDC operations
+("run one iteration of training given a single data point", "infer the
+label for a single feature vector given pre-programmed class
+hypervectors").  HPVM-HDC lowers the HDC++ *stage* primitives to exactly
+these calls.
+
+:class:`HDCAcceleratorDevice` defines the interface plus shared accounting
+(device-only latency, host-link transfer time at the 10 kbps FPGA bridge of
+the ASIC setup, energy).  Concrete devices implement the actual encoding /
+training / inference algorithms and their timing models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["AcceleratorConfig", "DeviceCounters", "HDCAcceleratorDevice", "DeviceError"]
+
+
+class DeviceError(RuntimeError):
+    """Raised when the accelerator functional interface is misused."""
+
+
+@dataclass(frozen=True)
+class AcceleratorConfig:
+    """Device configuration written by ``initialize_device`` (Listing 6).
+
+    Attributes:
+        dimension: Hypervector dimensionality D programmed into the device.
+        features: Input feature vector length F.
+        classes: Number of class hypervectors K.
+        similarity: Similarity metric used by inference; both devices
+            implement Hamming distance in hardware.
+    """
+
+    dimension: int
+    features: int
+    classes: int
+    similarity: str = "hamming"
+
+
+@dataclass
+class DeviceCounters:
+    """Accumulated accounting for one device session."""
+
+    device_seconds: float = 0.0
+    transfer_seconds: float = 0.0
+    bytes_to_device: float = 0.0
+    bytes_from_device: float = 0.0
+    energy_joules: float = 0.0
+    encodes: int = 0
+    inferences: int = 0
+    train_iterations: int = 0
+
+    def reset(self) -> None:
+        self.device_seconds = 0.0
+        self.transfer_seconds = 0.0
+        self.bytes_to_device = 0.0
+        self.bytes_from_device = 0.0
+        self.energy_joules = 0.0
+        self.encodes = 0
+        self.inferences = 0
+        self.train_iterations = 0
+
+
+class HDCAcceleratorDevice:
+    """Base class for the HDC accelerator simulators.
+
+    The functional interface follows Listing 6 of the paper::
+
+        initialize_device(config)
+        allocate_base_mem(random_projection)   # encoder / base hypervectors
+        allocate_class_mem(classes)            # class hypervectors
+        allocate_feature_mem(features)         # one input feature vector
+        execute_encode()                       # encode the staged features
+        execute_retrain(label)                 # one training iteration
+        execute_inference()                    # classify the staged features
+        read_class_mem()                       # copy class hypervectors back
+
+    Subclasses must implement the ``_encode``, ``_train_step`` and
+    ``_infer`` hooks together with their timing models (``_encode_time``
+    etc.).  All data movement over the host link is accounted through
+    :meth:`_transfer_to_device` / :meth:`_transfer_from_device`.
+    """
+
+    #: Host link bandwidth in bits per second.  The taped-out ASIC talks to
+    #: its ARM host through a 10 kbps FPGA bridge (Section 5.2).
+    host_link_bps: float = 10e3
+
+    def __init__(self) -> None:
+        self.config: Optional[AcceleratorConfig] = None
+        self.counters = DeviceCounters()
+        self._base_mem: Optional[np.ndarray] = None
+        self._class_mem: Optional[np.ndarray] = None
+        self._feature_mem: Optional[np.ndarray] = None
+        self._encoded_mem: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ config --
+    def initialize_device(self, config: AcceleratorConfig) -> None:
+        """Configure the device and clear its on-chip state."""
+        self.config = config
+        self.counters.reset()
+        self._base_mem = None
+        self._class_mem = None
+        self._feature_mem = None
+        self._encoded_mem = None
+
+    def _require_config(self) -> AcceleratorConfig:
+        if self.config is None:
+            raise DeviceError("initialize_device must be called before any other operation")
+        return self.config
+
+    # ----------------------------------------------------------- data movement --
+    def allocate_base_mem(self, base: np.ndarray) -> None:
+        """Load the encoder (random projection / base hypervectors)."""
+        self._require_config()
+        self._base_mem = np.asarray(base)
+        self._transfer_to_device(self._base_mem.size * self._element_bytes(self._base_mem))
+
+    def allocate_class_mem(self, classes: np.ndarray) -> None:
+        """Load the class hypervectors into on-chip class memory."""
+        config = self._require_config()
+        classes = np.asarray(classes)
+        if classes.shape[0] != config.classes:
+            raise DeviceError(
+                f"class memory expects {config.classes} class hypervectors, got {classes.shape[0]}"
+            )
+        self._class_mem = classes.astype(np.float32, copy=True)
+        self._transfer_to_device(classes.size * self._element_bytes(classes))
+
+    def allocate_feature_mem(self, features: np.ndarray) -> None:
+        """Stage one input feature vector in the device input buffer."""
+        config = self._require_config()
+        features = np.asarray(features)
+        if features.shape[-1] != config.features:
+            raise DeviceError(
+                f"feature buffer expects {config.features} features, got {features.shape[-1]}"
+            )
+        self._feature_mem = features
+        self._transfer_to_device(features.size * self._element_bytes(features))
+
+    def read_class_mem(self) -> np.ndarray:
+        """Copy the class hypervectors back to the host."""
+        self._require_config()
+        if self._class_mem is None:
+            raise DeviceError("class memory has not been programmed")
+        self._transfer_from_device(self._class_mem.size * 4)
+        return np.array(self._class_mem, copy=True)
+
+    def allocate_encoded_mem(self, encoded: np.ndarray) -> None:
+        """Stage an already-encoded hypervector in the encoded-HV buffer.
+
+        Both accelerators keep encoded hypervectors in an on-chip buffer
+        between their encoder and their Hamming unit (Figure 1 of the
+        paper); this entry point lets the host feed that buffer directly so
+        that pre-encoded data (e.g. the encodings produced by a previous
+        ``encoding_loop`` offload) can be classified without re-encoding.
+        """
+        config = self._require_config()
+        encoded = np.asarray(encoded)
+        if encoded.shape[-1] != config.dimension:
+            raise DeviceError(
+                f"encoded buffer expects dimension {config.dimension}, got {encoded.shape[-1]}"
+            )
+        self._encoded_mem = encoded
+        self._transfer_to_device(encoded.size * self._element_bytes(encoded))
+
+    # ------------------------------------------------------- coarse operations --
+    def execute_encode(self) -> np.ndarray:
+        """Encode the staged feature vector into a hypervector."""
+        self._require_staged()
+        encoded = self._encode(self._feature_mem)
+        seconds = self._encode_time()
+        self._account(seconds)
+        self.counters.encodes += 1
+        return encoded
+
+    def execute_retrain(self, label: int) -> None:
+        """Run one training iteration for the staged feature vector."""
+        self._require_staged(need_classes=True)
+        self._train_step(self._feature_mem, int(label))
+        seconds = self._train_time()
+        self._account(seconds)
+        self.counters.train_iterations += 1
+
+    def execute_inference(self) -> int:
+        """Classify the staged feature vector against the class memory."""
+        self._require_staged(need_classes=True)
+        label, seconds = self._infer(self._feature_mem)
+        self._account(seconds)
+        self.counters.inferences += 1
+        # The predicted label travels back over the host link.
+        self._transfer_from_device(4)
+        return int(label)
+
+    def execute_inference_encoded(self) -> int:
+        """Classify the staged *pre-encoded* hypervector (Hamming unit only)."""
+        self._require_config()
+        if self._encoded_mem is None:
+            raise DeviceError("allocate_encoded_mem must be called before encoded inference")
+        if self._class_mem is None:
+            raise DeviceError("allocate_class_mem must be called before execution")
+        label, seconds = self._infer_encoded(self._encoded_mem)
+        self._account(seconds)
+        self.counters.inferences += 1
+        self._transfer_from_device(4)
+        return int(label)
+
+    # ------------------------------------------------------------------- hooks --
+    def _encode(self, features: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def _train_step(self, features: np.ndarray, label: int) -> None:
+        raise NotImplementedError
+
+    def _infer(self, features: np.ndarray) -> tuple[int, float]:
+        """Return ``(label, device_seconds)`` for one inference."""
+        raise NotImplementedError
+
+    def _infer_encoded(self, encoded: np.ndarray) -> tuple[int, float]:
+        """Return ``(label, device_seconds)`` for one pre-encoded inference."""
+        raise NotImplementedError
+
+    def _encode_time(self) -> float:
+        raise NotImplementedError
+
+    def _train_time(self) -> float:
+        raise NotImplementedError
+
+    #: Average device power in watts, used for the energy accounting.
+    device_power_watts: float = 0.1
+
+    # --------------------------------------------------------------- accounting --
+    def _account(self, device_seconds: float) -> None:
+        self.counters.device_seconds += device_seconds
+        self.counters.energy_joules += device_seconds * self.device_power_watts
+
+    def _transfer_to_device(self, num_bytes: float) -> None:
+        self.counters.bytes_to_device += num_bytes
+        self.counters.transfer_seconds += (num_bytes * 8.0) / self.host_link_bps
+
+    def _transfer_from_device(self, num_bytes: float) -> None:
+        self.counters.bytes_from_device += num_bytes
+        self.counters.transfer_seconds += (num_bytes * 8.0) / self.host_link_bps
+
+    def _require_staged(self, need_classes: bool = False) -> None:
+        self._require_config()
+        if self._base_mem is None:
+            raise DeviceError("allocate_base_mem must be called before execution")
+        if self._feature_mem is None:
+            raise DeviceError("allocate_feature_mem must be called before execution")
+        if need_classes and self._class_mem is None:
+            raise DeviceError("allocate_class_mem must be called before execution")
+
+    @staticmethod
+    def _element_bytes(array: np.ndarray) -> float:
+        return float(array.dtype.itemsize)

@@ -1,0 +1,38 @@
+"""The five HDC applications of the paper's evaluation, written in HDC++.
+
+Table 2 of the paper:
+
+=================  ==============================================  =========================================
+Application        Workload                                        HDC stages used
+=================  ==============================================  =========================================
+HD-Classification  Classification implemented using HDC            Random-projection encoding, inference,
+                                                                    training
+HD-Clustering      K-means clustering implemented using HDC        Random-projection encoding, inference
+HyperOMS           Open modification search for mass spectrometry  Level-ID encoding, inference
+RelHD              GNN-style learning on citation graphs           Graph-neighbour encoding, inference,
+                                                                    training
+HD-Hashtable       Genome sequence search for long reads           K-mer based encoding, inference
+=================  ==============================================  =========================================
+
+Every application is expressed once against the :mod:`repro.hdcpp` API and
+compiled for any back end; HD-Classification and HD-Clustering additionally
+map onto the HDC accelerators through the stage primitives (the other three
+use encodings the accelerators do not implement, matching the paper).
+"""
+
+from repro.apps.common import AppResult
+from repro.apps.classification import HDClassification, HDClassificationInference
+from repro.apps.clustering import HDClustering
+from repro.apps.hyperoms import HyperOMS
+from repro.apps.relhd import RelHD
+from repro.apps.hashtable import HDHashtable
+
+__all__ = [
+    "AppResult",
+    "HDClassification",
+    "HDClassificationInference",
+    "HDClustering",
+    "HyperOMS",
+    "RelHD",
+    "HDHashtable",
+]

@@ -1,0 +1,245 @@
+"""HD-Classification written in HDC++ (Table 2 of the paper).
+
+The application implements the canonical HDC classification pipeline:
+
+* **Random-projection encoding** — input feature vectors are projected to a
+  D-dimensional hypervector by a bipolar random matrix and binarized with
+  ``sign``.
+* **Training** — class hypervectors are accumulated per label; iterative
+  retraining adds a misclassified sample's encoding to its true class and
+  subtracts it from the predicted class.
+* **Inference** — the encoded query is compared against every class
+  hypervector (Hamming distance or cosine similarity) and the closest class
+  wins.
+
+The whole pipeline is expressed with the HDC++ stage primitives so that the
+very same program compiles to the CPU, the GPU, the digital HDC ASIC and
+the ReRAM accelerator.  :class:`HDClassificationInference` is the
+inference-only variant used by the approximation study of Figure 7 /
+Table 3, with class hypervectors trained offline.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro import hdcpp as H
+from repro.apps.common import AppResult, bipolar_random, merge_reports
+from repro.backends import compile as hdc_compile
+from repro.datasets.isolet import IsoletLike
+from repro.transforms.pipeline import ApproximationConfig
+
+__all__ = ["HDClassification", "HDClassificationInference"]
+
+
+@dataclass
+class HDClassification:
+    """End-to-end HDC classification (encoding + training + inference)."""
+
+    dimension: int = 2048
+    epochs: int = 5
+    similarity: str = "hamming"
+    seed: int = 1
+
+    # ------------------------------------------------------------------ program --
+    def build_program(self, n_features: int, n_classes: int, n_train: int, n_test: int) -> H.Program:
+        """Trace the HDC++ program for the given dataset shape."""
+        dim, similarity = self.dimension, self.similarity
+        prog = H.Program("hd_classification")
+
+        @prog.define(H.hv(n_features), H.hm(dim, n_features))
+        def encode(features, rp_matrix):
+            """Random projection encoding of one feature vector."""
+            return H.sign(H.matmul(features, rp_matrix))
+
+        @prog.define(H.hv(n_features), H.hm(n_classes, dim), H.hm(dim, n_features))
+        def infer_one(features, classes, rp_matrix):
+            """Classify one feature vector against the class hypervectors."""
+            encoded = H.sign(H.matmul(features, rp_matrix))
+            if similarity == "cosine":
+                scores = H.cossim(encoded, classes)
+                return H.arg_max(scores)
+            distances = H.hamming_distance(encoded, H.sign(classes))
+            return H.arg_min(distances)
+
+        def train_one(features, label, classes, rp_matrix):
+            """One training iteration (data-dependent update rule).
+
+            The encoded sample is always bundled into its class accumulator
+            (single-pass training) and additionally subtracted from the
+            class it was mistaken for (corrective retraining).
+            """
+            encoded = H.sign(H.matmul(features, rp_matrix))
+            distances = H.hamming_distance(encoded, H.sign(classes))
+            predicted = int(H.arg_min(distances))
+            updated = np.array(classes, copy=True)
+            updated[label] += np.asarray(encoded)
+            if predicted != label:
+                updated[predicted] -= np.asarray(encoded)
+            return updated
+
+        def train_batch(features, labels, classes, rp_matrix):
+            """Mini-batched form of the same update rule (used by the GPU)."""
+            encoded = np.asarray(H.sign(H.matmul(features, rp_matrix)), dtype=np.float32)
+            distances = np.asarray(H.hamming_distance(encoded, H.sign(classes)))
+            predicted = distances.argmin(axis=1)
+            updated = np.array(classes, copy=True)
+            np.add.at(updated, np.asarray(labels), encoded)
+            wrong = predicted != np.asarray(labels)
+            np.add.at(updated, predicted[wrong], -encoded[wrong])
+            return updated
+
+        epochs = self.epochs
+
+        @prog.entry(
+            H.hm(n_train, n_features),
+            H.IndexVectorType(n_train),
+            H.hm(n_test, n_features),
+            H.hm(dim, n_features),
+            H.hm(n_classes, dim),
+        )
+        def main(train_queries, train_labels, test_queries, rp_matrix, classes):
+            trained = H.training_loop(
+                train_one,
+                train_queries,
+                train_labels,
+                classes,
+                epochs=epochs,
+                encoder=rp_matrix,
+                batch_impl=train_batch,
+            )
+            predictions = H.inference_loop(infer_one, test_queries, trained, encoder=rp_matrix)
+            return predictions, trained
+
+        return prog
+
+    # ------------------------------------------------------------------ driver --
+    def run(
+        self,
+        dataset: IsoletLike,
+        target: str = "cpu",
+        config: Optional[ApproximationConfig] = None,
+    ) -> AppResult:
+        """Train and evaluate the classifier on one hardware target."""
+        n_train = dataset.train_features.shape[0]
+        n_test = dataset.test_features.shape[0]
+        program = self.build_program(dataset.n_features, dataset.n_classes, n_train, n_test)
+        compiled = hdc_compile(program, target=target, config=config)
+
+        rp_matrix = bipolar_random(self.dimension, dataset.n_features, seed=self.seed)
+        initial_classes = np.zeros((dataset.n_classes, self.dimension), dtype=np.float32)
+
+        start = time.perf_counter()
+        result = compiled.run(
+            train_queries=dataset.train_features,
+            train_labels=dataset.train_labels,
+            test_queries=dataset.test_features,
+            rp_matrix=rp_matrix,
+            classes=initial_classes,
+        )
+        wall = time.perf_counter() - start
+
+        entry = program.entry_function
+        predictions = np.asarray(result.outputs[entry.results[0].name])
+        trained = np.asarray(result.outputs[entry.results[1].name])
+        accuracy = float((predictions == dataset.test_labels).mean())
+        return AppResult(
+            app="hd-classification",
+            target=target,
+            quality=accuracy,
+            quality_metric="accuracy",
+            wall_seconds=wall,
+            report=result.report,
+            outputs={"predictions": predictions, "class_hypervectors": trained},
+        )
+
+
+@dataclass
+class HDClassificationInference:
+    """Inference-only HD-Classification used by the Figure 7 / Table 3 study.
+
+    The class hypervectors are derived offline with cosine similarity in a
+    single pass over the training set (exactly the setup of Section 5.3);
+    the traced program then performs only encoding + similarity search, so
+    the approximation transforms directly target the operations the study
+    perforates and binarizes.
+    """
+
+    dimension: int = 10240
+    similarity: str = "cosine"
+    seed: int = 1
+
+    # --------------------------------------------------------------- offline part --
+    def train_offline(self, dataset: IsoletLike) -> tuple[np.ndarray, np.ndarray]:
+        """Single-pass training producing float32 class hypervectors."""
+        rp_matrix = bipolar_random(self.dimension, dataset.n_features, seed=self.seed)
+        encoded = np.sign(dataset.train_features @ rp_matrix.T).astype(np.float32)
+        classes = np.zeros((dataset.n_classes, self.dimension), dtype=np.float32)
+        for row, label in zip(encoded, dataset.train_labels):
+            classes[label] += row
+        # One corrective pass using cosine similarity (single-pass training).
+        norms = np.linalg.norm(classes, axis=1, keepdims=True)
+        norms[norms == 0.0] = 1.0
+        scores = encoded @ (classes / norms).T
+        predicted = scores.argmax(axis=1)
+        for row, label, guess in zip(encoded, dataset.train_labels, predicted):
+            if guess != label:
+                classes[label] += row
+                classes[guess] -= row
+        return rp_matrix, classes
+
+    # ------------------------------------------------------------------ program --
+    def build_program(self, n_features: int, n_classes: int, n_test: int) -> H.Program:
+        dim, similarity = self.dimension, self.similarity
+        prog = H.Program("hd_classification_inference")
+
+        @prog.define(H.hv(n_features), H.hm(n_classes, dim), H.hm(dim, n_features))
+        def infer_one(features, classes, rp_matrix):
+            encoded = H.matmul(features, rp_matrix)
+            if similarity == "cosine":
+                scores = H.cossim(encoded, classes)
+                return H.arg_max(scores)
+            distances = H.hamming_distance(H.sign(encoded), H.sign(classes))
+            return H.arg_min(distances)
+
+        @prog.entry(H.hm(n_test, n_features), H.hm(n_classes, dim), H.hm(dim, n_features))
+        def main(test_queries, classes, rp_matrix):
+            return H.inference_loop(infer_one, test_queries, classes, encoder=rp_matrix)
+
+        return prog
+
+    # ------------------------------------------------------------------ driver --
+    def run(
+        self,
+        dataset: IsoletLike,
+        target: str = "gpu",
+        config: Optional[ApproximationConfig] = None,
+        trained: Optional[tuple[np.ndarray, np.ndarray]] = None,
+    ) -> AppResult:
+        """Run approximated inference on one hardware target."""
+        rp_matrix, classes = trained if trained is not None else self.train_offline(dataset)
+        n_test = dataset.test_features.shape[0]
+        program = self.build_program(dataset.n_features, dataset.n_classes, n_test)
+        compiled = hdc_compile(program, target=target, config=config)
+
+        start = time.perf_counter()
+        result = compiled.run(
+            test_queries=dataset.test_features, classes=classes, rp_matrix=rp_matrix
+        )
+        wall = time.perf_counter() - start
+
+        predictions = np.asarray(result.output)
+        accuracy = float((predictions == dataset.test_labels).mean())
+        return AppResult(
+            app="hd-classification-inference",
+            target=target,
+            quality=accuracy,
+            quality_metric="accuracy",
+            wall_seconds=wall,
+            report=result.report,
+            outputs={"predictions": predictions},
+        )

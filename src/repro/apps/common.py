@@ -1,0 +1,68 @@
+"""Shared result types and helpers for the HDC++ applications."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.backends.base import ExecutionReport
+
+__all__ = ["AppResult", "merge_reports", "bipolar_random"]
+
+
+@dataclass
+class AppResult:
+    """The outcome of running one application end to end on one target.
+
+    Attributes:
+        app: Application name (e.g. ``"hd-classification"``).
+        target: Hardware target the application was compiled for.
+        quality: Application-level quality of service (accuracy, recall,
+            purity, ... — higher is better).
+        quality_metric: Name of the quality metric.
+        wall_seconds: Measured end-to-end wall-clock time of the HDC work.
+        report: Merged execution report across all compiled-program calls.
+        outputs: Application-specific extra outputs (predictions, trained
+            class hypervectors, ...).
+    """
+
+    app: str
+    target: str
+    quality: float
+    quality_metric: str
+    wall_seconds: float
+    report: ExecutionReport
+    outputs: dict = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        return (
+            f"AppResult({self.app}, target={self.target}, "
+            f"{self.quality_metric}={self.quality:.3f}, wall={self.wall_seconds * 1e3:.1f}ms)"
+        )
+
+
+def merge_reports(target: str, reports: list[ExecutionReport]) -> ExecutionReport:
+    """Accumulate the execution reports of several compiled-program calls."""
+    merged = ExecutionReport(target=target)
+    for report in reports:
+        merged.wall_seconds += report.wall_seconds
+        merged.device_seconds += report.device_seconds
+        merged.transfer_seconds += report.transfer_seconds
+        merged.bytes_to_device += report.bytes_to_device
+        merged.bytes_from_device += report.bytes_from_device
+        merged.kernel_launches += report.kernel_launches
+        merged.energy_joules += report.energy_joules
+        for key, value in report.notes.items():
+            if isinstance(value, (int, float)) and key in merged.notes:
+                merged.notes[key] += value
+            else:
+                merged.notes[key] = value
+    return merged
+
+
+def bipolar_random(rows: int, cols: int, seed: int) -> np.ndarray:
+    """A deterministic bipolar {+1, -1} matrix (random projection / item memory)."""
+    rng = np.random.default_rng(seed)
+    return (rng.integers(0, 2, size=(rows, cols)) * 2 - 1).astype(np.float32)

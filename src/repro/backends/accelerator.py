@@ -1,0 +1,189 @@
+"""Shared implementation of the HDC accelerator back ends.
+
+The accelerator back ends lower the three HDC++ stage primitives to the
+devices' coarse-grain functional interface (the call sequence of Listing 6)
+and execute every other operation on the host CPU.  Granular HDC primitives
+are *not* offloaded: the devices only understand whole encoding / training /
+inference operations, which is precisely why the paper introduces the stage
+primitives in the first place.
+
+The generated call sequence for a training + inference program matches
+Listing 6 of the paper::
+
+    initialize_device(&config)
+    allocate_base_mem(random_projection)
+    allocate_class_mem(classes)
+    for n in range(EPOCHS):
+        for i in range(N_TRAIN):
+            allocate_feature_mem(train_inputs[i])
+            execute_retrain(train_labels[i])
+    read_class_mem(classes)
+    # base memory stays resident — the redundant transfer is elided
+    allocate_class_mem(classes)
+    for i in range(N_TEST):
+        allocate_feature_mem(infer_inputs[i])
+        infer_labels[i] = execute_inference()
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.accelerators.interface import HDCAcceleratorDevice
+from repro.backends.base import Backend, CompiledProgram, ExecutionReport
+from repro.backends.executor import ExecutionError, HostStageExecutor, OpInterpreter
+from repro.backends.kernelsets import ReferenceKernelSet
+from repro.backends.runtime import DeviceSession
+from repro.hdcpp.program import Operation, Program
+from repro.hdcpp.types import HyperMatrixType
+from repro.ir.dataflow import DataflowGraph, Target
+from repro.ir.ops import Opcode
+from repro.transforms.pipeline import ApproximationConfig
+
+__all__ = ["AcceleratorBackend", "AcceleratorStageExecutor"]
+
+
+class AcceleratorStageExecutor(HostStageExecutor):
+    """Stage executor that offloads the stage primitives to a device session."""
+
+    def __init__(self, session: DeviceSession):
+        super().__init__(batched=False)
+        self.session = session
+
+    # -- helpers ------------------------------------------------------------------------
+    @staticmethod
+    def _encoder_operand(op: Operation, inputs: list[np.ndarray], position: int) -> np.ndarray:
+        if not op.attrs.get("has_encoder") and op.opcode != Opcode.ENCODING_LOOP:
+            raise ExecutionError(
+                f"{op.opcode} cannot be offloaded to an HDC accelerator without an encoder "
+                "operand: the device programs its base memory from the random projection"
+            )
+        return inputs[position]
+
+    @staticmethod
+    def _dimension_of(encoder: np.ndarray, classes: Optional[np.ndarray]) -> int:
+        if classes is not None:
+            return int(np.asarray(classes).shape[1])
+        return int(np.asarray(encoder).shape[0])
+
+    # -- stage offloading ------------------------------------------------------------------
+    def execute_stage(self, interpreter, op: Operation, inputs: list[np.ndarray]):
+        if op.opcode == Opcode.ENCODING_LOOP:
+            return self._encoding(op, inputs)
+        if op.opcode == Opcode.INFERENCE_LOOP:
+            return self._inference(op, inputs)
+        if op.opcode == Opcode.TRAINING_LOOP:
+            return self._training(op, inputs)
+        raise ExecutionError(f"unsupported stage {op.opcode}")
+
+    def _encoding(self, op: Operation, inputs: list[np.ndarray]) -> np.ndarray:
+        queries, encoder = np.asarray(inputs[0]), np.asarray(inputs[1])
+        dimension = int(encoder.shape[0])
+        self.session.ensure_config(dimension, queries.shape[1], classes=1)
+        self.session.ensure_base(encoder)
+        # The device encodes but has no class memory requirement here; a
+        # single placeholder row satisfies the functional interface.
+        self.session.ensure_classes(np.zeros((1, dimension), dtype=np.float32))
+        device = self.session.device
+        encoded = []
+        for i in range(queries.shape[0]):
+            device.allocate_feature_mem(queries[i])
+            encoded.append(device.execute_encode())
+        return np.stack(encoded)
+
+    def _inference(self, op: Operation, inputs: list[np.ndarray]) -> np.ndarray:
+        queries, classes = np.asarray(inputs[0]), np.asarray(inputs[1])
+        device = self.session.device
+        labels = np.empty(queries.shape[0], dtype=np.int64)
+
+        if not op.attrs.get("has_encoder"):
+            # No encoder operand: the queries are already encoded
+            # hypervectors (e.g. produced by a previous ``encoding_loop``
+            # offload), so only the devices' Hamming unit is exercised.
+            if queries.shape[1] != classes.shape[1]:
+                raise ExecutionError(
+                    "inference_loop without an encoder requires pre-encoded queries whose "
+                    "dimension matches the class hypervectors"
+                )
+            self.session.ensure_config(classes.shape[1], classes.shape[1], classes.shape[0])
+            self.session.ensure_classes(classes)
+            for i in range(queries.shape[0]):
+                device.allocate_encoded_mem(queries[i])
+                labels[i] = device.execute_inference_encoded()
+            return labels
+
+        encoder = np.asarray(self._encoder_operand(op, inputs, 2))
+        dimension = self._dimension_of(encoder, classes)
+        self.session.ensure_config(dimension, queries.shape[1], classes.shape[0])
+        self.session.ensure_base(encoder)
+        self.session.ensure_classes(classes)
+        for i in range(queries.shape[0]):
+            device.allocate_feature_mem(queries[i])
+            labels[i] = device.execute_inference()
+        return labels
+
+    def _training(self, op: Operation, inputs: list[np.ndarray]) -> np.ndarray:
+        queries, labels, classes = (np.asarray(inputs[0]), np.asarray(inputs[1]), np.asarray(inputs[2]))
+        encoder = np.asarray(self._encoder_operand(op, inputs, 3))
+        dimension = self._dimension_of(encoder, classes)
+        epochs = int(op.attrs.get("epochs", 1))
+        self.session.ensure_config(dimension, queries.shape[1], classes.shape[0])
+        self.session.ensure_base(encoder)
+        self.session.ensure_classes(classes)
+        device = self.session.device
+        labels_arr = np.asarray(labels, dtype=np.int64).reshape(-1)
+        for _ in range(epochs):
+            for i in range(queries.shape[0]):
+                device.allocate_feature_mem(queries[i])
+                device.execute_retrain(int(labels_arr[i]))
+        self.session.invalidate_classes()
+        return device.read_class_mem()
+
+
+class AcceleratorBackend(Backend):
+    """Base class of the digital-ASIC and ReRAM back ends."""
+
+    name = "accelerator"
+
+    def __init__(self, device: Optional[HDCAcceleratorDevice] = None, seed: int = 0):
+        self.device = device or self.make_device()
+        self.seed = seed
+        self.last_session: Optional[DeviceSession] = None
+
+    def make_device(self) -> HDCAcceleratorDevice:
+        raise NotImplementedError
+
+    def prepare(self, program: Program, graph: DataflowGraph, config: ApproximationConfig) -> None:
+        if not config.is_identity:
+            raise ValueError(
+                f"the {self.name} back end does not support the approximation transforms: "
+                "the accelerators implement fixed-function encoding/inference (Section 4.2)"
+            )
+        # Every stage node must be mappable onto the device.
+        for node in graph.leaf_nodes():
+            for op in node.ops:
+                if op.opcode in (Opcode.ENCODING_LOOP, Opcode.INFERENCE_LOOP, Opcode.TRAINING_LOOP):
+                    if self.target not in node.targets:
+                        raise ValueError(f"stage node {node.name} is not annotated for {self.target}")
+
+    def execute(
+        self, compiled: CompiledProgram, env: dict[int, np.ndarray], report: ExecutionReport
+    ) -> dict[str, object]:
+        session = DeviceSession(self.device)
+        self.last_session = session
+        kernels = ReferenceKernelSet(seed=self.seed)
+        interpreter = OpInterpreter(
+            compiled.program, kernels, AcceleratorStageExecutor(session)
+        )
+        interpreter.run_entry(env)
+        totals = session.finalize()
+        report.merge_device_counters(totals)
+        report.kernel_launches = kernels.kernel_invocations
+        report.notes["elided_transfers"] = session.elided_transfers
+        report.notes["device"] = type(self.device).__name__
+        report.notes["encodes"] = totals.encodes
+        report.notes["inferences"] = totals.inferences
+        report.notes["train_iterations"] = totals.train_iterations
+        return self.collect_outputs(compiled.entry, env)

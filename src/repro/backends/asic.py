@@ -1,0 +1,29 @@
+"""Digital HDC ASIC back end.
+
+Lowers the HDC++ stage primitives onto the digital HDC ASIC simulator
+(:class:`repro.accelerators.digital_asic.DigitalHDCASIC`) through the
+functional interface of Listing 6, and executes every other operation on
+the host.  See :mod:`repro.backends.accelerator` for the shared lowering.
+"""
+
+from __future__ import annotations
+
+from repro.accelerators.digital_asic import DigitalASICParameters, DigitalHDCASIC
+from repro.backends.accelerator import AcceleratorBackend
+from repro.ir.dataflow import Target
+
+__all__ = ["DigitalASICBackend"]
+
+
+class DigitalASICBackend(AcceleratorBackend):
+    """Compile HDC++ programs for the digital HDC ASIC."""
+
+    target = Target.HDC_ASIC
+    name = "hdc_asic"
+
+    def __init__(self, device: DigitalHDCASIC | None = None, params: DigitalASICParameters | None = None, seed: int = 0):
+        self._params = params
+        super().__init__(device=device, seed=seed)
+
+    def make_device(self) -> DigitalHDCASIC:
+        return DigitalHDCASIC(self._params)

@@ -1,0 +1,197 @@
+"""Shared back-end infrastructure: compiled programs and execution reports.
+
+A back end turns a traced HDC++ :class:`~repro.hdcpp.program.Program` into a
+:class:`CompiledProgram`.  Compilation follows the workflow of Figure 4:
+
+1. the program is cloned (so one traced application can be compiled many
+   times under different approximation configurations);
+2. the approximation passes requested by the
+   :class:`~repro.transforms.ApproximationConfig` run over the clone;
+3. the clone is lowered to the HPVM-HDC dataflow graph and verified;
+4. the back end retains whatever execution state it needs (kernel set,
+   device simulator session, ...).
+
+Executing a compiled program returns an :class:`ExecutionResult` carrying
+both the outputs and an :class:`ExecutionReport` with measured wall-clock
+time plus the modeled device-only latency, data movement and energy that
+the benchmark harnesses consume.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.hdcpp.arrays import HyperMatrix, HyperVector, as_numpy
+from repro.hdcpp.program import Program, TracedFunction
+from repro.hdcpp.types import HDType, HyperMatrixType, HyperVectorType
+from repro.ir.builder import clone_program, lower_program
+from repro.ir.dataflow import DataflowGraph, Target
+from repro.ir.verifier import verify_graph
+from repro.kernels import reference as ref
+from repro.transforms.pipeline import ApproximationConfig, PassPipeline, PassReport
+
+__all__ = ["ExecutionReport", "ExecutionResult", "CompiledProgram", "Backend"]
+
+
+@dataclass
+class ExecutionReport:
+    """Accounting for one execution of a compiled program.
+
+    ``wall_seconds`` is measured on the host; the remaining fields are
+    modeled quantities reported by the back end / device simulators.
+    """
+
+    target: str = "cpu"
+    wall_seconds: float = 0.0
+    device_seconds: float = 0.0
+    transfer_seconds: float = 0.0
+    bytes_to_device: float = 0.0
+    bytes_from_device: float = 0.0
+    kernel_launches: int = 0
+    energy_joules: float = 0.0
+    notes: dict = field(default_factory=dict)
+
+    def merge_device_counters(self, counters) -> None:
+        """Fold a device simulator's counters into this report."""
+        self.device_seconds += counters.device_seconds
+        self.transfer_seconds += counters.transfer_seconds
+        self.bytes_to_device += counters.bytes_to_device
+        self.bytes_from_device += counters.bytes_from_device
+        self.energy_joules += counters.energy_joules
+
+
+@dataclass
+class ExecutionResult:
+    """Outputs plus accounting for one execution of a compiled program."""
+
+    outputs: dict[str, object]
+    report: ExecutionReport
+
+    def __getitem__(self, name: str):
+        return self.outputs[name]
+
+    @property
+    def output(self):
+        """The single output (convenience for single-result programs)."""
+        if len(self.outputs) != 1:
+            raise ValueError(f"program has {len(self.outputs)} outputs; use result['name']")
+        return next(iter(self.outputs.values()))
+
+
+class CompiledProgram:
+    """An executable artifact produced by a back end."""
+
+    def __init__(
+        self,
+        backend: "Backend",
+        program: Program,
+        graph: DataflowGraph,
+        pass_report: PassReport,
+        config: ApproximationConfig,
+    ):
+        self.backend = backend
+        self.program = program
+        self.graph = graph
+        self.pass_report = pass_report
+        self.config = config
+        self.entry = program.entry_function
+
+    # -- input binding -----------------------------------------------------------
+    def _bind_inputs(self, kwargs: dict) -> dict[int, np.ndarray]:
+        env: dict[int, np.ndarray] = {}
+        missing = []
+        for param in self.entry.params:
+            if param.name not in kwargs:
+                missing.append(param.name)
+                continue
+            env[param.id] = self._coerce(kwargs[param.name], param.type, param.name)
+        if missing:
+            raise TypeError(
+                f"missing program inputs {missing}; expected "
+                f"{[p.name for p in self.entry.params]}"
+            )
+        extra = set(kwargs) - {p.name for p in self.entry.params}
+        if extra:
+            raise TypeError(f"unknown program inputs {sorted(extra)}")
+        return env
+
+    @staticmethod
+    def _coerce(value, declared: HDType, name: str) -> np.ndarray:
+        array = as_numpy(value)
+        if isinstance(declared, (HyperVectorType, HyperMatrixType)):
+            if array.shape != declared.shape:
+                raise ValueError(
+                    f"input {name!r} has shape {array.shape}, expected {declared.shape}"
+                )
+            if declared.element.is_binary:
+                # Binarized program inputs are converted on the host before
+                # transfer — this is the data-movement saving of Section 5.3.
+                array = ref.sign(array)
+            else:
+                array = array.astype(declared.element.numpy_dtype, copy=False)
+        return array
+
+    # -- execution ----------------------------------------------------------------
+    def run(self, **inputs) -> ExecutionResult:
+        """Execute the compiled program with concrete inputs."""
+        env = self._bind_inputs(inputs)
+        report = ExecutionReport(target=self.backend.target.value)
+        start = time.perf_counter()
+        outputs = self.backend.execute(self, env, report)
+        report.wall_seconds = time.perf_counter() - start
+        return ExecutionResult(outputs, report)
+
+    def __call__(self, **inputs) -> ExecutionResult:
+        return self.run(**inputs)
+
+    @property
+    def input_names(self) -> list[str]:
+        return [p.name for p in self.entry.params]
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledProgram({self.program.name!r}, target={self.backend.target.value}, "
+            f"inputs={self.input_names})"
+        )
+
+
+class Backend:
+    """Base class of the HPVM-HDC back ends."""
+
+    target: Target = Target.CPU
+    name: str = "base"
+
+    def compile(
+        self, program: Program, config: Optional[ApproximationConfig] = None
+    ) -> CompiledProgram:
+        """Clone, transform, lower, verify and wrap a traced program."""
+        config = config or ApproximationConfig.none()
+        cloned = clone_program(program)
+        pipeline = PassPipeline.from_config(config)
+        pass_report = pipeline.run(cloned)
+        graph = lower_program(cloned)
+        verify_graph(graph)
+        self.prepare(cloned, graph, config)
+        return CompiledProgram(self, cloned, graph, pass_report, config)
+
+    # -- hooks ----------------------------------------------------------------------
+    def prepare(self, program: Program, graph: DataflowGraph, config: ApproximationConfig) -> None:
+        """Back-end specific compilation work (kernel selection, device setup)."""
+
+    def execute(
+        self, compiled: CompiledProgram, env: dict[int, np.ndarray], report: ExecutionReport
+    ) -> dict[str, object]:
+        """Execute the entry function; must be provided by subclasses."""
+        raise NotImplementedError
+
+    # -- shared helpers ---------------------------------------------------------------
+    @staticmethod
+    def collect_outputs(entry: TracedFunction, env: dict[int, np.ndarray]) -> dict[str, object]:
+        outputs: dict[str, object] = {}
+        for value in entry.results:
+            outputs[value.name] = env[value.id]
+        return outputs

@@ -1,0 +1,52 @@
+"""CPU back end.
+
+When targeting the CPU, HPVM-HDC translates HDC primitives into HPVM IR
+sub-graphs containing data-level parallelism and compiles them with the
+host code generator (Section 4.3).  In this reproduction the equivalent is
+the :class:`~repro.backends.kernelsets.ReferenceKernelSet`: every HDC
+primitive executes as a reference kernel, and the high-level stage
+primitives loop over samples, invoking the user's implementation function
+once per row — a faithful stand-in for sequential host code generated from
+the expanded loop sub-graphs.
+
+The CPU back end performs no host/device data movement, so the execution
+report only carries wall-clock time and kernel invocation counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backends.base import Backend, CompiledProgram, ExecutionReport
+from repro.backends.executor import HostStageExecutor, OpInterpreter
+from repro.backends.kernelsets import ReferenceKernelSet
+from repro.hdcpp.program import Program
+from repro.ir.dataflow import DataflowGraph, Target
+from repro.transforms.pipeline import ApproximationConfig
+
+__all__ = ["CPUBackend"]
+
+
+class CPUBackend(Backend):
+    """Compile HDC++ programs to sequential host execution."""
+
+    target = Target.CPU
+    name = "cpu"
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+
+    def prepare(self, program: Program, graph: DataflowGraph, config: ApproximationConfig) -> None:
+        # Nothing to pre-build: kernels are selected per-operation at
+        # execution time and there is no device session to establish.
+        return None
+
+    def execute(
+        self, compiled: CompiledProgram, env: dict[int, np.ndarray], report: ExecutionReport
+    ) -> dict[str, object]:
+        kernels = ReferenceKernelSet(seed=self.seed)
+        interpreter = OpInterpreter(compiled.program, kernels, HostStageExecutor(batched=False))
+        interpreter.run_entry(env)
+        report.kernel_launches = kernels.kernel_invocations
+        report.notes["kernel_set"] = kernels.name
+        return self.collect_outputs(compiled.entry, env)

@@ -1,0 +1,245 @@
+"""Execution engine shared by the CPU and GPU back ends.
+
+The :class:`OpInterpreter` walks the operation stream of a traced function
+in order, keeping an environment from SSA value ids to concrete NumPy
+arrays, and dispatches each operation to the back end's kernel set.  The
+high-level stage primitives and Hetero-C++ parallel maps are handled by
+:class:`HostStageExecutor`, which either
+
+* loops over samples, invoking the implementation function once per row
+  (the CPU strategy), or
+* executes the implementation function once over the whole query
+  hypermatrix using the batched kernels (the GPU strategy — the analogue of
+  lowering the stage onto cuBLAS/Thrust batched routines), falling back to
+  the per-row loop when the implementation is not batchable.
+
+Implementation functions may be traced functions (interpreted with the same
+kernel set — which is how the approximation transforms reach them) or plain
+Python callables executed eagerly with :class:`HyperVector` /
+:class:`HyperMatrix` arguments (needed for data-dependent training rules).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Union
+
+import numpy as np
+
+from repro.hdcpp.arrays import HyperMatrix, HyperVector, as_numpy
+from repro.hdcpp.program import Operation, Program, TracedFunction
+from repro.hdcpp.types import HyperMatrixType, HyperVectorType
+from repro.ir.ops import Opcode
+from repro.backends.kernelsets import KernelSet
+
+__all__ = ["OpInterpreter", "HostStageExecutor", "ExecutionError"]
+
+_STAGE_OPS = {Opcode.ENCODING_LOOP, Opcode.TRAINING_LOOP, Opcode.INFERENCE_LOOP}
+
+
+class ExecutionError(RuntimeError):
+    """Raised when a compiled program cannot be executed."""
+
+
+class OpInterpreter:
+    """Interprets traced functions with a back-end kernel set."""
+
+    def __init__(self, program: Program, kernels: KernelSet, stage_executor: "HostStageExecutor"):
+        self.program = program
+        self.kernels = kernels
+        self.stages = stage_executor
+
+    # -- function-level execution -------------------------------------------------------
+    def run_function(self, fn: TracedFunction, args: list[np.ndarray]) -> list[np.ndarray]:
+        if len(args) != len(fn.params):
+            raise ExecutionError(
+                f"{fn.name} expects {len(fn.params)} arguments, got {len(args)}"
+            )
+        env: dict[int, np.ndarray] = {p.id: a for p, a in zip(fn.params, args)}
+        self.run_ops(fn.ops, env)
+        return [env[r.id] for r in fn.results]
+
+    def run_entry(self, env: dict[int, np.ndarray]) -> dict[int, np.ndarray]:
+        entry = self.program.entry_function
+        self.run_ops(entry.ops, env)
+        return env
+
+    # -- op-level execution ----------------------------------------------------------------
+    def run_ops(self, ops: list[Operation], env: dict[int, np.ndarray]) -> None:
+        for op in ops:
+            self.execute_op(op, env)
+
+    def execute_op(self, op: Operation, env: dict[int, np.ndarray]) -> None:
+        inputs = [env[v.id] for v in op.operands]
+        if op.opcode in _STAGE_OPS:
+            result = self.stages.execute_stage(self, op, inputs)
+        elif op.opcode == Opcode.PARALLEL_MAP:
+            result = self.stages.execute_parallel_map(self, op, inputs)
+        else:
+            result = self.kernels.run(op, inputs)
+        if op.result is not None:
+            env[op.result.id] = result
+
+
+class HostStageExecutor:
+    """Stage/parallel-map execution strategy for CPU and GPU back ends."""
+
+    def __init__(self, batched: bool):
+        #: ``True`` for the GPU strategy (execute the implementation once
+        #: over the whole dataset), ``False`` for the per-sample CPU loop.
+        self.batched = batched
+
+    # ------------------------------------------------------------------ helpers --
+    def _resolve_impl(
+        self, interpreter: OpInterpreter, op: Operation
+    ) -> tuple[Optional[TracedFunction], Optional[Callable]]:
+        impl_name = op.attrs.get("impl")
+        if impl_name is not None:
+            return interpreter.program.function(impl_name), None
+        impl_callable = op.attrs.get("impl_callable")
+        if impl_callable is not None:
+            return None, impl_callable
+        raise ExecutionError(f"{op.opcode} has no implementation function")
+
+    @staticmethod
+    def _wrap(array: np.ndarray, like_value) -> Union[HyperVector, HyperMatrix, np.ndarray]:
+        """Wrap a NumPy array for an eager implementation callable."""
+        element = getattr(like_value.type, "element", None)
+        arr = np.asarray(array)
+        if element is None:
+            return arr
+        if arr.ndim == 1:
+            return HyperVector(arr, element)
+        if arr.ndim == 2:
+            return HyperMatrix(arr, element)
+        return arr
+
+    @staticmethod
+    def _row_of(array: np.ndarray, index: int) -> np.ndarray:
+        return np.asarray(array)[index]
+
+    def _call_impl_traced(
+        self, interpreter: OpInterpreter, impl: TracedFunction, args: list[np.ndarray]
+    ) -> np.ndarray:
+        results = interpreter.run_function(impl, args)
+        if len(results) != 1:
+            raise ExecutionError(f"{impl.name} must return exactly one value inside a stage")
+        return results[0]
+
+    def _call_impl_callable(self, impl: Callable, args: list) -> np.ndarray:
+        return as_numpy(impl(*args))
+
+    # ------------------------------------------------------------------ stages --
+    def execute_stage(self, interpreter: OpInterpreter, op: Operation, inputs: list[np.ndarray]):
+        if op.opcode == Opcode.ENCODING_LOOP:
+            return self._encoding(interpreter, op, inputs)
+        if op.opcode == Opcode.INFERENCE_LOOP:
+            return self._inference(interpreter, op, inputs)
+        if op.opcode == Opcode.TRAINING_LOOP:
+            return self._training(interpreter, op, inputs)
+        raise ExecutionError(f"unsupported stage {op.opcode}")
+
+    def _encoding(self, interpreter, op, inputs):
+        queries, encoder = inputs[0], inputs[1]
+        traced, eager = self._resolve_impl(interpreter, op)
+        if self.batched:
+            try:
+                return self._apply_once(interpreter, op, traced, eager, [queries, encoder])
+            except Exception:
+                pass  # fall back to the per-row loop below
+        rows = []
+        for i in range(np.asarray(queries).shape[0]):
+            rows.append(
+                self._apply_once(interpreter, op, traced, eager, [self._row_of(queries, i), encoder])
+            )
+        return np.stack(rows)
+
+    def _inference(self, interpreter, op, inputs):
+        queries, classes = inputs[0], inputs[1]
+        extra = list(inputs[2:]) if op.attrs.get("has_encoder") else []
+        traced, eager = self._resolve_impl(interpreter, op)
+        if self.batched:
+            try:
+                out = self._apply_once(interpreter, op, traced, eager, [queries, classes] + extra)
+                return np.asarray(out, dtype=np.int64).reshape(-1)
+            except Exception:
+                pass
+        labels = []
+        for i in range(np.asarray(queries).shape[0]):
+            out = self._apply_once(
+                interpreter, op, traced, eager, [self._row_of(queries, i), classes] + extra
+            )
+            labels.append(int(np.asarray(out).reshape(())))
+        return np.asarray(labels, dtype=np.int64)
+
+    #: Mini-batch size used when a batched training implementation is
+    #: available (the same default the CUDA baselines use).
+    training_batch_size = 256
+
+    def _training(self, interpreter, op, inputs):
+        queries, labels, classes = inputs[0], inputs[1], inputs[2]
+        extra = list(inputs[3:]) if op.attrs.get("has_encoder") else []
+        traced, eager = self._resolve_impl(interpreter, op)
+        epochs = int(op.attrs.get("epochs", 1))
+        labels_arr = np.asarray(labels, dtype=np.int64).reshape(-1)
+        current = np.array(classes, copy=True)
+        queries_arr = np.asarray(queries)
+
+        batch_impl = op.attrs.get("batch_impl")
+        if self.batched and batch_impl is not None:
+            # GPU strategy: one library call per mini-batch, mirroring the
+            # scatter-add training kernels of the CUDA baselines.
+            size = self.training_batch_size
+            for _ in range(epochs):
+                for begin in range(0, queries_arr.shape[0], size):
+                    args = [
+                        self._wrap(queries_arr[begin : begin + size], op.operands[0]),
+                        labels_arr[begin : begin + size],
+                        self._wrap(current, op.operands[2]),
+                    ]
+                    if extra:
+                        args.append(self._wrap(extra[0], op.operands[3]))
+                    current = as_numpy(batch_impl(*args))
+            return current
+
+        if eager is None:
+            raise ExecutionError(
+                "training_loop on CPU/GPU requires a Python-callable implementation "
+                "(the update rule is data dependent); traced implementations are only "
+                "used by the accelerator back ends"
+            )
+        for _ in range(epochs):
+            for i in range(queries_arr.shape[0]):
+                args = [
+                    self._wrap(queries_arr[i], op.operands[0]),
+                    int(labels_arr[i]),
+                    self._wrap(current, op.operands[2]),
+                ]
+                if extra:
+                    args.append(self._wrap(extra[0], op.operands[3]))
+                current = as_numpy(eager(*args))
+        return current
+
+    def _apply_once(self, interpreter, op, traced, eager, args: list[np.ndarray]) -> np.ndarray:
+        if traced is not None:
+            return self._call_impl_traced(interpreter, traced, [np.asarray(a) for a in args])
+        wrapped = [self._wrap(a, v) for a, v in zip(args, op.operands)]
+        return self._call_impl_callable(eager, wrapped)
+
+    # ------------------------------------------------------------ parallel map --
+    def execute_parallel_map(self, interpreter: OpInterpreter, op: Operation, inputs: list[np.ndarray]):
+        data = inputs[0]
+        extra = inputs[1] if len(inputs) > 1 else None
+        traced, eager = self._resolve_impl(interpreter, op)
+        if self.batched:
+            try:
+                args = [data] if extra is None else [data, extra]
+                return np.asarray(self._apply_once(interpreter, op, traced, eager, args))
+            except Exception:
+                pass
+        rows = []
+        for i in range(np.asarray(data).shape[0]):
+            args = [self._row_of(data, i)]
+            if extra is not None:
+                args.append(extra)
+            rows.append(self._apply_once(interpreter, op, traced, eager, args))
+        return np.stack(rows)

@@ -1,0 +1,29 @@
+"""ReRAM HDC accelerator back end.
+
+Lowers the HDC++ stage primitives onto the ReRAM accelerator simulator
+(:class:`repro.accelerators.reram.ReRAMAccelerator`) through the shared
+coarse-grain functional interface, and executes every other operation on
+the host.  See :mod:`repro.backends.accelerator` for the shared lowering.
+"""
+
+from __future__ import annotations
+
+from repro.accelerators.reram import ReRAMAccelerator, ReRAMParameters
+from repro.backends.accelerator import AcceleratorBackend
+from repro.ir.dataflow import Target
+
+__all__ = ["ReRAMBackend"]
+
+
+class ReRAMBackend(AcceleratorBackend):
+    """Compile HDC++ programs for the ReRAM HDC accelerator simulator."""
+
+    target = Target.HDC_RERAM
+    name = "hdc_reram"
+
+    def __init__(self, device: ReRAMAccelerator | None = None, params: ReRAMParameters | None = None, seed: int = 0):
+        self._params = params
+        super().__init__(device=device, seed=seed)
+
+    def make_device(self) -> ReRAMAccelerator:
+        return ReRAMAccelerator(self._params)

@@ -1,0 +1,89 @@
+"""Host runtime for the HDC accelerator back ends.
+
+The accelerators expose coarse-grain operations over device-resident data
+(Listing 6 of the paper).  Because the digital ASIC talks to its host over
+a ~10 kbps link, the single most important job of the generated host code
+is to avoid redundant data movement: the random-projection base memory and
+the class memory must be programmed once and reused across the training and
+inference loops rather than re-sent per sample or per stage.
+
+:class:`DeviceSession` implements that policy.  It wraps a device simulator
+and tracks what is currently resident on the device; ``ensure_*`` methods
+re-program memories only when the configuration or the data actually
+changed, which is the "lift redundant data movements outside of loops"
+optimization HPVM-HDC applies when lowering the stage primitives.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.accelerators.interface import AcceleratorConfig, DeviceCounters, HDCAcceleratorDevice
+
+__all__ = ["DeviceSession"]
+
+
+class DeviceSession:
+    """Tracks device residency and accumulates device counters across stages."""
+
+    def __init__(self, device: HDCAcceleratorDevice):
+        self.device = device
+        self.totals = DeviceCounters()
+        self._config: Optional[AcceleratorConfig] = None
+        self._resident_base: Optional[np.ndarray] = None
+        self._resident_classes: Optional[np.ndarray] = None
+        #: Number of transfers skipped because the data was already resident.
+        self.elided_transfers = 0
+
+    # -- configuration -------------------------------------------------------------
+    def ensure_config(self, dimension: int, features: int, classes: int) -> None:
+        """(Re)initialize the device if the programmed shape changed."""
+        config = AcceleratorConfig(dimension=dimension, features=features, classes=classes)
+        if self._config == config:
+            return
+        self._accumulate()
+        self.device.initialize_device(config)
+        self._config = config
+        self._resident_base = None
+        self._resident_classes = None
+
+    # -- residency-aware data movement ------------------------------------------------
+    def ensure_base(self, base: np.ndarray) -> None:
+        base = np.asarray(base)
+        if self._resident_base is not None and np.array_equal(self._resident_base, base):
+            self.elided_transfers += 1
+            return
+        self.device.allocate_base_mem(base)
+        self._resident_base = np.array(base, copy=True)
+
+    def ensure_classes(self, classes: np.ndarray) -> None:
+        classes = np.asarray(classes)
+        if self._resident_classes is not None and np.array_equal(self._resident_classes, classes):
+            self.elided_transfers += 1
+            return
+        self.device.allocate_class_mem(classes)
+        self._resident_classes = np.array(classes, copy=True)
+
+    def invalidate_classes(self) -> None:
+        """Mark device class memory as modified (after on-device training)."""
+        self._resident_classes = None
+
+    # -- counters -----------------------------------------------------------------------
+    def _accumulate(self) -> None:
+        counters = self.device.counters
+        self.totals.device_seconds += counters.device_seconds
+        self.totals.transfer_seconds += counters.transfer_seconds
+        self.totals.bytes_to_device += counters.bytes_to_device
+        self.totals.bytes_from_device += counters.bytes_from_device
+        self.totals.energy_joules += counters.energy_joules
+        self.totals.encodes += counters.encodes
+        self.totals.inferences += counters.inferences
+        self.totals.train_iterations += counters.train_iterations
+        counters.reset()
+
+    def finalize(self) -> DeviceCounters:
+        """Fold outstanding device counters into the session totals."""
+        self._accumulate()
+        return self.totals

@@ -1,0 +1,22 @@
+"""Hand-written per-target baseline implementations of the five applications.
+
+Figure 5 and Table 4 of the paper compare the single portable HDC++
+implementation against the *baseline codes* each application shipped with:
+Python/NumPy scripts for the CPU and hand-optimized CUDA C++ (or CuPy) for
+the GPU.  Neither CUDA nor a GPU is available offline, so the reproduction
+mirrors the split in programming style instead:
+
+* ``*_python`` modules are deliberately straightforward scripts — per-sample
+  and per-class loops, exactly how the published research prototypes are
+  written — and stand in for the interpreted CPU baselines;
+* ``*_cuda`` modules are fully vectorized batched implementations operating
+  on whole matrices, standing in for the optimized CUDA C++ baselines (the
+  batched structure is what the CUDA kernels/cuBLAS calls implement).
+
+Per the paper, HyperOMS has no CPU baseline, and HD-Hashtable uses a single
+Python/CuPy program for both targets.
+"""
+
+from repro.baselines.common import BaselineResult
+
+__all__ = ["BaselineResult"]

@@ -1,0 +1,71 @@
+"""HD-Classification — Python/NumPy CPU baseline.
+
+This is the per-sample, per-class loop style in which the original research
+prototype (HD2FPGA's Python reference) is written: every sample is encoded
+on its own, every class distance is computed in its own loop iteration, and
+training walks the dataset one sample at a time.  It serves as the CPU
+baseline of Figure 5 and the CPU lines-of-code entry of Table 4.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.baselines.common import BaselineResult
+
+__all__ = ["run"]
+
+
+def _encode_sample(sample, rp_matrix):
+    projected = np.zeros(rp_matrix.shape[0], dtype=np.float32)
+    for row in range(rp_matrix.shape[0]):
+        projected[row] = np.dot(rp_matrix[row], sample)
+    return np.where(projected >= 0, 1.0, -1.0)
+
+
+def _hamming(encoded, class_hv):
+    return float(np.count_nonzero(encoded != np.where(class_hv >= 0, 1.0, -1.0)))
+
+
+def _predict(encoded, classes):
+    best_class, best_distance = 0, None
+    for idx in range(classes.shape[0]):
+        distance = _hamming(encoded, classes[idx])
+        if best_distance is None or distance < best_distance:
+            best_class, best_distance = idx, distance
+    return best_class
+
+
+def run(dataset, dimension: int = 2048, epochs: int = 5, seed: int = 1) -> BaselineResult:
+    """Train and evaluate the baseline HDC classifier."""
+    rng = np.random.default_rng(seed)
+    rp_matrix = (rng.integers(0, 2, size=(dimension, dataset.n_features)) * 2 - 1).astype(np.float32)
+    classes = np.zeros((dataset.n_classes, dimension), dtype=np.float32)
+
+    start = time.perf_counter()
+
+    for _ in range(epochs):
+        for sample, label in zip(dataset.train_features, dataset.train_labels):
+            encoded = _encode_sample(sample, rp_matrix)
+            predicted = _predict(encoded, classes)
+            classes[label] += encoded
+            if predicted != label:
+                classes[predicted] -= encoded
+
+    predictions = np.zeros(dataset.test_features.shape[0], dtype=np.int64)
+    for index, sample in enumerate(dataset.test_features):
+        encoded = _encode_sample(sample, rp_matrix)
+        predictions[index] = _predict(encoded, classes)
+
+    wall = time.perf_counter() - start
+    accuracy = float((predictions == dataset.test_labels).mean())
+    return BaselineResult(
+        app="hd-classification",
+        style="python",
+        quality=accuracy,
+        quality_metric="accuracy",
+        wall_seconds=wall,
+        outputs={"predictions": predictions},
+    )

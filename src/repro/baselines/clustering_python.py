@@ -1,0 +1,81 @@
+"""HD-Clustering — Python/NumPy CPU baseline.
+
+Per-sample / per-cluster loop implementation of HDCluster, standing in for
+the interpreted Python CPU baseline of Figure 5 and Table 4.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.baselines.common import BaselineResult
+
+__all__ = ["run"]
+
+
+def _encode_sample(sample, rp_matrix):
+    projected = np.zeros(rp_matrix.shape[0], dtype=np.float32)
+    for row in range(rp_matrix.shape[0]):
+        projected[row] = np.dot(rp_matrix[row], sample)
+    return np.where(projected >= 0, 1.0, -1.0)
+
+
+def _closest_cluster(encoded, clusters):
+    best_cluster, best_distance = 0, None
+    for idx in range(clusters.shape[0]):
+        distance = float(np.count_nonzero(encoded != clusters[idx]))
+        if best_distance is None or distance < best_distance:
+            best_cluster, best_distance = idx, distance
+    return best_cluster
+
+
+def _purity(assignments, labels, n_clusters):
+    total = 0
+    for cluster in range(n_clusters):
+        members = labels[assignments == cluster]
+        if members.size:
+            total += np.bincount(members).max()
+    return float(total) / float(labels.size)
+
+
+def run(dataset, dimension: int = 2048, n_clusters: int = 26, iterations: int = 8, seed: int = 3) -> BaselineResult:
+    """Cluster the training partition of the dataset."""
+    rng = np.random.default_rng(seed)
+    features = dataset.train_features
+    labels = dataset.train_labels
+    rp_matrix = (rng.integers(0, 2, size=(dimension, features.shape[1])) * 2 - 1).astype(np.float32)
+
+    start = time.perf_counter()
+
+    encoded = np.zeros((features.shape[0], dimension), dtype=np.float32)
+    for index in range(features.shape[0]):
+        encoded[index] = _encode_sample(features[index], rp_matrix)
+
+    initial = rng.choice(features.shape[0], size=n_clusters, replace=False)
+    clusters = encoded[initial].copy()
+    assignments = np.zeros(features.shape[0], dtype=np.int64)
+
+    for _ in range(iterations):
+        new_assignments = np.zeros_like(assignments)
+        for index in range(encoded.shape[0]):
+            new_assignments[index] = _closest_cluster(encoded[index], clusters)
+        for cluster in range(n_clusters):
+            members = encoded[new_assignments == cluster]
+            if members.shape[0] > 0:
+                clusters[cluster] = np.where(members.sum(axis=0) >= 0, 1.0, -1.0)
+        if np.array_equal(new_assignments, assignments):
+            assignments = new_assignments
+            break
+        assignments = new_assignments
+
+    wall = time.perf_counter() - start
+    return BaselineResult(
+        app="hd-clustering",
+        style="python",
+        quality=_purity(assignments, labels, n_clusters),
+        quality_metric="purity",
+        wall_seconds=wall,
+        outputs={"assignments": assignments},
+    )

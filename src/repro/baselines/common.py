@@ -1,0 +1,25 @@
+"""Shared result type for the baseline implementations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["BaselineResult"]
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of one baseline run (quality + measured wall-clock time)."""
+
+    app: str
+    style: str
+    quality: float
+    quality_metric: str
+    wall_seconds: float
+    outputs: dict = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        return (
+            f"BaselineResult({self.app}/{self.style}, "
+            f"{self.quality_metric}={self.quality:.3f}, wall={self.wall_seconds * 1e3:.1f}ms)"
+        )

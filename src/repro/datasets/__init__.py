@@ -1,0 +1,32 @@
+"""Synthetic surrogates of the datasets used in the paper's evaluation.
+
+The paper evaluates on ISOLET (spoken letters), the Yeast / human spectral
+libraries and iPRG2012 queries (mass spectrometry), the Cora citation graph
+and a long-read genomics dataset.  None of these can be redistributed or
+downloaded offline, so each is replaced by a parameterized synthetic
+generator that preserves the structural properties the HDC applications
+depend on: feature dimensionality and class count for ISOLET, peak
+structure and modification offsets for the spectra, community structure and
+sparse bag-of-words features for Cora, and alphabet/read-length/error-rate
+for the genomics reads.  All generators are deterministic given a seed.
+"""
+
+from repro.datasets.isolet import IsoletConfig, IsoletLike, make_isolet_like
+from repro.datasets.spectra import SpectralDataset, SpectraConfig, make_spectral_library
+from repro.datasets.cora import CitationGraph, CoraConfig, make_cora_like
+from repro.datasets.genomics import GenomicsConfig, GenomicsDataset, make_genomics_dataset
+
+__all__ = [
+    "IsoletConfig",
+    "IsoletLike",
+    "make_isolet_like",
+    "SpectraConfig",
+    "SpectralDataset",
+    "make_spectral_library",
+    "CoraConfig",
+    "CitationGraph",
+    "make_cora_like",
+    "GenomicsConfig",
+    "GenomicsDataset",
+    "make_genomics_dataset",
+]

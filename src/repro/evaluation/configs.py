@@ -1,0 +1,136 @@
+"""The ten optimization settings of Table 3 (Figure 7's sweep).
+
+Each setting combines an application-level choice (which similarity metric
+the inference implementation uses — a one-line change in the HDC++ source)
+with an :class:`~repro.transforms.ApproximationConfig` (automatic
+binarization flags and reduction-perforation specs — compiler options that
+do not touch the application source at all).  ``loc_changes`` records the
+number of application source lines the paper reports each setting needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.transforms.perforation import PerforationSpec
+from repro.transforms.pipeline import ApproximationConfig
+
+__all__ = ["OptimizationSetting", "table3_settings"]
+
+
+@dataclass(frozen=True)
+class OptimizationSetting:
+    """One row of Table 3."""
+
+    id: str
+    name: str
+    description: str
+    similarity: str
+    config: ApproximationConfig
+    loc_changes: int
+    #: Expected quality band from Figure 7: "green" (better than or equal to
+    #: the baseline), "yellow" (moderate loss) or "red" (significant loss).
+    expected_band: str
+
+
+def table3_settings(dimension: int = 10240) -> list[OptimizationSetting]:
+    """Build the ten Table 3 settings for a given encoding dimension."""
+    none = ApproximationConfig.none()
+    binarize = ApproximationConfig(binarize=True)
+    binarize_aggressive = ApproximationConfig(binarize=True, binarize_reduce=True)
+
+    def perf(opcode: str, stride: int, end: int | None = None) -> PerforationSpec:
+        return PerforationSpec(opcode, begin=0, end=end, stride=stride)
+
+    return [
+        OptimizationSetting(
+            "I",
+            "Cosine Similarity (Baseline)",
+            "Inference using 32-bit floats with cosine similarity",
+            similarity="cosine",
+            config=none,
+            loc_changes=0,
+            expected_band="baseline",
+        ),
+        OptimizationSetting(
+            "II",
+            "Hamming Distance",
+            "Inference using 32-bit floats with Hamming distance",
+            similarity="hamming",
+            config=none,
+            loc_changes=1,
+            expected_band="green",
+        ),
+        OptimizationSetting(
+            "III",
+            "Auto Binarize (Enc + Out)",
+            "Binarization of class & encoded HVs with Hamming distance",
+            similarity="hamming",
+            config=binarize,
+            loc_changes=1,
+            expected_band="green",
+        ),
+        OptimizationSetting(
+            "IV",
+            "Auto Binarize (Enc + In/Out)",
+            "III with casting input features to 32-bit ints before encoding",
+            similarity="hamming",
+            config=binarize_aggressive,
+            loc_changes=1,
+            expected_band="yellow",
+        ),
+        OptimizationSetting(
+            "V",
+            "Auto Binarize (Enc + Out + Strided Matmul [2])",
+            "III with loop-perforated matrix multiplication with stride of 2",
+            similarity="hamming",
+            config=binarize.with_perforation(perf("matmul", 2)),
+            loc_changes=2,
+            expected_band="red",
+        ),
+        OptimizationSetting(
+            "VI",
+            "Auto Binarize (Enc + Out + Strided Matmul [4])",
+            "III with loop-perforated matrix multiplication with stride of 4",
+            similarity="hamming",
+            config=binarize.with_perforation(perf("matmul", 4)),
+            loc_changes=2,
+            expected_band="red",
+        ),
+        OptimizationSetting(
+            "VII",
+            "Auto Binarize (Enc + Out + Strided Hamming [2])",
+            "III with loop-perforated Hamming distance with stride of 2",
+            similarity="hamming",
+            config=binarize.with_perforation(perf("hamming_distance", 2)),
+            loc_changes=3,
+            expected_band="green",
+        ),
+        OptimizationSetting(
+            "VIII",
+            "Auto Binarize (Enc + Out + First Half Hamming)",
+            "III with Hamming distance only on the first half of hypervectors",
+            similarity="hamming",
+            config=binarize.with_perforation(perf("hamming_distance", 1, end=dimension // 2)),
+            loc_changes=3,
+            expected_band="green",
+        ),
+        OptimizationSetting(
+            "IX",
+            "Cosine Similarity (Strided Encoding [2])",
+            "I with the encoding loop perforated with stride 2",
+            similarity="cosine",
+            config=none.with_perforation(perf("matmul", 2)),
+            loc_changes=1,
+            expected_band="red",
+        ),
+        OptimizationSetting(
+            "X",
+            "Cosine Similarity (Strided Similarity [2])",
+            "I with cosine similarity loop perforated with stride 2",
+            similarity="cosine",
+            config=none.with_perforation(perf("cossim", 2)),
+            loc_changes=1,
+            expected_band="yellow",
+        ),
+    ]

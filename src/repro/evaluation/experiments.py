@@ -1,0 +1,570 @@
+"""Experiment drivers regenerating every table and figure of the evaluation.
+
+Each driver returns plain dataclasses that the benchmark harnesses print and
+that EXPERIMENTS.md summarizes.  All drivers accept an
+:class:`EvaluationScale`, which controls dataset sizes and encoding
+dimensions: ``smoke`` keeps everything tiny (seconds, used by the test
+suite), ``default`` is the scale used for the numbers recorded in
+EXPERIMENTS.md, and ``paper`` approaches the workload sizes of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.accelerators.jetson import JetsonOrinModel
+from repro.apps import (
+    HDClassification,
+    HDClassificationInference,
+    HDClustering,
+    HDHashtable,
+    HyperOMS,
+    RelHD,
+)
+from repro.baselines import (
+    classification_cuda,
+    classification_python,
+    clustering_cuda,
+    clustering_python,
+    hashtable_python,
+    hyperoms_cuda,
+    relhd_cuda,
+    relhd_python,
+)
+from repro.datasets import (
+    CoraConfig,
+    GenomicsConfig,
+    IsoletConfig,
+    SpectraConfig,
+    make_cora_like,
+    make_genomics_dataset,
+    make_isolet_like,
+    make_spectral_library,
+)
+from repro.evaluation.configs import OptimizationSetting, table3_settings
+from repro.evaluation.loc import LocRow, table4_rows
+from repro.evaluation.metrics import format_table, geomean, relative_speedup
+
+__all__ = [
+    "EvaluationScale",
+    "Fig5Row",
+    "Fig5Result",
+    "Fig6Row",
+    "Fig6Result",
+    "Fig7Row",
+    "Fig7Result",
+    "fig5_performance",
+    "fig6_accelerators",
+    "fig7_optimizations",
+    "table2_applications",
+    "table4_loc",
+]
+
+
+@dataclass(frozen=True)
+class EvaluationScale:
+    """Dataset sizes and encoding dimensions used by the experiment drivers."""
+
+    name: str = "default"
+    # ISOLET-like (classification / clustering)
+    isolet_train: int = 800
+    isolet_test: int = 300
+    classification_dim: int = 2048
+    classification_epochs: int = 3
+    clustering_samples: int = 500
+    clustering_iterations: int = 6
+    # Figure 7
+    fig7_dim: int = 10240
+    fig7_test: int = 300
+    fig7_train: int = 800
+    # HyperOMS
+    spectra_library: int = 300
+    spectra_queries: int = 150
+    oms_dim: int = 4096
+    # RelHD
+    cora_nodes: int = 800
+    relhd_dim: int = 4096
+    # HD-Hashtable
+    genome_length: int = 16000
+    genome_reads: int = 100
+    hashtable_dim: int = 4096
+
+    @staticmethod
+    def smoke() -> "EvaluationScale":
+        """A tiny scale for unit/integration tests (a few seconds total)."""
+        return EvaluationScale(
+            name="smoke",
+            isolet_train=200,
+            isolet_test=80,
+            classification_dim=512,
+            classification_epochs=2,
+            clustering_samples=150,
+            clustering_iterations=3,
+            fig7_dim=1024,
+            fig7_test=80,
+            fig7_train=200,
+            spectra_library=60,
+            spectra_queries=30,
+            oms_dim=1024,
+            cora_nodes=200,
+            relhd_dim=1024,
+            genome_length=6000,
+            genome_reads=30,
+            hashtable_dim=1024,
+        )
+
+    @staticmethod
+    def default() -> "EvaluationScale":
+        return EvaluationScale()
+
+    @staticmethod
+    def paper() -> "EvaluationScale":
+        """Workload sizes close to the paper's datasets (slow: minutes)."""
+        return EvaluationScale(
+            name="paper",
+            isolet_train=6238,
+            isolet_test=1559,
+            classification_dim=2048,
+            classification_epochs=5,
+            clustering_samples=2000,
+            clustering_iterations=10,
+            fig7_dim=10240,
+            fig7_test=1559,
+            fig7_train=6238,
+            spectra_library=1000,
+            spectra_queries=500,
+            oms_dim=8192,
+            cora_nodes=2708,
+            relhd_dim=8192,
+            genome_length=50000,
+            genome_reads=300,
+            hashtable_dim=8192,
+        )
+
+    # -- dataset builders ---------------------------------------------------------
+    def isolet(self) -> "IsoletConfig":
+        return IsoletConfig(n_train=self.isolet_train, n_test=self.isolet_test)
+
+    def fig7_isolet(self) -> "IsoletConfig":
+        return IsoletConfig(n_train=self.fig7_train, n_test=self.fig7_test)
+
+
+# ---------------------------------------------------------------------------
+# Figure 5 — CPU/GPU performance vs hand-written baselines
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Fig5Row:
+    app: str
+    cpu_speedup: Optional[float]
+    gpu_speedup: float
+    hdcpp_quality: float
+    baseline_quality: float
+    hdcpp_cpu_seconds: Optional[float]
+    hdcpp_gpu_seconds: float
+    cpu_baseline_seconds: Optional[float]
+    gpu_baseline_seconds: float
+
+
+@dataclass
+class Fig5Result:
+    rows: list[Fig5Row]
+    cpu_geomean: float
+    gpu_geomean: float
+
+    def format(self) -> str:
+        table_rows = [
+            [
+                row.app,
+                "N/A" if row.cpu_speedup is None else f"{row.cpu_speedup:.2f}x",
+                f"{row.gpu_speedup:.2f}x",
+                f"{row.hdcpp_quality:.3f}",
+                f"{row.baseline_quality:.3f}",
+            ]
+            for row in self.rows
+        ]
+        table_rows.append(
+            ["GEOMEAN", f"{self.cpu_geomean:.2f}x", f"{self.gpu_geomean:.2f}x", "", ""]
+        )
+        return format_table(
+            ["Application", "CPU speedup", "GPU speedup", "HDC++ quality", "Baseline quality"],
+            table_rows,
+        )
+
+
+def fig5_performance(scale: Optional[EvaluationScale] = None) -> Fig5Result:
+    """Regenerate Figure 5: HPVM-HDC vs per-target baselines on CPU and GPU."""
+    scale = scale or EvaluationScale.default()
+    rows: list[Fig5Row] = []
+
+    # -- HD-Classification -------------------------------------------------------
+    isolet = make_isolet_like(scale.isolet())
+    app = HDClassification(dimension=scale.classification_dim, epochs=scale.classification_epochs)
+    hdc_cpu = app.run(isolet, target="cpu")
+    hdc_gpu = app.run(isolet, target="gpu")
+    base_cpu = classification_python.run(
+        isolet, dimension=scale.classification_dim, epochs=scale.classification_epochs
+    )
+    base_gpu = classification_cuda.run(
+        isolet, dimension=scale.classification_dim, epochs=scale.classification_epochs
+    )
+    rows.append(
+        Fig5Row(
+            "HD-Classification",
+            relative_speedup(base_cpu.wall_seconds, hdc_cpu.wall_seconds),
+            relative_speedup(base_gpu.wall_seconds, hdc_gpu.wall_seconds),
+            hdc_gpu.quality,
+            base_gpu.quality,
+            hdc_cpu.wall_seconds,
+            hdc_gpu.wall_seconds,
+            base_cpu.wall_seconds,
+            base_gpu.wall_seconds,
+        )
+    )
+
+    # -- HD-Clustering -------------------------------------------------------------
+    clustering_data = make_isolet_like(
+        IsoletConfig(n_train=scale.clustering_samples, n_test=64)
+    )
+    capp = HDClustering(
+        dimension=scale.classification_dim,
+        n_clusters=clustering_data.n_classes,
+        iterations=scale.clustering_iterations,
+    )
+    chdc_cpu = capp.run(clustering_data, target="cpu")
+    chdc_gpu = capp.run(clustering_data, target="gpu")
+    cbase_cpu = clustering_python.run(
+        clustering_data,
+        dimension=scale.classification_dim,
+        n_clusters=clustering_data.n_classes,
+        iterations=scale.clustering_iterations,
+    )
+    cbase_gpu = clustering_cuda.run(
+        clustering_data,
+        dimension=scale.classification_dim,
+        n_clusters=clustering_data.n_classes,
+        iterations=scale.clustering_iterations,
+    )
+    rows.append(
+        Fig5Row(
+            "HD-Clustering",
+            relative_speedup(cbase_cpu.wall_seconds, chdc_cpu.wall_seconds),
+            relative_speedup(cbase_gpu.wall_seconds, chdc_gpu.wall_seconds),
+            chdc_gpu.quality,
+            cbase_gpu.quality,
+            chdc_cpu.wall_seconds,
+            chdc_gpu.wall_seconds,
+            cbase_cpu.wall_seconds,
+            cbase_gpu.wall_seconds,
+        )
+    )
+
+    # -- HyperOMS (no CPU baseline) -------------------------------------------------
+    spectra = make_spectral_library(
+        SpectraConfig(n_library=scale.spectra_library, n_queries=scale.spectra_queries)
+    )
+    oms = HyperOMS(dimension=scale.oms_dim)
+    oms_gpu = oms.run(spectra, target="gpu")
+    oms_base = hyperoms_cuda.run(spectra, dimension=scale.oms_dim)
+    rows.append(
+        Fig5Row(
+            "HyperOMS",
+            None,
+            relative_speedup(oms_base.wall_seconds, oms_gpu.wall_seconds),
+            oms_gpu.quality,
+            oms_base.quality,
+            None,
+            oms_gpu.wall_seconds,
+            None,
+            oms_base.wall_seconds,
+        )
+    )
+
+    # -- RelHD ------------------------------------------------------------------------
+    cora = make_cora_like(CoraConfig(n_nodes=scale.cora_nodes))
+    rel = RelHD(dimension=scale.relhd_dim)
+    rel_cpu = rel.run(cora, target="cpu")
+    rel_gpu = rel.run(cora, target="gpu")
+    rel_base_cpu = relhd_python.run(cora, dimension=scale.relhd_dim)
+    rel_base_gpu = relhd_cuda.run(cora, dimension=scale.relhd_dim)
+    rows.append(
+        Fig5Row(
+            "RelHD",
+            relative_speedup(rel_base_cpu.wall_seconds, rel_cpu.wall_seconds),
+            relative_speedup(rel_base_gpu.wall_seconds, rel_gpu.wall_seconds),
+            rel_gpu.quality,
+            rel_base_gpu.quality,
+            rel_cpu.wall_seconds,
+            rel_gpu.wall_seconds,
+            rel_base_cpu.wall_seconds,
+            rel_base_gpu.wall_seconds,
+        )
+    )
+
+    # -- HD-Hashtable -------------------------------------------------------------------
+    genomics = make_genomics_dataset(
+        GenomicsConfig(genome_length=scale.genome_length, n_reads=scale.genome_reads)
+    )
+    hsh = HDHashtable(dimension=scale.hashtable_dim)
+    hsh_cpu = hsh.run(genomics, target="cpu")
+    hsh_gpu = hsh.run(genomics, target="gpu")
+    hsh_base_cpu = hashtable_python.run(genomics, dimension=scale.hashtable_dim)
+    hsh_base_gpu = hashtable_python.run(genomics, dimension=scale.hashtable_dim, use_batched_search=True)
+    rows.append(
+        Fig5Row(
+            "HD-Hashtable",
+            relative_speedup(hsh_base_cpu.wall_seconds, hsh_cpu.wall_seconds),
+            relative_speedup(hsh_base_gpu.wall_seconds, hsh_gpu.wall_seconds),
+            hsh_gpu.quality,
+            hsh_base_gpu.quality,
+            hsh_cpu.wall_seconds,
+            hsh_gpu.wall_seconds,
+            hsh_base_cpu.wall_seconds,
+            hsh_base_gpu.wall_seconds,
+        )
+    )
+
+    cpu_geomean = geomean([r.cpu_speedup for r in rows if r.cpu_speedup is not None])
+    gpu_geomean = geomean([r.gpu_speedup for r in rows])
+    return Fig5Result(rows, cpu_geomean, gpu_geomean)
+
+
+# ---------------------------------------------------------------------------
+# Figure 6 — HDC accelerators vs an edge GPU (device-only latency)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Fig6Row:
+    app: str
+    device: str
+    device_seconds: float
+    jetson_seconds: float
+    speedup: float
+    quality: float
+
+
+@dataclass
+class Fig6Result:
+    rows: list[Fig6Row]
+
+    def format(self) -> str:
+        return format_table(
+            ["Application", "Device", "Device-only (ms)", "Jetson Orin (ms)", "Speedup", "Quality"],
+            [
+                [
+                    row.app,
+                    row.device,
+                    f"{row.device_seconds * 1e3:.2f}",
+                    f"{row.jetson_seconds * 1e3:.2f}",
+                    f"{row.speedup:.2f}x",
+                    f"{row.quality:.3f}",
+                ]
+                for row in self.rows
+            ],
+        )
+
+
+def fig6_accelerators(scale: Optional[EvaluationScale] = None) -> Fig6Result:
+    """Regenerate Figure 6: device-only latency of the HDC accelerators
+    against the Jetson Orin edge-GPU model."""
+    scale = scale or EvaluationScale.default()
+    jetson = JetsonOrinModel()
+    rows: list[Fig6Row] = []
+
+    # -- HD-Classification ---------------------------------------------------------
+    isolet = make_isolet_like(scale.isolet())
+    app = HDClassification(dimension=scale.classification_dim, epochs=scale.classification_epochs)
+    n_train, n_test = scale.isolet_train, scale.isolet_test
+    jetson_cls = jetson.training_stage_time(
+        n_train, scale.classification_epochs, scale.classification_dim, isolet.n_features, isolet.n_classes
+    ) + jetson.inference_stage_time(
+        n_test, scale.classification_dim, isolet.n_features, isolet.n_classes
+    )
+    for target, device_name in (("hdc_asic", "HDC Digital ASIC"), ("hdc_reram", "HDC ReRAM Accelerator")):
+        result = app.run(isolet, target=target)
+        rows.append(
+            Fig6Row(
+                "HD-Classification",
+                device_name,
+                result.report.device_seconds,
+                jetson_cls,
+                relative_speedup(jetson_cls, result.report.device_seconds),
+                result.quality,
+            )
+        )
+
+    # -- HD-Clustering ----------------------------------------------------------------
+    clustering_data = make_isolet_like(IsoletConfig(n_train=scale.clustering_samples, n_test=64))
+    capp = HDClustering(
+        dimension=scale.classification_dim,
+        n_clusters=clustering_data.n_classes,
+        iterations=scale.clustering_iterations,
+    )
+    for target, device_name in (("hdc_asic", "HDC Digital ASIC"), ("hdc_reram", "HDC ReRAM Accelerator")):
+        result = capp.run(clustering_data, target=target)
+        iterations = int(result.outputs["iterations_run"])
+        jetson_clu = jetson.encoding_stage_time(
+            scale.clustering_samples, scale.classification_dim, clustering_data.n_features
+        ) + iterations * scale.clustering_samples * jetson.similarity_time(
+            scale.classification_dim, clustering_data.n_classes
+        )
+        rows.append(
+            Fig6Row(
+                "HD-Clustering",
+                device_name,
+                result.report.device_seconds,
+                jetson_clu,
+                relative_speedup(jetson_clu, result.report.device_seconds),
+                result.quality,
+            )
+        )
+
+    return Fig6Result(rows)
+
+
+# ---------------------------------------------------------------------------
+# Figure 7 / Table 3 — approximation optimizations
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Fig7Row:
+    setting: OptimizationSetting
+    accuracy: float
+    wall_seconds: float
+    speedup: float
+    bytes_to_device: float
+
+
+@dataclass
+class Fig7Result:
+    rows: list[Fig7Row]
+    baseline_accuracy: float
+
+    def format(self) -> str:
+        return format_table(
+            ["ID", "Setting", "Accuracy", "Speedup", "LOC changes", "Bytes to device"],
+            [
+                [
+                    row.setting.id,
+                    row.setting.name,
+                    f"{row.accuracy:.3f}",
+                    f"{row.speedup:.2f}x",
+                    row.setting.loc_changes,
+                    f"{row.bytes_to_device / 1e6:.2f} MB",
+                ]
+                for row in self.rows
+            ],
+        )
+
+
+def fig7_optimizations(
+    scale: Optional[EvaluationScale] = None, target: str = "gpu", repeats: int = 3
+) -> Fig7Result:
+    """Regenerate Figure 7 / Table 3: speedup vs accuracy for settings I-X."""
+    scale = scale or EvaluationScale.default()
+    isolet = make_isolet_like(scale.fig7_isolet())
+    settings = table3_settings(dimension=scale.fig7_dim)
+
+    # Class hypervectors are trained offline once and reused by every setting.
+    trainer = HDClassificationInference(dimension=scale.fig7_dim, similarity="cosine")
+    trained = trainer.train_offline(isolet)
+
+    rows: list[Fig7Row] = []
+    baseline_seconds = None
+    baseline_accuracy = None
+    for setting in settings:
+        app = HDClassificationInference(dimension=scale.fig7_dim, similarity=setting.similarity)
+        best_wall = None
+        accuracy = 0.0
+        bytes_to_device = 0.0
+        for _ in range(max(1, repeats)):
+            result = app.run(isolet, target=target, config=setting.config, trained=trained)
+            accuracy = result.quality
+            bytes_to_device = result.report.bytes_to_device
+            wall = result.wall_seconds
+            best_wall = wall if best_wall is None else min(best_wall, wall)
+        if setting.id == "I":
+            baseline_seconds = best_wall
+            baseline_accuracy = accuracy
+        rows.append(Fig7Row(setting, accuracy, best_wall, 0.0, bytes_to_device))
+
+    assert baseline_seconds is not None
+    for row in rows:
+        row.speedup = relative_speedup(baseline_seconds, row.wall_seconds)
+    return Fig7Result(rows, baseline_accuracy if baseline_accuracy is not None else 0.0)
+
+
+# ---------------------------------------------------------------------------
+# Table 2 and Table 4
+# ---------------------------------------------------------------------------
+
+
+def table2_applications() -> list[dict]:
+    """The application inventory of Table 2."""
+    return [
+        {
+            "application": "HD-Classification",
+            "workload": "Classification implemented using HDC",
+            "stages": ["random-projection encoding", "inference", "training"],
+            "targets": ["cpu", "gpu", "hdc_asic", "hdc_reram"],
+        },
+        {
+            "application": "HD-Clustering",
+            "workload": "K-means clustering implemented using HDC",
+            "stages": ["random-projection encoding", "inference"],
+            "targets": ["cpu", "gpu", "hdc_asic", "hdc_reram"],
+        },
+        {
+            "application": "HyperOMS",
+            "workload": "Open modification search for mass spectrometry",
+            "stages": ["level-ID encoding", "inference"],
+            "targets": ["cpu", "gpu"],
+        },
+        {
+            "application": "RelHD",
+            "workload": "GNN learning, data relationship analysis",
+            "stages": ["graph-neighbour encoding", "inference", "training"],
+            "targets": ["cpu", "gpu"],
+        },
+        {
+            "application": "HD-Hashtable",
+            "workload": "Genome sequence search for long reads",
+            "stages": ["k-mer based encoding", "inference"],
+            "targets": ["cpu", "gpu"],
+        },
+    ]
+
+
+@dataclass
+class Table4Result:
+    rows: list[LocRow]
+    geomean_reduction: float
+
+    def format(self) -> str:
+        table_rows = [
+            [
+                row.app,
+                row.cpu_baseline_loc if row.cpu_baseline_loc is not None else "N/A",
+                row.gpu_baseline_loc if row.gpu_baseline_loc is not None else "N/A",
+                row.hdcpp_loc,
+                f"{row.reduction:.2f}x",
+            ]
+            for row in self.rows
+        ]
+        table_rows.append(["GEOMEAN", "", "", "", f"{self.geomean_reduction:.2f}x"])
+        return format_table(
+            ["Application", "CPU baseline LoC", "GPU baseline LoC", "HDC++ LoC", "Reduction"],
+            table_rows,
+        )
+
+
+def table4_loc() -> Table4Result:
+    """Regenerate Table 4: lines of code of baselines vs the HDC++ sources."""
+    rows = table4_rows()
+    return Table4Result(rows, geomean([row.reduction for row in rows]))

@@ -1,0 +1,48 @@
+"""Small metric helpers shared by the experiment drivers and benchmarks."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["geomean", "relative_speedup", "accuracy", "format_table"]
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (the paper's summary statistic)."""
+    array = np.asarray(list(values), dtype=np.float64)
+    if array.size == 0:
+        raise ValueError("geomean of an empty sequence")
+    if np.any(array <= 0):
+        raise ValueError("geomean requires strictly positive values")
+    return float(np.exp(np.mean(np.log(array))))
+
+
+def relative_speedup(baseline_seconds: float, measured_seconds: float) -> float:
+    """``baseline / measured`` — higher is better for the measured system."""
+    if measured_seconds <= 0:
+        raise ValueError("measured time must be positive")
+    return float(baseline_seconds) / float(measured_seconds)
+
+
+def accuracy(predictions, labels) -> float:
+    """Fraction of predictions matching the reference labels."""
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.shape != labels.shape:
+        raise ValueError(f"shape mismatch: {predictions.shape} vs {labels.shape}")
+    return float((predictions == labels).mean())
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a simple fixed-width text table (used by the bench harnesses)."""
+    columns = [list(map(str, column)) for column in zip(headers, *rows)]
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines = []
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rows:
+        lines.append("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)

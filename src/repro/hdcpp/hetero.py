@@ -1,0 +1,100 @@
+"""Hetero-C++ style generic parallel constructs.
+
+HDC++ is built on top of Hetero-C++ (Section 2.4 of the paper): besides the
+HDC-specific primitives, applications can express *generic* task and data
+parallelism that is not captured by an HDC primitive.  The canonical example
+from the paper is HyperOMS' level-ID encoding, whose outer loop over spectra
+is a generic parallel loop.
+
+The reproduction provides :func:`parallel_map`, which applies a per-row
+implementation function to every row of a hypermatrix.  When traced it
+records a ``hetero.parallel_map`` operation; the IR builder turns that
+operation into an *internal* dataflow node whose child leaf node has one
+dynamic instance per row — the HPVM representation of a parallel loop.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Union
+
+import numpy as np
+
+from repro.hdcpp.arrays import HyperMatrix, HyperVector, as_numpy
+from repro.hdcpp.program import TracedFunction, TracingError, Value, current_builder
+from repro.hdcpp.types import ElementType, float32
+from repro.ir.ops import Opcode, infer_result_type
+
+__all__ = ["parallel_map", "hetero_attributes"]
+
+
+def hetero_attributes(*values, num_outputs: int = 1) -> None:
+    """Marker mirroring ``__hpvm__attributes`` — a documentation no-op.
+
+    In HPVM the attributes marker annotates which pointers are node inputs
+    and outputs.  The tracing DSL derives this information from dataflow, so
+    the marker exists purely to keep ported HDC++ sources recognisable.
+    """
+    return None
+
+
+def parallel_map(
+    impl: Union[TracedFunction, Callable],
+    inputs,
+    extra=None,
+    output_dim: Optional[int] = None,
+    element: ElementType = float32,
+):
+    """Apply ``impl`` to every row of ``inputs`` in parallel.
+
+    Args:
+        impl: Per-row implementation (traced function or Python callable).
+            It receives one row of ``inputs`` as a hypervector plus, when
+            supplied, the ``extra`` operand (e.g. a shared codebook
+            hypermatrix), and returns one output hypervector.
+        inputs: Hypermatrix whose rows are processed independently.
+        extra: Optional additional operand shared by every instance.
+        output_dim: Length of the produced rows (defaults to the input
+            row length).
+        element: Element type of the produced hypermatrix.
+
+    Returns:
+        A hypermatrix with one output row per input row.
+    """
+    if isinstance(impl, TracedFunction):
+        attrs = {"impl": impl.name}
+    elif callable(impl):
+        attrs = {"impl_callable": impl}
+    else:
+        raise TracingError(f"parallel_map implementation must be traced or callable, got {impl!r}")
+    if output_dim is not None:
+        attrs["output_dim"] = int(output_dim)
+    attrs["element"] = element
+
+    if isinstance(inputs, Value):
+        builder = current_builder()
+        if builder is None:
+            raise TracingError("parallel_map on traced values requires an active trace")
+        operands = [inputs] if extra is None else [inputs, extra]
+        result_type = infer_result_type(Opcode.PARALLEL_MAP, [v.type for v in operands], attrs)
+        return builder.emit(Opcode.PARALLEL_MAP, operands, attrs, result_type)
+
+    return _eager_parallel_map(impl, inputs, extra, element)
+
+
+def _eager_parallel_map(impl, inputs, extra, element: ElementType):
+    if isinstance(impl, TracedFunction):
+        raise TracingError(
+            "eager parallel_map requires a Python callable implementation; "
+            "traced implementations are executed by compiled programs"
+        )
+    inputs_hm = inputs if isinstance(inputs, HyperMatrix) else HyperMatrix(as_numpy(inputs))
+    rows = []
+    for i in range(inputs_hm.rows):
+        row = inputs_hm.row(i)
+        out = impl(row) if extra is None else impl(row, extra)
+        rows.append(as_numpy(out))
+    out_element = element
+    sample = impl(inputs_hm.row(0)) if extra is None else impl(inputs_hm.row(0), extra)
+    if isinstance(sample, (HyperVector, HyperMatrix)):
+        out_element = sample.element
+    return HyperMatrix(np.stack(rows), out_element)

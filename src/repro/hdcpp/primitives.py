@@ -1,0 +1,434 @@
+"""The 24 HDC algorithmic primitives of HDC++ (Table 1 of the paper).
+
+Every primitive is *dual mode*:
+
+* **Traced mode** — when its hypervector / hypermatrix operands are symbolic
+  :class:`~repro.hdcpp.program.Value`\\ s (i.e. the call happens inside a
+  function being traced via :meth:`Program.define`), the primitive records an
+  HPVM-HDC IR operation and returns a new symbolic value.
+* **Eager mode** — when called with concrete
+  :class:`~repro.hdcpp.arrays.HyperVector` / :class:`HyperMatrix` values (or
+  plain NumPy arrays), the primitive executes immediately using the reference
+  kernels and returns a concrete value.  This gives the library a
+  torchhd-style interactive surface and is how every kernel is unit tested.
+
+The primitive names follow the paper's ``__hetero_hdc_*`` intrinsics with
+the prefix dropped.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Union
+
+import numpy as np
+
+from repro.hdcpp.arrays import HyperMatrix, HyperVector, as_numpy, wrap_like
+from repro.hdcpp.program import TracingError, Value, current_builder
+from repro.hdcpp.types import (
+    ElementType,
+    HDType,
+    HyperMatrixType,
+    HyperVectorType,
+    IndexType,
+    IndexVectorType,
+    ScalarType,
+    float32,
+)
+from repro.ir.ops import Opcode, infer_result_type
+from repro.kernels import reference as ref
+
+__all__ = [
+    "hypervector",
+    "hypermatrix",
+    "create_hypervector",
+    "create_hypermatrix",
+    "random_hypervector",
+    "random_hypermatrix",
+    "gaussian_hypervector",
+    "gaussian_hypermatrix",
+    "wrap_shift",
+    "sign",
+    "sign_flip",
+    "add",
+    "sub",
+    "mul",
+    "div",
+    "absolute_value",
+    "cosine",
+    "l2norm",
+    "get_element",
+    "type_cast",
+    "arg_min",
+    "arg_max",
+    "set_matrix_row",
+    "get_matrix_row",
+    "matrix_transpose",
+    "cossim",
+    "hamming_distance",
+    "matmul",
+    "red_perf",
+]
+
+EagerValue = Union[HyperVector, HyperMatrix, np.ndarray]
+AnyValue = Union[Value, EagerValue]
+
+
+# ---------------------------------------------------------------------------
+# Mode dispatch helpers
+# ---------------------------------------------------------------------------
+
+
+def _is_traced(*operands: AnyValue) -> bool:
+    traced = any(isinstance(v, Value) for v in operands)
+    if traced and current_builder() is None:
+        raise TracingError("symbolic values used outside of an active trace")
+    if traced and not all(isinstance(v, Value) for v in operands):
+        raise TracingError(
+            "cannot mix symbolic and concrete operands; pass concrete data as program inputs"
+        )
+    return traced
+
+
+def _eager_type(value: EagerValue) -> HDType:
+    if isinstance(value, (HyperVector, HyperMatrix)):
+        return value.type
+    arr = np.asarray(value)
+    element = float32
+    if arr.ndim == 0:
+        return ScalarType(element)
+    if arr.ndim == 1:
+        return HyperVectorType(arr.shape[0], element)
+    if arr.ndim == 2:
+        return HyperMatrixType(arr.shape[0], arr.shape[1], element)
+    raise ValueError(f"unsupported eager value of rank {arr.ndim}")
+
+
+def _emit(opcode: Opcode, operands: list[Value], attrs: dict) -> Value:
+    builder = current_builder()
+    if builder is None:
+        raise TracingError(f"{opcode} used in traced mode outside of an active trace")
+    result_type = infer_result_type(opcode, [v.type for v in operands], attrs)
+    return builder.emit(opcode, operands, attrs, result_type)
+
+
+def _emit_no_result(opcode: Opcode, operands: list[Value], attrs: dict) -> None:
+    builder = current_builder()
+    if builder is None:
+        raise TracingError(f"{opcode} used in traced mode outside of an active trace")
+    builder.emit(opcode, operands, attrs, None)
+
+
+def _wrap_result(data: np.ndarray, result_type: HDType):
+    if isinstance(result_type, (HyperVectorType, HyperMatrixType)):
+        return wrap_like(data, result_type.element)
+    if isinstance(result_type, (IndexType, IndexVectorType)):
+        return np.asarray(data, dtype=np.int64)
+    # Scalar results are returned as plain Python / NumPy scalars.
+    arr = np.asarray(data)
+    return arr.item() if arr.ndim == 0 else arr
+
+
+def _eager_unary(opcode: Opcode, kernel, x: EagerValue, attrs: Optional[dict] = None, **kernel_kwargs):
+    attrs = attrs or {}
+    result_type = infer_result_type(opcode, [_eager_type(x)], attrs)
+    return _wrap_result(kernel(as_numpy(x), **kernel_kwargs), result_type)
+
+
+def _eager_binary(opcode: Opcode, kernel, lhs: EagerValue, rhs: EagerValue, attrs: Optional[dict] = None, **kernel_kwargs):
+    attrs = attrs or {}
+    result_type = infer_result_type(opcode, [_eager_type(lhs), _eager_type(rhs)], attrs)
+    return _wrap_result(kernel(as_numpy(lhs), as_numpy(rhs), **kernel_kwargs), result_type)
+
+
+def _default_rng(rng: Optional[np.random.Generator], seed: Optional[int]) -> np.random.Generator:
+    if rng is not None:
+        return rng
+    return np.random.default_rng(seed)
+
+
+# ---------------------------------------------------------------------------
+# Initialization primitives
+# ---------------------------------------------------------------------------
+
+
+def hypervector(dim: int, element: ElementType = float32):
+    """``hypervector()`` — an empty (zero-initialized) hypervector."""
+    attrs = {"dim": int(dim), "element": element}
+    if current_builder() is not None:
+        return _emit(Opcode.EMPTY_HYPERVECTOR, [], attrs)
+    return HyperVector.empty(dim, element)
+
+
+def hypermatrix(rows: int, cols: int, element: ElementType = float32):
+    """``hypermatrix()`` — an empty (zero-initialized) hypermatrix."""
+    attrs = {"rows": int(rows), "cols": int(cols), "element": element}
+    if current_builder() is not None:
+        return _emit(Opcode.EMPTY_HYPERMATRIX, [], attrs)
+    return HyperMatrix.empty(rows, cols, element)
+
+
+def create_hypervector(dim: int, init: Callable[[int], float], element: ElementType = float32):
+    """``create_hypervector(f)`` — initialize each element with ``f(i)``."""
+    attrs = {"dim": int(dim), "element": element, "init_fn": init}
+    if current_builder() is not None:
+        return _emit(Opcode.CREATE_HYPERVECTOR, [], attrs)
+    return HyperVector.create(dim, init, element)
+
+
+def create_hypermatrix(rows: int, cols: int, init: Callable[[int, int], float], element: ElementType = float32):
+    """``create_hypermatrix(f)`` — initialize each element with ``f(i, j)``."""
+    attrs = {"rows": int(rows), "cols": int(cols), "element": element, "init_fn": init}
+    if current_builder() is not None:
+        return _emit(Opcode.CREATE_HYPERMATRIX, [], attrs)
+    return HyperMatrix.create(rows, cols, init, element)
+
+
+def random_hypervector(
+    dim: int,
+    element: ElementType = float32,
+    seed: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+):
+    """``random_hypervector()`` — uniform random values (bipolar for ints)."""
+    attrs = {"dim": int(dim), "element": element, "seed": seed}
+    if current_builder() is not None:
+        return _emit(Opcode.RANDOM_HYPERVECTOR, [], attrs)
+    return HyperVector.random(dim, element, _default_rng(rng, seed))
+
+
+def random_hypermatrix(
+    rows: int,
+    cols: int,
+    element: ElementType = float32,
+    seed: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+):
+    """``random_hypermatrix()`` — uniform random values (bipolar for ints)."""
+    attrs = {"rows": int(rows), "cols": int(cols), "element": element, "seed": seed}
+    if current_builder() is not None:
+        return _emit(Opcode.RANDOM_HYPERMATRIX, [], attrs)
+    return HyperMatrix.random(rows, cols, element, _default_rng(rng, seed))
+
+
+def gaussian_hypervector(
+    dim: int,
+    element: ElementType = float32,
+    seed: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+):
+    """``gaussian_hypervector()`` — i.i.d. standard normal values."""
+    attrs = {"dim": int(dim), "element": element, "seed": seed}
+    if current_builder() is not None:
+        return _emit(Opcode.GAUSSIAN_HYPERVECTOR, [], attrs)
+    return HyperVector.gaussian(dim, element, _default_rng(rng, seed))
+
+
+def gaussian_hypermatrix(
+    rows: int,
+    cols: int,
+    element: ElementType = float32,
+    seed: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+):
+    """``gaussian_hypermatrix()`` — i.i.d. standard normal values."""
+    attrs = {"rows": int(rows), "cols": int(cols), "element": element, "seed": seed}
+    if current_builder() is not None:
+        return _emit(Opcode.GAUSSIAN_HYPERMATRIX, [], attrs)
+    return HyperMatrix.gaussian(rows, cols, element, _default_rng(rng, seed))
+
+
+# ---------------------------------------------------------------------------
+# Element-wise primitives
+# ---------------------------------------------------------------------------
+
+
+def wrap_shift(x: AnyValue, shift_amount: int):
+    """Rotate the elements of a hypervector with wrap-around."""
+    attrs = {"shift_amount": int(shift_amount)}
+    if _is_traced(x):
+        return _emit(Opcode.WRAP_SHIFT, [x], attrs)
+    return _eager_unary(Opcode.WRAP_SHIFT, ref.wrap_shift, x, attrs, shift_amount=int(shift_amount))
+
+
+def sign(x: AnyValue):
+    """Map each element to +1 / -1 by its sign; the result is 1-bit bipolar."""
+    if _is_traced(x):
+        return _emit(Opcode.SIGN, [x], {})
+    return _eager_unary(Opcode.SIGN, ref.sign, x)
+
+
+def sign_flip(x: AnyValue):
+    """Flip the sign of every element."""
+    if _is_traced(x):
+        return _emit(Opcode.SIGN_FLIP, [x], {})
+    return _eager_unary(Opcode.SIGN_FLIP, ref.sign_flip, x)
+
+
+def _ewise(opcode: Opcode, name: str, lhs: AnyValue, rhs: AnyValue):
+    if _is_traced(lhs, rhs):
+        return _emit(opcode, [lhs, rhs], {})
+    return _eager_binary(opcode, lambda a, b: ref.elementwise(name, a, b), lhs, rhs)
+
+
+def add(lhs: AnyValue, rhs: AnyValue):
+    """Element-wise addition of hypervectors / hypermatrices."""
+    return _ewise(Opcode.ADD, "add", lhs, rhs)
+
+
+def sub(lhs: AnyValue, rhs: AnyValue):
+    """Element-wise subtraction of hypervectors / hypermatrices."""
+    return _ewise(Opcode.SUB, "sub", lhs, rhs)
+
+
+def mul(lhs: AnyValue, rhs: AnyValue):
+    """Element-wise multiplication (binding) of hypervectors / hypermatrices."""
+    return _ewise(Opcode.MUL, "mul", lhs, rhs)
+
+
+def div(lhs: AnyValue, rhs: AnyValue):
+    """Element-wise division of hypervectors / hypermatrices."""
+    return _ewise(Opcode.DIV, "div", lhs, rhs)
+
+
+def absolute_value(x: AnyValue):
+    """Element-wise absolute value."""
+    if _is_traced(x):
+        return _emit(Opcode.ABSOLUTE_VALUE, [x], {})
+    return _eager_unary(Opcode.ABSOLUTE_VALUE, ref.absolute_value, x)
+
+
+def cosine(x: AnyValue):
+    """Element-wise cosine."""
+    if _is_traced(x):
+        return _emit(Opcode.COSINE, [x], {})
+    return _eager_unary(Opcode.COSINE, ref.cosine, x)
+
+
+def type_cast(x: AnyValue, element: ElementType):
+    """Cast hypervector / hypermatrix elements to ``element``."""
+    attrs = {"element": element}
+    if _is_traced(x):
+        return _emit(Opcode.TYPE_CAST, [x], attrs)
+    result_type = infer_result_type(Opcode.TYPE_CAST, [_eager_type(x)], attrs)
+    return _wrap_result(ref.type_cast(as_numpy(x), element.numpy_dtype), result_type)
+
+
+# ---------------------------------------------------------------------------
+# Access / shape primitives
+# ---------------------------------------------------------------------------
+
+
+def get_element(x: AnyValue, row_idx: int, col_idx: Optional[int] = None):
+    """Index into a hypervector (one index) or hypermatrix (two indices)."""
+    attrs = {"row_idx": int(row_idx), "col_idx": None if col_idx is None else int(col_idx)}
+    if _is_traced(x):
+        return _emit(Opcode.GET_ELEMENT, [x], attrs)
+    return ref.get_element(as_numpy(x), row_idx, col_idx)
+
+
+def arg_min(x: AnyValue):
+    """Arg-min of a hypervector, or per-row arg-min of a hypermatrix."""
+    if _is_traced(x):
+        return _emit(Opcode.ARG_MIN, [x], {})
+    return _eager_unary(Opcode.ARG_MIN, ref.arg_min, x)
+
+
+def arg_max(x: AnyValue):
+    """Arg-max of a hypervector, or per-row arg-max of a hypermatrix."""
+    if _is_traced(x):
+        return _emit(Opcode.ARG_MAX, [x], {})
+    return _eager_unary(Opcode.ARG_MAX, ref.arg_max, x)
+
+
+def set_matrix_row(mat: AnyValue, new_row: AnyValue, row_idx: int):
+    """Replace row ``row_idx`` of a hypermatrix with ``new_row``.
+
+    The primitive is functional: it produces a new hypermatrix value (in
+    traced mode back ends may update in place when the old value is dead).
+    """
+    attrs = {"row_idx": int(row_idx)}
+    if _is_traced(mat, new_row):
+        return _emit(Opcode.SET_MATRIX_ROW, [mat, new_row], attrs)
+    return _eager_binary(
+        Opcode.SET_MATRIX_ROW,
+        lambda m, r: ref.set_matrix_row(m, r, int(row_idx)),
+        mat,
+        new_row,
+        attrs,
+    )
+
+
+def get_matrix_row(mat: AnyValue, row_idx: int):
+    """Extract row ``row_idx`` of a hypermatrix as a hypervector."""
+    attrs = {"row_idx": int(row_idx)}
+    if _is_traced(mat):
+        return _emit(Opcode.GET_MATRIX_ROW, [mat], attrs)
+    return _eager_unary(Opcode.GET_MATRIX_ROW, lambda m: ref.get_matrix_row(m, int(row_idx)), mat, attrs)
+
+
+def matrix_transpose(mat: AnyValue):
+    """Transpose a hypermatrix."""
+    if _is_traced(mat):
+        return _emit(Opcode.MATRIX_TRANSPOSE, [mat], {})
+    return _eager_unary(Opcode.MATRIX_TRANSPOSE, ref.matrix_transpose, mat)
+
+
+# ---------------------------------------------------------------------------
+# Reduction / similarity primitives
+# ---------------------------------------------------------------------------
+
+
+def l2norm(x: AnyValue):
+    """L2 norm of a hypervector, or per-row norms of a hypermatrix."""
+    if _is_traced(x):
+        return _emit(Opcode.L2NORM, [x], {})
+    return _eager_unary(Opcode.L2NORM, ref.l2norm, x)
+
+
+def cossim(lhs: AnyValue, rhs: AnyValue):
+    """Cosine similarity between hypervectors / hypermatrices."""
+    if _is_traced(lhs, rhs):
+        return _emit(Opcode.COSSIM, [lhs, rhs], {})
+    return _eager_binary(Opcode.COSSIM, ref.cossim, lhs, rhs)
+
+
+def hamming_distance(lhs: AnyValue, rhs: AnyValue):
+    """Hamming distance between hypervectors / hypermatrices."""
+    if _is_traced(lhs, rhs):
+        return _emit(Opcode.HAMMING_DISTANCE, [lhs, rhs], {})
+    return _eager_binary(Opcode.HAMMING_DISTANCE, ref.hamming_distance, lhs, rhs)
+
+
+def matmul(lhs: AnyValue, rhs: AnyValue):
+    """Matrix multiplication: ``matmul(features, rp_matrix)`` encodes features.
+
+    With ``lhs: hypervector<C>`` and ``rhs: hypermatrix<R, C>`` the result is
+    ``hypervector<R>`` (= ``rhs @ lhs``); with ``lhs: hypermatrix<N, C>`` the
+    result is ``hypermatrix<N, R>``.
+    """
+    if _is_traced(lhs, rhs):
+        return _emit(Opcode.MATMUL, [lhs, rhs], {})
+    return _eager_binary(Opcode.MATMUL, ref.matmul, lhs, rhs)
+
+
+# ---------------------------------------------------------------------------
+# Approximation directive
+# ---------------------------------------------------------------------------
+
+
+def red_perf(result: AnyValue, begin: int, end: int, stride: int):
+    """Annotate the reduction producing ``result`` with perforation bounds.
+
+    ``red_perf`` is a compiler directive (Section 4.2): it does not compute
+    anything itself.  The reduction-perforation transform folds the
+    ``(begin, end, stride)`` parameters into the producing ``matmul`` /
+    ``cossim`` / ``hamming_distance`` / ``l2norm`` operation.  In eager mode
+    the directive is a no-op — approximation is a compile-time concern.
+    """
+    attrs = {"begin": int(begin), "end": int(end), "stride": int(stride)}
+    if isinstance(result, Value):
+        if current_builder() is None:
+            raise TracingError("red_perf used on a traced value outside of an active trace")
+        _emit_no_result(Opcode.RED_PERF, [result], attrs)
+        return result
+    return result

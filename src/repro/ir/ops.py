@@ -1,0 +1,294 @@
+"""Opcode vocabulary and type inference for HPVM-HDC IR operations.
+
+Every HDC++ primitive of Table 1 maps to exactly one opcode here; the
+frontend records :class:`~repro.hdcpp.program.Operation` instances carrying
+these opcodes, and the transforms and back ends consult :data:`OP_INFO` for
+structural facts (is the op a reduction?  element-wise?  a coarse-grain
+stage?) instead of pattern-matching opcode names ad hoc.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.hdcpp.types import (
+    ElementType,
+    HDType,
+    HyperMatrixType,
+    HyperVectorType,
+    IndexType,
+    IndexVectorType,
+    ScalarType,
+    binary,
+    float32,
+    int64,
+)
+
+__all__ = ["Opcode", "OpInfo", "OP_INFO", "infer_result_type", "REDUCE_OPS", "ELEMENTWISE_OPS"]
+
+
+class Opcode(str, enum.Enum):
+    """Opcodes of HPVM-HDC IR (HDC intrinsics + generic parallel constructs)."""
+
+    # Initialization primitives
+    EMPTY_HYPERVECTOR = "hdc.hypervector"
+    EMPTY_HYPERMATRIX = "hdc.hypermatrix"
+    CREATE_HYPERVECTOR = "hdc.create_hypervector"
+    CREATE_HYPERMATRIX = "hdc.create_hypermatrix"
+    RANDOM_HYPERVECTOR = "hdc.random_hypervector"
+    RANDOM_HYPERMATRIX = "hdc.random_hypermatrix"
+    GAUSSIAN_HYPERVECTOR = "hdc.gaussian_hypervector"
+    GAUSSIAN_HYPERMATRIX = "hdc.gaussian_hypermatrix"
+    # Element-wise primitives
+    WRAP_SHIFT = "hdc.wrap_shift"
+    SIGN = "hdc.sign"
+    SIGN_FLIP = "hdc.sign_flip"
+    ADD = "hdc.add"
+    SUB = "hdc.sub"
+    MUL = "hdc.mul"
+    DIV = "hdc.div"
+    ABSOLUTE_VALUE = "hdc.absolute_value"
+    COSINE = "hdc.cosine"
+    TYPE_CAST = "hdc.type_cast"
+    # Access / shape primitives
+    GET_ELEMENT = "hdc.get_element"
+    ARG_MIN = "hdc.arg_min"
+    ARG_MAX = "hdc.arg_max"
+    SET_MATRIX_ROW = "hdc.set_matrix_row"
+    GET_MATRIX_ROW = "hdc.get_matrix_row"
+    MATRIX_TRANSPOSE = "hdc.matrix_transpose"
+    # Reduction / similarity primitives
+    L2NORM = "hdc.l2norm"
+    COSSIM = "hdc.cossim"
+    HAMMING_DISTANCE = "hdc.hamming_distance"
+    MATMUL = "hdc.matmul"
+    # Approximation directive
+    RED_PERF = "hdc.red_perf"
+    # High-level algorithmic stage primitives
+    ENCODING_LOOP = "hdc.encoding_loop"
+    TRAINING_LOOP = "hdc.training_loop"
+    INFERENCE_LOOP = "hdc.inference_loop"
+    # Hetero-C++ generic parallel constructs
+    PARALLEL_MAP = "hetero.parallel_map"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class OpInfo:
+    """Structural metadata describing an opcode.
+
+    Attributes:
+        category: One of ``init``, ``elementwise``, ``access``, ``reduce``,
+            ``directive``, ``stage``, ``hetero``.
+        is_reduce: Reduces along the hypervector dimension (perforatable).
+        scale_on_perforation: Whether perforated results must be rescaled by
+            the visited fraction (``matmul`` / ``l2norm``) or not
+            (``hamming_distance`` / ``cossim``); see Section 4.2.
+        elementwise_arity: Number of hypervector/hypermatrix operands that
+            participate element-wise (0 when not element-wise).
+        binarizable: Whether automatic binarization may rewrite this op to
+            operate on 1-bit bipolar elements.
+    """
+
+    category: str
+    is_reduce: bool = False
+    scale_on_perforation: bool = False
+    elementwise_arity: int = 0
+    binarizable: bool = True
+    description: str = ""
+
+
+OP_INFO: dict[Opcode, OpInfo] = {
+    Opcode.EMPTY_HYPERVECTOR: OpInfo("init", description="zero-initialized hypervector"),
+    Opcode.EMPTY_HYPERMATRIX: OpInfo("init", description="zero-initialized hypermatrix"),
+    Opcode.CREATE_HYPERVECTOR: OpInfo("init", description="hypervector from init function"),
+    Opcode.CREATE_HYPERMATRIX: OpInfo("init", description="hypermatrix from init function"),
+    Opcode.RANDOM_HYPERVECTOR: OpInfo("init", description="uniform random hypervector"),
+    Opcode.RANDOM_HYPERMATRIX: OpInfo("init", description="uniform random hypermatrix"),
+    Opcode.GAUSSIAN_HYPERVECTOR: OpInfo("init", description="gaussian random hypervector"),
+    Opcode.GAUSSIAN_HYPERMATRIX: OpInfo("init", description="gaussian random hypermatrix"),
+    Opcode.WRAP_SHIFT: OpInfo("elementwise", elementwise_arity=1, description="rotate with wrap-around"),
+    Opcode.SIGN: OpInfo("elementwise", elementwise_arity=1, description="map elements to +1/-1"),
+    Opcode.SIGN_FLIP: OpInfo("elementwise", elementwise_arity=1, description="negate elements"),
+    Opcode.ADD: OpInfo("elementwise", elementwise_arity=2),
+    Opcode.SUB: OpInfo("elementwise", elementwise_arity=2),
+    Opcode.MUL: OpInfo("elementwise", elementwise_arity=2),
+    Opcode.DIV: OpInfo("elementwise", elementwise_arity=2, binarizable=False),
+    Opcode.ABSOLUTE_VALUE: OpInfo("elementwise", elementwise_arity=1),
+    Opcode.COSINE: OpInfo("elementwise", elementwise_arity=1, binarizable=False),
+    Opcode.TYPE_CAST: OpInfo("elementwise", elementwise_arity=1),
+    Opcode.GET_ELEMENT: OpInfo("access", binarizable=False),
+    Opcode.ARG_MIN: OpInfo("access", binarizable=False),
+    Opcode.ARG_MAX: OpInfo("access", binarizable=False),
+    Opcode.SET_MATRIX_ROW: OpInfo("access"),
+    Opcode.GET_MATRIX_ROW: OpInfo("access"),
+    Opcode.MATRIX_TRANSPOSE: OpInfo("access"),
+    Opcode.L2NORM: OpInfo("reduce", is_reduce=True, scale_on_perforation=True, binarizable=False),
+    Opcode.COSSIM: OpInfo("reduce", is_reduce=True, scale_on_perforation=False),
+    Opcode.HAMMING_DISTANCE: OpInfo("reduce", is_reduce=True, scale_on_perforation=False),
+    Opcode.MATMUL: OpInfo("reduce", is_reduce=True, scale_on_perforation=True),
+    Opcode.RED_PERF: OpInfo("directive", binarizable=False, description="reduction perforation directive"),
+    Opcode.ENCODING_LOOP: OpInfo("stage", binarizable=False),
+    Opcode.TRAINING_LOOP: OpInfo("stage", binarizable=False),
+    Opcode.INFERENCE_LOOP: OpInfo("stage", binarizable=False),
+    Opcode.PARALLEL_MAP: OpInfo("hetero", binarizable=False),
+}
+
+#: Opcodes that reduce along the hypervector dimension (perforation targets).
+REDUCE_OPS = frozenset(op for op, info in OP_INFO.items() if info.is_reduce)
+#: Opcodes that operate element-wise on hypervectors / hypermatrices.
+ELEMENTWISE_OPS = frozenset(op for op, info in OP_INFO.items() if info.category == "elementwise")
+
+
+def _require(cond: bool, message: str) -> None:
+    if not cond:
+        raise TypeError(message)
+
+
+def infer_result_type(
+    opcode: Opcode,
+    operand_types: Sequence[HDType],
+    attrs: Optional[dict] = None,
+) -> HDType:
+    """Infer the result type of an operation from its operand types.
+
+    This is the single source of truth for operation typing: the tracing
+    frontend uses it when building ops and the binarization transform uses
+    it to recompute types after rewriting element types.
+    """
+    attrs = attrs or {}
+
+    if opcode in (
+        Opcode.EMPTY_HYPERVECTOR,
+        Opcode.CREATE_HYPERVECTOR,
+        Opcode.RANDOM_HYPERVECTOR,
+        Opcode.GAUSSIAN_HYPERVECTOR,
+    ):
+        return HyperVectorType(attrs["dim"], attrs.get("element", float32))
+    if opcode in (
+        Opcode.EMPTY_HYPERMATRIX,
+        Opcode.CREATE_HYPERMATRIX,
+        Opcode.RANDOM_HYPERMATRIX,
+        Opcode.GAUSSIAN_HYPERMATRIX,
+    ):
+        return HyperMatrixType(attrs["rows"], attrs["cols"], attrs.get("element", float32))
+
+    if opcode in (Opcode.WRAP_SHIFT, Opcode.SIGN_FLIP, Opcode.ABSOLUTE_VALUE):
+        return operand_types[0]
+    if opcode == Opcode.SIGN:
+        # ``sign`` produces bipolar {+1, -1} values but keeps the storage
+        # element type; shrinking the storage to 1 bit is the job of the
+        # automatic-binarization transform (Section 4.2).
+        return operand_types[0]
+    if opcode == Opcode.COSINE:
+        return operand_types[0].with_element(float32)
+    if opcode == Opcode.TYPE_CAST:
+        return operand_types[0].with_element(attrs["element"])
+
+    if opcode in (Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.DIV):
+        lhs, rhs = operand_types[0], operand_types[1]
+        _require(lhs.shape == rhs.shape, f"{opcode}: shape mismatch {lhs} vs {rhs}")
+        element = _combine_elements(lhs.element, rhs.element, opcode)
+        return lhs.with_element(element)
+
+    if opcode == Opcode.GET_ELEMENT:
+        return ScalarType(operand_types[0].element)
+    if opcode == Opcode.ARG_MIN or opcode == Opcode.ARG_MAX:
+        operand = operand_types[0]
+        if isinstance(operand, HyperMatrixType):
+            return IndexVectorType(operand.rows)
+        return IndexType()
+    if opcode == Opcode.SET_MATRIX_ROW:
+        mat, row = operand_types[0], operand_types[1]
+        _require(isinstance(mat, HyperMatrixType), f"{opcode}: first operand must be a hypermatrix")
+        _require(
+            isinstance(row, HyperVectorType) and row.dim == mat.cols,
+            f"{opcode}: row length {row} does not match {mat}",
+        )
+        return mat
+    if opcode == Opcode.GET_MATRIX_ROW:
+        mat = operand_types[0]
+        _require(isinstance(mat, HyperMatrixType), f"{opcode}: operand must be a hypermatrix")
+        return mat.row_type
+    if opcode == Opcode.MATRIX_TRANSPOSE:
+        mat = operand_types[0]
+        _require(isinstance(mat, HyperMatrixType), f"{opcode}: operand must be a hypermatrix")
+        return HyperMatrixType(mat.cols, mat.rows, mat.element)
+
+    if opcode == Opcode.L2NORM:
+        operand = operand_types[0]
+        if isinstance(operand, HyperMatrixType):
+            return HyperVectorType(operand.rows, float32)
+        return ScalarType(float32)
+
+    if opcode in (Opcode.COSSIM, Opcode.HAMMING_DISTANCE):
+        lhs, rhs = operand_types[0], operand_types[1]
+        lhs_dim = lhs.cols if isinstance(lhs, HyperMatrixType) else lhs.dim
+        rhs_dim = rhs.cols if isinstance(rhs, HyperMatrixType) else rhs.dim
+        _require(lhs_dim == rhs_dim, f"{opcode}: hypervector length mismatch {lhs} vs {rhs}")
+        if isinstance(lhs, HyperMatrixType) and isinstance(rhs, HyperMatrixType):
+            return HyperMatrixType(lhs.rows, rhs.rows, float32)
+        if isinstance(lhs, HyperVectorType) and isinstance(rhs, HyperMatrixType):
+            return HyperVectorType(rhs.rows, float32)
+        if isinstance(lhs, HyperMatrixType) and isinstance(rhs, HyperVectorType):
+            return HyperVectorType(lhs.rows, float32)
+        return ScalarType(float32)
+
+    if opcode == Opcode.MATMUL:
+        lhs, rhs = operand_types[0], operand_types[1]
+        _require(isinstance(rhs, HyperMatrixType), f"{opcode}: rhs must be a hypermatrix")
+        lhs_dim = lhs.cols if isinstance(lhs, HyperMatrixType) else lhs.dim
+        _require(lhs_dim == rhs.cols, f"{opcode}: contraction mismatch {lhs} vs {rhs}")
+        if isinstance(lhs, HyperMatrixType):
+            return HyperMatrixType(lhs.rows, rhs.rows, float32)
+        return HyperVectorType(rhs.rows, float32)
+
+    if opcode == Opcode.RED_PERF:
+        return operand_types[0]
+
+    if opcode == Opcode.ENCODING_LOOP:
+        queries, encoder = operand_types[0], operand_types[1]
+        _require(isinstance(queries, HyperMatrixType), "encoding_loop: queries must be a hypermatrix")
+        dim = attrs.get("encoded_dim")
+        if dim is None:
+            dim = encoder.rows if isinstance(encoder, HyperMatrixType) else queries.cols
+        return HyperMatrixType(queries.rows, dim, attrs.get("element", float32))
+    if opcode == Opcode.INFERENCE_LOOP:
+        queries = operand_types[0]
+        _require(isinstance(queries, HyperMatrixType), "inference_loop: queries must be a hypermatrix")
+        return IndexVectorType(queries.rows)
+    if opcode == Opcode.TRAINING_LOOP:
+        classes = operand_types[2]
+        _require(isinstance(classes, HyperMatrixType), "training_loop: classes must be a hypermatrix")
+        return classes
+
+    if opcode == Opcode.PARALLEL_MAP:
+        inputs = operand_types[0]
+        _require(isinstance(inputs, HyperMatrixType), "parallel_map: input must be a hypermatrix")
+        out_dim = attrs.get("output_dim", inputs.cols)
+        return HyperMatrixType(inputs.rows, out_dim, attrs.get("element", inputs.element))
+
+    raise KeyError(f"no type inference rule for opcode {opcode}")
+
+
+def _combine_elements(lhs: ElementType, rhs: ElementType, opcode: Opcode) -> ElementType:
+    """Element type of a binary element-wise op result."""
+    if opcode == Opcode.DIV:
+        return float32 if lhs.bits <= 32 and rhs.bits <= 32 else lhs
+    if lhs.is_binary and rhs.is_binary:
+        return binary
+    if lhs.is_float and rhs.is_float:
+        return lhs if lhs.bits >= rhs.bits else rhs
+    if lhs.is_float:
+        return lhs
+    if rhs.is_float:
+        return rhs
+    if lhs.is_binary:
+        return rhs
+    if rhs.is_binary:
+        return lhs
+    return lhs if lhs.bits >= rhs.bits else rhs

@@ -1,0 +1,142 @@
+"""Structural verification of HPVM-HDC IR.
+
+The verifier is run after lowering and after every transform (the pass
+pipeline inserts it automatically) to catch malformed IR early:
+
+* the dataflow graph must be acyclic;
+* every operand must be produced by a graph input or an earlier operation
+  (SSA discipline);
+* every operation's recorded result type must match what
+  :func:`repro.ir.ops.infer_result_type` derives from its operand types;
+* ``red_perf`` directives must annotate values produced by reduction
+  primitives;
+* stage nodes must carry an implementation function (traced or callable);
+* every node must be annotated with at least one hardware target.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.hdcpp.program import Operation, Program, TracedFunction
+from repro.ir.dataflow import DataflowGraph, InternalNode, LeafNode
+from repro.ir.ops import OP_INFO, Opcode, infer_result_type
+
+__all__ = ["IRVerificationError", "verify_graph", "verify_program", "verify_function"]
+
+_STAGE_OPS = {Opcode.ENCODING_LOOP, Opcode.TRAINING_LOOP, Opcode.INFERENCE_LOOP}
+_REDUCE_OPS = {op for op, info in OP_INFO.items() if info.is_reduce}
+
+
+class IRVerificationError(ValueError):
+    """Raised when HPVM-HDC IR fails structural verification."""
+
+
+def _verify_ops(ops: Iterable[Operation], defined_ids: set[int], context: str) -> list[str]:
+    errors: list[str] = []
+    defined = set(defined_ids)
+    for op in ops:
+        if not isinstance(op.opcode, Opcode):
+            errors.append(f"{context}: unknown opcode {op.opcode!r}")
+            continue
+        for operand in op.operands:
+            if operand.id not in defined:
+                errors.append(
+                    f"{context}: operand %{operand.name} of {op.opcode} used before definition"
+                )
+        if op.opcode == Opcode.RED_PERF:
+            target = op.operands[0]
+            producer = target.producer
+            if producer is None or producer.opcode not in _REDUCE_OPS:
+                errors.append(
+                    f"{context}: red_perf annotates %{target.name}, which is not produced by a "
+                    "reduction primitive (matmul / cossim / hamming_distance / l2norm)"
+                )
+        if op.opcode in _STAGE_OPS or op.opcode == Opcode.PARALLEL_MAP:
+            if "impl" not in op.attrs and "impl_callable" not in op.attrs:
+                errors.append(f"{context}: {op.opcode} has no implementation function")
+        if op.result is not None:
+            try:
+                expected = infer_result_type(op.opcode, op.operand_types(), op.attrs)
+            except (TypeError, KeyError) as exc:
+                errors.append(f"{context}: {op.opcode} typing error: {exc}")
+            else:
+                # Element types may legitimately differ from the default
+                # inference after automatic binarization rewrites them, so
+                # only the shape (and type kind) must agree.
+                if expected.shape != op.result.type.shape or type(expected) is not type(op.result.type):
+                    errors.append(
+                        f"{context}: {op.opcode} result type {op.result.type} does not match "
+                        f"inferred type {expected}"
+                    )
+            defined.add(op.result.id)
+    return errors
+
+
+def verify_function(fn: TracedFunction, context: str = "") -> list[str]:
+    """Verify a traced function; returns a list of error strings."""
+    context = context or fn.name
+    defined = {p.id for p in fn.params}
+    errors = _verify_ops(fn.ops, defined, context)
+    produced = set(defined) | {op.result.id for op in fn.ops if op.result is not None}
+    for result in fn.results:
+        if result.id not in produced:
+            errors.append(f"{context}: result %{result.name} is not produced by the function")
+    return errors
+
+
+def _verify_graph_structure(graph: DataflowGraph, context: str) -> list[str]:
+    errors: list[str] = []
+    try:
+        graph.topological_order()
+    except ValueError as exc:
+        errors.append(f"{context}: {exc}")
+
+    produced: set[int] = {v.id for v in graph.inputs}
+    defined_nodes = set(graph.nodes)
+    for edge in graph.edges:
+        if edge.src != DataflowGraph.BOUNDARY and edge.src not in defined_nodes:
+            errors.append(f"{context}: edge {edge} references unknown source node {edge.src}")
+        if edge.dst != DataflowGraph.BOUNDARY and edge.dst not in defined_nodes:
+            errors.append(f"{context}: edge {edge} references unknown destination node {edge.dst}")
+
+    for node in graph.nodes.values():
+        if not node.targets:
+            errors.append(f"{context}: node {node.name} has no hardware target annotation")
+        if isinstance(node, LeafNode):
+            visible = set(produced) | _upstream_values(graph, node)
+            errors.extend(_verify_ops(node.ops, visible, f"{context}.{node.name}"))
+        elif isinstance(node, InternalNode):
+            if node.dynamic_instances < 1:
+                errors.append(f"{context}: internal node {node.name} has {node.dynamic_instances} instances")
+    return errors
+
+
+def _upstream_values(graph: DataflowGraph, node) -> set[int]:
+    """Ids of values that reach ``node`` through dataflow edges."""
+    reachable: set[int] = set()
+    for edge in graph.in_edges(node.id):
+        reachable.add(edge.value.id)
+    return reachable
+
+
+def verify_graph(graph: DataflowGraph, context: str = "") -> None:
+    """Verify a dataflow graph hierarchy; raises :class:`IRVerificationError`."""
+    context = context or graph.name
+    errors = _verify_graph_structure(graph, context)
+    for node in graph.nodes.values():
+        if isinstance(node, InternalNode) and node.subgraph is not None:
+            errors.extend(_verify_graph_structure(node.subgraph, f"{context}/{node.name}"))
+        if isinstance(node, LeafNode) and node.impl_graph is not None:
+            errors.extend(_verify_graph_structure(node.impl_graph, f"{context}/{node.name}.impl"))
+    if errors:
+        raise IRVerificationError("\n".join(errors))
+
+
+def verify_program(program: Program) -> None:
+    """Verify every traced function of a program; raises on failure."""
+    errors: list[str] = []
+    for fn in program.functions.values():
+        errors.extend(verify_function(fn))
+    if errors:
+        raise IRVerificationError("\n".join(errors))

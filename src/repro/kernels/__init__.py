@@ -1,0 +1,17 @@
+"""Numeric kernel libraries shared by the DSL eager mode and the back ends.
+
+Three kernel flavours are provided:
+
+* :mod:`repro.kernels.reference` — straightforward row-at-a-time NumPy
+  kernels.  These define the *semantics* of every HDC primitive and are
+  what the CPU back end and the DSL's eager mode execute.
+* :mod:`repro.kernels.batched` — "library routine" kernels that operate on
+  whole hypermatrices at once.  They stand in for the cuBLAS / Thrust /
+  hand-written CUDA kernels the paper's GPU back end lowers to.
+* :mod:`repro.kernels.binary` — packed-bit kernels (XOR + popcount) used
+  after automatic binarization to exploit 1-bit bipolar representations.
+"""
+
+from repro.kernels import batched, binary, reference
+
+__all__ = ["reference", "batched", "binary"]

@@ -1,0 +1,142 @@
+"""Packed-bit kernels for binarized (1-bit bipolar) hypervectors.
+
+Automatic binarization (Section 4.2 of the paper) rewrites tainted
+hypervectors and hypermatrices to a 1-bit element type; "the lowering of HDC
+primitives are handled using bitvector logical operations".  This module
+provides those bitvector kernels:
+
+* bipolar {+1, -1} vectors are packed into ``uint8`` words with
+  :func:`pack_bipolar` (bit = 1 encodes +1);
+* Hamming distance becomes XOR + popcount over the packed words;
+* the bipolar dot product (used by cosine similarity over binarized
+  vectors) is derived from the Hamming distance via
+  ``dot = D - 2 * hamming``.
+
+These kernels give a genuine throughput and memory-footprint advantage over
+the 32-bit float kernels, which is what produces the speedups of the
+binarized configurations in Figure 7.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.kernels.reference import reduction_slice
+
+__all__ = [
+    "pack_bipolar",
+    "unpack_bipolar",
+    "hamming_distance_packed",
+    "hamming_distance_bipolar",
+    "dot_bipolar",
+    "cossim_bipolar",
+    "packed_num_bytes",
+]
+
+# Popcount lookup table for uint8 words.
+_POPCOUNT = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint16)
+
+
+def pack_bipolar(x: np.ndarray) -> np.ndarray:
+    """Pack a bipolar {+1, -1} array into bits along the last axis.
+
+    +1 is encoded as bit value 1 and -1 as bit value 0.  The returned array
+    has dtype ``uint8`` and its last dimension is ``ceil(D / 8)``.
+    """
+    bits = (np.asarray(x) > 0).astype(np.uint8)
+    return np.packbits(bits, axis=-1)
+
+
+def unpack_bipolar(packed: np.ndarray, dim: int) -> np.ndarray:
+    """Invert :func:`pack_bipolar`, producing an ``int8`` bipolar array."""
+    bits = np.unpackbits(packed, axis=-1)[..., :dim]
+    return (bits.astype(np.int8) * 2 - 1).astype(np.int8)
+
+
+def packed_num_bytes(dim: int) -> int:
+    """Number of bytes used by one packed hypervector of dimension ``dim``."""
+    return (dim + 7) // 8
+
+
+def hamming_distance_packed(lhs: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """Hamming distance between packed bit arrays.
+
+    ``lhs`` has shape ``(..., W)`` and ``rhs`` ``(K, W)`` where ``W`` is the
+    packed word count; the result has shape ``(..., K)``.
+    """
+    lhs = np.atleast_2d(lhs)
+    rhs = np.atleast_2d(rhs)
+    # XOR every (query, candidate) pair and popcount the result.
+    xored = np.bitwise_xor(lhs[:, None, :], rhs[None, :, :])
+    return _POPCOUNT[xored].sum(axis=-1).astype(np.float32)
+
+
+def hamming_distance_bipolar(
+    lhs: np.ndarray,
+    rhs: np.ndarray,
+    begin: int = 0,
+    end: Optional[int] = None,
+    stride: int = 1,
+) -> np.ndarray:
+    """Hamming distance between unpacked bipolar arrays via bit packing.
+
+    Handles the same shape combinations as the reference kernel and the
+    same (un-rescaled) perforation semantics.  The perforation slice is
+    applied *before* packing, matching the loop-perforated scalar kernel.
+    """
+    lhs_arr = np.asarray(lhs)
+    rhs_arr = np.asarray(rhs)
+    squeeze_lhs = lhs_arr.ndim == 1
+    squeeze_rhs = rhs_arr.ndim == 1
+    lhs2 = np.atleast_2d(lhs_arr)
+    rhs2 = np.atleast_2d(rhs_arr)
+    sl = reduction_slice(lhs2.shape[-1], begin, end, stride)
+    out = hamming_distance_packed(pack_bipolar(lhs2[:, sl]), pack_bipolar(rhs2[:, sl]))
+    if squeeze_lhs and squeeze_rhs:
+        return out[0, 0]
+    if squeeze_lhs:
+        return out[0]
+    if squeeze_rhs:
+        return out[:, 0]
+    return out
+
+
+def dot_bipolar(
+    lhs: np.ndarray,
+    rhs: np.ndarray,
+    begin: int = 0,
+    end: Optional[int] = None,
+    stride: int = 1,
+) -> np.ndarray:
+    """Dot product between bipolar arrays computed from packed Hamming.
+
+    For bipolar vectors of effective length ``D``:
+    ``dot(a, b) = D - 2 * hamming(a, b)``.
+    """
+    lhs_arr = np.atleast_2d(np.asarray(lhs))
+    sl = reduction_slice(lhs_arr.shape[-1], begin, end, stride)
+    visited = len(range(*sl.indices(lhs_arr.shape[-1])))
+    ham = hamming_distance_bipolar(lhs, rhs, begin, end, stride)
+    return (visited - 2.0 * ham).astype(np.float32)
+
+
+def cossim_bipolar(
+    lhs: np.ndarray,
+    rhs: np.ndarray,
+    begin: int = 0,
+    end: Optional[int] = None,
+    stride: int = 1,
+) -> np.ndarray:
+    """Cosine similarity between bipolar arrays.
+
+    Both operands have constant L2 norm ``sqrt(D)`` over the visited range,
+    so the cosine similarity is simply ``dot / D_visited``.
+    """
+    lhs_arr = np.atleast_2d(np.asarray(lhs))
+    sl = reduction_slice(lhs_arr.shape[-1], begin, end, stride)
+    visited = len(range(*sl.indices(lhs_arr.shape[-1])))
+    return (dot_bipolar(lhs, rhs, begin, end, stride) / float(visited)).astype(
+        np.float32
+    )

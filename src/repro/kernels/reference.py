@@ -1,0 +1,361 @@
+"""Reference NumPy kernels defining the semantics of every HDC primitive.
+
+Each kernel mirrors one of the HDC algorithmic primitives of Table 1 of the
+paper.  The reduce kernels (``matmul``, ``cossim``, ``hamming_distance``,
+``l2norm``) accept optional *perforation* parameters ``(begin, end, stride)``
+implementing the reduction-perforation transform of Section 4.2:
+
+* For ``hamming_distance`` and ``cossim`` the perforated result is **not**
+  rescaled — only relative magnitudes matter for similarity search.
+* For ``matmul`` and ``l2norm`` the accumulated value **is** rescaled by the
+  inverse of the visited fraction, because their absolute magnitudes matter.
+
+All kernels are pure functions over NumPy arrays; element-type bookkeeping
+(e.g. whether a vector is bipolar 1-bit) is handled by the callers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+__all__ = [
+    "empty",
+    "create",
+    "random_values",
+    "gaussian_values",
+    "wrap_shift",
+    "sign",
+    "sign_flip",
+    "elementwise",
+    "absolute_value",
+    "cosine",
+    "l2norm",
+    "get_element",
+    "type_cast",
+    "arg_min",
+    "arg_max",
+    "set_matrix_row",
+    "get_matrix_row",
+    "matrix_transpose",
+    "cossim",
+    "hamming_distance",
+    "matmul",
+    "reduction_slice",
+    "perforation_scale",
+]
+
+
+def reduction_slice(
+    length: int,
+    begin: int = 0,
+    end: Optional[int] = None,
+    stride: int = 1,
+) -> slice:
+    """Build the index slice used by a (possibly perforated) reduction.
+
+    ``begin``/``end``/``stride`` are the three arguments of the
+    ``red_perf`` HDC++ directive.  A full reduction corresponds to
+    ``(0, length, 1)``.
+    """
+    if end is None:
+        end = length
+    if begin < 0 or end > length or begin > end:
+        raise ValueError(
+            f"invalid perforation range [{begin}, {end}) for length {length}"
+        )
+    if stride < 1:
+        raise ValueError(f"perforation stride must be >= 1, got {stride}")
+    return slice(begin, end, stride)
+
+
+def perforation_scale(
+    length: int,
+    begin: int = 0,
+    end: Optional[int] = None,
+    stride: int = 1,
+) -> float:
+    """Return ``total_elements / visited_elements`` for a perforated reduce."""
+    if end is None:
+        end = length
+    visited = len(range(begin, end, stride))
+    if visited == 0:
+        raise ValueError("perforation visits zero elements")
+    return length / visited
+
+
+# ---------------------------------------------------------------------------
+# Initialization primitives
+# ---------------------------------------------------------------------------
+
+
+def empty(shape: tuple[int, ...], dtype: np.dtype) -> np.ndarray:
+    """``hypervector()`` / ``hypermatrix()`` — zero-initialized storage."""
+    return np.zeros(shape, dtype=dtype)
+
+
+def create(
+    shape: tuple[int, ...],
+    dtype: np.dtype,
+    init: Callable[..., float],
+) -> np.ndarray:
+    """``create_hypervector(f)`` / ``create_hypermatrix(f)``.
+
+    ``init`` is called with the element indices (one index for vectors, two
+    for matrices) and must return the element value.
+    """
+    out = np.empty(shape, dtype=dtype)
+    if len(shape) == 1:
+        for i in range(shape[0]):
+            out[i] = init(i)
+    elif len(shape) == 2:
+        for i in range(shape[0]):
+            for j in range(shape[1]):
+                out[i, j] = init(i, j)
+    else:  # pragma: no cover - defensive
+        raise ValueError(f"unsupported shape {shape}")
+    return out
+
+
+def random_values(
+    shape: tuple[int, ...],
+    dtype: np.dtype,
+    rng: np.random.Generator,
+    bipolar: bool = False,
+) -> np.ndarray:
+    """``random_hypervector()`` / ``random_hypermatrix()``.
+
+    Floating point types draw from ``U(-1, 1)``; integer types draw uniform
+    bipolar ``{+1, -1}`` values, which is the convention used by the HDC
+    applications in the paper for random projection matrices.
+    """
+    if bipolar or np.issubdtype(dtype, np.integer):
+        values = rng.integers(0, 2, size=shape) * 2 - 1
+        return values.astype(dtype)
+    return rng.uniform(-1.0, 1.0, size=shape).astype(dtype)
+
+
+def gaussian_values(
+    shape: tuple[int, ...],
+    dtype: np.dtype,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """``gaussian_hypervector()`` / ``gaussian_hypermatrix()`` — N(0, 1)."""
+    values = rng.standard_normal(size=shape)
+    if np.issubdtype(dtype, np.integer):
+        values = np.rint(values)
+    return values.astype(dtype)
+
+
+# ---------------------------------------------------------------------------
+# Element-wise primitives
+# ---------------------------------------------------------------------------
+
+
+def wrap_shift(x: np.ndarray, shift_amount: int) -> np.ndarray:
+    """Rotate elements with wrap-around (``wrap_shift``)."""
+    return np.roll(x, shift_amount, axis=-1)
+
+
+def sign(x: np.ndarray) -> np.ndarray:
+    """Map each element to +1 / -1 by its sign (zero maps to +1)."""
+    return np.where(np.asarray(x) >= 0, np.int8(1), np.int8(-1))
+
+
+def sign_flip(x: np.ndarray) -> np.ndarray:
+    """Flip the sign of every element (``sign_flip``)."""
+    return -x
+
+
+_BINOPS: dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+    "add": np.add,
+    "sub": np.subtract,
+    "mul": np.multiply,
+    "div": np.divide,
+}
+
+
+def elementwise(op: str, lhs: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """Element-wise ``add`` / ``sub`` / ``mul`` / ``div``."""
+    if op not in _BINOPS:
+        raise KeyError(f"unknown element-wise op {op!r}")
+    if op == "div":
+        lhs = np.asarray(lhs, dtype=np.result_type(lhs, np.float32))
+    return _BINOPS[op](lhs, rhs)
+
+
+def absolute_value(x: np.ndarray) -> np.ndarray:
+    """Element-wise absolute value."""
+    return np.abs(x)
+
+
+def cosine(x: np.ndarray) -> np.ndarray:
+    """Element-wise cosine."""
+    return np.cos(x.astype(np.float64)).astype(np.float32)
+
+
+# ---------------------------------------------------------------------------
+# Reductions and similarity primitives
+# ---------------------------------------------------------------------------
+
+
+def l2norm(
+    x: np.ndarray,
+    begin: int = 0,
+    end: Optional[int] = None,
+    stride: int = 1,
+) -> np.ndarray:
+    """L2 norm of a hypervector, or per-row norms of a hypermatrix.
+
+    Perforated norms are rescaled by ``sqrt(total / visited)`` so that their
+    absolute magnitude remains comparable to the exact norm.
+    """
+    length = x.shape[-1]
+    sl = reduction_slice(length, begin, end, stride)
+    scale = perforation_scale(length, begin, end, stride)
+    sub = x[..., sl].astype(np.float64)
+    return np.sqrt(np.sum(sub * sub, axis=-1) * scale).astype(np.float32)
+
+
+def get_element(x: np.ndarray, row_idx: int, col_idx: Optional[int] = None):
+    """Index into a hypervector (one index) or hypermatrix (two indices)."""
+    if x.ndim == 1:
+        if col_idx is not None:
+            raise ValueError("hypervector indexing takes a single index")
+        return x[row_idx]
+    if col_idx is None:
+        raise ValueError("hypermatrix indexing requires two indices")
+    return x[row_idx, col_idx]
+
+
+def type_cast(x: np.ndarray, dtype: np.dtype) -> np.ndarray:
+    """Cast the elements of a hypervector / hypermatrix to a new type."""
+    return x.astype(dtype)
+
+
+def arg_min(x: np.ndarray) -> np.ndarray:
+    """Arg-min of a hypervector, or per-row arg-min of a hypermatrix."""
+    return np.argmin(x, axis=-1)
+
+
+def arg_max(x: np.ndarray) -> np.ndarray:
+    """Arg-max of a hypervector, or per-row arg-max of a hypermatrix."""
+    return np.argmax(x, axis=-1)
+
+
+def set_matrix_row(mat: np.ndarray, new_row: np.ndarray, row_idx: int) -> np.ndarray:
+    """Return a copy of ``mat`` with row ``row_idx`` replaced by ``new_row``."""
+    out = np.array(mat, copy=True)
+    out[row_idx, :] = new_row
+    return out
+
+
+def get_matrix_row(mat: np.ndarray, row_idx: int) -> np.ndarray:
+    """Extract a row of a hypermatrix as a hypervector."""
+    return np.array(mat[row_idx, :], copy=True)
+
+
+def matrix_transpose(mat: np.ndarray) -> np.ndarray:
+    """Transpose a hypermatrix."""
+    return np.ascontiguousarray(mat.T)
+
+
+def _pairwise_apply(lhs: np.ndarray, rhs: np.ndarray, fn) -> np.ndarray:
+    """Apply ``fn(vector, matrix) -> vector`` for every row of ``lhs``."""
+    return np.stack([fn(row, rhs) for row in lhs])
+
+
+def cossim(
+    lhs: np.ndarray,
+    rhs: np.ndarray,
+    begin: int = 0,
+    end: Optional[int] = None,
+    stride: int = 1,
+) -> np.ndarray:
+    """Cosine similarity between hypervectors / hypermatrices.
+
+    Shapes follow Table 1:
+
+    * ``(D,), (D,)``      -> scalar
+    * ``(D,), (K, D)``    -> ``(K,)`` similarity against every row of ``rhs``
+    * ``(N, D), (K, D)``  -> ``(N, K)`` pairwise similarities
+
+    The perforation range applies along the hypervector dimension ``D`` and
+    the result is *not* rescaled (Section 4.2).
+    """
+    if lhs.ndim == 1 and rhs.ndim == 1:
+        return cossim(lhs[None, :], rhs[None, :], begin, end, stride)[0, 0]
+    if lhs.ndim == 1 and rhs.ndim == 2:
+        return cossim(lhs[None, :], rhs, begin, end, stride)[0]
+    if lhs.ndim == 2 and rhs.ndim == 1:
+        return cossim(lhs, rhs[None, :], begin, end, stride)[:, 0]
+    sl = reduction_slice(lhs.shape[-1], begin, end, stride)
+    a = lhs[:, sl].astype(np.float64)
+    b = rhs[:, sl].astype(np.float64)
+    dots = a @ b.T
+    norm_a = np.linalg.norm(a, axis=1)
+    norm_b = np.linalg.norm(b, axis=1)
+    denom = np.outer(norm_a, norm_b)
+    denom[denom == 0.0] = 1.0
+    return (dots / denom).astype(np.float32)
+
+
+def hamming_distance(
+    lhs: np.ndarray,
+    rhs: np.ndarray,
+    begin: int = 0,
+    end: Optional[int] = None,
+    stride: int = 1,
+) -> np.ndarray:
+    """Hamming distance (count of unequal elements) between hypervectors.
+
+    Shape behaviour matches :func:`cossim`.  Perforated distances are not
+    rescaled (Section 4.2).
+    """
+    if lhs.ndim == 1 and rhs.ndim == 1:
+        return hamming_distance(lhs[None, :], rhs[None, :], begin, end, stride)[0, 0]
+    if lhs.ndim == 1 and rhs.ndim == 2:
+        return hamming_distance(lhs[None, :], rhs, begin, end, stride)[0]
+    if lhs.ndim == 2 and rhs.ndim == 1:
+        return hamming_distance(lhs, rhs[None, :], begin, end, stride)[:, 0]
+    sl = reduction_slice(lhs.shape[-1], begin, end, stride)
+    a = lhs[:, sl]
+    b = rhs[:, sl]
+    # Row-at-a-time comparison; the batched library provides a faster path.
+    out = np.empty((a.shape[0], b.shape[0]), dtype=np.float32)
+    for i in range(a.shape[0]):
+        out[i, :] = np.count_nonzero(a[i][None, :] != b, axis=1)
+    return out
+
+
+def matmul(
+    lhs: np.ndarray,
+    rhs: np.ndarray,
+    begin: int = 0,
+    end: Optional[int] = None,
+    stride: int = 1,
+) -> np.ndarray:
+    """Matrix multiplication between hypervectors and hypermatrices.
+
+    Following Listing 1 of the paper, ``matmul(features, rp_matrix)`` with
+    ``features: (C,)`` and ``rp_matrix: (R, C)`` produces the encoded
+    hypervector ``(R,)`` (i.e. ``rp_matrix @ features``).  With a matrix
+    left-hand side ``(N, C)`` the result is ``(N, R)``.
+
+    Perforated products are rescaled by ``total / visited`` so downstream
+    uses that depend on absolute magnitudes stay calibrated (Section 4.2).
+    """
+    contraction = rhs.shape[-1]
+    sl = reduction_slice(contraction, begin, end, stride)
+    scale = perforation_scale(contraction, begin, end, stride)
+    r = rhs[:, sl].astype(np.float64)
+    if lhs.ndim == 1:
+        a = lhs[sl].astype(np.float64)
+        out = r @ a
+    else:
+        a = lhs[:, sl].astype(np.float64)
+        out = a @ r.T
+    if scale != 1.0:
+        out = out * scale
+    return out.astype(np.float32)

@@ -1,0 +1,135 @@
+"""Reduction perforation (Section 4.2 of the paper).
+
+Reduction operators — ``matmul`` (random projection encoding),
+``hamming_distance`` / ``cossim`` (similarity search) and ``l2norm`` — are
+the dominant cost of HDC applications.  Because HDC is error resilient it is
+often sufficient to compute them approximately by skipping elements along
+the reduction axis, either as a *segmented* reduction (a contiguous
+sub-range) or a *strided* reduction (every ``stride``-th element), or both.
+
+Programmers request perforation with the ``red_perf(result, begin, end,
+stride)`` directive; this pass folds the directive's parameters into the
+producing reduction operation (as ``perf_begin`` / ``perf_end`` /
+``perf_stride`` attributes consumed by the back ends) and removes the
+directive.  Perforation can also be requested *externally* through
+:class:`PerforationSpec` entries in the approximation configuration — this
+is how the Table 3 / Figure 7 sweeps explore configurations with "1–2 lines
+of code" changes without touching the application source at all.
+
+Scaling semantics follow the paper: ``hamming_distance`` and ``cossim``
+results are left unscaled (only relative magnitudes matter), while
+``matmul`` and ``l2norm`` results are rescaled by the inverse of the
+visited fraction (their absolute magnitudes matter).  The scaling itself is
+implemented inside the kernels; this pass only records the perforation
+window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.hdcpp.program import Operation, Program
+from repro.ir.ops import OP_INFO, Opcode
+
+__all__ = ["PerforationSpec", "ReductionPerforation", "PerforationReport"]
+
+_PERFORATABLE = {op for op, info in OP_INFO.items() if info.is_reduce}
+
+_OPCODE_BY_NAME = {
+    "matmul": Opcode.MATMUL,
+    "cossim": Opcode.COSSIM,
+    "hamming_distance": Opcode.HAMMING_DISTANCE,
+    "l2norm": Opcode.L2NORM,
+}
+
+
+@dataclass(frozen=True)
+class PerforationSpec:
+    """An externally supplied perforation request.
+
+    Attributes:
+        opcode: Which reduction primitive to perforate (``"matmul"``,
+            ``"cossim"``, ``"hamming_distance"`` or ``"l2norm"``, or the
+            corresponding :class:`Opcode`).
+        begin: First element of the reduction range (inclusive).
+        end: Last element of the reduction range (exclusive); ``None``
+            means the full hypervector length.
+        stride: Step between sampled elements.
+        function: Restrict the spec to operations inside this traced
+            function (``None`` applies everywhere).
+    """
+
+    opcode: object
+    begin: int = 0
+    end: Optional[int] = None
+    stride: int = 1
+    function: Optional[str] = None
+
+    def resolved_opcode(self) -> Opcode:
+        if isinstance(self.opcode, Opcode):
+            return self.opcode
+        return _OPCODE_BY_NAME[str(self.opcode)]
+
+
+@dataclass
+class PerforationReport:
+    """Summary of one reduction-perforation run."""
+
+    folded_directives: int = 0
+    applied_specs: int = 0
+    perforated_ops: list[str] = field(default_factory=list)
+
+    def __repr__(self) -> str:
+        return (
+            f"PerforationReport(directives={self.folded_directives}, "
+            f"specs={self.applied_specs}, ops={self.perforated_ops})"
+        )
+
+
+class ReductionPerforation:
+    """Fold ``red_perf`` directives and external specs into reduce ops."""
+
+    name = "reduction-perforation"
+
+    def __init__(self, specs: Optional[list[PerforationSpec]] = None):
+        self.specs = list(specs or [])
+
+    def run(self, program: Program) -> PerforationReport:
+        report = PerforationReport()
+        for fn_name, fn in program.functions.items():
+            kept_ops: list[Operation] = []
+            for op in fn.ops:
+                if op.opcode != Opcode.RED_PERF:
+                    kept_ops.append(op)
+                    continue
+                target = op.operands[0]
+                producer = target.producer
+                if producer is None or producer.opcode not in _PERFORATABLE:
+                    raise ValueError(
+                        f"{fn_name}: red_perf annotates %{target.name}, which is not produced "
+                        "by a perforatable reduction primitive"
+                    )
+                self._apply(producer, op.attrs["begin"], op.attrs["end"], op.attrs["stride"])
+                report.folded_directives += 1
+                report.perforated_ops.append(f"{fn_name}:{producer.opcode.value}")
+            fn.ops = kept_ops
+
+        for spec in self.specs:
+            opcode = spec.resolved_opcode()
+            for fn_name, fn in program.functions.items():
+                if spec.function is not None and fn_name != spec.function:
+                    continue
+                for op in fn.ops:
+                    if op.opcode != opcode:
+                        continue
+                    self._apply(op, spec.begin, spec.end, spec.stride)
+                    report.applied_specs += 1
+                    report.perforated_ops.append(f"{fn_name}:{op.opcode.value}")
+        return report
+
+    @staticmethod
+    def _apply(op: Operation, begin: int, end: Optional[int], stride: int) -> None:
+        op.attrs["perf_begin"] = int(begin)
+        op.attrs["perf_end"] = None if end is None else int(end)
+        op.attrs["perf_stride"] = int(stride)

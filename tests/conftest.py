@@ -1,0 +1,80 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import hdcpp as H
+from repro.datasets import (
+    CoraConfig,
+    GenomicsConfig,
+    IsoletConfig,
+    SpectraConfig,
+    make_cora_like,
+    make_genomics_dataset,
+    make_isolet_like,
+    make_spectral_library,
+)
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def tiny_isolet():
+    """A very small ISOLET-like dataset (fast, still 26 classes)."""
+    return make_isolet_like(IsoletConfig(n_train=200, n_test=80, seed=5))
+
+
+@pytest.fixture(scope="session")
+def tiny_spectra():
+    return make_spectral_library(SpectraConfig(n_library=50, n_queries=25, seed=5))
+
+
+@pytest.fixture(scope="session")
+def tiny_cora():
+    return make_cora_like(CoraConfig(n_nodes=150, seed=5))
+
+
+@pytest.fixture(scope="session")
+def tiny_genomics():
+    return make_genomics_dataset(GenomicsConfig(genome_length=4000, n_reads=25, seed=5))
+
+
+@pytest.fixture()
+def inference_program():
+    """A small HD-Classification-style inference program (traced)."""
+    features, dim, classes = 32, 256, 6
+    prog = H.Program("test_inference")
+
+    @prog.define(H.hv(features), H.hm(classes, dim), H.hm(dim, features))
+    def infer_one(query, class_hvs, rp_matrix):
+        encoded = H.sign(H.matmul(query, rp_matrix))
+        distances = H.hamming_distance(encoded, H.sign(class_hvs))
+        return H.arg_min(distances)
+
+    @prog.entry(H.hm(40, features), H.hm(classes, dim), H.hm(dim, features))
+    def main(queries, class_hvs, rp_matrix):
+        return H.inference_loop(infer_one, queries, class_hvs, encoder=rp_matrix)
+
+    return prog
+
+
+@pytest.fixture()
+def inference_inputs(rng):
+    """Concrete inputs matching :func:`inference_program`."""
+    features, dim, classes, queries = 32, 256, 6, 40
+    prototypes = rng.normal(size=(classes, features))
+    labels = rng.integers(0, classes, size=queries)
+    data = prototypes[labels] + 0.3 * rng.normal(size=(queries, features))
+    rp = (rng.integers(0, 2, size=(dim, features)) * 2 - 1).astype(np.float32)
+    encoded_protos = np.sign(prototypes @ rp.T).astype(np.float32)
+    return {
+        "queries": data.astype(np.float32),
+        "class_hvs": encoded_protos,
+        "rp_matrix": rp,
+        "labels": labels,
+    }

@@ -1,0 +1,135 @@
+"""Integration tests for the five HDC++ applications on their supported targets."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    HDClassification,
+    HDClassificationInference,
+    HDClustering,
+    HDHashtable,
+    HyperOMS,
+    RelHD,
+)
+from repro.transforms import ApproximationConfig
+
+
+class TestHDClassification:
+    @pytest.fixture(scope="class")
+    def app(self):
+        return HDClassification(dimension=512, epochs=2)
+
+    @pytest.mark.parametrize("target", ["cpu", "gpu", "hdc_asic", "hdc_reram"])
+    def test_runs_on_all_targets(self, app, tiny_isolet, target):
+        result = app.run(tiny_isolet, target=target)
+        assert result.quality > 1.0 / 26 * 3  # clearly above chance
+        assert result.outputs["predictions"].shape == (80,)
+        assert result.outputs["class_hypervectors"].shape == (26, 512)
+        assert result.wall_seconds > 0
+
+    def test_cpu_and_gpu_agree(self, app, tiny_isolet):
+        cpu = app.run(tiny_isolet, target="cpu")
+        gpu = app.run(tiny_isolet, target="gpu")
+        # Training orders differ (per-sample vs mini-batch), so predictions
+        # may differ slightly, but quality must be comparable.
+        assert abs(cpu.quality - gpu.quality) < 0.15
+
+    def test_accelerator_reports_device_time(self, app, tiny_isolet):
+        result = app.run(tiny_isolet, target="hdc_asic")
+        assert result.report.device_seconds > 0
+        assert result.report.notes["train_iterations"] == 200 * 2
+
+
+class TestHDClassificationInference:
+    def test_offline_training_and_inference(self, tiny_isolet):
+        app = HDClassificationInference(dimension=1024, similarity="cosine")
+        result = app.run(tiny_isolet, target="gpu")
+        assert result.quality > 0.3
+
+    def test_hamming_variant_and_binarization(self, tiny_isolet):
+        app = HDClassificationInference(dimension=1024, similarity="hamming")
+        trained = app.train_offline(tiny_isolet)
+        exact = app.run(tiny_isolet, target="gpu", trained=trained)
+        binarized = app.run(
+            tiny_isolet, target="gpu", config=ApproximationConfig(binarize=True), trained=trained
+        )
+        assert abs(exact.quality - binarized.quality) < 0.1
+
+    def test_trained_state_is_reusable(self, tiny_isolet):
+        app = HDClassificationInference(dimension=1024)
+        trained = app.train_offline(tiny_isolet)
+        a = app.run(tiny_isolet, target="cpu", trained=trained)
+        b = app.run(tiny_isolet, target="gpu", trained=trained)
+        assert np.array_equal(a.outputs["predictions"], b.outputs["predictions"])
+
+
+class TestHDClustering:
+    @pytest.fixture(scope="class")
+    def app(self):
+        return HDClustering(dimension=512, n_clusters=26, iterations=3)
+
+    @pytest.mark.parametrize("target", ["cpu", "gpu", "hdc_asic", "hdc_reram"])
+    def test_runs_on_all_targets(self, app, tiny_isolet, target):
+        result = app.run(tiny_isolet, target=target)
+        assert 0.0 < result.quality <= 1.0
+        assert result.quality > 1.0 / 26
+        assert result.outputs["assignments"].shape == (200,)
+        assert 1 <= result.outputs["iterations_run"] <= 3
+
+    def test_quality_metric_is_purity(self, app, tiny_isolet):
+        assert app.run(tiny_isolet, target="gpu").quality_metric == "purity"
+
+
+class TestHyperOMS:
+    @pytest.fixture(scope="class")
+    def app(self):
+        return HyperOMS(dimension=1024)
+
+    @pytest.mark.parametrize("target", ["cpu", "gpu"])
+    def test_recall_above_chance(self, app, tiny_spectra, target):
+        result = app.run(tiny_spectra, target=target)
+        assert result.quality > 0.5
+        assert result.outputs["matches"].shape == (25,)
+
+    def test_cpu_gpu_agree(self, app, tiny_spectra):
+        cpu = app.run(tiny_spectra, target="cpu")
+        gpu = app.run(tiny_spectra, target="gpu")
+        assert np.array_equal(cpu.outputs["matches"], gpu.outputs["matches"])
+
+
+class TestRelHD:
+    @pytest.fixture(scope="class")
+    def app(self):
+        return RelHD(dimension=1024, epochs=2)
+
+    @pytest.mark.parametrize("target", ["cpu", "gpu"])
+    def test_node_classification_accuracy(self, app, tiny_cora, target):
+        result = app.run(tiny_cora, target=target)
+        assert result.quality > 0.5
+        assert result.outputs["predictions"].shape == (tiny_cora.test_nodes.size,)
+
+    def test_neighbour_aggregation_shape(self, app, tiny_cora):
+        encoded = np.sign(np.random.default_rng(0).normal(size=(tiny_cora.n_nodes, 1024))).astype(
+            np.float32
+        )
+        aggregated = app.aggregate_neighbours(encoded, tiny_cora)
+        assert aggregated.shape == encoded.shape
+        assert set(np.unique(aggregated)) <= {-1.0, 1.0}
+
+
+class TestHDHashtable:
+    @pytest.fixture(scope="class")
+    def app(self):
+        return HDHashtable(dimension=1024)
+
+    @pytest.mark.parametrize("target", ["cpu", "gpu"])
+    def test_bucket_search_accuracy(self, app, tiny_genomics, target):
+        result = app.run(tiny_genomics, target=target)
+        assert result.quality > 0.6
+        assert result.outputs["matches"].shape == (25,)
+
+    def test_reference_table_shape(self, app, tiny_genomics):
+        base = app.make_base_hypervectors()
+        table = app.encode_reference_buckets(tiny_genomics, base)
+        assert table.shape == (tiny_genomics.n_buckets, 1024)
+        assert set(np.unique(table)) <= {-1.0, 0.0, 1.0}

@@ -1,0 +1,153 @@
+"""Tests for the digital ASIC and ReRAM accelerator back ends."""
+
+import numpy as np
+import pytest
+
+from repro import hdcpp as H
+from repro.backends import DigitalASICBackend, ReRAMBackend, compile as hdc_compile
+from repro.transforms import ApproximationConfig, PerforationSpec
+
+
+def build_train_infer_program(n_train=30, n_test=15, features=16, dim=128, classes=4):
+    prog = H.Program("accelerator_app")
+
+    @prog.define(H.hv(features), H.hm(classes, dim), H.hm(dim, features))
+    def infer_one(query, class_hvs, rp):
+        encoded = H.sign(H.matmul(query, rp))
+        return H.arg_min(H.hamming_distance(encoded, H.sign(class_hvs)))
+
+    def train_one(query, label, class_hvs, rp):
+        encoded = np.sign(np.asarray(query) @ np.asarray(rp).T)
+        updated = np.array(class_hvs, copy=True)
+        updated[label] += encoded
+        return updated
+
+    @prog.entry(
+        H.hm(n_train, features),
+        H.IndexVectorType(n_train),
+        H.hm(n_test, features),
+        H.hm(dim, features),
+        H.hm(classes, dim),
+    )
+    def main(train_q, train_labels, test_q, rp, class_hvs):
+        trained = H.training_loop(train_one, train_q, train_labels, class_hvs, epochs=2, encoder=rp)
+        return H.inference_loop(infer_one, test_q, trained, encoder=rp), trained
+
+    return prog
+
+
+@pytest.fixture()
+def toy_data():
+    rng = np.random.default_rng(11)
+    features, classes, n_train, n_test = 16, 4, 30, 15
+    prototypes = rng.normal(size=(classes, features))
+    train_labels = rng.integers(0, classes, n_train)
+    test_labels = rng.integers(0, classes, n_test)
+    train = prototypes[train_labels] + 0.2 * rng.normal(size=(n_train, features))
+    test = prototypes[test_labels] + 0.2 * rng.normal(size=(n_test, features))
+    rp = (rng.integers(0, 2, size=(128, features)) * 2 - 1).astype(np.float32)
+    return {
+        "train_q": train.astype(np.float32),
+        "train_labels": train_labels,
+        "test_q": test.astype(np.float32),
+        "rp": rp,
+        "class_hvs": np.zeros((classes, 128), dtype=np.float32),
+        "test_labels": test_labels,
+    }
+
+
+@pytest.mark.parametrize("target", ["hdc_asic", "hdc_reram"])
+class TestAcceleratorExecution:
+    def test_train_and_infer_produces_good_accuracy(self, target, toy_data):
+        prog = build_train_infer_program()
+        compiled = hdc_compile(prog, target=target)
+        inputs = {k: v for k, v in toy_data.items() if k != "test_labels"}
+        result = compiled.run(**inputs)
+        predictions = np.asarray(result.outputs[prog.entry_function.results[0].name])
+        accuracy = (predictions == toy_data["test_labels"]).mean()
+        assert accuracy > 0.7
+
+    def test_device_counters_flow_into_report(self, target, toy_data):
+        prog = build_train_infer_program()
+        compiled = hdc_compile(prog, target=target)
+        inputs = {k: v for k, v in toy_data.items() if k != "test_labels"}
+        report = compiled.run(**inputs).report
+        assert report.device_seconds > 0
+        assert report.bytes_to_device > 0
+        assert report.energy_joules > 0
+        assert report.notes["train_iterations"] == 60  # 30 samples x 2 epochs
+        assert report.notes["inferences"] == 15
+
+    def test_redundant_base_transfer_is_elided(self, target, toy_data):
+        prog = build_train_infer_program()
+        compiled = hdc_compile(prog, target=target)
+        inputs = {k: v for k, v in toy_data.items() if k != "test_labels"}
+        report = compiled.run(**inputs).report
+        # Training programs the base memory; the inference stage reuses it.
+        assert report.notes["elided_transfers"] >= 1
+
+    def test_approximations_rejected(self, target):
+        prog = build_train_infer_program()
+        with pytest.raises(ValueError):
+            hdc_compile(prog, target=target, config=ApproximationConfig(binarize=True))
+        with pytest.raises(ValueError):
+            hdc_compile(
+                prog,
+                target=target,
+                config=ApproximationConfig(perforations=(PerforationSpec("matmul", stride=2),)),
+            )
+
+    def test_training_without_encoder_rejected(self, target, toy_data):
+        prog = H.Program("no_encoder")
+
+        def train_one(query, label, class_hvs):
+            return class_hvs
+
+        @prog.entry(H.hm(10, 16), H.IndexVectorType(10), H.hm(4, 128))
+        def main(train_q, labels, class_hvs):
+            return H.training_loop(train_one, train_q, labels, class_hvs)
+
+        compiled = hdc_compile(prog, target=target)
+        with pytest.raises(Exception):
+            compiled.run(
+                train_q=toy_data["train_q"][:10],
+                labels=toy_data["train_labels"][:10],
+                class_hvs=toy_data["class_hvs"],
+            )
+
+
+class TestPreEncodedInference:
+    @pytest.mark.parametrize("target", ["hdc_asic", "hdc_reram"])
+    def test_inference_without_encoder_uses_encoded_queries(self, target):
+        rng = np.random.default_rng(3)
+        dim, classes, n = 128, 5, 20
+        class_hvs = np.sign(rng.normal(size=(classes, dim))).astype(np.float32)
+        labels = rng.integers(0, classes, n)
+        queries = class_hvs[labels].copy()
+
+        prog = H.Program("pre_encoded")
+
+        @prog.define(H.hv(dim), H.hm(classes, dim))
+        def assign_one(encoded, clusters):
+            return H.arg_min(H.hamming_distance(H.sign(encoded), H.sign(clusters)))
+
+        @prog.entry(H.hm(n, dim), H.hm(classes, dim))
+        def main(encoded, clusters):
+            return H.inference_loop(assign_one, encoded, clusters)
+
+        compiled = hdc_compile(prog, target=target)
+        predictions = np.asarray(compiled.run(encoded=queries, clusters=class_hvs).output)
+        assert np.array_equal(predictions, labels)
+
+
+class TestBackendConstruction:
+    def test_custom_device_instance_is_used(self):
+        from repro.accelerators import DigitalHDCASIC, ReRAMAccelerator
+
+        asic_device = DigitalHDCASIC()
+        backend = DigitalASICBackend(device=asic_device)
+        assert backend.device is asic_device
+
+        reram_device = ReRAMAccelerator()
+        backend = ReRAMBackend(device=reram_device)
+        assert backend.device is reram_device

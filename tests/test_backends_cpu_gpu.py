@@ -1,0 +1,176 @@
+"""Tests for the CPU and GPU back ends (compilation and execution)."""
+
+import numpy as np
+import pytest
+
+from repro import hdcpp as H
+from repro.backends import CPUBackend, GPUBackend, backend_for_target, compile as hdc_compile
+from repro.transforms import ApproximationConfig, PerforationSpec
+
+
+class TestCompileAPI:
+    def test_backend_for_target(self):
+        assert isinstance(backend_for_target("cpu"), CPUBackend)
+        assert isinstance(backend_for_target("gpu"), GPUBackend)
+        with pytest.raises(Exception):
+            backend_for_target("tpu")
+
+    def test_compiled_program_reports_inputs(self, inference_program):
+        compiled = hdc_compile(inference_program, target="cpu")
+        assert compiled.input_names == ["queries", "class_hvs", "rp_matrix"]
+        assert "cpu" in repr(compiled)
+
+    def test_missing_and_unknown_inputs_rejected(self, inference_program, inference_inputs):
+        compiled = hdc_compile(inference_program, target="cpu")
+        with pytest.raises(TypeError):
+            compiled.run(queries=inference_inputs["queries"])
+        with pytest.raises(TypeError):
+            compiled.run(
+                queries=inference_inputs["queries"],
+                class_hvs=inference_inputs["class_hvs"],
+                rp_matrix=inference_inputs["rp_matrix"],
+                bogus=np.zeros(3),
+            )
+
+    def test_wrong_input_shape_rejected(self, inference_program, inference_inputs):
+        compiled = hdc_compile(inference_program, target="cpu")
+        with pytest.raises(ValueError):
+            compiled.run(
+                queries=inference_inputs["queries"][:, :5],
+                class_hvs=inference_inputs["class_hvs"],
+                rp_matrix=inference_inputs["rp_matrix"],
+            )
+
+
+class TestCpuGpuExecution:
+    def test_cpu_and_gpu_agree_on_predictions(self, inference_program, inference_inputs):
+        cpu = hdc_compile(inference_program, target="cpu")
+        gpu = hdc_compile(inference_program, target="gpu")
+        kwargs = {k: v for k, v in inference_inputs.items() if k != "labels"}
+        cpu_out = np.asarray(cpu.run(**kwargs).output)
+        gpu_out = np.asarray(gpu.run(**kwargs).output)
+        assert np.array_equal(cpu_out, gpu_out)
+
+    def test_predictions_match_labels_on_easy_data(self, inference_program, inference_inputs):
+        compiled = hdc_compile(inference_program, target="gpu")
+        kwargs = {k: v for k, v in inference_inputs.items() if k != "labels"}
+        predictions = np.asarray(compiled.run(**kwargs).output)
+        accuracy = (predictions == inference_inputs["labels"]).mean()
+        assert accuracy > 0.9
+
+    def test_execution_report_contents(self, inference_program, inference_inputs):
+        kwargs = {k: v for k, v in inference_inputs.items() if k != "labels"}
+        cpu_report = hdc_compile(inference_program, target="cpu").run(**kwargs).report
+        gpu_report = hdc_compile(inference_program, target="gpu").run(**kwargs).report
+        assert cpu_report.wall_seconds > 0
+        assert cpu_report.kernel_launches > 0
+        assert cpu_report.bytes_to_device == 0
+        assert gpu_report.bytes_to_device > 0
+        assert gpu_report.bytes_from_device > 0
+        assert gpu_report.kernel_launches > 0
+        assert gpu_report.device_seconds > 0
+        assert gpu_report.target == "gpu"
+
+    def test_gpu_uses_fewer_kernel_launches_than_cpu(self, inference_program, inference_inputs):
+        """The GPU lowers the stage to batched routines; the CPU loops per sample."""
+        kwargs = {k: v for k, v in inference_inputs.items() if k != "labels"}
+        cpu_report = hdc_compile(inference_program, target="cpu").run(**kwargs).report
+        gpu_report = hdc_compile(inference_program, target="gpu").run(**kwargs).report
+        assert gpu_report.kernel_launches < cpu_report.kernel_launches
+
+    def test_single_output_accessor(self, inference_program, inference_inputs):
+        compiled = hdc_compile(inference_program, target="cpu")
+        kwargs = {k: v for k, v in inference_inputs.items() if k != "labels"}
+        result = compiled.run(**kwargs)
+        assert result.output is result.outputs[next(iter(result.outputs))]
+
+
+class TestGranularPrograms:
+    def test_granular_program_runs_on_both_targets(self):
+        prog = H.Program("granular")
+
+        @prog.entry(H.hv(16), H.hm(8, 32), H.hm(32, 16))
+        def main(query, classes, rp):
+            encoded = H.sign(H.matmul(query, rp))
+            sims = H.cossim(encoded, H.sign(classes))
+            return H.arg_max(sims)
+
+        rng = np.random.default_rng(3)
+        rp = (rng.integers(0, 2, size=(32, 16)) * 2 - 1).astype(np.float32)
+        classes = rng.normal(size=(8, 32)).astype(np.float32)
+        query = rng.normal(size=16).astype(np.float32)
+        for target in ("cpu", "gpu"):
+            out = hdc_compile(prog, target=target).run(query=query, classes=classes, rp=rp)
+            assert 0 <= int(np.asarray(out.output)) < 8
+
+    def test_random_init_ops_execute(self):
+        prog = H.Program("randoms")
+
+        @prog.entry(H.hv(32))
+        def main(x):
+            r = H.random_hypervector(32, seed=7)
+            g = H.gaussian_hypervector(32, seed=8)
+            return H.add(H.mul(x, r), g)
+
+        out = hdc_compile(prog, target="cpu").run(x=np.ones(32, dtype=np.float32))
+        assert np.asarray(out.output).shape == (32,)
+
+    def test_parallel_map_with_callable_runs_on_both(self):
+        prog = H.Program("pmap_exec")
+
+        def scale(row):
+            return np.asarray(row) * 2.0
+
+        @prog.entry(H.hm(6, 8))
+        def main(rows):
+            return H.parallel_map(scale, rows)
+
+        data = np.arange(48, dtype=np.float32).reshape(6, 8)
+        for target in ("cpu", "gpu"):
+            out = np.asarray(hdc_compile(prog, target=target).run(rows=data).output)
+            assert np.allclose(out, data * 2.0)
+
+
+class TestApproximationsOnBackends:
+    @pytest.fixture()
+    def program_and_inputs(self, inference_program, inference_inputs):
+        kwargs = {k: v for k, v in inference_inputs.items() if k != "labels"}
+        return inference_program, kwargs, inference_inputs["labels"]
+
+    def test_binarization_preserves_accuracy(self, program_and_inputs):
+        prog, kwargs, labels = program_and_inputs
+        exact = hdc_compile(prog, target="gpu").run(**kwargs)
+        approx = hdc_compile(prog, target="gpu", config=ApproximationConfig(binarize=True)).run(**kwargs)
+        exact_acc = (np.asarray(exact.output) == labels).mean()
+        approx_acc = (np.asarray(approx.output) == labels).mean()
+        assert approx_acc >= exact_acc - 0.1
+
+    def test_binarization_reduces_transferred_bytes(self, program_and_inputs):
+        prog, kwargs, _ = program_and_inputs
+        exact = hdc_compile(prog, target="gpu").run(**kwargs)
+        approx = hdc_compile(prog, target="gpu", config=ApproximationConfig(binarize=True)).run(**kwargs)
+        assert approx.report.bytes_to_device < exact.report.bytes_to_device
+
+    def test_perforation_preserves_accuracy_on_similarity(self, program_and_inputs):
+        prog, kwargs, labels = program_and_inputs
+        config = ApproximationConfig(perforations=(PerforationSpec("hamming_distance", stride=2),))
+        approx = hdc_compile(prog, target="cpu", config=config).run(**kwargs)
+        accuracy = (np.asarray(approx.output) == labels).mean()
+        assert accuracy > 0.8
+
+    def test_same_traced_program_compiles_under_many_configs(self, program_and_inputs):
+        prog, kwargs, _ = program_and_inputs
+        configs = [
+            ApproximationConfig.none(),
+            ApproximationConfig(binarize=True),
+            ApproximationConfig(perforations=(PerforationSpec("matmul", stride=2),)),
+            ApproximationConfig(binarize=True, binarize_reduce=True),
+        ]
+        outputs = []
+        for config in configs:
+            compiled = hdc_compile(prog, target="cpu", config=config)
+            outputs.append(np.asarray(compiled.run(**kwargs).output))
+        # Recompiling with the identity config afterwards still gives the
+        # exact result (the traced program was never mutated in place).
+        exact_again = np.asarray(hdc_compile(prog, target="cpu").run(**kwargs).output)
+        assert np.array_equal(outputs[0], exact_again)

@@ -1,0 +1,142 @@
+"""Tests for the evaluation harness (metrics, configs, LoC, experiment drivers)."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import (
+    EvaluationScale,
+    count_lines_of_code,
+    fig6_accelerators,
+    fig7_optimizations,
+    geomean,
+    relative_speedup,
+    table2_applications,
+    table3_settings,
+    table4_loc,
+)
+from repro.evaluation.metrics import accuracy, format_table
+from repro.transforms import ApproximationConfig
+
+
+class TestMetrics:
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geomean([2.0, 2.0, 2.0]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            geomean([])
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_relative_speedup(self):
+        assert relative_speedup(2.0, 1.0) == 2.0
+        with pytest.raises(ValueError):
+            relative_speedup(1.0, 0.0)
+
+    def test_accuracy(self):
+        assert accuracy([1, 2, 3], [1, 0, 3]) == pytest.approx(2 / 3)
+        with pytest.raises(ValueError):
+            accuracy([1, 2], [1, 2, 3])
+
+    def test_format_table(self):
+        text = format_table(["a", "bb"], [[1, 2], [30, 4]])
+        assert "a" in text and "30" in text
+
+
+class TestTable3Settings:
+    def test_ten_settings_defined(self):
+        settings = table3_settings()
+        assert [s.id for s in settings] == ["I", "II", "III", "IV", "V", "VI", "VII", "VIII", "IX", "X"]
+
+    def test_baseline_is_identity(self):
+        settings = {s.id: s for s in table3_settings()}
+        assert settings["I"].config.is_identity
+        assert settings["I"].similarity == "cosine"
+        assert settings["I"].loc_changes == 0
+
+    def test_binarization_flags(self):
+        settings = {s.id: s for s in table3_settings()}
+        assert settings["III"].config.binarize and not settings["III"].config.binarize_reduce
+        assert settings["IV"].config.binarize_reduce
+
+    def test_perforation_parameters(self):
+        settings = {s.id: s for s in table3_settings(dimension=1000)}
+        (spec,) = settings["VI"].config.perforations
+        assert spec.stride == 4
+        (spec,) = settings["VIII"].config.perforations
+        assert spec.end == 500
+        (spec,) = settings["X"].config.perforations
+        assert str(spec.opcode) in ("cossim", "Opcode.COSSIM") or spec.resolved_opcode().name == "COSSIM"
+
+    def test_loc_changes_match_paper(self):
+        settings = {s.id: s for s in table3_settings()}
+        assert [settings[i].loc_changes for i in ("I", "II", "III", "IV", "V", "VI", "VII", "VIII", "IX", "X")] == [
+            0, 1, 1, 1, 2, 2, 3, 3, 1, 1,
+        ]
+
+
+class TestLocCounting:
+    def test_blank_and_comment_lines_ignored(self):
+        source = "\n".join(
+            [
+                '"""Module docstring."""',
+                "",
+                "# a comment",
+                "x = 1",
+                "def f():",
+                '    """Docstring."""',
+                "    return x  # trailing comment",
+            ]
+        )
+        assert count_lines_of_code(source) == 3
+
+    def test_table4_rows_populated(self):
+        result = table4_loc()
+        assert len(result.rows) == 5
+        apps = [row.app for row in result.rows]
+        assert "HyperOMS" in apps
+        hyperoms = next(r for r in result.rows if r.app == "HyperOMS")
+        assert hyperoms.cpu_baseline_loc is None
+        assert hyperoms.gpu_baseline_loc > 0
+        assert all(row.hdcpp_loc > 0 for row in result.rows)
+        assert result.geomean_reduction > 0
+        assert "GEOMEAN" in result.format()
+
+
+class TestTable2:
+    def test_inventory(self):
+        rows = table2_applications()
+        assert len(rows) == 5
+        classification = next(r for r in rows if r["application"] == "HD-Classification")
+        assert "hdc_asic" in classification["targets"]
+        hyperoms = next(r for r in rows if r["application"] == "HyperOMS")
+        assert "hdc_asic" not in hyperoms["targets"]
+
+
+class TestExperimentDrivers:
+    """Smoke-scale runs of the figure drivers (Figure 5 is exercised by the
+    benchmark harness; it is too slow for the unit test suite)."""
+
+    def test_scales(self):
+        assert EvaluationScale.smoke().isolet_train < EvaluationScale.default().isolet_train
+        assert EvaluationScale.paper().fig7_dim == 10240
+
+    def test_fig6_shape(self):
+        result = fig6_accelerators(EvaluationScale.smoke())
+        assert len(result.rows) == 4
+        for row in result.rows:
+            assert row.device_seconds > 0
+            assert row.jetson_seconds > 0
+            assert row.speedup > 1.0, "accelerators must beat the edge GPU on device-only latency"
+        text = result.format()
+        assert "HDC Digital ASIC" in text and "ReRAM" in text
+
+    def test_fig7_shape(self):
+        result = fig7_optimizations(EvaluationScale.smoke(), repeats=1)
+        assert len(result.rows) == 10
+        by_id = {row.setting.id: row for row in result.rows}
+        assert by_id["I"].speedup == pytest.approx(1.0)
+        # Binarized Hamming (III) must not lose meaningful accuracy.
+        assert by_id["III"].accuracy >= by_id["I"].accuracy - 0.1
+        # Aggressive encoding perforation (VI) must cost accuracy relative to III.
+        assert by_id["VI"].accuracy <= by_id["III"].accuracy + 0.05
+        assert "Speedup" in result.format()

@@ -1,0 +1,192 @@
+"""Tests for lowering traced programs to the HPVM-HDC dataflow graph."""
+
+import pytest
+
+from repro import hdcpp as H
+from repro.ir import lower_program, print_graph, verify_graph, verify_program
+from repro.ir.builder import clone_program
+from repro.ir.dataflow import DataflowGraph, InternalNode, LeafNode, Target
+from repro.ir.ops import Opcode, infer_result_type
+from repro.ir.verifier import IRVerificationError
+
+
+def build_inference_program():
+    prog = H.Program("lowering_test")
+
+    @prog.define(H.hv(16), H.hm(5, 64), H.hm(64, 16))
+    def infer_one(query, classes, rp):
+        encoded = H.sign(H.matmul(query, rp))
+        return H.arg_min(H.hamming_distance(encoded, classes))
+
+    @prog.entry(H.hm(20, 16), H.hm(5, 64), H.hm(64, 16))
+    def main(queries, classes, rp):
+        return H.inference_loop(infer_one, queries, classes, encoder=rp)
+
+    return prog
+
+
+class TestLowering:
+    def test_granular_ops_become_leaf_nodes(self):
+        prog = H.Program("granular")
+
+        @prog.entry(H.hv(16), H.hm(5, 64), H.hm(64, 16))
+        def main(query, classes, rp):
+            encoded = H.sign(H.matmul(query, rp))
+            distances = H.hamming_distance(encoded, classes)
+            return H.arg_min(distances)
+
+        graph = lower_program(prog)
+        assert len(graph.leaf_nodes()) == 4
+        assert all(isinstance(node, LeafNode) for node in graph.nodes.values())
+        verify_graph(graph)
+
+    def test_edges_follow_dataflow(self):
+        prog = H.Program("edges")
+
+        @prog.entry(H.hv(16), H.hm(64, 16))
+        def main(query, rp):
+            return H.sign(H.matmul(query, rp))
+
+        graph = lower_program(prog)
+        # Two boundary inputs feed the matmul node, which feeds sign, which
+        # feeds the boundary output.
+        boundary_in = [e for e in graph.edges if e.src == DataflowGraph.BOUNDARY]
+        boundary_out = [e for e in graph.edges if e.dst == DataflowGraph.BOUNDARY]
+        assert len(boundary_in) == 2
+        assert len(boundary_out) == 1
+
+    def test_reduce_nodes_get_dynamic_instances(self):
+        prog = H.Program("instances")
+
+        @prog.entry(H.hv(64), H.hm(5, 64))
+        def main(query, classes):
+            return H.hamming_distance(query, classes)
+
+        graph = lower_program(prog)
+        hamming_node = next(n for n in graph.leaf_nodes() if n.ops[0].opcode == Opcode.HAMMING_DISTANCE)
+        assert hamming_node.dynamic_instances == 5
+
+    def test_stage_node_carries_impl_graph_and_targets(self):
+        graph = lower_program(build_inference_program())
+        stage_nodes = [n for n in graph.leaf_nodes() if n.ops[0].opcode == Opcode.INFERENCE_LOOP]
+        assert len(stage_nodes) == 1
+        stage = stage_nodes[0]
+        assert stage.impl_graph is not None
+        assert Target.HDC_ASIC in stage.targets and Target.HDC_RERAM in stage.targets
+        assert len(stage.impl_graph.leaf_nodes()) == 4
+        verify_graph(graph)
+
+    def test_parallel_map_becomes_internal_node(self):
+        prog = H.Program("pmap")
+
+        @prog.define(H.hv(8), H.hm(32, 8))
+        def encode(row, rp):
+            return H.sign(H.matmul(row, rp))
+
+        @prog.entry(H.hm(12, 8), H.hm(32, 8))
+        def main(rows, rp):
+            return H.parallel_map(encode, rows, rp, output_dim=32)
+
+        graph = lower_program(prog)
+        internal = graph.internal_nodes()
+        assert len(internal) == 1
+        assert internal[0].dynamic_instances == 12
+        assert internal[0].subgraph is not None
+        assert internal[0].op is not None
+        verify_graph(graph)
+
+    def test_topological_order_and_walks(self):
+        graph = lower_program(build_inference_program())
+        order = graph.topological_order()
+        assert len(order) == len(graph.nodes)
+        all_ops = list(graph.walk_ops())
+        assert any(op.opcode == Opcode.MATMUL for _, op in all_ops)
+        assert len(list(graph.walk_values())) > 0
+
+    def test_annotate_targets(self):
+        graph = lower_program(build_inference_program())
+        graph.annotate_targets([Target.CPU])
+        assert all(node.targets == {Target.CPU} for node in graph.walk_nodes())
+
+    def test_printer_renders_hierarchy(self):
+        graph = lower_program(build_inference_program())
+        text = print_graph(graph)
+        assert "hdc.inference_loop" in text
+        assert "implementation graph" in text
+        assert "edge" in text
+
+
+class TestCloneProgram:
+    def test_clone_is_deep(self):
+        prog = build_inference_program()
+        clone = clone_program(prog)
+        assert set(clone.functions) == set(prog.functions)
+        original_op = prog.function("infer_one").ops[0]
+        cloned_op = clone.function("infer_one").ops[0]
+        assert original_op is not cloned_op
+        assert original_op.result is not cloned_op.result
+        # Mutating the clone's types must not affect the original.
+        cloned_op.result.type = cloned_op.result.type.with_element(H.binary)
+        assert original_op.result.type.element is H.float32
+
+    def test_clone_verifies(self):
+        clone = clone_program(build_inference_program())
+        verify_program(clone)
+        verify_graph(lower_program(clone))
+
+
+class TestVerifier:
+    def test_valid_program_passes(self):
+        verify_program(build_inference_program())
+
+    def test_red_perf_on_non_reduce_rejected(self):
+        prog = H.Program("bad_red_perf")
+
+        @prog.entry(H.hv(8))
+        def main(x):
+            y = H.sign(x)
+            H.red_perf(y, 0, 8, 2)
+            return y
+
+        with pytest.raises(IRVerificationError):
+            verify_program(prog)
+
+    def test_type_inference_shape_mismatch_detected(self):
+        prog = H.Program("bad_types")
+
+        @prog.entry(H.hv(8), H.hm(4, 8))
+        def main(q, c):
+            return H.hamming_distance(q, c)
+
+        # Corrupt the recorded result type to a wrong shape.
+        op = prog.function("main").ops[0]
+        op.result.type = H.hv(99)
+        with pytest.raises(IRVerificationError):
+            verify_program(prog)
+
+    def test_missing_target_annotation_detected(self):
+        graph = lower_program(build_inference_program())
+        next(iter(graph.nodes.values())).targets = set()
+        with pytest.raises(IRVerificationError):
+            verify_graph(graph)
+
+
+class TestTypeInference:
+    def test_sign_preserves_element(self):
+        assert infer_result_type(Opcode.SIGN, [H.hv(8, H.int16)]) == H.hv(8, H.int16)
+
+    def test_similarity_result_shapes(self):
+        assert infer_result_type(Opcode.COSSIM, [H.hv(8), H.hm(3, 8)]) == H.hv(3)
+        assert infer_result_type(Opcode.HAMMING_DISTANCE, [H.hm(4, 8), H.hm(3, 8)]) == H.hm(4, 3)
+        assert infer_result_type(Opcode.COSSIM, [H.hv(8), H.hv(8)]) == H.ScalarType(H.float32)
+
+    def test_matmul_requires_matching_contraction(self):
+        with pytest.raises(TypeError):
+            infer_result_type(Opcode.MATMUL, [H.hv(8), H.hm(4, 9)])
+
+    def test_argmin_matrix_returns_index_vector(self):
+        assert infer_result_type(Opcode.ARG_MIN, [H.hm(7, 3)]) == H.IndexVectorType(7)
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(KeyError):
+            infer_result_type("not-an-op", [])

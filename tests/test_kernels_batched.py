@@ -1,0 +1,112 @@
+"""Tests that the batched "library routine" kernels match the reference kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernels import batched, reference as ref
+
+
+def float_matrices(max_rows=6, max_dim=64):
+    return st.tuples(
+        st.integers(1, max_rows), st.integers(1, max_rows), st.integers(2, max_dim), st.integers(0, 2**32 - 1)
+    ).map(_make)
+
+
+def _make(args):
+    rows_a, rows_b, dim, seed = args
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(rows_a, dim)).astype(np.float32)
+    b = rng.normal(size=(rows_b, dim)).astype(np.float32)
+    return a, b
+
+
+class TestGemm:
+    def test_matches_reference_matmul(self):
+        rng = np.random.default_rng(0)
+        lhs = rng.normal(size=(5, 33)).astype(np.float32)
+        rhs = rng.normal(size=(9, 33)).astype(np.float32)
+        assert np.allclose(batched.gemm(lhs, rhs), ref.matmul(lhs, rhs), atol=1e-3)
+        assert np.allclose(batched.gemm(lhs[0], rhs), ref.matmul(lhs[0], rhs), atol=1e-3)
+
+    def test_perforated_gemm_matches_reference(self):
+        rng = np.random.default_rng(1)
+        lhs = rng.normal(size=(4, 40)).astype(np.float32)
+        rhs = rng.normal(size=(6, 40)).astype(np.float32)
+        assert np.allclose(
+            batched.gemm(lhs, rhs, 4, 36, 2), ref.matmul(lhs, rhs, 4, 36, 2), atol=1e-3
+        )
+
+    @given(float_matrices())
+    @settings(max_examples=20, deadline=None)
+    def test_gemm_property(self, pair):
+        a, b = pair
+        assert np.allclose(batched.gemm(a, b), ref.matmul(a, b), atol=1e-2)
+
+
+class TestSimilarity:
+    def test_pairwise_cossim_matches_reference(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(size=(4, 50)).astype(np.float32)
+        b = rng.normal(size=(7, 50)).astype(np.float32)
+        assert np.allclose(batched.pairwise_cossim(a, b), ref.cossim(a, b), atol=1e-5)
+
+    def test_pairwise_cossim_vector_shapes(self):
+        rng = np.random.default_rng(3)
+        a = rng.normal(size=50).astype(np.float32)
+        b = rng.normal(size=(7, 50)).astype(np.float32)
+        assert batched.pairwise_cossim(a, b).shape == (7,)
+        assert batched.pairwise_cossim(a, a) == pytest.approx(1.0)
+
+    def test_pairwise_hamming_bipolar_uses_exact_counts(self):
+        rng = np.random.default_rng(4)
+        a = ref.sign(rng.normal(size=(5, 65)))
+        b = ref.sign(rng.normal(size=(3, 65)))
+        assert np.array_equal(batched.pairwise_hamming(a, b), ref.hamming_distance(a, b))
+
+    def test_pairwise_hamming_general_values(self):
+        a = np.array([[1.0, 2.0, 3.0]])
+        b = np.array([[1.0, 0.0, 3.0], [9.0, 9.0, 9.0]])
+        assert np.array_equal(batched.pairwise_hamming(a, b), [[1.0, 3.0]])
+
+    def test_pairwise_hamming_perforation(self):
+        rng = np.random.default_rng(5)
+        a = ref.sign(rng.normal(size=(4, 80)))
+        b = ref.sign(rng.normal(size=(4, 80)))
+        assert np.array_equal(
+            batched.pairwise_hamming(a, b, 0, 40, 2), ref.hamming_distance(a, b, 0, 40, 2)
+        )
+
+    @given(float_matrices())
+    @settings(max_examples=20, deadline=None)
+    def test_cossim_property(self, pair):
+        a, b = pair
+        assert np.allclose(batched.pairwise_cossim(a, b), ref.cossim(a, b), atol=1e-4)
+
+
+class TestReductions:
+    def test_rowwise_l2norm(self):
+        rng = np.random.default_rng(6)
+        x = rng.normal(size=(5, 30)).astype(np.float32)
+        assert np.allclose(batched.rowwise_l2norm(x), ref.l2norm(x), atol=1e-5)
+        assert batched.rowwise_l2norm(x[0]) == pytest.approx(float(ref.l2norm(x[0])), rel=1e-5)
+
+    def test_rowwise_argmin_argmax(self):
+        x = np.array([[3.0, 1.0, 2.0], [0.0, 5.0, -1.0]])
+        assert np.array_equal(batched.rowwise_argmin(x), [1, 2])
+        assert np.array_equal(batched.rowwise_argmax(x), [0, 1])
+
+    def test_normalize_rows(self):
+        x = np.array([[3.0, 4.0], [0.0, 0.0]])
+        out = batched.normalize_rows(x)
+        assert np.allclose(np.linalg.norm(out[0]), 1.0)
+        assert np.allclose(out[1], 0.0)
+
+    def test_bundle_rows(self):
+        x = np.array([[1.0, 2.0], [3.0, 4.0]])
+        assert np.allclose(batched.bundle_rows(x), [4.0, 6.0])
+        assert np.allclose(batched.bundle_rows(x, weights=np.array([2.0, 1.0])), [5.0, 8.0])
+
+    def test_transpose(self):
+        x = np.arange(6).reshape(2, 3)
+        assert batched.transpose(x).shape == (3, 2)

@@ -1,0 +1,115 @@
+"""Unit and property-based tests for the packed-bit (binary) kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernels import binary as binkern
+from repro.kernels import reference as ref
+
+
+def bipolar_arrays(max_rows=6, max_dim=96):
+    """Hypothesis strategy: a pair of bipolar matrices with a shared dim."""
+    return st.tuples(
+        st.integers(1, max_rows), st.integers(1, max_rows), st.integers(1, max_dim), st.integers(0, 2**32 - 1)
+    ).map(_make_pair)
+
+
+def _make_pair(args):
+    rows_a, rows_b, dim, seed = args
+    rng = np.random.default_rng(seed)
+    a = (rng.integers(0, 2, size=(rows_a, dim)) * 2 - 1).astype(np.int8)
+    b = (rng.integers(0, 2, size=(rows_b, dim)) * 2 - 1).astype(np.int8)
+    return a, b
+
+
+class TestPacking:
+    def test_pack_unpack_roundtrip(self):
+        rng = np.random.default_rng(0)
+        x = (rng.integers(0, 2, size=(5, 70)) * 2 - 1).astype(np.int8)
+        packed = binkern.pack_bipolar(x)
+        assert packed.dtype == np.uint8
+        assert packed.shape == (5, 9)
+        assert np.array_equal(binkern.unpack_bipolar(packed, 70), x)
+
+    def test_packed_num_bytes(self):
+        assert binkern.packed_num_bytes(8) == 1
+        assert binkern.packed_num_bytes(9) == 2
+        assert binkern.packed_num_bytes(2048) == 256
+
+    @given(bipolar_arrays())
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_property(self, pair):
+        a, _ = pair
+        assert np.array_equal(binkern.unpack_bipolar(binkern.pack_bipolar(a), a.shape[1]), a)
+
+
+class TestPackedHamming:
+    def test_matches_reference(self):
+        rng = np.random.default_rng(1)
+        a = (rng.integers(0, 2, size=(4, 130)) * 2 - 1).astype(np.int8)
+        b = (rng.integers(0, 2, size=(7, 130)) * 2 - 1).astype(np.int8)
+        expected = ref.hamming_distance(a, b)
+        out = binkern.hamming_distance_bipolar(a, b)
+        assert np.array_equal(out, expected)
+
+    def test_vector_shapes(self):
+        rng = np.random.default_rng(2)
+        a = (rng.integers(0, 2, size=64) * 2 - 1).astype(np.int8)
+        b = (rng.integers(0, 2, size=(3, 64)) * 2 - 1).astype(np.int8)
+        assert binkern.hamming_distance_bipolar(a, a) == 0
+        assert binkern.hamming_distance_bipolar(a, b).shape == (3,)
+        assert binkern.hamming_distance_bipolar(b, a).shape == (3,)
+
+    def test_perforation_matches_reference(self):
+        rng = np.random.default_rng(3)
+        a = (rng.integers(0, 2, size=(3, 100)) * 2 - 1).astype(np.int8)
+        b = (rng.integers(0, 2, size=(4, 100)) * 2 - 1).astype(np.int8)
+        expected = ref.hamming_distance(a, b, 10, 80, 3)
+        out = binkern.hamming_distance_bipolar(a, b, 10, 80, 3)
+        assert np.array_equal(out, expected)
+
+    @given(bipolar_arrays())
+    @settings(max_examples=25, deadline=None)
+    def test_packed_equals_reference_property(self, pair):
+        a, b = pair
+        assert np.array_equal(
+            binkern.hamming_distance_bipolar(a, b), ref.hamming_distance(a, b)
+        )
+
+    @given(bipolar_arrays())
+    @settings(max_examples=25, deadline=None)
+    def test_symmetry_property(self, pair):
+        a, b = pair
+        assert np.array_equal(
+            binkern.hamming_distance_bipolar(a, b), binkern.hamming_distance_bipolar(b, a).T
+        )
+
+
+class TestBipolarDotAndCosine:
+    def test_dot_identity(self):
+        rng = np.random.default_rng(4)
+        a = (rng.integers(0, 2, size=(3, 90)) * 2 - 1).astype(np.int8)
+        b = (rng.integers(0, 2, size=(5, 90)) * 2 - 1).astype(np.int8)
+        expected = a.astype(np.float64) @ b.astype(np.float64).T
+        assert np.allclose(binkern.dot_bipolar(a, b), expected)
+
+    def test_cossim_of_identical_vectors_is_one(self):
+        rng = np.random.default_rng(5)
+        a = (rng.integers(0, 2, size=(1, 256)) * 2 - 1).astype(np.int8)
+        assert binkern.cossim_bipolar(a, a)[0, 0] == pytest.approx(1.0)
+
+    def test_cossim_matches_reference_cossim(self):
+        rng = np.random.default_rng(6)
+        a = (rng.integers(0, 2, size=(3, 128)) * 2 - 1).astype(np.int8)
+        b = (rng.integers(0, 2, size=(4, 128)) * 2 - 1).astype(np.int8)
+        assert np.allclose(binkern.cossim_bipolar(a, b), ref.cossim(a, b), atol=1e-5)
+
+    @given(bipolar_arrays())
+    @settings(max_examples=25, deadline=None)
+    def test_dot_hamming_identity_property(self, pair):
+        a, b = pair
+        dim = a.shape[1]
+        dots = binkern.dot_bipolar(a, b)
+        hams = binkern.hamming_distance_bipolar(a, b)
+        assert np.allclose(dots, dim - 2 * hams)

@@ -1,0 +1,196 @@
+"""Unit tests for the reference kernels, including perforation semantics."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import reference as ref
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestReductionSlice:
+    def test_full_range(self):
+        assert ref.reduction_slice(10) == slice(0, 10, 1)
+
+    def test_segment_and_stride(self):
+        assert ref.reduction_slice(10, 2, 8, 3) == slice(2, 8, 3)
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            ref.reduction_slice(10, 5, 20)
+        with pytest.raises(ValueError):
+            ref.reduction_slice(10, 8, 4)
+        with pytest.raises(ValueError):
+            ref.reduction_slice(10, 0, 10, 0)
+
+    def test_scale(self):
+        assert ref.perforation_scale(10) == 1.0
+        assert ref.perforation_scale(10, 0, 10, 2) == 2.0
+        assert ref.perforation_scale(16, 0, 8, 1) == 2.0
+        with pytest.raises(ValueError):
+            ref.perforation_scale(10, 5, 5, 1)
+
+
+class TestInitKernels:
+    def test_empty(self):
+        out = ref.empty((4, 8), np.dtype(np.float32))
+        assert out.shape == (4, 8)
+        assert np.all(out == 0)
+
+    def test_create_vector_and_matrix(self):
+        vec = ref.create((5,), np.dtype(np.float32), lambda i: i * 2.0)
+        assert np.allclose(vec, [0, 2, 4, 6, 8])
+        mat = ref.create((2, 3), np.dtype(np.int32), lambda i, j: i * 10 + j)
+        assert mat[1, 2] == 12
+
+    def test_random_float_range(self, rng):
+        out = ref.random_values((1000,), np.dtype(np.float32), rng)
+        assert out.min() >= -1.0 and out.max() <= 1.0
+
+    def test_random_integer_is_bipolar(self, rng):
+        out = ref.random_values((1000,), np.dtype(np.int8), rng)
+        assert set(np.unique(out)) <= {-1, 1}
+
+    def test_gaussian_statistics(self, rng):
+        out = ref.gaussian_values((20000,), np.dtype(np.float32), rng)
+        assert abs(out.mean()) < 0.05
+        assert abs(out.std() - 1.0) < 0.05
+
+
+class TestElementwiseKernels:
+    def test_wrap_shift_roundtrip(self, rng):
+        x = rng.normal(size=32)
+        assert np.allclose(ref.wrap_shift(ref.wrap_shift(x, 5), -5), x)
+
+    def test_wrap_shift_matrix_rolls_rows(self):
+        mat = np.arange(6).reshape(2, 3)
+        out = ref.wrap_shift(mat, 1)
+        assert np.array_equal(out[0], [2, 0, 1])
+
+    def test_sign_maps_zero_to_plus_one(self):
+        assert np.array_equal(ref.sign(np.array([0.0, -0.5, 2.0])), [1, -1, 1])
+        assert ref.sign(np.array([1.0])).dtype == np.int8
+
+    def test_sign_flip(self):
+        assert np.array_equal(ref.sign_flip(np.array([1.0, -2.0])), [-1.0, 2.0])
+
+    def test_elementwise_ops(self):
+        a, b = np.array([2.0, 4.0]), np.array([1.0, 2.0])
+        assert np.allclose(ref.elementwise("add", a, b), [3, 6])
+        assert np.allclose(ref.elementwise("sub", a, b), [1, 2])
+        assert np.allclose(ref.elementwise("mul", a, b), [2, 8])
+        assert np.allclose(ref.elementwise("div", a, b), [2, 2])
+        with pytest.raises(KeyError):
+            ref.elementwise("pow", a, b)
+
+    def test_division_promotes_integers(self):
+        out = ref.elementwise("div", np.array([1, 2], dtype=np.int32), np.array([2, 4], dtype=np.int32))
+        assert np.allclose(out, [0.5, 0.5])
+
+    def test_absolute_value_and_cosine(self):
+        assert np.allclose(ref.absolute_value(np.array([-3.0, 2.0])), [3, 2])
+        assert np.allclose(ref.cosine(np.array([0.0, np.pi])), [1.0, -1.0], atol=1e-6)
+
+
+class TestAccessKernels:
+    def test_get_element(self):
+        vec = np.array([1.0, 2.0, 3.0])
+        mat = np.arange(6, dtype=np.float32).reshape(2, 3)
+        assert ref.get_element(vec, 1) == 2.0
+        assert ref.get_element(mat, 1, 2) == 5.0
+        with pytest.raises(ValueError):
+            ref.get_element(vec, 0, 1)
+        with pytest.raises(ValueError):
+            ref.get_element(mat, 0)
+
+    def test_arg_min_max(self):
+        vec = np.array([3.0, 1.0, 2.0])
+        assert ref.arg_min(vec) == 1
+        assert ref.arg_max(vec) == 0
+        mat = np.array([[3.0, 1.0], [0.0, 5.0]])
+        assert np.array_equal(ref.arg_min(mat), [1, 0])
+        assert np.array_equal(ref.arg_max(mat), [0, 1])
+
+    def test_set_get_matrix_row_is_functional(self):
+        mat = np.zeros((3, 4), dtype=np.float32)
+        row = np.ones(4, dtype=np.float32)
+        out = ref.set_matrix_row(mat, row, 1)
+        assert np.all(mat == 0), "input must not be mutated"
+        assert np.array_equal(ref.get_matrix_row(out, 1), row)
+
+    def test_transpose(self):
+        mat = np.arange(6).reshape(2, 3)
+        assert ref.matrix_transpose(mat).shape == (3, 2)
+        assert np.array_equal(ref.matrix_transpose(mat)[2], [2, 5])
+
+
+class TestReduceKernels:
+    def test_l2norm_vector_and_matrix(self):
+        assert ref.l2norm(np.array([3.0, 4.0])) == pytest.approx(5.0)
+        out = ref.l2norm(np.array([[3.0, 4.0], [0.0, 2.0]]))
+        assert np.allclose(out, [5.0, 2.0])
+
+    def test_l2norm_perforation_rescales(self):
+        x = np.ones(100, dtype=np.float32)
+        exact = ref.l2norm(x)
+        strided = ref.l2norm(x, 0, None, 2)
+        assert strided == pytest.approx(exact, rel=1e-5)
+
+    def test_cossim_identical_vectors(self, rng):
+        x = rng.normal(size=64)
+        assert ref.cossim(x, x) == pytest.approx(1.0, abs=1e-6)
+        assert ref.cossim(x, -x) == pytest.approx(-1.0, abs=1e-6)
+
+    def test_cossim_shapes(self, rng):
+        q = rng.normal(size=(3, 16))
+        c = rng.normal(size=(5, 16))
+        assert ref.cossim(q[0], c).shape == (5,)
+        assert ref.cossim(q, c).shape == (3, 5)
+        assert ref.cossim(q, c[0]).shape == (3,)
+
+    def test_cossim_bounds(self, rng):
+        q = rng.normal(size=(4, 32))
+        c = rng.normal(size=(6, 32))
+        sims = ref.cossim(q, c)
+        assert np.all(sims <= 1.0 + 1e-6) and np.all(sims >= -1.0 - 1e-6)
+
+    def test_hamming_known_value(self):
+        a = np.array([1, 1, -1, -1])
+        b = np.array([1, -1, -1, 1])
+        assert ref.hamming_distance(a, b) == 2
+
+    def test_hamming_shapes(self, rng):
+        a = ref.sign(rng.normal(size=(3, 32)))
+        b = ref.sign(rng.normal(size=(5, 32)))
+        assert ref.hamming_distance(a[0], b).shape == (5,)
+        assert ref.hamming_distance(a, b).shape == (3, 5)
+
+    def test_hamming_perforation_not_rescaled(self):
+        a = np.array([1, -1] * 8)
+        b = -a
+        # All elements differ: full distance 16, strided distance 8 (no rescale).
+        assert ref.hamming_distance(a, b) == 16
+        assert ref.hamming_distance(a, b, 0, None, 2) == 8
+
+    def test_matmul_matches_numpy(self, rng):
+        features = rng.normal(size=17).astype(np.float32)
+        rp = rng.normal(size=(29, 17)).astype(np.float32)
+        assert np.allclose(ref.matmul(features, rp), rp @ features, atol=1e-4)
+        batch = rng.normal(size=(5, 17)).astype(np.float32)
+        assert np.allclose(ref.matmul(batch, rp), batch @ rp.T, atol=1e-4)
+
+    def test_matmul_perforation_rescales(self):
+        features = np.ones(64, dtype=np.float32)
+        rp = np.ones((8, 64), dtype=np.float32)
+        exact = ref.matmul(features, rp)
+        strided = ref.matmul(features, rp, 0, None, 2)
+        assert np.allclose(strided, exact)
+
+    def test_matmul_segment_rescales(self):
+        features = np.ones(64, dtype=np.float32)
+        rp = np.ones((8, 64), dtype=np.float32)
+        segmented = ref.matmul(features, rp, 0, 16, 1)
+        assert np.allclose(segmented, ref.matmul(features, rp))

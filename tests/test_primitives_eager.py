@@ -1,0 +1,200 @@
+"""Tests for the HDC++ primitives executed eagerly (torchhd-style usage)."""
+
+import numpy as np
+import pytest
+
+from repro import hdcpp as H
+
+
+class TestEagerValues:
+    def test_hypervector_wrapper(self):
+        hv = H.HyperVector(np.arange(8, dtype=np.float32))
+        assert hv.dim == 8
+        assert hv.type == H.hv(8)
+        assert len(hv) == 8
+        assert hv[3] == 3.0
+
+    def test_hypermatrix_wrapper(self):
+        hm = H.HyperMatrix(np.zeros((3, 4), dtype=np.float32))
+        assert hm.rows == 3 and hm.cols == 4
+        assert hm.row(1).dim == 4
+        assert hm[0].dim == 4
+
+    def test_binary_element_forces_bipolar_storage(self):
+        hv = H.HyperVector(np.array([0.5, -2.0, 0.0]), H.binary)
+        assert set(np.unique(hv.data)) <= {-1, 1}
+
+    def test_rank_validation(self):
+        with pytest.raises(ValueError):
+            H.HyperVector(np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            H.HyperMatrix(np.zeros(4))
+
+    def test_from_rows(self):
+        hm = H.HyperMatrix.from_rows([np.ones(4), np.zeros(4)])
+        assert hm.rows == 2
+
+    def test_wrap_like(self):
+        assert isinstance(H.wrap_like(np.zeros(3), H.float32), H.HyperVector)
+        assert isinstance(H.wrap_like(np.zeros((2, 3)), H.float32), H.HyperMatrix)
+        with pytest.raises(ValueError):
+            H.wrap_like(np.zeros((2, 2, 2)), H.float32)
+
+
+class TestInitPrimitives:
+    def test_hypervector_and_hypermatrix_empty(self):
+        assert np.all(np.asarray(H.hypervector(16)) == 0)
+        assert H.hypermatrix(3, 5).type == H.hm(3, 5)
+
+    def test_create(self):
+        hv = H.create_hypervector(5, lambda i: i + 1.0)
+        assert np.allclose(np.asarray(hv), [1, 2, 3, 4, 5])
+        hm = H.create_hypermatrix(2, 2, lambda i, j: i - j)
+        assert np.asarray(hm)[1, 0] == 1
+
+    def test_random_reproducible_with_seed(self):
+        a = H.random_hypervector(64, seed=9)
+        b = H.random_hypervector(64, seed=9)
+        assert a.allclose(b)
+
+    def test_random_bipolar_for_integer_elements(self):
+        hv = H.random_hypervector(128, element=H.int8, seed=1)
+        assert set(np.unique(np.asarray(hv))) <= {-1, 1}
+
+    def test_gaussian(self):
+        hm = H.gaussian_hypermatrix(50, 50, seed=2)
+        assert abs(float(np.asarray(hm).mean())) < 0.1
+
+
+class TestElementwisePrimitives:
+    def test_sign_and_sign_flip(self):
+        hv = H.HyperVector(np.array([0.5, -1.5, 0.0]))
+        assert np.array_equal(np.asarray(H.sign(hv)), [1, -1, 1])
+        assert np.array_equal(np.asarray(H.sign_flip(hv)), [-0.5, 1.5, 0.0])
+
+    def test_sign_keeps_storage_element(self):
+        hv = H.HyperVector(np.array([1.0, -2.0]))
+        assert H.sign(hv).element is H.float32
+
+    def test_binding_and_bundling(self):
+        a = H.HyperVector(np.array([1.0, -1.0, 1.0]))
+        b = H.HyperVector(np.array([1.0, 1.0, -1.0]))
+        assert np.array_equal(np.asarray(H.mul(a, b)), [1, -1, -1])
+        assert np.array_equal(np.asarray(H.add(a, b)), [2, 0, 0])
+        assert np.array_equal(np.asarray(H.sub(a, b)), [0, -2, 2])
+        assert np.allclose(np.asarray(H.div(a, b)), [1, -1, -1])
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(TypeError):
+            H.add(H.hypervector(4), H.hypervector(5))
+
+    def test_wrap_shift(self):
+        hv = H.HyperVector(np.array([1.0, 2.0, 3.0]))
+        assert np.array_equal(np.asarray(H.wrap_shift(hv, 1)), [3, 1, 2])
+
+    def test_absolute_value_cosine_typecast(self):
+        hv = H.HyperVector(np.array([-2.0, 2.0]))
+        assert np.array_equal(np.asarray(H.absolute_value(hv)), [2, 2])
+        assert np.allclose(np.asarray(H.cosine(H.HyperVector(np.array([0.0])))), [1.0])
+        cast = H.type_cast(hv, H.int8)
+        assert cast.element is H.int8
+
+
+class TestAccessPrimitives:
+    def test_get_element(self):
+        hm = H.HyperMatrix(np.arange(6, dtype=np.float32).reshape(2, 3))
+        assert H.get_element(hm, 1, 2) == 5.0
+        hv = H.HyperVector(np.array([7.0, 8.0]))
+        assert H.get_element(hv, 1) == 8.0
+
+    def test_arg_min_max(self):
+        hv = H.HyperVector(np.array([3.0, 1.0, 2.0]))
+        assert H.arg_min(hv) == 1
+        assert H.arg_max(hv) == 0
+        hm = H.HyperMatrix(np.array([[1.0, 0.0], [0.0, 1.0]]))
+        assert np.array_equal(H.arg_max(hm), [0, 1])
+
+    def test_matrix_row_ops(self):
+        hm = H.HyperMatrix(np.zeros((2, 3), dtype=np.float32))
+        row = H.HyperVector(np.ones(3, dtype=np.float32))
+        updated = H.set_matrix_row(hm, row, 0)
+        assert np.array_equal(np.asarray(H.get_matrix_row(updated, 0)), [1, 1, 1])
+        assert np.all(np.asarray(hm) == 0)
+
+    def test_matrix_transpose(self):
+        hm = H.HyperMatrix(np.arange(6, dtype=np.float32).reshape(2, 3))
+        assert H.matrix_transpose(hm).type == H.hm(3, 2)
+
+
+class TestReductionPrimitives:
+    def test_l2norm(self):
+        assert H.l2norm(H.HyperVector(np.array([3.0, 4.0]))) == pytest.approx(5.0)
+
+    def test_cossim_and_hamming(self):
+        rng = np.random.default_rng(0)
+        q = H.sign(H.HyperVector(rng.normal(size=64)))
+        classes = H.sign(H.HyperMatrix(rng.normal(size=(4, 64))))
+        sims = H.cossim(q, classes)
+        dists = H.hamming_distance(q, classes)
+        assert np.asarray(sims).shape == (4,)
+        assert np.asarray(dists).shape == (4,)
+        # cossim and hamming must agree on the closest class for bipolar data
+        assert int(H.arg_max(sims)) == int(H.arg_min(dists))
+
+    def test_matmul_encoding_shape(self):
+        rng = np.random.default_rng(1)
+        features = H.HyperVector(rng.normal(size=20))
+        rp = H.HyperMatrix(rng.normal(size=(50, 20)))
+        encoded = H.matmul(features, rp)
+        assert encoded.type.dim == 50
+
+    def test_matmul_dimension_mismatch(self):
+        with pytest.raises(TypeError):
+            H.matmul(H.hypervector(10), H.hypermatrix(5, 11))
+
+    def test_red_perf_is_noop_in_eager_mode(self):
+        hv = H.HyperVector(np.array([1.0, 2.0]))
+        assert H.red_perf(hv, 0, 2, 1) is hv
+
+
+class TestEagerStagesAndHetero:
+    def test_eager_inference_loop_with_callable(self):
+        rng = np.random.default_rng(2)
+        classes = H.sign(H.HyperMatrix(rng.normal(size=(3, 32))))
+
+        def impl(query, class_hvs):
+            return H.arg_min(H.hamming_distance(H.sign(query), class_hvs))
+
+        queries = H.HyperMatrix(np.asarray(classes)[np.array([2, 0, 1])].astype(np.float32))
+        out = H.inference_loop(impl, queries, classes)
+        assert np.array_equal(out, [2, 0, 1])
+
+    def test_eager_training_loop_with_callable(self):
+        classes = H.HyperMatrix(np.zeros((2, 4), dtype=np.float32))
+        queries = H.HyperMatrix(np.array([[1.0, 1, 1, 1], [-1.0, -1, -1, -1]], dtype=np.float32))
+
+        def impl(query, label, class_hvs):
+            updated = np.array(class_hvs, copy=True)
+            updated[label] += np.asarray(query)
+            return H.HyperMatrix(updated)
+
+        out = H.training_loop(impl, queries, np.array([0, 1]), classes, epochs=2)
+        assert np.allclose(np.asarray(out)[0], [2, 2, 2, 2])
+
+    def test_eager_parallel_map(self):
+        data = H.HyperMatrix(np.arange(12, dtype=np.float32).reshape(3, 4))
+        out = H.parallel_map(lambda row: H.sign_flip(row), data)
+        assert np.allclose(np.asarray(out), -np.asarray(data))
+
+    def test_eager_stage_requires_callable(self):
+        prog = H.Program("p")
+
+        @prog.define(H.hv(4), H.hm(2, 4))
+        def impl(q, c):
+            return H.arg_min(H.hamming_distance(q, c))
+
+        with pytest.raises(H.TracingError):
+            H.inference_loop(impl, H.HyperMatrix(np.zeros((2, 4))), H.HyperMatrix(np.zeros((2, 4))))
+
+    def test_hetero_attributes_is_noop(self):
+        assert H.hetero_attributes(1, 2, 3) is None

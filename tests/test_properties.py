@@ -1,0 +1,133 @@
+"""Property-based tests (hypothesis) for core invariants of the system."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import hdcpp as H
+from repro.backends import compile as hdc_compile
+from repro.ir.builder import clone_program, lower_program
+from repro.ir.verifier import verify_graph, verify_program
+from repro.kernels import reference as ref
+from repro.transforms import ApproximationConfig, AutomaticBinarization, PerforationSpec
+
+
+def bipolar(rows, dim, seed):
+    rng = np.random.default_rng(seed)
+    return (rng.integers(0, 2, size=(rows, dim)) * 2 - 1).astype(np.float32)
+
+
+dims = st.integers(min_value=4, max_value=128)
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+class TestKernelProperties:
+    @given(dims, seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_sign_is_idempotent(self, dim, seed):
+        x = np.random.default_rng(seed).normal(size=dim)
+        once = ref.sign(x)
+        assert np.array_equal(ref.sign(once), once)
+
+    @given(dims, seeds, st.integers(-200, 200))
+    @settings(max_examples=30, deadline=None)
+    def test_wrap_shift_is_invertible(self, dim, seed, amount):
+        x = np.random.default_rng(seed).normal(size=dim)
+        assert np.allclose(ref.wrap_shift(ref.wrap_shift(x, amount), -amount), x)
+
+    @given(dims, seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_hamming_is_a_metric_on_bipolar_vectors(self, dim, seed):
+        a, b, c = bipolar(3, dim, seed)
+        dab = ref.hamming_distance(a, b)
+        dba = ref.hamming_distance(b, a)
+        dac = ref.hamming_distance(a, c)
+        dbc = ref.hamming_distance(b, c)
+        assert dab == dba
+        assert ref.hamming_distance(a, a) == 0
+        assert dac <= dab + dbc  # triangle inequality
+        assert 0 <= dab <= dim
+
+    @given(dims, seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_cossim_is_bounded_and_symmetric(self, dim, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=dim) + 0.01
+        b = rng.normal(size=dim) + 0.01
+        sab = ref.cossim(a, b)
+        assert -1.0 - 1e-5 <= sab <= 1.0 + 1e-5
+        assert sab == pytest.approx(ref.cossim(b, a), abs=1e-6)
+
+    @given(dims, seeds, st.integers(2, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_perforated_hamming_is_bounded_by_exact(self, dim, seed, stride):
+        a, b = bipolar(2, dim, seed)
+        exact = ref.hamming_distance(a, b)
+        perforated = ref.hamming_distance(a, b, 0, None, stride)
+        assert perforated <= exact
+
+    @given(dims, seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_bundling_preserves_similarity_to_components(self, dim, seed):
+        a, b, unrelated = bipolar(3, dim, seed)
+        bundle = a + b
+        assert float(bundle @ a) >= float(bundle @ unrelated) - dim * 0.5
+
+
+class TestCompilerProperties:
+    @staticmethod
+    def _make_program(dim, classes):
+        prog = H.Program("prop")
+
+        @prog.entry(H.hv(16), H.hm(classes, dim), H.hm(dim, 16))
+        def main(query, class_hvs, rp):
+            encoded = H.sign(H.matmul(query, rp))
+            distances = H.hamming_distance(encoded, H.sign(class_hvs))
+            return H.arg_min(distances)
+
+        return prog
+
+    @given(st.integers(8, 64), st.integers(2, 8))
+    @settings(max_examples=15, deadline=None)
+    def test_lowered_graphs_always_verify(self, dim, classes):
+        prog = self._make_program(dim, classes)
+        graph = lower_program(prog)
+        verify_graph(graph)
+
+    @given(st.integers(8, 64), st.integers(2, 8))
+    @settings(max_examples=15, deadline=None)
+    def test_binarization_keeps_program_verified(self, dim, classes):
+        prog = clone_program(self._make_program(dim, classes))
+        AutomaticBinarization().run(prog)
+        verify_program(prog)
+
+    @given(st.integers(16, 64), st.integers(2, 6), seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_cpu_gpu_equivalence(self, dim, classes, seed):
+        prog = self._make_program(dim, classes)
+        rng = np.random.default_rng(seed)
+        inputs = {
+            "query": rng.normal(size=16).astype(np.float32),
+            "class_hvs": rng.normal(size=(classes, dim)).astype(np.float32),
+            "rp": (rng.integers(0, 2, size=(dim, 16)) * 2 - 1).astype(np.float32),
+        }
+        cpu = hdc_compile(prog, target="cpu").run(**inputs)
+        gpu = hdc_compile(prog, target="gpu").run(**inputs)
+        assert int(np.asarray(cpu.output)) == int(np.asarray(gpu.output))
+
+    @given(st.integers(2, 6), seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_perforation_stride_one_is_exact(self, classes, seed):
+        prog = self._make_program(64, classes)
+        rng = np.random.default_rng(seed)
+        inputs = {
+            "query": rng.normal(size=16).astype(np.float32),
+            "class_hvs": rng.normal(size=(classes, 64)).astype(np.float32),
+            "rp": (rng.integers(0, 2, size=(64, 16)) * 2 - 1).astype(np.float32),
+        }
+        exact = hdc_compile(prog, target="cpu").run(**inputs)
+        config = ApproximationConfig(
+            perforations=(PerforationSpec("hamming_distance", begin=0, end=None, stride=1),)
+        )
+        identity_perf = hdc_compile(prog, target="cpu", config=config).run(**inputs)
+        assert int(np.asarray(exact.output)) == int(np.asarray(identity_perf.output))

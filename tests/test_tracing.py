@@ -1,0 +1,199 @@
+"""Tests for the HDC++ tracing frontend (Program / TracedFunction / Value)."""
+
+import numpy as np
+import pytest
+
+from repro import hdcpp as H
+from repro.ir.ops import Opcode
+
+
+class TestProgramDefinition:
+    def test_define_records_ops_and_results(self):
+        prog = H.Program("p")
+
+        @prog.define(H.hv(8), H.hm(4, 8))
+        def infer(query, classes):
+            return H.arg_min(H.hamming_distance(query, classes))
+
+        assert "infer" in prog.functions
+        traced = prog.function("infer")
+        assert [op.opcode for op in traced.ops] == [Opcode.HAMMING_DISTANCE, Opcode.ARG_MIN]
+        assert len(traced.params) == 2
+        assert len(traced.results) == 1
+        assert traced.results[0].type == H.IndexType()
+
+    def test_entry_marks_entry_point(self):
+        prog = H.Program("p")
+
+        @prog.entry(H.hv(4))
+        def main(x):
+            return H.sign(x)
+
+        assert prog.entry_name == "main"
+        assert prog.entry_function.name == "main"
+
+    def test_single_function_is_implicit_entry(self):
+        prog = H.Program("p")
+
+        @prog.define(H.hv(4))
+        def only(x):
+            return H.sign(x)
+
+        assert prog.entry_function.name == "only"
+
+    def test_missing_entry_with_multiple_functions(self):
+        prog = H.Program("p")
+
+        @prog.define(H.hv(4))
+        def a(x):
+            return H.sign(x)
+
+        @prog.define(H.hv(4))
+        def b(x):
+            return H.sign_flip(x)
+
+        with pytest.raises(H.TracingError):
+            _ = prog.entry_function
+
+    def test_duplicate_function_name_rejected(self):
+        prog = H.Program("p")
+
+        @prog.define(H.hv(4))
+        def fn(x):
+            return H.sign(x)
+
+        with pytest.raises(H.TracingError):
+
+            @prog.define(H.hv(4), name="fn")
+            def fn2(x):
+                return H.sign(x)
+
+    def test_parameter_count_mismatch(self):
+        prog = H.Program("p")
+        with pytest.raises(H.TracingError):
+
+            @prog.define(H.hv(4), H.hv(4))
+            def fn(x):
+                return H.sign(x)
+
+    def test_multiple_results(self):
+        prog = H.Program("p")
+
+        @prog.define(H.hv(4), H.hm(2, 4))
+        def fn(x, m):
+            return H.sign(x), H.matrix_transpose(m)
+
+        assert len(prog.function("fn").results) == 2
+
+    def test_invalid_return_value(self):
+        prog = H.Program("p")
+        with pytest.raises(H.TracingError):
+
+            @prog.define(H.hv(4))
+            def fn(x):
+                return 42
+
+    def test_all_operations_spans_functions(self):
+        prog = H.Program("p")
+
+        @prog.define(H.hv(4))
+        def a(x):
+            return H.sign(x)
+
+        @prog.define(H.hv(4))
+        def b(x):
+            return H.sign_flip(H.sign(x))
+
+        assert len(prog.all_operations()) == 3
+
+
+class TestTracedValues:
+    def test_values_have_types_and_producers(self):
+        prog = H.Program("p")
+
+        @prog.define(H.hv(8), H.hm(4, 8))
+        def fn(query, rp):
+            return H.matmul(query, rp)
+
+        op = prog.function("fn").ops[0]
+        assert op.result.producer is op
+        assert op.result.type == H.hv(4)
+        assert op.operand_types() == [H.hv(8), H.hm(4, 8)]
+
+    def test_mixing_concrete_and_symbolic_rejected(self):
+        prog = H.Program("p")
+        with pytest.raises(H.TracingError):
+
+            @prog.define(H.hv(8))
+            def fn(x):
+                return H.add(x, H.HyperVector(np.zeros(8, dtype=np.float32)))
+
+    def test_symbolic_value_outside_trace_rejected(self):
+        prog = H.Program("p")
+
+        @prog.define(H.hv(8))
+        def fn(x):
+            return H.sign(x)
+
+        param = prog.function("fn").params[0]
+        with pytest.raises(H.TracingError):
+            H.sign(param)
+
+    def test_red_perf_records_directive(self):
+        prog = H.Program("p")
+
+        @prog.define(H.hv(8), H.hm(4, 8))
+        def fn(q, c):
+            d = H.hamming_distance(q, c)
+            H.red_perf(d, 0, 4, 2)
+            return H.arg_min(d)
+
+        ops = prog.function("fn").ops
+        assert ops[1].opcode == Opcode.RED_PERF
+        assert ops[1].attrs == {"begin": 0, "end": 4, "stride": 2}
+        assert ops[1].result is None
+
+    def test_stage_ops_record_impl_reference(self):
+        prog = H.Program("p")
+
+        @prog.define(H.hv(8), H.hm(4, 16), H.hm(16, 8))
+        def infer_one(q, c, rp):
+            return H.arg_min(H.hamming_distance(H.sign(H.matmul(q, rp)), c))
+
+        @prog.entry(H.hm(10, 8), H.hm(4, 16), H.hm(16, 8))
+        def main(queries, classes, rp):
+            return H.inference_loop(infer_one, queries, classes, encoder=rp)
+
+        stage_op = prog.function("main").ops[0]
+        assert stage_op.opcode == Opcode.INFERENCE_LOOP
+        assert stage_op.attrs["impl"] == "infer_one"
+        assert stage_op.attrs["has_encoder"] is True
+        assert stage_op.result.type == H.IndexVectorType(10)
+
+    def test_parallel_map_records_instances_via_type(self):
+        prog = H.Program("p")
+
+        def encode(row):
+            return row
+
+        @prog.entry(H.hm(12, 8))
+        def main(rows):
+            return H.parallel_map(encode, rows, output_dim=32)
+
+        op = prog.function("main").ops[0]
+        assert op.opcode == Opcode.PARALLEL_MAP
+        assert op.result.type == H.hm(12, 32)
+
+    def test_printer_renders_program(self):
+        from repro.ir.printer import print_program
+
+        prog = H.Program("render_me")
+
+        @prog.entry(H.hv(8), H.hm(4, 8))
+        def fn(q, c):
+            return H.arg_min(H.hamming_distance(q, c))
+
+        text = print_program(prog)
+        assert "render_me" in text
+        assert "hdc.hamming_distance" in text
+        assert "hdc.arg_min" in text

@@ -1,0 +1,172 @@
+"""Tests for the approximation transforms (binarization and perforation)."""
+
+import numpy as np
+import pytest
+
+from repro import hdcpp as H
+from repro.ir.builder import clone_program
+from repro.ir.ops import Opcode
+from repro.transforms import (
+    ApproximationConfig,
+    AutomaticBinarization,
+    PassPipeline,
+    PerforationSpec,
+    ReductionPerforation,
+)
+
+
+def build_inference_program():
+    """matmul -> sign -> hamming(sign(classes)) -> argmin, plus a red_perf."""
+    prog = H.Program("transform_test")
+
+    @prog.entry(H.hv(16), H.hm(6, 64), H.hm(64, 16))
+    def main(query, classes, rp):
+        encoded = H.sign(H.matmul(query, rp))
+        distances = H.hamming_distance(encoded, H.sign(classes))
+        H.red_perf(distances, 0, 32, 2)
+        return H.arg_min(distances)
+
+    return prog
+
+
+class TestAutomaticBinarization:
+    def test_taints_sign_connected_values(self):
+        prog = clone_program(build_inference_program())
+        report = AutomaticBinarization().run(prog)
+        assert report.tainted_ops >= 3
+        assert report.binarized_values >= 2
+        ops = {op.opcode: op for op in prog.function("main").ops}
+        # The encoded hypervector (matmul result) and the sign outputs are 1-bit.
+        assert ops[Opcode.MATMUL].result.type.element.is_binary
+        assert ops[Opcode.SIGN].result.type.element.is_binary
+        # The similarity output stays a full-precision score vector.
+        assert not ops[Opcode.HAMMING_DISTANCE].result.type.element.is_binary
+
+    def test_binarizes_program_inputs_reached_by_sign(self):
+        prog = clone_program(build_inference_program())
+        report = AutomaticBinarization().run(prog)
+        classes_param = prog.function("main").params[1]
+        assert classes_param.type.element.is_binary
+        assert any("classes" in name for name in report.binarized_params)
+
+    def test_data_movement_reduction_reported(self):
+        prog = clone_program(build_inference_program())
+        report = AutomaticBinarization().run(prog)
+        assert report.data_movement_reduction == pytest.approx(32.0)
+
+    def test_binarize_reduce_taints_reduce_inputs(self):
+        prog = clone_program(build_inference_program())
+        AutomaticBinarization(binarize_reduce=True).run(prog)
+        matmul = next(op for op in prog.function("main").ops if op.opcode == Opcode.MATMUL)
+        # The feature input of the encoding matmul now carries a reduced
+        # integer precision (configuration IV of Table 3).
+        assert matmul.operands[0].type.element is H.int32
+
+    def test_no_sign_means_no_change(self):
+        prog = H.Program("nosign")
+
+        @prog.entry(H.hv(8), H.hm(4, 8))
+        def main(q, c):
+            return H.arg_max(H.cossim(q, c))
+
+        report = AutomaticBinarization().run(prog)
+        assert report.tainted_ops == 0
+        assert report.binarized_values == 0
+
+    def test_allocation_attrs_updated(self):
+        prog = H.Program("alloc")
+
+        @prog.entry(H.hv(32))
+        def main(x):
+            r = H.random_hypervector(32, seed=1)
+            return H.mul(H.sign(x), H.sign(r))
+
+        AutomaticBinarization().run(prog)
+        random_op = next(op for op in prog.function("main").ops if op.opcode == Opcode.RANDOM_HYPERVECTOR)
+        assert random_op.attrs["element"].is_binary
+
+    def test_idempotent(self):
+        prog = clone_program(build_inference_program())
+        AutomaticBinarization().run(prog)
+        second = AutomaticBinarization().run(prog)
+        assert second.binarized_values == 0 or second.bytes_before == second.bytes_after
+
+
+class TestReductionPerforation:
+    def test_folds_red_perf_directive(self):
+        prog = clone_program(build_inference_program())
+        report = ReductionPerforation().run(prog)
+        assert report.folded_directives == 1
+        ops = prog.function("main").ops
+        assert all(op.opcode != Opcode.RED_PERF for op in ops)
+        hamming = next(op for op in ops if op.opcode == Opcode.HAMMING_DISTANCE)
+        assert hamming.attrs["perf_begin"] == 0
+        assert hamming.attrs["perf_end"] == 32
+        assert hamming.attrs["perf_stride"] == 2
+
+    def test_external_spec_applies_to_matching_ops(self):
+        prog = clone_program(build_inference_program())
+        spec = PerforationSpec("matmul", begin=0, end=None, stride=4)
+        report = ReductionPerforation([spec]).run(prog)
+        assert report.applied_specs == 1
+        matmul = next(op for op in prog.function("main").ops if op.opcode == Opcode.MATMUL)
+        assert matmul.attrs["perf_stride"] == 4
+
+    def test_spec_function_filter(self):
+        prog = clone_program(build_inference_program())
+        spec = PerforationSpec("matmul", stride=2, function="not_this_function")
+        report = ReductionPerforation([spec]).run(prog)
+        assert report.applied_specs == 0
+
+    def test_red_perf_on_non_reduce_rejected(self):
+        prog = H.Program("bad")
+
+        @prog.entry(H.hv(8))
+        def main(x):
+            y = H.sign(x)
+            H.red_perf(y, 0, 8, 2)
+            return y
+
+        with pytest.raises(ValueError):
+            ReductionPerforation().run(prog)
+
+    def test_spec_opcode_resolution(self):
+        assert PerforationSpec("hamming_distance").resolved_opcode() == Opcode.HAMMING_DISTANCE
+        assert PerforationSpec(Opcode.COSSIM).resolved_opcode() == Opcode.COSSIM
+        with pytest.raises(KeyError):
+            PerforationSpec("not_a_reduce").resolved_opcode()
+
+
+class TestPipelineAndConfig:
+    def test_identity_config(self):
+        config = ApproximationConfig.none()
+        assert config.is_identity
+        passes = config.build_passes()
+        assert len(passes) == 1  # perforation fold always runs (for red_perf)
+
+    def test_config_builds_binarization_pass(self):
+        config = ApproximationConfig(binarize=True)
+        assert not config.is_identity
+        names = [p.name for p in config.build_passes()]
+        assert "automatic-binarization" in names
+
+    def test_with_perforation_appends(self):
+        config = ApproximationConfig(binarize=True).with_perforation(PerforationSpec("matmul", stride=2))
+        assert len(config.perforations) == 1
+        assert config.binarize
+
+    def test_pipeline_runs_and_verifies(self):
+        prog = clone_program(build_inference_program())
+        pipeline = PassPipeline.from_config(
+            ApproximationConfig(binarize=True, perforations=(PerforationSpec("matmul", stride=2),))
+        )
+        report = pipeline.run(prog)
+        assert "automatic-binarization" in report
+        assert "reduction-perforation" in report
+        assert report["reduction-perforation"].folded_directives == 1
+
+    def test_pipeline_reports_are_accessible_by_name(self):
+        prog = clone_program(build_inference_program())
+        report = PassPipeline.from_config(ApproximationConfig(binarize=True)).run(prog)
+        assert report["automatic-binarization"].binarized_values > 0
+        assert "nonexistent-pass" not in report
