@@ -1,0 +1,116 @@
+"""Serving benchmark — dynamic batching vs one-shot single-request inference.
+
+Not a paper figure: this benchmark quantifies the serving runtime added on
+top of the reproduction (ROADMAP north star).  It measures, for the ISOLET
+classification application on the CPU backend,
+
+* **single-request throughput** — a warm batch-1 ``BoundProgram`` handle
+  invoked once per sample (no re-tracing, no re-binding of constants: the
+  strongest one-shot baseline the seed flow offers), versus
+* **served throughput** — the same samples pushed through an
+  :class:`~repro.serving.InferenceServer` that coalesces them into
+  micro-batches and runs the batched host kernel path,
+
+and asserts the dynamic-batching speedup the serving subsystem exists to
+deliver (>= 3x).  A second benchmark exercises the registry round trip
+(register -> warm cache -> re-register) and asserts the compile cache
+actually hits.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.apps import HDClassificationInference
+from repro.backends import compile as hdc_compile
+from repro.datasets import make_isolet_like
+from repro.serving import InferenceServer, ModelRegistry
+
+#: Number of single-sample requests pushed through both flows.
+N_REQUESTS = 512
+
+
+@pytest.fixture(scope="module")
+def isolet(scale):
+    return make_isolet_like(scale.isolet())
+
+
+@pytest.fixture(scope="module")
+def servable(scale, isolet):
+    app = HDClassificationInference(dimension=scale.classification_dim, similarity="hamming")
+    return app.as_servable(dataset=isolet)
+
+
+@pytest.fixture(scope="module")
+def requests(isolet):
+    test = isolet.test_features
+    reps = -(-N_REQUESTS // test.shape[0])  # ceil
+    return np.tile(test, (reps, 1))[:N_REQUESTS]
+
+
+def test_dynamic_batching_speedup(benchmark, servable, requests):
+    """Served throughput must be >= 3x the single-request baseline."""
+    # Warm single-request baseline: compiled once, constants bound once.
+    baseline_handle = hdc_compile(servable.build_program(1), target="cpu").bind(
+        **servable.constants
+    )
+    query = servable.query_param
+
+    start = time.perf_counter()
+    baseline_labels = [
+        int(np.asarray(baseline_handle.run(**{query: requests[i : i + 1]}).output)[0])
+        for i in range(requests.shape[0])
+    ]
+    baseline_seconds = time.perf_counter() - start
+
+    server = InferenceServer(workers=("cpu",), max_batch_size=64, max_wait_seconds=0.002)
+    server.register(servable)
+
+    def serve_all():
+        with server:
+            return server.infer_many(servable.name, list(requests))
+
+    start = time.perf_counter()
+    results = benchmark.pedantic(serve_all, rounds=1, iterations=1)
+    served_seconds = time.perf_counter() - start
+
+    served_labels = [int(np.asarray(r)) for r in results]
+    assert served_labels == baseline_labels
+
+    stats = server.stats()
+    speedup = baseline_seconds / served_seconds
+    benchmark.extra_info["baseline_rps"] = requests.shape[0] / baseline_seconds
+    benchmark.extra_info["served_rps"] = requests.shape[0] / served_seconds
+    benchmark.extra_info["speedup"] = speedup
+    benchmark.extra_info["mean_batch_size"] = stats.mean_batch_size
+    benchmark.extra_info["latency_p99_ms"] = stats.latency_p99_ms
+    print(
+        f"\nserving: {requests.shape[0]} requests, "
+        f"baseline {baseline_seconds * 1e3:.1f}ms, served {served_seconds * 1e3:.1f}ms, "
+        f"speedup {speedup:.1f}x, mean batch {stats.mean_batch_size:.1f}, "
+        f"p99 {stats.latency_p99_ms:.2f}ms"
+    )
+    assert stats.mean_batch_size > 1.0
+    assert speedup >= 3.0
+
+
+def test_registry_round_trip_hits_compile_cache(benchmark, servable):
+    """register -> warm -> re-register must hit the compiled-program cache."""
+    registry = ModelRegistry()
+
+    def round_trip():
+        registry.register(servable, warm_batch_sizes=(1, 64))
+        registry.get(servable.name).warm([1, 64])
+        registry.register(servable, warm_batch_sizes=(1, 64))  # re-register
+        return registry
+
+    benchmark.pedantic(round_trip, rounds=1, iterations=1)
+    stats = registry.cache.stats
+    benchmark.extra_info["cache_hits"] = stats.hits
+    benchmark.extra_info["cache_misses"] = stats.misses
+    print(f"\ncompile cache: {stats.hits} hits / {stats.misses} misses")
+    assert stats.misses == 2  # one compile per warmed bucket
+    assert stats.hits >= 1

@@ -16,6 +16,9 @@ Computing.  This package reproduces it end to end:
 * :mod:`repro.datasets` — synthetic surrogates of the paper's datasets.
 * :mod:`repro.evaluation` — experiment drivers regenerating every table
   and figure of the paper's evaluation.
+* :mod:`repro.serving` — the inference-serving runtime: a model registry
+  with compiled-program caching, dynamic micro-batching of single-sample
+  requests, and a multi-backend worker pool with warm device sessions.
 
 Quickstart::
 
@@ -36,13 +39,36 @@ Quickstart::
                           rp_matrix=np.random.choice([-1.0, 1.0], (2048, 617)),
                           classes=np.random.rand(26, 2048))
     print(result.output)
+
+Serving quickstart (see ``examples/serving_quickstart.py``)::
+
+    from repro.apps import HDClassificationInference
+    from repro.serving import InferenceServer
+
+    app = HDClassificationInference(dimension=2048)
+    servable = app.as_servable(dataset=dataset)     # trains offline
+
+    server = InferenceServer(workers=("cpu", "cpu"), max_batch_size=64)
+    server.register(servable)
+    with server:
+        label = server.infer(servable.name, dataset.test_features[0])
+    print(server.stats())   # p50/p95/p99 latency, batch sizes, cache hits
 """
 
-from repro import hdcpp
-from repro.backends import compile
+from repro import hdcpp, serving
+from repro.backends import compile, compile_cached
 from repro.ir.dataflow import Target
 from repro.transforms import ApproximationConfig, PerforationSpec
 
 __version__ = "1.0.0"
 
-__all__ = ["hdcpp", "compile", "Target", "ApproximationConfig", "PerforationSpec", "__version__"]
+__all__ = [
+    "hdcpp",
+    "serving",
+    "compile",
+    "compile_cached",
+    "Target",
+    "ApproximationConfig",
+    "PerforationSpec",
+    "__version__",
+]

@@ -16,6 +16,7 @@ training / inference algorithms and their timing models.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -60,14 +61,25 @@ class DeviceCounters:
     train_iterations: int = 0
 
     def reset(self) -> None:
-        self.device_seconds = 0.0
-        self.transfer_seconds = 0.0
-        self.bytes_to_device = 0.0
-        self.bytes_from_device = 0.0
-        self.energy_joules = 0.0
-        self.encodes = 0
-        self.inferences = 0
-        self.train_iterations = 0
+        for f in dataclasses.fields(self):
+            setattr(self, f.name, f.default)
+
+    def merge(self, other: "DeviceCounters") -> None:
+        """Fold another set of counters into this one, field by field."""
+        for f in dataclasses.fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    def copy(self) -> "DeviceCounters":
+        return dataclasses.replace(self)
+
+    def delta(self, since: "DeviceCounters") -> "DeviceCounters":
+        """Counters accumulated after the ``since`` snapshot was taken."""
+        return DeviceCounters(
+            **{
+                f.name: getattr(self, f.name) - getattr(since, f.name)
+                for f in dataclasses.fields(self)
+            }
+        )
 
 
 class HDCAcceleratorDevice:

@@ -31,9 +31,78 @@ from repro import hdcpp as H
 from repro.apps.common import AppResult, bipolar_random, merge_reports
 from repro.backends import compile as hdc_compile
 from repro.datasets.isolet import IsoletLike
+from repro.serving.servable import ALL_TARGETS, Servable, servable_signature
 from repro.transforms.pipeline import ApproximationConfig
 
-__all__ = ["HDClassification", "HDClassificationInference"]
+__all__ = ["HDClassification", "HDClassificationInference", "classification_servable"]
+
+
+def classification_servable(
+    name: str,
+    dimension: int,
+    similarity: str,
+    rp_matrix: np.ndarray,
+    classes: np.ndarray,
+    binarize_encoding: bool = True,
+) -> Servable:
+    """Package trained classification state as a serving adapter.
+
+    The servable's program family performs encoding + similarity search
+    only (the stage the request stream exercises); training stays offline.
+    One program is traced per micro-batch bucket, all sharing the trained
+    class memories and random-projection encoder as bound constants.
+
+    ``binarize_encoding`` selects between the two encoding conventions of
+    the classification apps so served predictions match the corresponding
+    one-shot ``run(...)`` exactly: :class:`HDClassification` signs the
+    encoding before any similarity, :class:`HDClassificationInference`
+    keeps the raw projection for cosine and signs only inside the Hamming
+    comparison.
+    """
+    rp_matrix = np.asarray(rp_matrix, dtype=np.float32)
+    classes = np.asarray(classes, dtype=np.float32)
+    n_features = rp_matrix.shape[1]
+    n_classes = classes.shape[0]
+
+    def build_program(batch_size: int) -> H.Program:
+        prog = H.Program(f"{name}_serve_b{batch_size}")
+
+        @prog.define(H.hv(n_features), H.hm(n_classes, dimension), H.hm(dimension, n_features))
+        def infer_one(features, class_hvs, rp):
+            encoded = H.matmul(features, rp)
+            if binarize_encoding:
+                encoded = H.sign(encoded)
+            if similarity == "cosine":
+                scores = H.cossim(encoded, class_hvs)
+                return H.arg_max(scores)
+            bipolar = encoded if binarize_encoding else H.sign(encoded)
+            distances = H.hamming_distance(bipolar, H.sign(class_hvs))
+            return H.arg_min(distances)
+
+        @prog.entry(
+            H.hm(batch_size, n_features), H.hm(n_classes, dimension), H.hm(dimension, n_features)
+        )
+        def main(queries, class_hvs, rp):
+            return H.inference_loop(infer_one, queries, class_hvs, encoder=rp)
+
+        return prog
+
+    constants = {"class_hvs": classes, "rp": rp_matrix}
+    return Servable(
+        name=name,
+        build_program=build_program,
+        constants=constants,
+        query_param="queries",
+        sample_shape=(n_features,),
+        signature=servable_signature(
+            name,
+            (n_features,),
+            constants,
+            extra=f"dim={dimension},sim={similarity},bin={binarize_encoding}",
+        ),
+        supported_targets=ALL_TARGETS,
+        description=f"HDC classification, D={dimension}, {similarity} similarity",
+    )
 
 
 @dataclass
@@ -157,6 +226,15 @@ class HDClassification:
             outputs={"predictions": predictions, "class_hypervectors": trained},
         )
 
+    # ------------------------------------------------------------------ serving --
+    def as_servable(
+        self, rp_matrix: np.ndarray, classes: np.ndarray, name: str = "hd-classification"
+    ) -> Servable:
+        """Serve trained state (e.g. ``run(...)``'s class hypervectors)."""
+        return classification_servable(
+            name, self.dimension, self.similarity, rp_matrix, classes, binarize_encoding=True
+        )
+
 
 @dataclass
 class HDClassificationInference:
@@ -242,4 +320,21 @@ class HDClassificationInference:
             wall_seconds=wall,
             report=result.report,
             outputs={"predictions": predictions},
+        )
+
+    # ------------------------------------------------------------------ serving --
+    def as_servable(
+        self,
+        trained: Optional[tuple[np.ndarray, np.ndarray]] = None,
+        dataset: Optional[IsoletLike] = None,
+        name: str = "hd-classification-inference",
+    ) -> Servable:
+        """Serve the offline-trained classifier (training if needed)."""
+        if trained is None:
+            if dataset is None:
+                raise ValueError("as_servable needs either trained state or a dataset")
+            trained = self.train_offline(dataset)
+        rp_matrix, classes = trained
+        return classification_servable(
+            name, self.dimension, self.similarity, rp_matrix, classes, binarize_encoding=False
         )

@@ -27,6 +27,7 @@ from repro import hdcpp as H
 from repro.apps.common import AppResult, bipolar_random, merge_reports
 from repro.backends import compile as hdc_compile
 from repro.datasets.isolet import IsoletLike
+from repro.serving.servable import ALL_TARGETS, Servable, servable_signature
 from repro.transforms.pipeline import ApproximationConfig
 
 __all__ = ["HDClustering"]
@@ -151,6 +152,54 @@ class HDClustering:
                 "clusters": clusters,
                 "iterations_run": iterations_run,
             },
+        )
+
+    # ------------------------------------------------------------------ serving --
+    def as_servable(
+        self, rp_matrix: np.ndarray, clusters: np.ndarray, name: str = "hd-clustering"
+    ) -> Servable:
+        """Serve converged clusters (e.g. ``run(...)``'s ``clusters`` output).
+
+        The served program encodes each raw feature vector and assigns it
+        to its nearest cluster hypervector — the streaming "which cluster
+        does this new sample belong to" query, with the k-means iterations
+        left to offline fitting.
+        """
+        rp_matrix = np.asarray(rp_matrix, dtype=np.float32)
+        clusters = np.asarray(clusters, dtype=np.float32)
+        dim = self.dimension
+        n_features = rp_matrix.shape[1]
+        n_clusters = clusters.shape[0]
+
+        def build_program(batch_size: int) -> H.Program:
+            prog = H.Program(f"{name}_serve_b{batch_size}")
+
+            @prog.define(H.hv(n_features), H.hm(dim, n_features))
+            def encode(features, rp):
+                return H.sign(H.matmul(features, rp))
+
+            @prog.define(H.hv(dim), H.hm(n_clusters, dim))
+            def assign_one(encoded, cluster_hvs):
+                distances = H.hamming_distance(H.sign(encoded), H.sign(cluster_hvs))
+                return H.arg_min(distances)
+
+            @prog.entry(H.hm(batch_size, n_features), H.hm(dim, n_features), H.hm(n_clusters, dim))
+            def main(samples, rp, cluster_hvs):
+                encoded = H.encoding_loop(encode, samples, rp)
+                return H.inference_loop(assign_one, encoded, cluster_hvs)
+
+            return prog
+
+        constants = {"rp": rp_matrix, "cluster_hvs": clusters}
+        return Servable(
+            name=name,
+            build_program=build_program,
+            constants=constants,
+            query_param="samples",
+            sample_shape=(n_features,),
+            signature=servable_signature(name, (n_features,), constants, extra=f"dim={dim}"),
+            supported_targets=ALL_TARGETS,
+            description=f"HDC cluster assignment, D={dim}, k={n_clusters}",
         )
 
 

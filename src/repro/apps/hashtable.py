@@ -33,6 +33,7 @@ from repro import hdcpp as H
 from repro.apps.common import AppResult, bipolar_random
 from repro.backends import compile as hdc_compile
 from repro.datasets.genomics import GenomicsDataset, base_indices
+from repro.serving.servable import HOST_TARGETS, Servable, servable_signature
 from repro.transforms.pipeline import ApproximationConfig
 
 __all__ = ["HDHashtable"]
@@ -145,4 +146,57 @@ class HDHashtable:
             wall_seconds=wall,
             report=result.report,
             outputs={"matches": matches},
+        )
+
+    # ------------------------------------------------------------------ serving --
+    def as_servable(
+        self,
+        bucket_table: np.ndarray,
+        read_length: int,
+        kmer_length: int,
+        base_hvs: Optional[np.ndarray] = None,
+        name: str = "hd-hashtable",
+    ) -> Servable:
+        """Serve genome-read bucket search against a prebuilt HD hash table.
+
+        Requests are fixed-length reads as base indices (see
+        :func:`repro.datasets.genomics.base_indices`); the reference-side
+        table (``encode_reference_buckets``) is the deployment's constant.
+        """
+        bucket_table = np.asarray(bucket_table, dtype=np.float32)
+        base_hvs = self.make_base_hypervectors() if base_hvs is None else np.asarray(base_hvs)
+        dim = self.dimension
+        n_buckets = bucket_table.shape[0]
+        encode_read = self._make_read_encoder(base_hvs, kmer_length)
+
+        def build_program(batch_size: int) -> H.Program:
+            prog = H.Program(f"{name}_serve_b{batch_size}")
+
+            @prog.define(H.hv(dim), H.hm(n_buckets, dim))
+            def search_one(read_encoding, table):
+                distances = H.hamming_distance(H.sign(read_encoding), H.sign(table))
+                return H.arg_min(distances)
+
+            @prog.entry(H.hm(batch_size, read_length, H.int64), H.hm(n_buckets, dim))
+            def main(reads, table):
+                read_encodings = H.parallel_map(encode_read, reads, output_dim=dim)
+                return H.inference_loop(search_one, read_encodings, table)
+
+            return prog
+
+        constants = {"table": bucket_table}
+        return Servable(
+            name=name,
+            build_program=build_program,
+            constants=constants,
+            query_param="reads",
+            sample_shape=(read_length,),
+            signature=servable_signature(
+                name,
+                (read_length,),
+                {"table": bucket_table, "base_hvs": base_hvs},
+                extra=f"dim={dim},k={kmer_length}",
+            ),
+            supported_targets=HOST_TARGETS,
+            description=f"HD hash-table read search, D={dim}, k-mer={kmer_length}",
         )

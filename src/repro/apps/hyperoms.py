@@ -30,6 +30,7 @@ from repro import hdcpp as H
 from repro.apps.common import AppResult, bipolar_random
 from repro.backends import compile as hdc_compile
 from repro.datasets.spectra import SpectralDataset
+from repro.serving.servable import HOST_TARGETS, Servable, servable_signature
 from repro.transforms.pipeline import ApproximationConfig
 
 __all__ = ["HyperOMS", "make_level_hypervectors"]
@@ -144,4 +145,61 @@ class HyperOMS:
             wall_seconds=wall,
             report=result.report,
             outputs={"matches": matches},
+        )
+
+    # ------------------------------------------------------------------ serving --
+    def encode_library(self, library_matrix: np.ndarray, n_bins: Optional[int] = None) -> np.ndarray:
+        """Level-ID encode a spectral library offline (the serving constant)."""
+        library_matrix = np.atleast_2d(np.asarray(library_matrix, dtype=np.float32))
+        n_bins = library_matrix.shape[1] if n_bins is None else n_bins
+        id_hvs = bipolar_random(n_bins, self.dimension, seed=self.seed)
+        level_hvs = make_level_hypervectors(self.n_levels, self.dimension, seed=self.seed + 1)
+        encode_spectrum = self._make_encoder(id_hvs, level_hvs)
+        return np.asarray(encode_spectrum(library_matrix), dtype=np.float32)
+
+    def as_servable(
+        self, library_encodings: np.ndarray, n_bins: int, name: str = "hyperoms"
+    ) -> Servable:
+        """Serve open modification search against a pre-encoded library.
+
+        Offline, :meth:`encode_library` bundles the whole spectral library
+        once; the served program only level-ID encodes each query batch and
+        searches it against the resident library encodings — re-encoding
+        the library per request stream is exactly the redundant work
+        serving exists to elide.
+        """
+        library_encodings = np.asarray(library_encodings, dtype=np.float32)
+        dim = self.dimension
+        n_library = library_encodings.shape[0]
+        id_hvs = bipolar_random(n_bins, dim, seed=self.seed)
+        level_hvs = make_level_hypervectors(self.n_levels, dim, seed=self.seed + 1)
+        encode_spectrum = self._make_encoder(id_hvs, level_hvs)
+
+        def build_program(batch_size: int) -> H.Program:
+            prog = H.Program(f"{name}_serve_b{batch_size}")
+
+            @prog.define(H.hv(dim), H.hm(n_library, dim))
+            def search_one(query_encoding, library):
+                distances = H.hamming_distance(H.sign(query_encoding), H.sign(library))
+                return H.arg_min(distances)
+
+            @prog.entry(H.hm(batch_size, n_bins), H.hm(n_library, dim))
+            def main(query_spectra, library):
+                query_encodings = H.parallel_map(encode_spectrum, query_spectra, output_dim=dim)
+                return H.inference_loop(search_one, query_encodings, library)
+
+            return prog
+
+        constants = {"library": library_encodings}
+        return Servable(
+            name=name,
+            build_program=build_program,
+            constants=constants,
+            query_param="query_spectra",
+            sample_shape=(n_bins,),
+            signature=servable_signature(
+                name, (n_bins,), constants, extra=f"dim={dim},levels={self.n_levels},seed={self.seed}"
+            ),
+            supported_targets=HOST_TARGETS,
+            description=f"HyperOMS spectral search, D={dim}, library={n_library}",
         )

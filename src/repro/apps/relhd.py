@@ -31,6 +31,7 @@ from repro import hdcpp as H
 from repro.apps.common import AppResult, bipolar_random, merge_reports
 from repro.backends import compile as hdc_compile
 from repro.datasets.cora import CitationGraph
+from repro.serving.servable import HOST_TARGETS, Servable, servable_signature
 from repro.transforms.pipeline import ApproximationConfig
 
 __all__ = ["RelHD"]
@@ -163,4 +164,43 @@ class RelHD:
             wall_seconds=wall,
             report=merge_reports(target, reports),
             outputs={"predictions": predictions},
+        )
+
+    # ------------------------------------------------------------------ serving --
+    def as_servable(self, classes: np.ndarray, name: str = "relhd") -> Servable:
+        """Serve trained node classification over aggregated encodings.
+
+        Requests carry graph-neighbour-aggregated node hypervectors (the
+        output of :meth:`aggregate_neighbours`, the sparse host-side step);
+        the served program performs the Hamming similarity search against
+        the trained class memories.  CPU/GPU only, matching the paper.
+        """
+        classes = np.asarray(classes, dtype=np.float32)
+        dim = self.dimension
+        n_classes = classes.shape[0]
+
+        def build_program(batch_size: int) -> H.Program:
+            prog = H.Program(f"{name}_serve_b{batch_size}")
+
+            @prog.define(H.hv(dim), H.hm(n_classes, dim))
+            def infer_one(node_encoding, class_hvs):
+                distances = H.hamming_distance(H.sign(node_encoding), H.sign(class_hvs))
+                return H.arg_min(distances)
+
+            @prog.entry(H.hm(batch_size, dim), H.hm(n_classes, dim))
+            def main(node_encodings, class_hvs):
+                return H.inference_loop(infer_one, node_encodings, class_hvs)
+
+            return prog
+
+        constants = {"class_hvs": classes}
+        return Servable(
+            name=name,
+            build_program=build_program,
+            constants=constants,
+            query_param="node_encodings",
+            sample_shape=(dim,),
+            signature=servable_signature(name, (dim,), constants, extra=f"dim={dim}"),
+            supported_targets=HOST_TARGETS,
+            description=f"RelHD node classification, D={dim}",
         )

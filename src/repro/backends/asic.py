@@ -21,9 +21,15 @@ class DigitalASICBackend(AcceleratorBackend):
     target = Target.HDC_ASIC
     name = "hdc_asic"
 
-    def __init__(self, device: DigitalHDCASIC | None = None, params: DigitalASICParameters | None = None, seed: int = 0):
+    def __init__(
+        self,
+        device: DigitalHDCASIC | None = None,
+        params: DigitalASICParameters | None = None,
+        seed: int = 0,
+        reuse_session: bool = False,
+    ):
         self._params = params
-        super().__init__(device=device, seed=seed)
+        super().__init__(device=device, seed=seed, reuse_session=reuse_session)
 
     def make_device(self) -> DigitalHDCASIC:
         return DigitalHDCASIC(self._params)

@@ -34,7 +34,7 @@ from repro.ir.verifier import verify_graph
 from repro.kernels import reference as ref
 from repro.transforms.pipeline import ApproximationConfig, PassPipeline, PassReport
 
-__all__ = ["ExecutionReport", "ExecutionResult", "CompiledProgram", "Backend"]
+__all__ = ["ExecutionReport", "ExecutionResult", "CompiledProgram", "BoundProgram", "Backend"]
 
 
 @dataclass
@@ -136,17 +136,38 @@ class CompiledProgram:
         return array
 
     # -- execution ----------------------------------------------------------------
-    def run(self, **inputs) -> ExecutionResult:
-        """Execute the compiled program with concrete inputs."""
-        env = self._bind_inputs(inputs)
-        report = ExecutionReport(target=self.backend.target.value)
+    def _execute_env(self, env: dict[int, np.ndarray], backend: "Backend") -> ExecutionResult:
+        report = ExecutionReport(target=backend.target.value)
         start = time.perf_counter()
-        outputs = self.backend.execute(self, env, report)
+        outputs = backend.execute(self, env, report)
         report.wall_seconds = time.perf_counter() - start
         return ExecutionResult(outputs, report)
 
+    def run(self, **inputs) -> ExecutionResult:
+        """Execute the compiled program with concrete inputs."""
+        env = self._bind_inputs(inputs)
+        return self._execute_env(env, self.backend)
+
     def __call__(self, **inputs) -> ExecutionResult:
         return self.run(**inputs)
+
+    def bind(self, backend: Optional["Backend"] = None, **constants) -> "BoundProgram":
+        """Pre-bind constant inputs, returning a reusable inference handle.
+
+        The constants (trained class memories, random-projection matrices,
+        reference tables, ...) are validated and coerced exactly once;
+        every subsequent :meth:`BoundProgram.run` only binds the varying
+        inputs.  This is the entry point the serving runtime uses so that a
+        stream of requests does not re-validate (or re-binarize) the model
+        state on every call.
+
+        Args:
+            backend: Optionally execute through a different back-end
+                *instance* of the same target (e.g. a serving worker's
+                batched CPU back end).  Defaults to the compiling back end.
+            **constants: A subset of the program inputs to freeze.
+        """
+        return BoundProgram(self, constants, backend=backend)
 
     @property
     def input_names(self) -> list[str]:
@@ -156,6 +177,68 @@ class CompiledProgram:
         return (
             f"CompiledProgram({self.program.name!r}, target={self.backend.target.value}, "
             f"inputs={self.input_names})"
+        )
+
+
+class BoundProgram:
+    """A compiled program with part of its inputs frozen.
+
+    Produced by :meth:`CompiledProgram.bind`.  The handle is cheap to call
+    repeatedly: constant inputs are coerced once at construction and the
+    per-call work is limited to binding the varying inputs and executing.
+    Handles are safe to share between threads for the stateless CPU/GPU
+    back ends (every call builds a private environment); accelerator back
+    ends hold device state and must not be shared across workers.
+    """
+
+    def __init__(
+        self,
+        compiled: CompiledProgram,
+        constants: dict,
+        backend: Optional["Backend"] = None,
+    ):
+        self.compiled = compiled
+        self.backend = backend if backend is not None else compiled.backend
+        if self.backend.target != compiled.backend.target:
+            raise ValueError(
+                f"cannot bind a {compiled.backend.target.value} program to a "
+                f"{self.backend.target.value} back end"
+            )
+        params = {p.name: p for p in compiled.entry.params}
+        unknown = set(constants) - set(params)
+        if unknown:
+            raise TypeError(f"unknown program inputs {sorted(unknown)}")
+        self._const_env = {
+            params[name].id: CompiledProgram._coerce(value, params[name].type, name)
+            for name, value in constants.items()
+        }
+        self._free_params = [p for p in compiled.entry.params if p.name not in constants]
+
+    @property
+    def free_names(self) -> list[str]:
+        """Names of the inputs that must be supplied per call."""
+        return [p.name for p in self._free_params]
+
+    def run(self, **inputs) -> ExecutionResult:
+        """Execute with the bound constants plus the varying inputs."""
+        env = dict(self._const_env)
+        missing = [p.name for p in self._free_params if p.name not in inputs]
+        if missing:
+            raise TypeError(f"missing program inputs {missing}; expected {self.free_names}")
+        extra = set(inputs) - {p.name for p in self._free_params}
+        if extra:
+            raise TypeError(f"unknown or already-bound inputs {sorted(extra)}")
+        for param in self._free_params:
+            env[param.id] = CompiledProgram._coerce(inputs[param.name], param.type, param.name)
+        return self.compiled._execute_env(env, self.backend)
+
+    def __call__(self, **inputs) -> ExecutionResult:
+        return self.run(**inputs)
+
+    def __repr__(self) -> str:
+        return (
+            f"BoundProgram({self.compiled.program.name!r}, "
+            f"target={self.backend.target.value}, free={self.free_names})"
         )
 
 

@@ -11,6 +11,12 @@ the expanded loop sub-graphs.
 
 The CPU back end performs no host/device data movement, so the execution
 report only carries wall-clock time and kernel invocation counts.
+
+For the serving runtime the back end additionally offers a *batched* host
+mode (``CPUBackend(batched=True)``): stage primitives execute once over the
+whole query hypermatrix using the vectorized library-routine kernels
+(one GEMM instead of per-row GEMVs), which is how coalesced micro-batches
+amortize the per-sample interpreter overhead on the host.
 """
 
 from __future__ import annotations
@@ -19,7 +25,7 @@ import numpy as np
 
 from repro.backends.base import Backend, CompiledProgram, ExecutionReport
 from repro.backends.executor import HostStageExecutor, OpInterpreter
-from repro.backends.kernelsets import ReferenceKernelSet
+from repro.backends.kernelsets import LibraryKernelSet, ReferenceKernelSet
 from repro.hdcpp.program import Program
 from repro.ir.dataflow import DataflowGraph, Target
 from repro.transforms.pipeline import ApproximationConfig
@@ -33,8 +39,12 @@ class CPUBackend(Backend):
     target = Target.CPU
     name = "cpu"
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, seed: int = 0, batched: bool = False):
         self.seed = seed
+        #: Execute stage primitives over whole hypermatrices with the
+        #: vectorized kernels (used by serving workers); the default
+        #: per-row mode matches the generated sequential host code.
+        self.batched = batched
 
     def prepare(self, program: Program, graph: DataflowGraph, config: ApproximationConfig) -> None:
         # Nothing to pre-build: kernels are selected per-operation at
@@ -44,9 +54,15 @@ class CPUBackend(Backend):
     def execute(
         self, compiled: CompiledProgram, env: dict[int, np.ndarray], report: ExecutionReport
     ) -> dict[str, object]:
-        kernels = ReferenceKernelSet(seed=self.seed)
-        interpreter = OpInterpreter(compiled.program, kernels, HostStageExecutor(batched=False))
+        if self.batched:
+            kernels = LibraryKernelSet(seed=self.seed)
+        else:
+            kernels = ReferenceKernelSet(seed=self.seed)
+        stages = HostStageExecutor(batched=self.batched)
+        interpreter = OpInterpreter(compiled.program, kernels, stages)
         interpreter.run_entry(env)
         report.kernel_launches = kernels.kernel_invocations
         report.notes["kernel_set"] = kernels.name
+        if stages.last_fallback is not None:
+            report.notes["batched_fallback"] = stages.last_fallback
         return self.collect_outputs(compiled.entry, env)

@@ -35,6 +35,11 @@ __all__ = ["OpInterpreter", "HostStageExecutor", "ExecutionError"]
 
 _STAGE_OPS = {Opcode.ENCODING_LOOP, Opcode.TRAINING_LOOP, Opcode.INFERENCE_LOOP}
 
+#: Errors that indicate an implementation function is not batchable (it was
+#: written for a single row and chokes on a whole hypermatrix).  Anything
+#: else — a genuine kernel or implementation bug — must propagate.
+_BATCH_FALLBACK_ERRORS = (TypeError, ValueError, IndexError)
+
 
 class ExecutionError(RuntimeError):
     """Raised when a compiled program cannot be executed."""
@@ -87,6 +92,13 @@ class HostStageExecutor:
         #: ``True`` for the GPU strategy (execute the implementation once
         #: over the whole dataset), ``False`` for the per-sample CPU loop.
         self.batched = batched
+        #: Reason of the most recent batched-execution fallback (``None``
+        #: when every batched attempt so far succeeded).  Back ends surface
+        #: this in ``ExecutionReport.notes["batched_fallback"]``.
+        self.last_fallback: Optional[str] = None
+
+    def _record_fallback(self, op: Operation, exc: Exception) -> None:
+        self.last_fallback = f"{op.opcode}: {type(exc).__name__}: {exc}"
 
     # ------------------------------------------------------------------ helpers --
     def _resolve_impl(
@@ -144,8 +156,8 @@ class HostStageExecutor:
         if self.batched:
             try:
                 return self._apply_once(interpreter, op, traced, eager, [queries, encoder])
-            except Exception:
-                pass  # fall back to the per-row loop below
+            except _BATCH_FALLBACK_ERRORS as exc:
+                self._record_fallback(op, exc)  # fall back to the per-row loop below
         rows = []
         for i in range(np.asarray(queries).shape[0]):
             rows.append(
@@ -161,8 +173,8 @@ class HostStageExecutor:
             try:
                 out = self._apply_once(interpreter, op, traced, eager, [queries, classes] + extra)
                 return np.asarray(out, dtype=np.int64).reshape(-1)
-            except Exception:
-                pass
+            except _BATCH_FALLBACK_ERRORS as exc:
+                self._record_fallback(op, exc)
         labels = []
         for i in range(np.asarray(queries).shape[0]):
             out = self._apply_once(
@@ -234,8 +246,8 @@ class HostStageExecutor:
             try:
                 args = [data] if extra is None else [data, extra]
                 return np.asarray(self._apply_once(interpreter, op, traced, eager, args))
-            except Exception:
-                pass
+            except _BATCH_FALLBACK_ERRORS as exc:
+                self._record_fallback(op, exc)
         rows = []
         for i in range(np.asarray(data).shape[0]):
             args = [self._row_of(data, i)]

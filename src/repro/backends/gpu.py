@@ -74,7 +74,8 @@ class GPUBackend(Backend):
         self, compiled: CompiledProgram, env: dict[int, np.ndarray], report: ExecutionReport
     ) -> dict[str, object]:
         kernels = LibraryKernelSet(seed=self.seed)
-        interpreter = OpInterpreter(compiled.program, kernels, HostStageExecutor(batched=True))
+        stages = HostStageExecutor(batched=True)
+        interpreter = OpInterpreter(compiled.program, kernels, stages)
 
         # Program inputs are copied to the device once, before execution —
         # the binarized inputs of Section 5.3 therefore cost 32x less here.
@@ -95,4 +96,6 @@ class GPUBackend(Backend):
         )
         report.energy_joules = report.device_seconds * self.device_model.device_power_watts
         report.notes["kernel_set"] = kernels.name
+        if stages.last_fallback is not None:
+            report.notes["batched_fallback"] = stages.last_fallback
         return self.collect_outputs(compiled.entry, env)

@@ -21,9 +21,15 @@ class ReRAMBackend(AcceleratorBackend):
     target = Target.HDC_RERAM
     name = "hdc_reram"
 
-    def __init__(self, device: ReRAMAccelerator | None = None, params: ReRAMParameters | None = None, seed: int = 0):
+    def __init__(
+        self,
+        device: ReRAMAccelerator | None = None,
+        params: ReRAMParameters | None = None,
+        seed: int = 0,
+        reuse_session: bool = False,
+    ):
         self._params = params
-        super().__init__(device=device, seed=seed)
+        super().__init__(device=device, seed=seed, reuse_session=reuse_session)
 
     def make_device(self) -> ReRAMAccelerator:
         return ReRAMAccelerator(self._params)

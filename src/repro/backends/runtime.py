@@ -73,14 +73,7 @@ class DeviceSession:
     # -- counters -----------------------------------------------------------------------
     def _accumulate(self) -> None:
         counters = self.device.counters
-        self.totals.device_seconds += counters.device_seconds
-        self.totals.transfer_seconds += counters.transfer_seconds
-        self.totals.bytes_to_device += counters.bytes_to_device
-        self.totals.bytes_from_device += counters.bytes_from_device
-        self.totals.energy_joules += counters.energy_joules
-        self.totals.encodes += counters.encodes
-        self.totals.inferences += counters.inferences
-        self.totals.train_iterations += counters.train_iterations
+        self.totals.merge(counters)
         counters.reset()
 
     def finalize(self) -> DeviceCounters:

@@ -1,0 +1,79 @@
+"""repro.serving — an inference-serving runtime for compiled HDC programs.
+
+The compile-and-run flow of :mod:`repro.backends` is one-shot: trace,
+compile, execute, exit.  This package keeps compiled programs *warm* and
+pushes a stream of single-sample requests through them:
+
+* :class:`~repro.serving.servable.Servable` — a trained application
+  packaged for serving (program factory per micro-batch size, bound
+  constants, cache signature); every app in :mod:`repro.apps` has an
+  ``as_servable`` adapter.
+* :class:`~repro.serving.registry.ModelRegistry` /
+  :class:`~repro.serving.registry.Deployment` — named
+  (program, target, approximation-config) deployments handing out reusable
+  :class:`~repro.backends.BoundProgram` inference handles.
+* :class:`~repro.serving.cache.CompiledProgramCache` — thread-safe LRU over
+  compiled artifacts so repeat deployments and re-registrations skip
+  tracing, transforms, lowering and verification.
+* :class:`~repro.serving.batching.MicroBatcher` — coalesces single-sample
+  requests into hypermatrix batches under size/time watermarks.
+* :class:`~repro.serving.scheduler.WorkerPool` — dispatches batches across
+  CPU/GPU/ASIC/ReRAM workers (round-robin, least-loaded or latency-aware),
+  with per-worker warm ``DeviceSession`` reuse on the accelerators.
+* :class:`~repro.serving.metrics.ServingMetrics` /
+  :class:`~repro.serving.metrics.ServerStats` — latency percentiles,
+  throughput, batch-size histogram, cache hit rate, elided transfers.
+* :class:`~repro.serving.server.InferenceServer` — the facade wiring all of
+  the above together; see :mod:`examples.serving_quickstart`.
+"""
+
+from repro.serving.batching import InferenceRequest, MicroBatcher, bucket_for, pad_batch
+from repro.serving.cache import (
+    CacheStats,
+    CompiledProgramCache,
+    config_key,
+    default_cache,
+    program_signature,
+)
+from repro.serving.metrics import ServerStats, ServingMetrics, percentile
+from repro.serving.registry import Deployment, ModelRegistry
+from repro.serving.scheduler import (
+    LatencyAwarePolicy,
+    LeastLoadedPolicy,
+    RoundRobinPolicy,
+    SchedulingPolicy,
+    Worker,
+    WorkerPool,
+    make_policy,
+)
+from repro.serving.servable import ALL_TARGETS, HOST_TARGETS, Servable, servable_signature
+from repro.serving.server import InferenceServer
+
+__all__ = [
+    "InferenceServer",
+    "ModelRegistry",
+    "Deployment",
+    "Servable",
+    "servable_signature",
+    "ALL_TARGETS",
+    "HOST_TARGETS",
+    "CompiledProgramCache",
+    "CacheStats",
+    "config_key",
+    "program_signature",
+    "default_cache",
+    "MicroBatcher",
+    "InferenceRequest",
+    "bucket_for",
+    "pad_batch",
+    "Worker",
+    "WorkerPool",
+    "SchedulingPolicy",
+    "RoundRobinPolicy",
+    "LeastLoadedPolicy",
+    "LatencyAwarePolicy",
+    "make_policy",
+    "ServingMetrics",
+    "ServerStats",
+    "percentile",
+]

@@ -1,0 +1,140 @@
+"""Dynamic micro-batching of single-sample inference requests.
+
+Single requests arrive one at a time; the batched kernel path wants whole
+hypermatrices.  :class:`MicroBatcher` sits between the two: requests queue
+up and are released as one batch when either watermark trips —
+
+* **size**: ``max_batch_size`` requests are waiting, or
+* **time**: the oldest waiting request has aged ``max_wait_seconds``.
+
+The first watermark bounds per-batch work, the second bounds the latency
+cost a lightly-loaded service pays for batching.  Because compiled programs
+are traced per batch shape, batches can be padded up to a small set of
+bucket sizes (:func:`bucket_for` / :func:`pad_batch`) so the program cache
+stays small while every batch size still executes.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["InferenceRequest", "MicroBatcher", "bucket_for", "pad_batch"]
+
+
+@dataclass
+class InferenceRequest:
+    """One queued single-sample request."""
+
+    sample: np.ndarray
+    future: Future = field(default_factory=Future)
+    enqueued_at: float = field(default_factory=time.monotonic)
+
+
+def bucket_for(size: int, max_batch_size: int) -> int:
+    """Round a batch size up to the next power-of-two bucket.
+
+    Buckets cap the number of compiled program variants at
+    ``log2(max_batch_size) + 1`` while wasting at most 2x padding work.
+    """
+    if size <= 0:
+        raise ValueError("batch size must be positive")
+    bucket = 1
+    while bucket < size:
+        bucket *= 2
+    return min(bucket, max_batch_size)
+
+
+def pad_batch(batch: np.ndarray, bucket: int) -> np.ndarray:
+    """Pad a stacked batch up to ``bucket`` rows by repeating the last row.
+
+    Repeating a real sample (rather than zero-filling) keeps the padding
+    rows inside the data distribution, so approximated kernels see no
+    out-of-range values; callers slice the first ``len(batch)`` results.
+    """
+    if batch.shape[0] > bucket:
+        raise ValueError(f"batch of {batch.shape[0]} does not fit bucket {bucket}")
+    if batch.shape[0] == bucket:
+        return batch
+    pad = np.repeat(batch[-1:], bucket - batch.shape[0], axis=0)
+    return np.concatenate([batch, pad], axis=0)
+
+
+class MicroBatcher:
+    """Coalesce single-sample requests into batches under two watermarks."""
+
+    def __init__(self, max_batch_size: int = 64, max_wait_seconds: float = 0.002):
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        self.max_batch_size = max_batch_size
+        self.max_wait_seconds = max_wait_seconds
+        self._queue: List[InferenceRequest] = []
+        self._cond = threading.Condition()
+        self._closed = False
+
+    # -- producer side ------------------------------------------------------------
+    def submit(self, sample: np.ndarray) -> Future:
+        """Enqueue one sample; the returned future resolves to its result."""
+        request = InferenceRequest(np.asarray(sample))
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("batcher is closed")
+            self._queue.append(request)
+            self._cond.notify_all()
+        return request.future
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._queue)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # -- consumer side ------------------------------------------------------------
+    def next_batch(self, timeout: Optional[float] = None) -> Optional[List[InferenceRequest]]:
+        """Block until a batch is ready and return it.
+
+        Returns ``None`` when ``timeout`` elapses with an empty queue, or
+        when the batcher is closed and fully drained.  After ``close`` the
+        remaining requests are still released (in batches) so shutdown
+        never drops work.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while True:
+                if self._queue:
+                    if len(self._queue) >= self.max_batch_size or self._closed:
+                        return self._pop_batch()
+                    age = time.monotonic() - self._queue[0].enqueued_at
+                    if age >= self.max_wait_seconds:
+                        return self._pop_batch()
+                    # Wake up when the time watermark for the oldest
+                    # request trips (or earlier, if new requests arrive).
+                    self._cond.wait(self.max_wait_seconds - age)
+                else:
+                    if self._closed:
+                        return None
+                    if deadline is None:
+                        self._cond.wait()
+                    else:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            return None
+                        self._cond.wait(remaining)
+
+    def _pop_batch(self) -> List[InferenceRequest]:
+        batch = self._queue[: self.max_batch_size]
+        del self._queue[: len(batch)]
+        return batch
+
+    def close(self) -> None:
+        """Stop accepting requests; queued work remains drainable."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()

@@ -1,0 +1,181 @@
+"""Compiled-program caching for the serving runtime.
+
+Compilation (clone → approximation passes → lowering → verification) is the
+dominant fixed cost of putting an HDC++ program behind a service: the same
+model re-registered, or the same model compiled for a new micro-batch
+bucket, should never repeat that work.  :class:`CompiledProgramCache` is a
+thread-safe LRU keyed on
+
+``(program signature, target, approximation-config key, batch size, scope)``
+
+where the *signature* identifies the traced program family plus its bound
+state (see :func:`program_signature` and
+:func:`repro.serving.servable.servable_signature`) and *scope* isolates
+entries that cannot be shared — e.g. accelerator back ends whose compiled
+programs are tied to one device's residency state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple, Union
+
+from repro.backends.base import Backend, CompiledProgram
+from repro.hdcpp.program import Program
+from repro.ir.dataflow import Target
+from repro.transforms.pipeline import ApproximationConfig
+
+__all__ = [
+    "CacheKey",
+    "CacheStats",
+    "CompiledProgramCache",
+    "config_key",
+    "program_signature",
+    "default_cache",
+]
+
+CacheKey = Tuple[str, str, str, int, str]
+
+
+def config_key(config: Optional[ApproximationConfig]) -> str:
+    """A stable, hashable token for an approximation configuration.
+
+    ``ApproximationConfig`` is a frozen dataclass of value objects, so its
+    ``repr`` is deterministic and distinguishes every knob the passes read.
+    """
+    config = config or ApproximationConfig.none()
+    return repr(config)
+
+
+def program_signature(program: Program) -> str:
+    """Fingerprint a traced program from a normalized IR dump.
+
+    The dump covers every operation, type, shape and static attribute but
+    renames SSA values to function-local indices, so two traces of the
+    same source at the same shapes hash identically while any structural
+    difference changes the hash.  Implementation callables contribute
+    their *name* only — when a closure carries model state (item memories,
+    trained weights), supply an explicit signature instead (the
+    ``Servable`` adapters do).
+    """
+    lines = [f"program {program.name} entry={program.entry_name}"]
+    for fn in program.functions.values():
+        local: dict = {}
+
+        def name_of(value) -> str:
+            if value.id not in local:
+                local[value.id] = f"%{len(local)}"
+            return local[value.id]
+
+        params = ", ".join(f"{name_of(p)}: {p.type}" for p in fn.params)
+        lines.append(f"func {fn.name}({params})")
+        for op in fn.ops:
+            attrs = {
+                key: getattr(value, "__name__", None) or str(value)
+                for key, value in op.attrs.items()
+            }
+            attr_text = ", ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+            result = f"{name_of(op.result)}: {op.result.type} = " if op.result is not None else ""
+            operands = ", ".join(name_of(v) for v in op.operands)
+            lines.append(f"  {result}{op.opcode}({operands}) {attr_text}")
+        lines.append("  return " + ", ".join(name_of(r) for r in fn.results))
+    return hashlib.sha1("\n".join(lines).encode()).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class CompiledProgramCache:
+    """Thread-safe LRU cache of :class:`CompiledProgram` artifacts."""
+
+    def __init__(self, capacity: Optional[int] = None):
+        self._entries: "OrderedDict[CacheKey, CompiledProgram]" = OrderedDict()
+        self._lock = threading.RLock()
+        self.capacity = capacity
+        self.stats = CacheStats()
+
+    # -- keys ---------------------------------------------------------------------
+    @staticmethod
+    def make_key(
+        signature: str,
+        target: Union[str, Target],
+        config: Optional[ApproximationConfig] = None,
+        batch_size: int = 0,
+        scope: str = "",
+    ) -> CacheKey:
+        target = Target(target) if not isinstance(target, Target) else target
+        return (signature, target.value, config_key(config), int(batch_size), scope)
+
+    # -- lookup / population ------------------------------------------------------
+    def get_or_compile(
+        self,
+        key: CacheKey,
+        backend: Backend,
+        build: Callable[[], Program],
+        config: Optional[ApproximationConfig] = None,
+    ) -> CompiledProgram:
+        """Return the cached artifact for ``key``, compiling it on a miss.
+
+        ``build`` is only invoked on a miss, so callers can defer tracing
+        itself (not just transform/lower/verify) behind the cache.  The
+        lock is held across compilation: concurrent workers asking for the
+        same key wait for one compile instead of duplicating it.
+        """
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self.stats.hits += 1
+                self._entries.move_to_end(key)
+                return cached
+            self.stats.misses += 1
+            compiled = backend.compile(build(), config=config)
+            self._entries[key] = compiled
+            while self.capacity is not None and len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+            return compiled
+
+    # -- maintenance --------------------------------------------------------------
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    @property
+    def hit_rate(self) -> float:
+        return self.stats.hit_rate
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledProgramCache(size={len(self)}, hits={self.stats.hits}, "
+            f"misses={self.stats.misses})"
+        )
+
+
+_DEFAULT_CACHE = CompiledProgramCache()
+
+
+def default_cache() -> CompiledProgramCache:
+    """The process-wide cache used by :func:`repro.backends.compile_cached`."""
+    return _DEFAULT_CACHE

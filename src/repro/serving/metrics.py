@@ -1,0 +1,132 @@
+"""Serving metrics: latency percentiles, throughput and batch shape.
+
+The collectors are deliberately lightweight (a lock, a few counters and a
+bounded latency window) so that recording stays negligible next to even a
+single-sample inference.  :meth:`ServingMetrics.snapshot` folds in the
+compiled-program cache statistics and per-worker counters to produce one
+immutable :class:`ServerStats` view, which is what
+:meth:`repro.serving.server.InferenceServer.stats` returns.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+__all__ = ["ServerStats", "ServingMetrics", "percentile"]
+
+
+def percentile(values: Iterable[float], p: float) -> float:
+    """The p-th percentile (nearest-rank) of a collection of samples."""
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+@dataclass(frozen=True)
+class ServerStats:
+    """An immutable snapshot of one server's activity.
+
+    Latencies are request latencies — enqueue to result, so they include
+    the micro-batching wait — in milliseconds.
+    """
+
+    requests: int = 0
+    failures: int = 0
+    batches: int = 0
+    mean_batch_size: float = 0.0
+    batch_size_histogram: dict = field(default_factory=dict)
+    latency_p50_ms: float = 0.0
+    latency_p95_ms: float = 0.0
+    latency_p99_ms: float = 0.0
+    mean_latency_ms: float = 0.0
+    throughput_rps: float = 0.0
+    uptime_seconds: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_hit_rate: float = 0.0
+    elided_transfers: int = 0
+    worker_stats: dict = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        return (
+            f"ServerStats(requests={self.requests}, batches={self.batches}, "
+            f"mean_batch={self.mean_batch_size:.1f}, p50={self.latency_p50_ms:.2f}ms, "
+            f"p99={self.latency_p99_ms:.2f}ms, {self.throughput_rps:.0f} req/s, "
+            f"cache={self.cache_hits}/{self.cache_hits + self.cache_misses})"
+        )
+
+
+class ServingMetrics:
+    """Mutable, thread-safe collectors behind :class:`ServerStats`."""
+
+    def __init__(self, latency_window: int = 8192):
+        self._lock = threading.Lock()
+        self._latencies = deque(maxlen=latency_window)
+        self._latency_sum = 0.0
+        self._batch_sizes = Counter()
+        self.requests = 0
+        self.failures = 0
+        self.batches = 0
+        self.samples_in_batches = 0
+        self._started = time.monotonic()
+
+    # -- recording ----------------------------------------------------------------
+    def record_request(self, latency_seconds: float) -> None:
+        with self._lock:
+            self.requests += 1
+            self._latencies.append(latency_seconds)
+            self._latency_sum += latency_seconds
+
+    def record_failure(self, count: int = 1) -> None:
+        with self._lock:
+            self.failures += count
+
+    def record_batch(self, size: int) -> None:
+        with self._lock:
+            self.batches += 1
+            self.samples_in_batches += size
+            self._batch_sizes[size] += 1
+
+    # -- snapshot -----------------------------------------------------------------
+    def snapshot(self, cache=None, workers: Optional[Iterable] = None) -> ServerStats:
+        """Produce an immutable snapshot, optionally folding in cache/worker state."""
+        with self._lock:
+            uptime = time.monotonic() - self._started
+            latencies = list(self._latencies)
+            requests = self.requests
+            mean_batch = self.samples_in_batches / self.batches if self.batches else 0.0
+            mean_latency = self._latency_sum / requests if requests else 0.0
+            stats = dict(
+                requests=requests,
+                failures=self.failures,
+                batches=self.batches,
+                mean_batch_size=mean_batch,
+                batch_size_histogram=dict(self._batch_sizes),
+                latency_p50_ms=percentile(latencies, 50) * 1e3,
+                latency_p95_ms=percentile(latencies, 95) * 1e3,
+                latency_p99_ms=percentile(latencies, 99) * 1e3,
+                mean_latency_ms=mean_latency * 1e3,
+                throughput_rps=requests / uptime if uptime > 0 else 0.0,
+                uptime_seconds=uptime,
+            )
+        if cache is not None:
+            stats.update(
+                cache_hits=cache.stats.hits,
+                cache_misses=cache.stats.misses,
+                cache_hit_rate=cache.stats.hit_rate,
+            )
+        if workers is not None:
+            worker_stats = {}
+            elided = 0
+            for worker in workers:
+                worker_stats[worker.name] = worker.stats()
+                elided += worker_stats[worker.name].get("elided_transfers", 0)
+            stats.update(worker_stats=worker_stats, elided_transfers=elided)
+        return ServerStats(**stats)

@@ -1,0 +1,169 @@
+"""Model registry: named deployments of servables with warm compile caching.
+
+A :class:`Deployment` ties one :class:`~repro.serving.servable.Servable`
+(trained state included) to an approximation configuration and hands out
+reusable :class:`~repro.backends.BoundProgram` inference handles, one per
+(micro-batch bucket, worker scope).  Handles are created through the shared
+:class:`~repro.serving.cache.CompiledProgramCache`, so re-registering a
+model or warming a second worker of the same target skips tracing,
+transforms, lowering and verification entirely.
+
+The :class:`ModelRegistry` is usable standalone — ``registry.register(...)``
+then ``deployment.run(batch)`` — and is what
+:class:`~repro.serving.server.InferenceServer` builds on.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, Optional, Union
+
+import numpy as np
+
+from repro.backends.base import Backend, BoundProgram, ExecutionResult
+from repro.ir.dataflow import Target
+from repro.serving.cache import CompiledProgramCache
+from repro.serving.scheduler import default_worker_backend
+from repro.serving.servable import Servable
+from repro.transforms.pipeline import ApproximationConfig
+
+__all__ = ["Deployment", "ModelRegistry"]
+
+
+class Deployment:
+    """One registered model: a servable plus its compiled-handle cache."""
+
+    def __init__(
+        self,
+        name: str,
+        servable: Servable,
+        cache: CompiledProgramCache,
+        config: Optional[ApproximationConfig] = None,
+        default_target: Union[str, Target] = Target.CPU,
+    ):
+        self.name = name
+        self.servable = servable
+        self.cache = cache
+        self.config = config
+        self.default_target = (
+            Target(default_target) if not isinstance(default_target, Target) else default_target
+        )
+        if not servable.supports_target(self.default_target):
+            raise ValueError(
+                f"{servable.name!r} does not support target {self.default_target.value} "
+                f"(supports {servable.supported_targets})"
+            )
+        self._default_backend: Optional[Backend] = None
+        self._handles: Dict[tuple, BoundProgram] = {}
+        self._lock = threading.Lock()
+
+    # -- backends -----------------------------------------------------------------
+    @property
+    def default_backend(self) -> Backend:
+        with self._lock:
+            if self._default_backend is None:
+                self._default_backend = default_worker_backend(self.default_target)
+            return self._default_backend
+
+    # -- handles ------------------------------------------------------------------
+    def handle_for(self, batch_size: int, worker=None) -> BoundProgram:
+        """The reusable inference handle for one micro-batch bucket.
+
+        When ``worker`` (a :class:`repro.serving.scheduler.Worker`) is
+        given, the handle executes through that worker's back end and the
+        cache entry is keyed by the worker's scope; otherwise the
+        deployment's default backend is used.
+        """
+        if worker is not None:
+            backend, scope = worker.backend, worker.scope
+        else:
+            backend, scope = self.default_backend, self.default_target.value
+        key = self.cache.make_key(
+            self.servable.signature, backend.target, self.config, batch_size, scope
+        )
+        handle_key = (key, id(backend))
+        with self._lock:
+            handle = self._handles.get(handle_key)
+        if handle is not None:
+            return handle
+        compiled = self.cache.get_or_compile(
+            key, backend, lambda: self.servable.build_program(batch_size), config=self.config
+        )
+        handle = compiled.bind(backend=backend, **self.servable.constants)
+        with self._lock:
+            return self._handles.setdefault(handle_key, handle)
+
+    def warm(self, batch_sizes: Iterable[int], worker=None) -> None:
+        """Pre-compile (or cache-hit) the handles for the given buckets."""
+        for batch_size in batch_sizes:
+            self.handle_for(batch_size, worker=worker)
+
+    # -- direct execution ---------------------------------------------------------
+    def run(self, batch: np.ndarray, worker=None) -> ExecutionResult:
+        """One-shot batched inference through the deployment's own handle."""
+        batch = np.asarray(batch)
+        handle = self.handle_for(batch.shape[0], worker=worker)
+        return handle.run(**{self.servable.query_param: batch})
+
+    def __repr__(self) -> str:
+        return (
+            f"Deployment({self.name!r}, target={self.default_target.value}, "
+            f"handles={len(self._handles)})"
+        )
+
+
+class ModelRegistry:
+    """Named (servable, target, approximation-config) deployments."""
+
+    def __init__(self, cache: Optional[CompiledProgramCache] = None):
+        self.cache = cache if cache is not None else CompiledProgramCache()
+        self._models: Dict[str, Deployment] = {}
+        self._lock = threading.Lock()
+
+    def register(
+        self,
+        servable: Servable,
+        name: Optional[str] = None,
+        target: Union[str, Target] = Target.CPU,
+        config: Optional[ApproximationConfig] = None,
+        warm_batch_sizes: Iterable[int] = (1,),
+    ) -> Deployment:
+        """Deploy a servable under a name, warming the compile cache.
+
+        Re-registering an unchanged servable is cheap: the signature keys
+        the same cache entries, so warming hits instead of recompiling.
+        """
+        name = name or servable.name
+        deployment = Deployment(name, servable, self.cache, config=config, default_target=target)
+        deployment.warm(warm_batch_sizes)
+        with self._lock:
+            self._models[name] = deployment
+        return deployment
+
+    def get(self, name: str) -> Deployment:
+        with self._lock:
+            try:
+                return self._models[name]
+            except KeyError as exc:
+                raise KeyError(
+                    f"no model {name!r} registered (have {sorted(self._models)})"
+                ) from exc
+
+    def unregister(self, name: str) -> None:
+        with self._lock:
+            self._models.pop(name, None)
+
+    def names(self) -> list:
+        with self._lock:
+            return sorted(self._models)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._models
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._models)
+
+    def __repr__(self) -> str:
+        return f"ModelRegistry({self.names()}, cache={self.cache!r})"

@@ -1,0 +1,278 @@
+"""Multi-backend worker pool and dispatch policies.
+
+A :class:`Worker` owns one back-end instance and a serial execution thread:
+
+* CPU workers default to the batched host kernel path
+  (``CPUBackend(batched=True)``) so coalesced micro-batches execute as
+  whole-hypermatrix library routines;
+* GPU workers use the batched library kernels and device model as usual;
+* accelerator workers (``hdc_asic`` / ``hdc_reram``) are created with
+  ``reuse_session=True``, so one warm :class:`~repro.backends.runtime
+  .DeviceSession` spans the worker's whole request stream and the base /
+  class memory transfers of every batch after the first are elided —
+  the paper's "lift redundant data movements" host optimization applied
+  fleet-wide.
+
+A :class:`WorkerPool` fans batches out across workers under a pluggable
+:class:`SchedulingPolicy` (round-robin, least-loaded or latency-aware).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import Callable, Iterable, List, Optional, Sequence, Union
+
+from repro.backends import backend_for_target
+from repro.backends.base import Backend
+from repro.ir.dataflow import Target
+
+__all__ = [
+    "default_worker_backend",
+    "Worker",
+    "SchedulingPolicy",
+    "RoundRobinPolicy",
+    "LeastLoadedPolicy",
+    "LatencyAwarePolicy",
+    "make_policy",
+    "WorkerPool",
+]
+
+_ACCELERATOR_TARGETS = {Target.HDC_ASIC, Target.HDC_RERAM}
+_SENTINEL = object()
+
+
+def default_worker_backend(target: Target) -> Backend:
+    """The serving-default back end for a target: batched host kernels on
+    the CPU, a warm reusable device session on the accelerators."""
+    if target == Target.CPU:
+        return backend_for_target(target, batched=True)
+    if target in _ACCELERATOR_TARGETS:
+        return backend_for_target(target, reuse_session=True)
+    return backend_for_target(target)
+
+
+class Worker:
+    """One serial execution lane bound to a back-end instance."""
+
+    def __init__(
+        self,
+        name: str,
+        target: Union[str, Target],
+        backend: Optional[Backend] = None,
+    ):
+        self.name = name
+        self.target = Target(target) if not isinstance(target, Target) else target
+        self.backend = backend if backend is not None else default_worker_backend(self.target)
+        if self.backend.target != self.target:
+            raise ValueError(f"backend targets {self.backend.target}, worker wants {self.target}")
+        #: Cache scope: compiled programs for the stateless CPU/GPU back
+        #: ends are shared per target; accelerator artifacts are tied to
+        #: one device's residency state, so they are scoped per worker.
+        self.scope = (
+            f"{self.target.value}:{name}" if self.target in _ACCELERATOR_TARGETS else self.target.value
+        )
+        self.queue: "queue.Queue" = queue.Queue()
+        self._thread: Optional[threading.Thread] = None
+        self._lock = threading.Lock()
+        self.inflight = 0
+        self.batches = 0
+        self.samples = 0
+        self.busy_seconds = 0.0
+        #: Exponentially-weighted seconds per sample, fed to the
+        #: latency-aware policy.
+        self.ewma_seconds_per_sample = 0.0
+
+    # -- load accounting ----------------------------------------------------------
+    def pending_samples(self) -> int:
+        with self._lock:
+            return self.inflight
+
+    def submit(self, work) -> None:
+        """Queue ``(deployment, requests)`` work for this worker's thread."""
+        _, requests = work
+        with self._lock:
+            self.inflight += len(requests)
+        self.queue.put(work)
+
+    def estimated_drain_seconds(self, extra_samples: int = 0) -> float:
+        per_sample = self.ewma_seconds_per_sample
+        return (self.pending_samples() + extra_samples) * per_sample
+
+    def _record(self, n_samples: int, seconds: float) -> None:
+        with self._lock:
+            self.inflight -= n_samples
+            self.batches += 1
+            self.samples += n_samples
+            self.busy_seconds += seconds
+            per_sample = seconds / max(1, n_samples)
+            if self.ewma_seconds_per_sample == 0.0:
+                self.ewma_seconds_per_sample = per_sample
+            else:
+                self.ewma_seconds_per_sample += 0.25 * (per_sample - self.ewma_seconds_per_sample)
+
+    def stats(self) -> dict:
+        with self._lock:
+            stats = {
+                "target": self.target.value,
+                "batches": self.batches,
+                "samples": self.samples,
+                "busy_seconds": self.busy_seconds,
+                "ewma_seconds_per_sample": self.ewma_seconds_per_sample,
+            }
+        session = getattr(self.backend, "last_session", None)
+        stats["elided_transfers"] = session.elided_transfers if session is not None else 0
+        return stats
+
+    # -- thread -------------------------------------------------------------------
+    def start(self, execute: Callable[["Worker", object, list], None]) -> None:
+        """Start the worker thread; ``execute(worker, deployment, requests)`` runs a batch."""
+        if self._thread is not None:
+            return
+
+        def loop() -> None:
+            while True:
+                work = self.queue.get()
+                if work is _SENTINEL:
+                    break
+                deployment, requests = work
+                start = time.perf_counter()
+                try:
+                    execute(self, deployment, requests)
+                finally:
+                    self._record(len(requests), time.perf_counter() - start)
+
+        self._thread = threading.Thread(target=loop, name=f"hdc-worker-{self.name}", daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Process remaining queued work, then join the thread."""
+        if self._thread is None:
+            return
+        self.queue.put(_SENTINEL)
+        self._thread.join()
+        self._thread = None
+
+    def __repr__(self) -> str:
+        return f"Worker({self.name!r}, target={self.target.value}, batches={self.batches})"
+
+
+class SchedulingPolicy:
+    """Chooses the worker that receives the next batch."""
+
+    name = "policy"
+
+    def choose(self, workers: Sequence[Worker], batch_size: int) -> Worker:
+        raise NotImplementedError
+
+
+class RoundRobinPolicy(SchedulingPolicy):
+    """Rotate through the eligible workers."""
+
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        self._counter = 0
+        self._lock = threading.Lock()
+
+    def choose(self, workers: Sequence[Worker], batch_size: int) -> Worker:
+        with self._lock:
+            worker = workers[self._counter % len(workers)]
+            self._counter += 1
+        return worker
+
+
+class LeastLoadedPolicy(SchedulingPolicy):
+    """Send the batch to the worker with the fewest samples in flight."""
+
+    name = "least_loaded"
+
+    def choose(self, workers: Sequence[Worker], batch_size: int) -> Worker:
+        return min(workers, key=lambda w: w.pending_samples())
+
+
+class LatencyAwarePolicy(SchedulingPolicy):
+    """Minimize the predicted completion time of the new batch.
+
+    Predicted completion is the worker's estimated drain time for its
+    in-flight samples plus the new batch, using its observed per-sample
+    EWMA — so a slow accelerator worker naturally receives fewer batches
+    than a fast host worker once their speeds are known.
+    """
+
+    name = "latency_aware"
+
+    def choose(self, workers: Sequence[Worker], batch_size: int) -> Worker:
+        return min(workers, key=lambda w: w.estimated_drain_seconds(batch_size))
+
+
+_POLICIES = {
+    RoundRobinPolicy.name: RoundRobinPolicy,
+    LeastLoadedPolicy.name: LeastLoadedPolicy,
+    LatencyAwarePolicy.name: LatencyAwarePolicy,
+}
+
+
+def make_policy(policy: Union[str, SchedulingPolicy]) -> SchedulingPolicy:
+    if isinstance(policy, SchedulingPolicy):
+        return policy
+    try:
+        return _POLICIES[policy]()
+    except KeyError as exc:
+        raise ValueError(f"unknown policy {policy!r}; choose from {sorted(_POLICIES)}") from exc
+
+
+class WorkerPool:
+    """A fleet of workers plus the policy that routes batches to them."""
+
+    def __init__(
+        self,
+        workers: Iterable[Union[str, Target, Worker]] = ("cpu",),
+        policy: Union[str, SchedulingPolicy] = "least_loaded",
+    ):
+        self.workers: List[Worker] = []
+        counts: dict = {}
+        for spec in workers:
+            if isinstance(spec, Worker):
+                self.workers.append(spec)
+                continue
+            target = Target(spec) if not isinstance(spec, Target) else spec
+            index = counts.get(target.value, 0)
+            counts[target.value] = index + 1
+            self.workers.append(Worker(f"{target.value}-{index}", target))
+        if not self.workers:
+            raise ValueError("worker pool needs at least one worker")
+        self.policy = make_policy(policy)
+        self._started = False
+
+    def eligible(self, servable) -> List[Worker]:
+        return [w for w in self.workers if servable.supports_target(w.target)]
+
+    def dispatch(self, servable, deployment, requests) -> Worker:
+        workers = self.eligible(servable)
+        if not workers:
+            raise RuntimeError(
+                f"no worker in the pool supports {servable.name!r} "
+                f"(targets {servable.supported_targets})"
+            )
+        worker = self.policy.choose(workers, len(requests))
+        worker.submit((deployment, requests))
+        return worker
+
+    def start(self, execute: Callable[[Worker, object, list], float]) -> None:
+        if self._started:
+            return
+        for worker in self.workers:
+            worker.start(execute)
+        self._started = True
+
+    def stop(self) -> None:
+        if not self._started:
+            return
+        for worker in self.workers:
+            worker.stop()
+        self._started = False
+
+    def __repr__(self) -> str:
+        return f"WorkerPool({[w.name for w in self.workers]}, policy={self.policy.name})"

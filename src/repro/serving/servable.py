@@ -1,0 +1,111 @@
+"""Servable model descriptions.
+
+A :class:`Servable` packages everything the serving runtime needs to keep a
+trained HDC application warm behind a request queue:
+
+* a *program factory* that traces the inference program for an arbitrary
+  micro-batch size (serving coalesces single-sample requests into
+  hypermatrix batches, so one traced family yields one program per batch
+  bucket);
+* the *constants* — trained state such as class memories, random-projection
+  encoders or reference tables — bound once per deployment through
+  :meth:`repro.backends.CompiledProgram.bind`;
+* a *signature* identifying the (program family, shapes, state) triple for
+  the compiled-program cache; and
+* the request-side contract: which entry parameter carries the batch and
+  what shape one sample has.
+
+Each of the five applications in :mod:`repro.apps` exposes an
+``as_servable`` adapter producing one of these.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Optional
+
+import numpy as np
+
+from repro.hdcpp.program import Program
+
+__all__ = ["Servable", "servable_signature", "ALL_TARGETS", "HOST_TARGETS"]
+
+#: Targets every fully stage-mapped application supports.
+ALL_TARGETS = ("cpu", "gpu", "hdc_asic", "hdc_reram")
+#: Targets for applications with host-only ancillary work (Table 4).
+HOST_TARGETS = ("cpu", "gpu")
+
+
+def servable_signature(
+    name: str,
+    sample_shape: tuple,
+    constants: Mapping[str, np.ndarray],
+    extra: str = "",
+) -> str:
+    """Fingerprint a servable from its name, shapes and bound state.
+
+    Unlike :func:`repro.serving.cache.program_signature`, this hashes the
+    *contents* of the constants, so re-registering re-trained weights is a
+    cache miss while re-registering identical state is a hit.
+    """
+    digest = hashlib.sha1()
+    digest.update(f"{name}|{tuple(sample_shape)}|{extra}".encode())
+    for key in sorted(constants):
+        value = np.ascontiguousarray(constants[key])
+        digest.update(f"|{key}:{value.shape}:{value.dtype}".encode())
+        digest.update(value.tobytes())
+    return digest.hexdigest()
+
+
+@dataclass
+class Servable:
+    """A trained model packaged for the serving runtime.
+
+    Attributes:
+        name: Model name used for registration and metrics.
+        build_program: ``batch_size -> Program`` factory tracing the
+            inference program for one micro-batch bucket.
+        constants: Entry inputs frozen per deployment (trained state).
+        query_param: Name of the entry parameter that carries the batch.
+        sample_shape: Shape of a single request sample.
+        signature: Stable identity for the compiled-program cache;
+            derived from name/shapes/constants when omitted.
+        supported_targets: Targets this application maps onto.
+        postprocess: Optional callable applied to the batched program
+            output before per-request results are sliced out.
+        description: Human-readable note for registries/dashboards.
+    """
+
+    name: str
+    build_program: Callable[[int], Program]
+    constants: dict = field(default_factory=dict)
+    query_param: str = "queries"
+    sample_shape: tuple = ()
+    signature: str = ""
+    supported_targets: tuple = ALL_TARGETS
+    postprocess: Optional[Callable[[np.ndarray], np.ndarray]] = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.signature:
+            self.signature = servable_signature(self.name, self.sample_shape, self.constants)
+
+    def supports_target(self, target) -> bool:
+        value = getattr(target, "value", target)
+        return value in self.supported_targets
+
+    def validate_sample(self, sample: np.ndarray) -> np.ndarray:
+        """Check one request sample against the declared sample shape."""
+        array = np.asarray(sample)
+        if tuple(array.shape) != tuple(self.sample_shape):
+            raise ValueError(
+                f"{self.name}: sample has shape {array.shape}, expected {tuple(self.sample_shape)}"
+            )
+        return array
+
+    def __repr__(self) -> str:
+        return (
+            f"Servable({self.name!r}, sample={tuple(self.sample_shape)}, "
+            f"targets={self.supported_targets}, sig={self.signature[:8]})"
+        )

@@ -1,0 +1,236 @@
+"""The inference server: registry + micro-batching + worker pool + metrics.
+
+:class:`InferenceServer` turns compiled HDC programs into long-lived,
+queryable services::
+
+    from repro.serving import InferenceServer
+
+    server = InferenceServer(workers=("cpu", "cpu"), policy="least_loaded")
+    server.register(app.as_servable(rp_matrix, classes))
+    with server:
+        label = server.infer("hd-classification", features)
+
+Request flow: ``submit`` enqueues a single sample with a per-model
+:class:`~repro.serving.batching.MicroBatcher`; a dispatcher thread releases
+batches when a watermark trips and routes each to a worker under the pool's
+scheduling policy; the worker pads the batch to a power-of-two bucket, runs
+it through the deployment's warm :class:`~repro.backends.BoundProgram`
+handle (compiled at most once per bucket via the shared program cache), and
+resolves the per-request futures with the sliced results.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Iterable, List, Optional, Union
+
+import numpy as np
+
+from repro.ir.dataflow import Target
+from repro.serving.batching import MicroBatcher, bucket_for, pad_batch
+from repro.serving.metrics import ServerStats, ServingMetrics
+from repro.serving.registry import Deployment, ModelRegistry
+from repro.serving.scheduler import SchedulingPolicy, Worker, WorkerPool
+from repro.serving.servable import Servable
+from repro.transforms.pipeline import ApproximationConfig
+
+__all__ = ["InferenceServer"]
+
+
+class InferenceServer:
+    """Serve registered HDC models over a dynamic micro-batching queue."""
+
+    def __init__(
+        self,
+        workers: Iterable[Union[str, Target, Worker]] = ("cpu",),
+        policy: Union[str, SchedulingPolicy] = "least_loaded",
+        max_batch_size: int = 64,
+        max_wait_seconds: float = 0.002,
+        pad_to_buckets: bool = True,
+        registry: Optional[ModelRegistry] = None,
+        latency_window: int = 8192,
+    ):
+        self.registry = registry if registry is not None else ModelRegistry()
+        self.pool = WorkerPool(workers, policy=policy)
+        self.max_batch_size = max_batch_size
+        self.max_wait_seconds = max_wait_seconds
+        #: Pad batches up to power-of-two buckets so at most
+        #: ``log2(max_batch_size) + 1`` program variants are compiled per
+        #: (model, target); disable to compile exact batch shapes.
+        self.pad_to_buckets = pad_to_buckets
+        self.metrics = ServingMetrics(latency_window=latency_window)
+        self._batchers: dict = {}
+        self._dispatchers: List[threading.Thread] = []
+        self._lock = threading.Lock()
+        self._running = False
+
+    # -- registration -------------------------------------------------------------
+    def register(
+        self,
+        servable: Servable,
+        name: Optional[str] = None,
+        config: Optional[ApproximationConfig] = None,
+        warm: bool = True,
+    ) -> Deployment:
+        """Register a servable and set up its request queue.
+
+        Warming compiles, for every eligible worker, the single-sample and
+        full-batch buckets — the two shapes a freshly started service hits
+        first.  Re-registering under an existing name hot-swaps the model:
+        requests already queued still resolve against the old deployment,
+        new requests see the new one.
+        """
+        deployment = self.registry.register(
+            servable,
+            name=name,
+            target=self._default_target(servable),
+            config=config,
+            warm_batch_sizes=(),
+        )
+        if warm:
+            buckets = sorted({1, self._bucket(self.max_batch_size)})
+            for worker in self.pool.eligible(servable):
+                deployment.warm(buckets, worker=worker)
+        with self._lock:
+            # Close a replaced batcher so its dispatcher drains the queued
+            # requests (against the old deployment) and exits.
+            old = self._batchers.get(deployment.name)
+            if old is not None:
+                old.close()
+            self._batchers[deployment.name] = MicroBatcher(
+                max_batch_size=self.max_batch_size, max_wait_seconds=self.max_wait_seconds
+            )
+            if self._running:
+                self._start_dispatcher(deployment.name)
+        return deployment
+
+    def _default_target(self, servable: Servable) -> Target:
+        for worker in self.pool.workers:
+            if servable.supports_target(worker.target):
+                return worker.target
+        raise ValueError(
+            f"no worker in the pool supports {servable.name!r} "
+            f"(pool={[w.target.value for w in self.pool.workers]}, "
+            f"servable targets {servable.supported_targets})"
+        )
+
+    # -- lifecycle ----------------------------------------------------------------
+    def start(self) -> "InferenceServer":
+        """Start (or restart) workers and per-model dispatchers."""
+        with self._lock:
+            if self._running:
+                return self
+            self._running = True
+            self.pool.start(self._execute)
+            for name, batcher in list(self._batchers.items()):
+                if batcher.closed:  # restarted after stop(): reopen the queue
+                    self._batchers[name] = MicroBatcher(
+                        max_batch_size=self.max_batch_size,
+                        max_wait_seconds=self.max_wait_seconds,
+                    )
+                self._start_dispatcher(name)
+        return self
+
+    def _start_dispatcher(self, name: str) -> None:
+        thread = threading.Thread(
+            target=self._dispatch_loop, args=(name,), name=f"hdc-dispatch-{name}", daemon=True
+        )
+        self._dispatchers.append(thread)
+        thread.start()
+
+    def stop(self) -> None:
+        """Drain queued requests, then stop dispatchers and workers."""
+        with self._lock:
+            if not self._running:
+                return
+            self._running = False
+            batchers = list(self._batchers.values())
+            dispatchers = list(self._dispatchers)
+            self._dispatchers = []
+        for batcher in batchers:
+            batcher.close()
+        for thread in dispatchers:
+            thread.join()
+        self.pool.stop()
+
+    def __enter__(self) -> "InferenceServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- request path -------------------------------------------------------------
+    def submit(self, model: str, sample: np.ndarray):
+        """Enqueue one sample; returns a future resolving to its result."""
+        deployment = self.registry.get(model)
+        batcher = self._batchers[deployment.name]
+        return batcher.submit(deployment.servable.validate_sample(sample))
+
+    def infer(self, model: str, sample: np.ndarray, timeout: Optional[float] = None):
+        """Synchronous single-sample inference through the batching queue."""
+        return self.submit(model, sample).result(timeout=timeout)
+
+    def infer_many(
+        self, model: str, samples: Iterable[np.ndarray], timeout: Optional[float] = None
+    ) -> list:
+        """Submit many samples, then gather their results in order."""
+        futures = [self.submit(model, sample) for sample in samples]
+        return [future.result(timeout=timeout) for future in futures]
+
+    # -- dispatch / execution -----------------------------------------------------
+    def _dispatch_loop(self, name: str) -> None:
+        deployment = self.registry.get(name)
+        batcher = self._batchers[name]
+        while True:
+            batch = batcher.next_batch(timeout=0.1)
+            if batch is None:
+                if batcher.closed:
+                    return
+                continue
+            try:
+                self.pool.dispatch(deployment.servable, deployment, batch)
+            except Exception as exc:  # no eligible worker — fail the batch
+                for request in batch:
+                    request.future.set_exception(exc)
+                self.metrics.record_failure(len(batch))
+
+    def _bucket(self, size: int) -> int:
+        if not self.pad_to_buckets:
+            return size
+        return bucket_for(size, self.max_batch_size)
+
+    def _execute(self, worker: Worker, deployment: Deployment, requests: list) -> None:
+        """Run one coalesced batch on a worker (called on the worker thread)."""
+        try:
+            servable = deployment.servable
+            batch = np.stack([request.sample for request in requests])
+            bucket = self._bucket(len(requests))
+            handle = deployment.handle_for(bucket, worker=worker)
+            result = handle.run(**{servable.query_param: pad_batch(batch, bucket)})
+            outputs = np.asarray(result.output)
+            if servable.postprocess is not None:
+                outputs = servable.postprocess(outputs)
+            outputs = outputs[: len(requests)]
+        except Exception as exc:
+            for request in requests:
+                if not request.future.done():
+                    request.future.set_exception(exc)
+            self.metrics.record_failure(len(requests))
+            return
+        now = time.monotonic()
+        for request, output in zip(requests, outputs):
+            request.future.set_result(output)
+            self.metrics.record_request(now - request.enqueued_at)
+        self.metrics.record_batch(len(requests))
+
+    # -- observability ------------------------------------------------------------
+    def stats(self) -> ServerStats:
+        """A :class:`ServerStats` snapshot (latency, throughput, cache, workers)."""
+        return self.metrics.snapshot(cache=self.registry.cache, workers=self.pool.workers)
+
+    def __repr__(self) -> str:
+        return (
+            f"InferenceServer(models={self.registry.names()}, pool={self.pool!r}, "
+            f"max_batch={self.max_batch_size}, wait={self.max_wait_seconds * 1e3:.1f}ms)"
+        )

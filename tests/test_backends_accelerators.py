@@ -151,3 +151,55 @@ class TestBackendConstruction:
         reram_device = ReRAMAccelerator()
         backend = ReRAMBackend(device=reram_device)
         assert backend.device is reram_device
+
+
+class TestDeviceCounters:
+    def test_merge_accumulates_every_field(self):
+        from repro.accelerators.interface import DeviceCounters
+
+        a = DeviceCounters(device_seconds=1.0, bytes_to_device=10.0, encodes=2, inferences=3)
+        b = DeviceCounters(device_seconds=0.5, bytes_to_device=5.0, encodes=1, train_iterations=7)
+        a.merge(b)
+        assert a.device_seconds == 1.5
+        assert a.bytes_to_device == 15.0
+        assert a.encodes == 3
+        assert a.inferences == 3
+        assert a.train_iterations == 7
+
+    def test_copy_and_delta(self):
+        from repro.accelerators.interface import DeviceCounters
+
+        counters = DeviceCounters(device_seconds=2.0, inferences=4)
+        snapshot = counters.copy()
+        counters.merge(DeviceCounters(device_seconds=1.0, inferences=6))
+        delta = counters.delta(snapshot)
+        assert snapshot.device_seconds == 2.0  # snapshot unaffected
+        assert delta.device_seconds == 1.0
+        assert delta.inferences == 6
+
+
+class TestSessionReuse:
+    def test_persistent_session_elides_transfers_across_runs(self, toy_data):
+        prog = build_train_infer_program()
+        backend = DigitalASICBackend(reuse_session=True)
+        compiled = backend.compile(prog)
+        inputs = {k: v for k, v in toy_data.items() if k != "test_labels"}
+        first = compiled.run(**inputs).report
+        second = compiled.run(**inputs).report
+        # The warm session keeps the base memory resident: the second run
+        # re-uses it where the first had to program it.
+        assert second.notes["elided_transfers"] > first.notes["elided_transfers"]
+        assert second.bytes_to_device < first.bytes_to_device
+        # Reports stay per-call: the second run's modeled inference count
+        # matches one execution, not the session total.
+        assert second.notes["inferences"] == first.notes["inferences"]
+
+    def test_fresh_sessions_by_default(self, toy_data):
+        prog = build_train_infer_program()
+        backend = ReRAMBackend()
+        compiled = backend.compile(prog)
+        inputs = {k: v for k, v in toy_data.items() if k != "test_labels"}
+        first = compiled.run(**inputs).report
+        second = compiled.run(**inputs).report
+        assert second.notes["elided_transfers"] == first.notes["elided_transfers"]
+        assert second.bytes_to_device == first.bytes_to_device

@@ -174,3 +174,103 @@ class TestApproximationsOnBackends:
         # exact result (the traced program was never mutated in place).
         exact_again = np.asarray(hdc_compile(prog, target="cpu").run(**kwargs).output)
         assert np.array_equal(outputs[0], exact_again)
+
+
+class TestBatchedFallback:
+    """The batched stage path falls back per-row only on shape/type errors."""
+
+    def _program_with_row_only_impl(self):
+        prog = H.Program("row_only")
+
+        def double_row(row):
+            data = np.asarray(row)
+            if data.ndim != 1:
+                raise ValueError("row-only implementation")
+            return data * 2.0
+
+        @prog.entry(H.hm(4, 8))
+        def main(data):
+            return H.parallel_map(double_row, data, output_dim=8)
+
+        return prog
+
+    def test_row_only_impl_falls_back_and_records_reason(self):
+        compiled = hdc_compile(self._program_with_row_only_impl(), target="gpu")
+        data = np.arange(32, dtype=np.float32).reshape(4, 8)
+        result = compiled.run(data=data)
+        assert np.array_equal(np.asarray(result.output), data * 2.0)
+        assert "parallel_map" in result.report.notes["batched_fallback"]
+        assert "row-only implementation" in result.report.notes["batched_fallback"]
+
+    def test_batchable_impl_records_no_fallback(self):
+        prog = H.Program("batchable")
+
+        @prog.entry(H.hm(4, 8))
+        def main(data):
+            return H.parallel_map(lambda rows: np.asarray(rows) * 2.0, data, output_dim=8)
+
+        result = hdc_compile(prog, target="gpu").run(data=np.ones((4, 8), dtype=np.float32))
+        assert "batched_fallback" not in result.report.notes
+
+    def test_genuine_bugs_propagate_instead_of_falling_back(self):
+        prog = H.Program("buggy")
+
+        def buggy(rows):
+            raise RuntimeError("kernel bug")
+
+        @prog.entry(H.hm(4, 8))
+        def main(data):
+            return H.parallel_map(buggy, data, output_dim=8)
+
+        compiled = hdc_compile(prog, target="gpu")
+        with pytest.raises(RuntimeError, match="kernel bug"):
+            compiled.run(data=np.ones((4, 8), dtype=np.float32))
+
+    def test_batched_cpu_backend_matches_reference(self, inference_program, inference_inputs):
+        reference = hdc_compile(inference_program, target="cpu")
+        batched = CPUBackend(batched=True).compile(inference_program)
+        kwargs = {k: v for k, v in inference_inputs.items() if k != "labels"}
+        assert np.array_equal(
+            np.asarray(reference.run(**kwargs).output), np.asarray(batched.run(**kwargs).output)
+        )
+
+
+class TestBoundProgram:
+    def test_bound_handle_matches_full_run(self, inference_program, inference_inputs):
+        compiled = hdc_compile(inference_program, target="cpu")
+        kwargs = {k: v for k, v in inference_inputs.items() if k != "labels"}
+        full = np.asarray(compiled.run(**kwargs).output)
+        handle = compiled.bind(
+            class_hvs=kwargs["class_hvs"], rp_matrix=kwargs["rp_matrix"]
+        )
+        assert handle.free_names == ["queries"]
+        bound = np.asarray(handle.run(queries=kwargs["queries"]).output)
+        assert np.array_equal(full, bound)
+
+    def test_bound_handle_rejects_bad_inputs(self, inference_program, inference_inputs):
+        compiled = hdc_compile(inference_program, target="cpu")
+        with pytest.raises(TypeError):
+            compiled.bind(bogus=np.zeros(3))
+        handle = compiled.bind(
+            class_hvs=inference_inputs["class_hvs"], rp_matrix=inference_inputs["rp_matrix"]
+        )
+        with pytest.raises(TypeError):
+            handle.run()
+        with pytest.raises(TypeError):
+            handle.run(queries=inference_inputs["queries"], class_hvs=inference_inputs["class_hvs"])
+
+    def test_bound_handle_executes_through_other_backend_instance(
+        self, inference_program, inference_inputs
+    ):
+        compiled = hdc_compile(inference_program, target="cpu")
+        kwargs = {k: v for k, v in inference_inputs.items() if k != "labels"}
+        batched_backend = CPUBackend(batched=True)
+        handle = compiled.bind(
+            backend=batched_backend,
+            class_hvs=kwargs["class_hvs"],
+            rp_matrix=kwargs["rp_matrix"],
+        )
+        result = handle.run(queries=kwargs["queries"])
+        assert np.array_equal(np.asarray(result.output), np.asarray(compiled.run(**kwargs).output))
+        with pytest.raises(ValueError):
+            compiled.bind(backend=GPUBackend(), class_hvs=kwargs["class_hvs"])

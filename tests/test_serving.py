@@ -1,0 +1,377 @@
+"""Tests for the inference-serving runtime (repro.serving)."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import hdcpp as H
+from repro.apps import HDClassificationInference
+from repro.apps.common import bipolar_random
+from repro.backends import CPUBackend, compile as hdc_compile, compile_cached
+from repro.datasets import IsoletConfig, make_isolet_like
+from repro.serving import (
+    CompiledProgramCache,
+    InferenceServer,
+    MicroBatcher,
+    ModelRegistry,
+    Servable,
+    bucket_for,
+    pad_batch,
+    program_signature,
+)
+from repro.serving.scheduler import WorkerPool, make_policy
+from repro.transforms import ApproximationConfig
+
+DIM = 256
+FEATURES = 64
+CLASSES = 8
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_isolet_like(
+        IsoletConfig(n_features=FEATURES, n_classes=CLASSES, n_train=200, n_test=60, seed=7)
+    )
+
+
+@pytest.fixture(scope="module")
+def app():
+    return HDClassificationInference(dimension=DIM, similarity="hamming")
+
+
+@pytest.fixture(scope="module")
+def servable(app, dataset):
+    return app.as_servable(dataset=dataset)
+
+
+@pytest.fixture(scope="module")
+def per_request_labels(servable, dataset):
+    """Ground truth: every test sample through the one-shot CPU flow."""
+    compiled = hdc_compile(servable.build_program(1), target="cpu")
+    handle = compiled.bind(**servable.constants)
+    return np.array(
+        [
+            int(np.asarray(handle.run(queries=dataset.test_features[i : i + 1]).output)[0])
+            for i in range(dataset.test_features.shape[0])
+        ],
+        dtype=np.int64,
+    )
+
+
+def bipolar_servable(seed: int = 5, name: str = "bipolar-classifier") -> Servable:
+    """A servable over pre-encoded bipolar queries: exact in every path.
+
+    With ±1 inputs both the per-row reference kernels and the batched GEMM
+    kernels compute integer-valued distances exactly, so batched serving
+    must be *bit-identical* to per-request execution.
+    """
+    classes = bipolar_random(CLASSES, DIM, seed=seed)
+
+    def build_program(batch_size: int) -> H.Program:
+        prog = H.Program(f"{name}_b{batch_size}")
+
+        @prog.define(H.hv(DIM), H.hm(CLASSES, DIM))
+        def infer_one(encoding, class_hvs):
+            distances = H.hamming_distance(H.sign(encoding), H.sign(class_hvs))
+            return H.arg_min(distances)
+
+        @prog.entry(H.hm(batch_size, DIM), H.hm(CLASSES, DIM))
+        def main(encodings, class_hvs):
+            return H.inference_loop(infer_one, encodings, class_hvs)
+
+        return prog
+
+    return Servable(
+        name=name,
+        build_program=build_program,
+        constants={"class_hvs": classes},
+        query_param="encodings",
+        sample_shape=(DIM,),
+        supported_targets=("cpu", "gpu"),
+    )
+
+
+class TestBatchedEquivalence:
+    def test_batched_serving_bit_identical_on_bipolar_queries(self):
+        servable = bipolar_servable()
+        rng = np.random.default_rng(9)
+        queries = (rng.integers(0, 2, (40, DIM)) * 2 - 1).astype(np.float32)
+
+        compiled = hdc_compile(servable.build_program(1), target="cpu")
+        handle = compiled.bind(**servable.constants)
+        expected = [int(np.asarray(handle.run(encodings=queries[i : i + 1]).output)[0]) for i in range(40)]
+
+        server = InferenceServer(workers=("cpu",), max_batch_size=16, max_wait_seconds=0.005)
+        server.register(servable)
+        with server:
+            results = server.infer_many(servable.name, list(queries))
+        assert [int(np.asarray(r)) for r in results] == expected
+
+    def test_classification_app_matches_per_request(self, servable, dataset, per_request_labels):
+        server = InferenceServer(workers=("cpu",), max_batch_size=16, max_wait_seconds=0.005)
+        server.register(servable)
+        with server:
+            results = server.infer_many(servable.name, list(dataset.test_features))
+        served = np.array([int(np.asarray(r)) for r in results], dtype=np.int64)
+        assert np.array_equal(served, per_request_labels)
+
+    def test_deployment_run_matches_per_request(self, servable, dataset, per_request_labels):
+        registry = ModelRegistry()
+        deployment = registry.register(servable)
+        out = np.asarray(deployment.run(dataset.test_features).output, dtype=np.int64)
+        assert np.array_equal(out, per_request_labels)
+
+
+class TestCompiledProgramCache:
+    def test_register_and_warm_accounting(self, servable):
+        registry = ModelRegistry()
+        registry.register(servable, warm_batch_sizes=(1, 8))
+        assert registry.cache.stats.misses == 2
+        assert registry.cache.stats.hits == 0
+
+        deployment = registry.get(servable.name)
+        deployment.warm([1, 8])
+        assert registry.cache.stats.misses == 2  # warm again: pure hits
+        # Deployment memoizes bound handles, so the second warm may not even
+        # reach the cache; re-registration must, and must hit.
+        registry.register(servable, warm_batch_sizes=(1, 8))
+        assert registry.cache.stats.hits >= 2
+        assert registry.cache.stats.misses == 2
+
+    def test_distinct_configs_are_distinct_entries(self, servable):
+        registry = ModelRegistry()
+        registry.register(servable, warm_batch_sizes=(1,))
+        registry.register(
+            servable,
+            name="approx",
+            config=ApproximationConfig(binarize=True),
+            warm_batch_sizes=(1,),
+        )
+        assert registry.cache.stats.misses == 2
+
+    def test_retrained_state_changes_signature(self, app, dataset):
+        first = app.as_servable(dataset=dataset)
+        rp, classes = app.train_offline(dataset)
+        retrained = app.as_servable(trained=(rp, classes + 1.0))
+        assert first.signature != retrained.signature
+
+    def test_compile_cached_entry_point(self):
+        prog = H.Program("cache_entry")
+
+        @prog.entry(H.hv(DIM), H.hm(CLASSES, DIM))
+        def main(query, classes):
+            return H.arg_min(H.hamming_distance(H.sign(query), H.sign(classes)))
+
+        cache = CompiledProgramCache()
+        first = compile_cached(prog, target="cpu", cache=cache)
+        second = compile_cached(prog, target="cpu", cache=cache)
+        assert first is second
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_lru_eviction(self):
+        cache = CompiledProgramCache(capacity=1)
+        backend = CPUBackend()
+
+        def build(batch):
+            prog = H.Program(f"evict_b{batch}")
+
+            @prog.entry(H.hm(batch, DIM))
+            def main(queries):
+                return H.sign(queries)
+
+            return prog
+
+        for batch in (1, 2, 1):
+            key = cache.make_key(f"sig", "cpu", None, batch_size=batch)
+            cache.get_or_compile(key, backend, lambda b=batch: build(b))
+        assert cache.stats.evictions == 2
+        assert cache.stats.misses == 3  # batch 1 was evicted by batch 2
+
+    def test_program_signature_distinguishes_shapes(self):
+        def build(batch):
+            prog = H.Program("sig_probe")
+
+            @prog.entry(H.hm(batch, DIM))
+            def main(queries):
+                return H.sign(queries)
+
+            return prog
+
+        assert program_signature(build(1)) != program_signature(build(2))
+        assert program_signature(build(4)) == program_signature(build(4))
+
+
+class TestMicroBatcher:
+    def test_size_watermark_releases_immediately(self):
+        batcher = MicroBatcher(max_batch_size=4, max_wait_seconds=10.0)
+        for i in range(4):
+            batcher.submit(np.array([i]))
+        start = time.monotonic()
+        batch = batcher.next_batch(timeout=1.0)
+        assert len(batch) == 4
+        assert time.monotonic() - start < 1.0  # did not wait for the time watermark
+
+    def test_time_watermark_flushes_partial_batch(self):
+        batcher = MicroBatcher(max_batch_size=64, max_wait_seconds=0.05)
+        for i in range(3):
+            batcher.submit(np.array([i]))
+        start = time.monotonic()
+        batch = batcher.next_batch(timeout=5.0)
+        waited = time.monotonic() - start
+        assert len(batch) == 3
+        assert waited >= 0.03  # held back until the oldest request aged out
+
+    def test_oversized_burst_splits_into_batches(self):
+        batcher = MicroBatcher(max_batch_size=4, max_wait_seconds=0.01)
+        for i in range(10):
+            batcher.submit(np.array([i]))
+        sizes = [len(batcher.next_batch(timeout=1.0)) for _ in range(3)]
+        assert sizes == [4, 4, 2]
+
+    def test_close_drains_then_signals_exhaustion(self):
+        batcher = MicroBatcher(max_batch_size=4, max_wait_seconds=10.0)
+        batcher.submit(np.array([1]))
+        batcher.close()
+        assert len(batcher.next_batch(timeout=1.0)) == 1
+        assert batcher.next_batch(timeout=0.01) is None
+        with pytest.raises(RuntimeError):
+            batcher.submit(np.array([2]))
+
+    def test_bucket_and_padding_helpers(self):
+        assert [bucket_for(n, 64) for n in (1, 2, 3, 5, 33, 64)] == [1, 2, 4, 8, 64, 64]
+        assert bucket_for(100, 64) == 64
+        batch = np.arange(6, dtype=np.float32).reshape(3, 2)
+        padded = pad_batch(batch, 8)
+        assert padded.shape == (8, 2)
+        assert np.array_equal(padded[:3], batch)
+        assert np.array_equal(padded[3:], np.repeat(batch[-1:], 5, axis=0))
+        with pytest.raises(ValueError):
+            pad_batch(batch, 2)
+
+
+class TestSchedulingAndWorkers:
+    def test_policies_resolve_by_name(self):
+        for name in ("round_robin", "least_loaded", "latency_aware"):
+            assert make_policy(name).name == name
+        with pytest.raises(ValueError):
+            make_policy("random")
+
+    def test_round_robin_rotates(self):
+        pool = WorkerPool(["cpu", "cpu"], policy="round_robin")
+        chosen = [pool.policy.choose(pool.workers, 1).name for _ in range(4)]
+        assert chosen == ["cpu-0", "cpu-1", "cpu-0", "cpu-1"]
+
+    def test_threaded_many_clients_smoke(self, servable, dataset, per_request_labels):
+        server = InferenceServer(
+            workers=("cpu", "cpu"), policy="least_loaded", max_batch_size=16, max_wait_seconds=0.002
+        )
+        server.register(servable)
+        n_clients, per_client = 8, 10
+        rng = np.random.default_rng(11)
+        picks = rng.integers(0, dataset.test_features.shape[0], size=(n_clients, per_client))
+        results = [[None] * per_client for _ in range(n_clients)]
+
+        def client(c: int) -> None:
+            for j, index in enumerate(picks[c]):
+                results[c][j] = int(
+                    np.asarray(server.infer(servable.name, dataset.test_features[index]))
+                )
+
+        with server:
+            threads = [threading.Thread(target=client, args=(c,)) for c in range(n_clients)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+        for c in range(n_clients):
+            for j, index in enumerate(picks[c]):
+                assert results[c][j] == per_request_labels[index]
+
+        stats = server.stats()
+        assert stats.requests == n_clients * per_client
+        assert stats.failures == 0
+        assert stats.batches >= 1
+        assert stats.mean_batch_size >= 1.0
+        assert sum(size * count for size, count in stats.batch_size_histogram.items()) == (
+            n_clients * per_client
+        )
+        assert stats.latency_p99_ms >= stats.latency_p50_ms > 0.0
+
+    def test_accelerator_worker_reuses_device_session(self, servable, dataset):
+        server = InferenceServer(workers=("hdc_asic",), max_batch_size=8, max_wait_seconds=0.002)
+        server.register(servable)
+        with server:
+            results = server.infer_many(servable.name, list(dataset.test_features[:20]))
+        assert all(0 <= int(np.asarray(r)) < CLASSES for r in results)
+        stats = server.stats()
+        # The warm DeviceSession keeps base/class memories resident, so
+        # every batch after the first elides its re-programming transfers.
+        assert stats.batches >= 2
+        assert stats.elided_transfers >= 1
+
+    def test_unsupported_model_rejected_at_registration(self, servable, dataset):
+        cpu_only = bipolar_servable(name="cpu-only")
+        server = InferenceServer(workers=("hdc_reram",))
+        with pytest.raises(ValueError):
+            server.register(cpu_only)
+
+    def test_sample_shape_validated_on_submit(self, servable):
+        server = InferenceServer(workers=("cpu",))
+        server.register(servable)
+        with pytest.raises(ValueError):
+            server.submit(servable.name, np.zeros(FEATURES + 1))
+
+    def test_unknown_model_rejected(self):
+        server = InferenceServer(workers=("cpu",))
+        with pytest.raises(KeyError):
+            server.submit("nope", np.zeros(3))
+
+
+class TestLifecycleAndParity:
+    """Regression tests for review findings on the first serving cut."""
+
+    def test_percentile_nearest_rank(self):
+        from repro.serving import percentile
+
+        assert percentile([], 50) == 0.0
+        assert percentile([5.0], 99) == 5.0
+        assert percentile([1.0, 2.0], 50) == 1.0
+        assert percentile(list(range(1, 21)), 95) == 19
+        assert percentile(list(range(1, 21)), 99) == 20
+
+    def test_cosine_servable_matches_one_shot_run(self, dataset):
+        app = HDClassificationInference(dimension=128)  # default cosine
+        trained = app.train_offline(dataset)
+        expected = app.run(dataset, target="cpu", trained=trained).outputs["predictions"]
+        server = InferenceServer(workers=("cpu",), max_batch_size=16)
+        server.register(app.as_servable(trained=trained))
+        with server:
+            results = server.infer_many("hd-classification-inference", list(dataset.test_features))
+        served = np.array([int(np.asarray(r)) for r in results], dtype=np.int64)
+        assert np.array_equal(served, expected)
+
+    def test_hot_reregister_while_running_and_stop(self, servable, dataset, per_request_labels):
+        server = InferenceServer(workers=("cpu",), max_batch_size=8)
+        server.register(servable)
+        server.start()
+        try:
+            first = int(np.asarray(server.infer(servable.name, dataset.test_features[0])))
+            server.register(servable)  # hot swap: must not orphan the dispatcher
+            second = int(np.asarray(server.infer(servable.name, dataset.test_features[0])))
+        finally:
+            server.stop()  # regression: used to hang forever after re-register
+        assert first == second == per_request_labels[0]
+
+    def test_server_restarts_after_stop(self, servable, dataset, per_request_labels):
+        server = InferenceServer(workers=("cpu",), max_batch_size=8)
+        server.register(servable)
+        with server:
+            server.infer(servable.name, dataset.test_features[0])
+        with server:  # regression: batchers used to stay closed
+            label = int(np.asarray(server.infer(servable.name, dataset.test_features[1])))
+        assert label == per_request_labels[1]
