@@ -14,7 +14,10 @@ classification application on the CPU backend,
 and asserts the dynamic-batching speedup the serving subsystem exists to
 deliver (>= 3x).  A second benchmark exercises the registry round trip
 (register -> warm cache -> re-register) and asserts the compile cache
-actually hits.
+actually hits.  A third pushes the same request stream through a
+**sharded deployment** (class memory split across two workers, partial
+scores reduced on the way back) and asserts the scatter/reduce path is
+bit-identical to unsharded serving while reporting its throughput cost.
 """
 
 from __future__ import annotations
@@ -95,6 +98,50 @@ def test_dynamic_batching_speedup(benchmark, servable, requests):
     )
     assert stats.mean_batch_size > 1.0
     assert speedup >= 3.0
+
+
+def test_sharded_deployment_throughput(benchmark, servable, requests):
+    """Sharded serving (N=2) must match unsharded predictions bit-for-bit;
+    report the scatter/reduce throughput next to the unsharded path."""
+    unsharded = InferenceServer(
+        workers=("cpu", "cpu"), max_batch_size=64, max_wait_seconds=0.002
+    )
+    unsharded.register(servable)
+    start = time.perf_counter()
+    with unsharded:
+        expected = unsharded.infer_many(servable.name, list(requests))
+    unsharded_seconds = time.perf_counter() - start
+    expected_labels = [int(np.asarray(r)) for r in expected]
+
+    sharded = InferenceServer(workers=("cpu", "cpu"), max_batch_size=64, max_wait_seconds=0.002)
+    sharded.register(servable, name="sharded", shards=2)
+
+    def serve_sharded():
+        with sharded:
+            return sharded.infer_many("sharded", list(requests))
+
+    start = time.perf_counter()
+    results = benchmark.pedantic(serve_sharded, rounds=1, iterations=1)
+    sharded_seconds = time.perf_counter() - start
+
+    sharded_labels = [int(np.asarray(r)) for r in results]
+    assert sharded_labels == expected_labels  # bit-identical scatter/reduce
+
+    unsharded_rps = requests.shape[0] / unsharded_seconds
+    sharded_rps = requests.shape[0] / sharded_seconds
+    benchmark.extra_info["unsharded_rps"] = unsharded_rps
+    benchmark.extra_info["sharded_rps"] = sharded_rps
+    benchmark.extra_info["relative_throughput"] = sharded_rps / unsharded_rps
+    print(
+        f"\nsharded serving: {requests.shape[0]} requests, "
+        f"unsharded {unsharded_rps:.0f} req/s, sharded(2) {sharded_rps:.0f} req/s "
+        f"({sharded_rps / unsharded_rps:.2f}x relative)"
+    )
+    stats = sharded.stats()
+    assert stats.failures == 0
+    # Scatter pays one extra encode per shard, so allow slack — but the
+    # sharded path must stay within the same order of magnitude.
+    assert sharded_rps >= 0.2 * unsharded_rps
 
 
 def test_registry_round_trip_hits_compile_cache(benchmark, servable):

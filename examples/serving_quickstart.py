@@ -10,9 +10,19 @@ exits.  This example shows the serving runtime instead:
    (warm device session — base/class memories stay resident);
 4. push a stream of single-sample requests through the dynamic
    micro-batching queue from several client threads; and
-5. print the :class:`~repro.serving.ServerStats` snapshot: latency
-   percentiles, throughput, batch-size histogram, compile-cache hit rate
-   and the device transfers the warm sessions elided.
+5. **drain, then** print the :class:`~repro.serving.ServerStats`
+   snapshot: latency percentiles, throughput, batch-size histogram,
+   compile-cache hit rate and the device transfers the warm sessions
+   elided.
+
+The drain in step 5 is the idiom to remember: ``server.drain()`` blocks
+until every submitted request has resolved, so the subsequent ``stats()``
+snapshot accounts for all of them.  Reading stats while requests are
+still in flight (queued in a batcher, the fair scheduler or a worker)
+undercounts — depending on thread ordering, the final partial batch may
+flush only after the snapshot is taken.  ``server.stop()`` (or leaving
+the ``with`` block) also drains, but tears the workers down with it;
+``drain()`` is how a live service takes a consistent reading.
 
 Run with:  python examples/serving_quickstart.py
 """
@@ -67,9 +77,12 @@ def main() -> None:
             thread.start()
         for thread in threads:
             thread.join()
+        # Drain before reading stats: every submitted request (including
+        # the final partial batch) must resolve for a consistent snapshot.
+        server.drain()
+        stats = server.stats()
 
     total = N_CLIENTS * REQUESTS_PER_CLIENT
-    stats = server.stats()
     print(f"\nserved {stats.requests} requests, accuracy {correct[0] / total:.3f}")
     print(f"  batches:        {stats.batches} (mean size {stats.mean_batch_size:.1f})")
     print(f"  batch sizes:    {dict(sorted(stats.batch_size_histogram.items()))}")

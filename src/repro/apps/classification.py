@@ -31,7 +31,7 @@ from repro import hdcpp as H
 from repro.apps.common import AppResult, bipolar_random, merge_reports
 from repro.backends import compile as hdc_compile
 from repro.datasets.isolet import IsoletLike
-from repro.serving.servable import ALL_TARGETS, Servable, servable_signature
+from repro.serving.servable import ALL_TARGETS, Servable, ShardSpec, servable_signature
 from repro.transforms.pipeline import ApproximationConfig
 
 __all__ = ["HDClassification", "HDClassificationInference", "classification_servable"]
@@ -58,6 +58,12 @@ def classification_servable(
     encoding before any similarity, :class:`HDClassificationInference`
     keeps the raw projection for cosine and signs only inside the Hamming
     comparison.
+
+    The servable carries a :class:`~repro.serving.servable.ShardSpec`
+    over the class memory, so it can also be deployed sharded (``shards=N``
+    at registration): each shard's partial program re-encodes the query
+    batch and scores it against its block of class rows only, and the
+    serving runtime arg-reduces the concatenated scores.
     """
     rp_matrix = np.asarray(rp_matrix, dtype=np.float32)
     classes = np.asarray(classes, dtype=np.float32)
@@ -87,6 +93,24 @@ def classification_servable(
 
         return prog
 
+    def build_partial(batch_size: int, n_rows: int) -> H.Program:
+        """Partial-score program over ``n_rows`` class rows (one shard)."""
+        prog = H.Program(f"{name}_shard{n_rows}_b{batch_size}")
+
+        @prog.entry(
+            H.hm(batch_size, n_features), H.hm(n_rows, dimension), H.hm(dimension, n_features)
+        )
+        def main(queries, class_hvs, rp):
+            encoded = H.matmul(queries, rp)
+            if binarize_encoding:
+                encoded = H.sign(encoded)
+            if similarity == "cosine":
+                return H.cossim(encoded, class_hvs)
+            bipolar = encoded if binarize_encoding else H.sign(encoded)
+            return H.hamming_distance(bipolar, H.sign(class_hvs))
+
+        return prog
+
     constants = {"class_hvs": classes, "rp": rp_matrix}
     return Servable(
         name=name,
@@ -101,6 +125,11 @@ def classification_servable(
             extra=f"dim={dimension},sim={similarity},bin={binarize_encoding}",
         ),
         supported_targets=ALL_TARGETS,
+        shard_spec=ShardSpec(
+            param="class_hvs",
+            build_partial=build_partial,
+            reduce="argmax" if similarity == "cosine" else "argmin",
+        ),
         description=f"HDC classification, D={dimension}, {similarity} similarity",
     )
 

@@ -27,7 +27,7 @@ from repro import hdcpp as H
 from repro.apps.common import AppResult, bipolar_random, merge_reports
 from repro.backends import compile as hdc_compile
 from repro.datasets.isolet import IsoletLike
-from repro.serving.servable import ALL_TARGETS, Servable, servable_signature
+from repro.serving.servable import ALL_TARGETS, Servable, ShardSpec, servable_signature
 from repro.transforms.pipeline import ApproximationConfig
 
 __all__ = ["HDClustering"]
@@ -190,6 +190,17 @@ class HDClustering:
 
             return prog
 
+        def build_partial(batch_size: int, n_rows: int) -> H.Program:
+            """Partial Hamming distances against ``n_rows`` cluster rows."""
+            prog = H.Program(f"{name}_shard{n_rows}_b{batch_size}")
+
+            @prog.entry(H.hm(batch_size, n_features), H.hm(dim, n_features), H.hm(n_rows, dim))
+            def main(samples, rp, cluster_hvs):
+                encoded = H.sign(H.matmul(samples, rp))
+                return H.hamming_distance(H.sign(encoded), H.sign(cluster_hvs))
+
+            return prog
+
         constants = {"rp": rp_matrix, "cluster_hvs": clusters}
         return Servable(
             name=name,
@@ -199,6 +210,7 @@ class HDClustering:
             sample_shape=(n_features,),
             signature=servable_signature(name, (n_features,), constants, extra=f"dim={dim}"),
             supported_targets=ALL_TARGETS,
+            shard_spec=ShardSpec(param="cluster_hvs", build_partial=build_partial, reduce="argmin"),
             description=f"HDC cluster assignment, D={dim}, k={n_clusters}",
         )
 

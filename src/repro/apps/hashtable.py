@@ -33,7 +33,7 @@ from repro import hdcpp as H
 from repro.apps.common import AppResult, bipolar_random
 from repro.backends import compile as hdc_compile
 from repro.datasets.genomics import GenomicsDataset, base_indices
-from repro.serving.servable import HOST_TARGETS, Servable, servable_signature
+from repro.serving.servable import HOST_TARGETS, Servable, ShardSpec, servable_signature
 from repro.transforms.pipeline import ApproximationConfig
 
 __all__ = ["HDHashtable"]
@@ -184,6 +184,17 @@ class HDHashtable:
 
             return prog
 
+        def build_partial(batch_size: int, n_rows: int) -> H.Program:
+            """Partial Hamming distances against ``n_rows`` bucket rows."""
+            prog = H.Program(f"{name}_shard{n_rows}_b{batch_size}")
+
+            @prog.entry(H.hm(batch_size, read_length, H.int64), H.hm(n_rows, dim))
+            def main(reads, table):
+                read_encodings = H.parallel_map(encode_read, reads, output_dim=dim)
+                return H.hamming_distance(H.sign(read_encodings), H.sign(table))
+
+            return prog
+
         constants = {"table": bucket_table}
         return Servable(
             name=name,
@@ -198,5 +209,6 @@ class HDHashtable:
                 extra=f"dim={dim},k={kmer_length}",
             ),
             supported_targets=HOST_TARGETS,
+            shard_spec=ShardSpec(param="table", build_partial=build_partial, reduce="argmin"),
             description=f"HD hash-table read search, D={dim}, k-mer={kmer_length}",
         )

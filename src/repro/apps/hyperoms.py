@@ -30,7 +30,7 @@ from repro import hdcpp as H
 from repro.apps.common import AppResult, bipolar_random
 from repro.backends import compile as hdc_compile
 from repro.datasets.spectra import SpectralDataset
-from repro.serving.servable import HOST_TARGETS, Servable, servable_signature
+from repro.serving.servable import HOST_TARGETS, Servable, ShardSpec, servable_signature
 from repro.transforms.pipeline import ApproximationConfig
 
 __all__ = ["HyperOMS", "make_level_hypervectors"]
@@ -190,6 +190,17 @@ class HyperOMS:
 
             return prog
 
+        def build_partial(batch_size: int, n_rows: int) -> H.Program:
+            """Partial Hamming distances against ``n_rows`` library rows."""
+            prog = H.Program(f"{name}_shard{n_rows}_b{batch_size}")
+
+            @prog.entry(H.hm(batch_size, n_bins), H.hm(n_rows, dim))
+            def main(query_spectra, library):
+                query_encodings = H.parallel_map(encode_spectrum, query_spectra, output_dim=dim)
+                return H.hamming_distance(H.sign(query_encodings), H.sign(library))
+
+            return prog
+
         constants = {"library": library_encodings}
         return Servable(
             name=name,
@@ -201,5 +212,6 @@ class HyperOMS:
                 name, (n_bins,), constants, extra=f"dim={dim},levels={self.n_levels},seed={self.seed}"
             ),
             supported_targets=HOST_TARGETS,
+            shard_spec=ShardSpec(param="library", build_partial=build_partial, reduce="argmin"),
             description=f"HyperOMS spectral search, D={dim}, library={n_library}",
         )

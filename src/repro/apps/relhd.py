@@ -31,7 +31,7 @@ from repro import hdcpp as H
 from repro.apps.common import AppResult, bipolar_random, merge_reports
 from repro.backends import compile as hdc_compile
 from repro.datasets.cora import CitationGraph
-from repro.serving.servable import HOST_TARGETS, Servable, servable_signature
+from repro.serving.servable import HOST_TARGETS, Servable, ShardSpec, servable_signature
 from repro.transforms.pipeline import ApproximationConfig
 
 __all__ = ["RelHD"]
@@ -193,6 +193,16 @@ class RelHD:
 
             return prog
 
+        def build_partial(batch_size: int, n_rows: int) -> H.Program:
+            """Partial Hamming distances against ``n_rows`` class rows."""
+            prog = H.Program(f"{name}_shard{n_rows}_b{batch_size}")
+
+            @prog.entry(H.hm(batch_size, dim), H.hm(n_rows, dim))
+            def main(node_encodings, class_hvs):
+                return H.hamming_distance(H.sign(node_encodings), H.sign(class_hvs))
+
+            return prog
+
         constants = {"class_hvs": classes}
         return Servable(
             name=name,
@@ -202,5 +212,6 @@ class RelHD:
             sample_shape=(dim,),
             signature=servable_signature(name, (dim,), constants, extra=f"dim={dim}"),
             supported_targets=HOST_TARGETS,
+            shard_spec=ShardSpec(param="class_hvs", build_partial=build_partial, reduce="argmin"),
             description=f"RelHD node classification, D={dim}",
         )

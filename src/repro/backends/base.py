@@ -63,6 +63,23 @@ class ExecutionReport:
         self.bytes_from_device += counters.bytes_from_device
         self.energy_joules += counters.energy_joules
 
+    def merge(self, other: "ExecutionReport") -> None:
+        """Accumulate another report's costs into this one.
+
+        Used when one logical execution spans several compiled-program
+        runs — e.g. a sharded deployment summing its per-shard partial
+        executions into the report of the reduced result.  Notes merge
+        key-wise with the other report winning collisions.
+        """
+        self.wall_seconds += other.wall_seconds
+        self.device_seconds += other.device_seconds
+        self.transfer_seconds += other.transfer_seconds
+        self.bytes_to_device += other.bytes_to_device
+        self.bytes_from_device += other.bytes_from_device
+        self.kernel_launches += other.kernel_launches
+        self.energy_joules += other.energy_joules
+        self.notes.update(other.notes)
+
 
 @dataclass
 class ExecutionResult:

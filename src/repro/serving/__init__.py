@@ -16,10 +16,19 @@ pushes a stream of single-sample requests through them:
   compiled artifacts so repeat deployments and re-registrations skip
   tracing, transforms, lowering and verification.
 * :class:`~repro.serving.batching.MicroBatcher` — coalesces single-sample
-  requests into hypermatrix batches under size/time watermarks.
+  requests into hypermatrix batches under size/time/deadline watermarks,
+  with priority lanes, earliest-deadline-first flushing and typed
+  :class:`~repro.serving.batching.DeadlineExceeded` shedding.
+* :class:`~repro.serving.scheduler.FairScheduler` — weighted round-robin
+  with starvation aging across deployments, so one hot model cannot
+  monopolize the workers.
 * :class:`~repro.serving.scheduler.WorkerPool` — dispatches batches across
   CPU/GPU/ASIC/ReRAM workers (round-robin, least-loaded or latency-aware),
-  with per-worker warm ``DeviceSession`` reuse on the accelerators.
+  with per-worker warm ``DeviceSession`` reuse on the accelerators and
+  scatter dispatch for sharded deployments.
+* :class:`~repro.serving.registry.ShardedDeployment` — splits a class
+  memory across N workers and reduces partial similarity scores back into
+  predictions, bit-identically to the unsharded program.
 * :class:`~repro.serving.metrics.ServingMetrics` /
   :class:`~repro.serving.metrics.ServerStats` — latency percentiles,
   throughput, batch-size histogram, cache hit rate, elided transfers.
@@ -27,7 +36,13 @@ pushes a stream of single-sample requests through them:
   the above together; see :mod:`examples.serving_quickstart`.
 """
 
-from repro.serving.batching import InferenceRequest, MicroBatcher, bucket_for, pad_batch
+from repro.serving.batching import (
+    DeadlineExceeded,
+    InferenceRequest,
+    MicroBatcher,
+    bucket_for,
+    pad_batch,
+)
 from repro.serving.cache import (
     CacheStats,
     CompiledProgramCache,
@@ -36,24 +51,41 @@ from repro.serving.cache import (
     program_signature,
 )
 from repro.serving.metrics import ServerStats, ServingMetrics, percentile
-from repro.serving.registry import Deployment, ModelRegistry
+from repro.serving.registry import (
+    Deployment,
+    ModelRegistry,
+    ShardedDeployment,
+    reduce_partials,
+)
 from repro.serving.scheduler import (
+    BatchWork,
+    FairScheduler,
     LatencyAwarePolicy,
     LeastLoadedPolicy,
     RoundRobinPolicy,
     SchedulingPolicy,
+    ShardGather,
     Worker,
     WorkerPool,
     make_policy,
 )
-from repro.serving.servable import ALL_TARGETS, HOST_TARGETS, Servable, servable_signature
+from repro.serving.servable import (
+    ALL_TARGETS,
+    HOST_TARGETS,
+    Servable,
+    ShardSpec,
+    servable_signature,
+)
 from repro.serving.server import InferenceServer
 
 __all__ = [
     "InferenceServer",
     "ModelRegistry",
     "Deployment",
+    "ShardedDeployment",
+    "reduce_partials",
     "Servable",
+    "ShardSpec",
     "servable_signature",
     "ALL_TARGETS",
     "HOST_TARGETS",
@@ -64,10 +96,14 @@ __all__ = [
     "default_cache",
     "MicroBatcher",
     "InferenceRequest",
+    "DeadlineExceeded",
     "bucket_for",
     "pad_batch",
     "Worker",
     "WorkerPool",
+    "BatchWork",
+    "ShardGather",
+    "FairScheduler",
     "SchedulingPolicy",
     "RoundRobinPolicy",
     "LeastLoadedPolicy",

@@ -2,16 +2,30 @@
 
 Single requests arrive one at a time; the batched kernel path wants whole
 hypermatrices.  :class:`MicroBatcher` sits between the two: requests queue
-up and are released as one batch when either watermark trips —
+up in **priority lanes** and are released as one batch when a watermark
+trips —
 
-* **size**: ``max_batch_size`` requests are waiting, or
-* **time**: the oldest waiting request has aged ``max_wait_seconds``.
+* **size**: ``max_batch_size`` requests are waiting across all lanes,
+* **time**: the oldest waiting request has aged ``max_wait_seconds``, or
+* **deadline**: some request's deadline is within ``max_wait_seconds`` of
+  expiring, so waiting any longer risks shedding it.
 
-The first watermark bounds per-batch work, the second bounds the latency
-cost a lightly-loaded service pays for batching.  Because compiled programs
-are traced per batch shape, batches can be padded up to a small set of
-bucket sizes (:func:`bucket_for` / :func:`pad_batch`) so the program cache
-stays small while every batch size still executes.
+The size watermark bounds per-batch work, the time watermark bounds the
+latency cost a lightly-loaded service pays for batching, and the deadline
+watermark keeps tightly-deadlined requests from losing their whole budget
+to coalescing.
+
+Batches are assembled highest-priority-lane first and, within a lane,
+**earliest-deadline-first** (requests without a deadline flush after
+deadlined ones, in arrival order).  A request whose deadline has already
+passed is never dispatched: it is *shed* — its future resolves to a typed
+:class:`DeadlineExceeded` error and the shed is reported through
+``on_expire`` so :class:`~repro.serving.metrics.ServerStats` can account
+for it.
+
+Because compiled programs are traced per batch shape, batches can be padded
+up to a small set of bucket sizes (:func:`bucket_for` / :func:`pad_batch`)
+so the program cache stays small while every batch size still executes.
 """
 
 from __future__ import annotations
@@ -20,20 +34,96 @@ import threading
 import time
 from concurrent.futures import Future
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
-__all__ = ["InferenceRequest", "MicroBatcher", "bucket_for", "pad_batch"]
+__all__ = [
+    "DeadlineExceeded",
+    "InferenceRequest",
+    "MicroBatcher",
+    "bucket_for",
+    "pad_batch",
+    "shed_expired",
+]
+
+
+class DeadlineExceeded(TimeoutError):
+    """Typed result of a request shed because its deadline expired.
+
+    Raised out of the request's future (``future.result()`` /
+    ``InferenceServer.infer``); sheds are counted in
+    ``ServerStats.deadline_exceeded``.
+    """
 
 
 @dataclass
 class InferenceRequest:
-    """One queued single-sample request."""
+    """One queued single-sample request.
+
+    Attributes:
+        sample: The request payload (one sample of the servable's
+            ``sample_shape``).
+        priority: Lane selector; higher priorities flush first.  The
+            default lane is 0 and negative priorities are allowed.
+        deadline_ms: Optional latency budget in milliseconds, measured
+            from enqueue.  Expired requests are shed with
+            :class:`DeadlineExceeded` instead of executing.
+        future: Resolves to the request's result (or error).
+        enqueued_at: ``time.monotonic()`` timestamp at submission.
+    """
 
     sample: np.ndarray
+    priority: int = 0
+    deadline_ms: Optional[float] = None
     future: Future = field(default_factory=Future)
     enqueued_at: float = field(default_factory=time.monotonic)
+
+    @property
+    def deadline_at(self) -> Optional[float]:
+        """Absolute monotonic deadline, or ``None`` for no deadline."""
+        if self.deadline_ms is None:
+            return None
+        return self.enqueued_at + self.deadline_ms / 1e3
+
+    def expired(self, now: Optional[float] = None) -> bool:
+        """Whether the request's deadline has passed."""
+        deadline = self.deadline_at
+        if deadline is None:
+            return False
+        return (time.monotonic() if now is None else now) >= deadline
+
+
+def _flush_key(request: InferenceRequest) -> tuple:
+    """Within-lane flush order: earliest deadline first, then FIFO."""
+    deadline = request.deadline_at
+    return (deadline if deadline is not None else float("inf"), request.enqueued_at)
+
+
+def shed_expired(
+    requests: List[InferenceRequest], now: Optional[float] = None
+) -> "tuple[List[InferenceRequest], int]":
+    """Split requests into (live, n_shed), failing the expired ones.
+
+    The single definition of shed semantics: every expired request's
+    future resolves to a typed :class:`DeadlineExceeded` here, whether
+    the shed happens in the batcher lanes or later in the dispatcher.
+    """
+    now = time.monotonic() if now is None else now
+    live: List[InferenceRequest] = []
+    shed = 0
+    for request in requests:
+        if request.expired(now):
+            request.future.set_exception(
+                DeadlineExceeded(
+                    f"request shed after {(now - request.enqueued_at) * 1e3:.1f}ms "
+                    f"(deadline {request.deadline_ms}ms)"
+                )
+            )
+            shed += 1
+        else:
+            live.append(request)
+    return live, shed
 
 
 def bucket_for(size: int, max_batch_size: int) -> int:
@@ -66,35 +156,120 @@ def pad_batch(batch: np.ndarray, bucket: int) -> np.ndarray:
 
 
 class MicroBatcher:
-    """Coalesce single-sample requests into batches under two watermarks."""
+    """Coalesce single-sample requests into batches under three watermarks.
 
-    def __init__(self, max_batch_size: int = 64, max_wait_seconds: float = 0.002):
+    Requests land in per-priority lanes; :meth:`next_batch` drains the
+    highest-priority lane first and orders each lane earliest-deadline-
+    first.  Expired requests are shed (typed :class:`DeadlineExceeded` on
+    their future) rather than dispatched.
+
+    Args:
+        max_batch_size: Size watermark — flush as soon as this many
+            requests wait across all lanes.
+        max_wait_seconds: Time watermark — flush once the oldest waiting
+            request has aged this long; also the slack under which a
+            pending deadline forces an early flush.
+        on_expire: Optional callback ``(n_shed,)`` invoked (outside the
+            batcher lock is NOT guaranteed; keep it cheap) whenever
+            requests are shed, used by the server for stats accounting.
+    """
+
+    def __init__(
+        self,
+        max_batch_size: int = 64,
+        max_wait_seconds: float = 0.002,
+        on_expire: Optional[Callable[[int], None]] = None,
+    ):
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
         self.max_batch_size = max_batch_size
         self.max_wait_seconds = max_wait_seconds
-        self._queue: List[InferenceRequest] = []
+        self.on_expire = on_expire
+        #: Count of requests shed with :class:`DeadlineExceeded`.
+        self.expired = 0
+        self._lanes: Dict[int, List[InferenceRequest]] = {}
         self._cond = threading.Condition()
         self._closed = False
 
     # -- producer side ------------------------------------------------------------
-    def submit(self, sample: np.ndarray) -> Future:
-        """Enqueue one sample; the returned future resolves to its result."""
-        request = InferenceRequest(np.asarray(sample))
+    def submit(
+        self,
+        sample: np.ndarray,
+        priority: int = 0,
+        deadline_ms: Optional[float] = None,
+    ) -> Future:
+        """Enqueue one sample; the returned future resolves to its result.
+
+        Args:
+            sample: One request sample.
+            priority: Lane selector; higher flushes first (default 0).
+            deadline_ms: Optional budget in milliseconds from now; the
+                future raises :class:`DeadlineExceeded` if it expires
+                before dispatch.
+        """
+        request = InferenceRequest(np.asarray(sample), priority=int(priority), deadline_ms=deadline_ms)
         with self._cond:
             if self._closed:
                 raise RuntimeError("batcher is closed")
-            self._queue.append(request)
+            self._lanes.setdefault(request.priority, []).append(request)
             self._cond.notify_all()
         return request.future
 
     def __len__(self) -> int:
         with self._cond:
-            return len(self._queue)
+            return sum(len(lane) for lane in self._lanes.values())
 
     @property
     def closed(self) -> bool:
         return self._closed
+
+    # -- request hand-off ---------------------------------------------------------
+    def drain_requests(self) -> List[InferenceRequest]:
+        """Remove and return every queued request (for batcher hand-over).
+
+        Used when a batcher is replaced while no feeder is draining it
+        (e.g. re-registering a model on a stopped server): the successor
+        batcher :meth:`adopt`\\ s the requests so none are orphaned.
+        """
+        with self._cond:
+            requests = [
+                request for lane in self._lanes.values() for request in lane
+            ]
+            self._lanes.clear()
+            return requests
+
+    def adopt(self, requests: List[InferenceRequest]) -> None:
+        """Take over already-submitted requests, keeping their metadata.
+
+        Enqueue timestamps, priorities and deadlines are preserved, so
+        adopted requests age (and shed) as if they had never moved.
+        """
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("batcher is closed")
+            for request in requests:
+                self._lanes.setdefault(request.priority, []).append(request)
+            if requests:
+                self._cond.notify_all()
+
+    # -- shedding -----------------------------------------------------------------
+    def _shed_expired(self, now: float) -> None:
+        """Drop expired requests, resolving their futures with the typed error.
+
+        Caller must hold the lock.
+        """
+        shed = 0
+        for priority in list(self._lanes):
+            live, lane_shed = shed_expired(self._lanes[priority], now)
+            shed += lane_shed
+            if live:
+                self._lanes[priority] = live
+            else:
+                del self._lanes[priority]
+        if shed:
+            self.expired += shed
+            if self.on_expire is not None:
+                self.on_expire(shed)
 
     # -- consumer side ------------------------------------------------------------
     def next_batch(self, timeout: Optional[float] = None) -> Optional[List[InferenceRequest]]:
@@ -102,21 +277,42 @@ class MicroBatcher:
 
         Returns ``None`` when ``timeout`` elapses with an empty queue, or
         when the batcher is closed and fully drained.  After ``close`` the
-        remaining requests are still released (in batches) so shutdown
-        never drops work.
+        remaining (unexpired) requests are still released in batches so
+        shutdown never drops work.
         """
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._cond:
             while True:
-                if self._queue:
-                    if len(self._queue) >= self.max_batch_size or self._closed:
+                now = time.monotonic()
+                self._shed_expired(now)
+                total = sum(len(lane) for lane in self._lanes.values())
+                if total:
+                    if total >= self.max_batch_size or self._closed:
                         return self._pop_batch()
-                    age = time.monotonic() - self._queue[0].enqueued_at
+                    oldest = min(
+                        request.enqueued_at
+                        for lane in self._lanes.values()
+                        for request in lane
+                    )
+                    age = now - oldest
                     if age >= self.max_wait_seconds:
+                        return self._pop_batch()
+                    # Deadline watermark: flush early if waiting out the
+                    # time watermark would eat a pending deadline's slack.
+                    deadlines = [
+                        request.deadline_at
+                        for lane in self._lanes.values()
+                        for request in lane
+                        if request.deadline_at is not None
+                    ]
+                    if deadlines and min(deadlines) - now <= self.max_wait_seconds:
                         return self._pop_batch()
                     # Wake up when the time watermark for the oldest
                     # request trips (or earlier, if new requests arrive).
-                    self._cond.wait(self.max_wait_seconds - age)
+                    wake = self.max_wait_seconds - age
+                    if deadlines:
+                        wake = min(wake, max(0.0, min(deadlines) - now - self.max_wait_seconds))
+                    self._cond.wait(max(wake, 1e-4))
                 else:
                     if self._closed:
                         return None
@@ -129,8 +325,21 @@ class MicroBatcher:
                         self._cond.wait(remaining)
 
     def _pop_batch(self) -> List[InferenceRequest]:
-        batch = self._queue[: self.max_batch_size]
-        del self._queue[: len(batch)]
+        """Assemble one batch: priority lanes high-to-low, EDF within a lane.
+
+        Caller must hold the lock and have shed expired requests.
+        """
+        batch: List[InferenceRequest] = []
+        for priority in sorted(self._lanes, reverse=True):
+            room = self.max_batch_size - len(batch)
+            if room <= 0:
+                break
+            lane = sorted(self._lanes[priority], key=_flush_key)
+            batch.extend(lane[:room])
+            if room >= len(lane):
+                del self._lanes[priority]
+            else:
+                self._lanes[priority] = lane[room:]
         return batch
 
     def close(self) -> None:

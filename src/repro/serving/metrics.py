@@ -34,11 +34,17 @@ class ServerStats:
     """An immutable snapshot of one server's activity.
 
     Latencies are request latencies — enqueue to result, so they include
-    the micro-batching wait — in milliseconds.
+    the micro-batching wait — in milliseconds.  ``deadline_exceeded``
+    counts requests shed with :class:`~repro.serving.batching
+    .DeadlineExceeded` before execution (not included in ``requests`` or
+    ``failures``), and ``scheduler_stats`` carries the
+    :class:`~repro.serving.scheduler.FairScheduler` per-lane view
+    (weight, served batches, pending batches per deployment).
     """
 
     requests: int = 0
     failures: int = 0
+    deadline_exceeded: int = 0
     batches: int = 0
     mean_batch_size: float = 0.0
     batch_size_histogram: dict = field(default_factory=dict)
@@ -53,12 +59,14 @@ class ServerStats:
     cache_hit_rate: float = 0.0
     elided_transfers: int = 0
     worker_stats: dict = field(default_factory=dict)
+    scheduler_stats: dict = field(default_factory=dict)
 
     def __repr__(self) -> str:
         return (
             f"ServerStats(requests={self.requests}, batches={self.batches}, "
             f"mean_batch={self.mean_batch_size:.1f}, p50={self.latency_p50_ms:.2f}ms, "
             f"p99={self.latency_p99_ms:.2f}ms, {self.throughput_rps:.0f} req/s, "
+            f"shed={self.deadline_exceeded}, "
             f"cache={self.cache_hits}/{self.cache_hits + self.cache_misses})"
         )
 
@@ -73,6 +81,7 @@ class ServingMetrics:
         self._batch_sizes = Counter()
         self.requests = 0
         self.failures = 0
+        self.deadline_exceeded = 0
         self.batches = 0
         self.samples_in_batches = 0
         self._started = time.monotonic()
@@ -88,6 +97,11 @@ class ServingMetrics:
         with self._lock:
             self.failures += count
 
+    def record_expired(self, count: int = 1) -> None:
+        """Account requests shed with ``DeadlineExceeded`` before execution."""
+        with self._lock:
+            self.deadline_exceeded += count
+
     def record_batch(self, size: int) -> None:
         with self._lock:
             self.batches += 1
@@ -95,8 +109,11 @@ class ServingMetrics:
             self._batch_sizes[size] += 1
 
     # -- snapshot -----------------------------------------------------------------
-    def snapshot(self, cache=None, workers: Optional[Iterable] = None) -> ServerStats:
-        """Produce an immutable snapshot, optionally folding in cache/worker state."""
+    def snapshot(
+        self, cache=None, workers: Optional[Iterable] = None, scheduler=None
+    ) -> ServerStats:
+        """Produce an immutable snapshot, optionally folding in cache, worker
+        and fair-scheduler state."""
         with self._lock:
             uptime = time.monotonic() - self._started
             latencies = list(self._latencies)
@@ -106,6 +123,7 @@ class ServingMetrics:
             stats = dict(
                 requests=requests,
                 failures=self.failures,
+                deadline_exceeded=self.deadline_exceeded,
                 batches=self.batches,
                 mean_batch_size=mean_batch,
                 batch_size_histogram=dict(self._batch_sizes),
@@ -129,4 +147,6 @@ class ServingMetrics:
                 worker_stats[worker.name] = worker.stats()
                 elided += worker_stats[worker.name].get("elided_transfers", 0)
             stats.update(worker_stats=worker_stats, elided_transfers=elided)
+        if scheduler is not None:
+            stats.update(scheduler_stats=scheduler.stats())
         return ServerStats(**stats)

@@ -8,6 +8,15 @@ reusable :class:`~repro.backends.BoundProgram` inference handles, one per
 model or warming a second worker of the same target skips tracing,
 transforms, lowering and verification entirely.
 
+:class:`ShardedDeployment` extends this to class memories that exceed one
+worker's capacity: the servable's :class:`~repro.serving.servable
+.ShardSpec` constant is split into N contiguous row blocks, each shard
+compiles a *partial-score* program bound to its slice alone, and
+:func:`reduce_partials` folds the scatter-executed partial scores back
+into predictions (argmin / argmax / top-k) — bit-identically to the
+unsharded program, because ordered concatenation restores the exact
+arg-reduction input.
+
 The :class:`ModelRegistry` is usable standalone — ``registry.register(...)``
 then ``deployment.run(batch)`` — and is what
 :class:`~repro.serving.server.InferenceServer` builds on.
@@ -16,18 +25,47 @@ then ``deployment.run(batch)`` — and is what
 from __future__ import annotations
 
 import threading
-from typing import Dict, Iterable, Optional, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.backends.base import Backend, BoundProgram, ExecutionResult
+from repro.backends.base import Backend, BoundProgram, ExecutionReport, ExecutionResult
 from repro.ir.dataflow import Target
 from repro.serving.cache import CompiledProgramCache
 from repro.serving.scheduler import default_worker_backend
 from repro.serving.servable import Servable
 from repro.transforms.pipeline import ApproximationConfig
 
-__all__ = ["Deployment", "ModelRegistry"]
+__all__ = ["Deployment", "ShardedDeployment", "ModelRegistry", "reduce_partials"]
+
+
+def reduce_partials(
+    partials: Sequence[np.ndarray], mode: str, top_k: int = 1
+) -> np.ndarray:
+    """Fold per-shard score matrices into predictions.
+
+    Args:
+        partials: One ``(batch, shard_rows)`` score matrix per shard, in
+            shard order, so concatenation restores original row indices.
+        mode: ``"argmin"`` (distances) or ``"argmax"`` (similarities).
+        top_k: With the default 1, returns a ``(batch,)`` index vector —
+            the same contract as the unsharded arg-reduced program.  With
+            ``top_k > 1``, returns ``(batch, top_k)`` ranked indices.
+
+    Tie-breaking matches ``np.argmin`` / ``np.argmax`` (first match wins)
+    and the top-k ranking uses a stable sort, so sharded results are
+    bit-identical to reducing the unsharded score matrix.
+    """
+    scores = np.concatenate([np.asarray(p) for p in partials], axis=-1)
+    if mode not in ("argmin", "argmax"):
+        raise ValueError(f"mode must be 'argmin' or 'argmax', got {mode!r}")
+    if top_k == 1:
+        reduced = scores.argmin(axis=-1) if mode == "argmin" else scores.argmax(axis=-1)
+        return reduced.astype(np.int64)
+    if top_k < 1 or top_k > scores.shape[-1]:
+        raise ValueError(f"top_k={top_k} out of range for {scores.shape[-1]} classes")
+    keys = scores if mode == "argmin" else -scores
+    return np.argsort(keys, axis=-1, kind="stable")[..., :top_k].astype(np.int64)
 
 
 class Deployment:
@@ -112,6 +150,109 @@ class Deployment:
         )
 
 
+class ShardedDeployment(Deployment):
+    """A deployment whose class memory is split across N shard workers.
+
+    Construction slices ``servable.shard_spec.param`` into ``n_shards``
+    contiguous row blocks and builds one sub-:class:`Deployment` per
+    shard, each serving the partial-score program over its slice alone —
+    so no single worker ever holds (or transfers) the full hypermatrix.
+    Execution scatters the same query batch to every shard, gathers the
+    ``(batch, shard_rows)`` partial scores and reduces them with
+    :func:`reduce_partials`.
+
+    The parent :class:`Deployment` machinery (default backend, signature,
+    config) is reused; the full-memory handles of the parent are simply
+    never compiled, because :meth:`warm`, :meth:`run` and the server's
+    scatter path only touch the shard sub-deployments.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        servable: Servable,
+        cache: CompiledProgramCache,
+        n_shards: int,
+        config: Optional[ApproximationConfig] = None,
+        default_target: Union[str, Target] = Target.CPU,
+    ):
+        super().__init__(name, servable, cache, config=config, default_target=default_target)
+        spec = servable.shard_spec
+        if spec is None:
+            raise ValueError(f"{servable.name!r} has no shard_spec; cannot deploy sharded")
+        full = np.asarray(servable.constants[spec.param])
+        rows = full.shape[spec.axis]
+        if n_shards < 2:
+            raise ValueError(f"n_shards must be >= 2, got {n_shards}")
+        if n_shards > rows:
+            raise ValueError(f"cannot split {rows} rows into {n_shards} shards")
+        self.n_shards = n_shards
+        self.spec = spec
+        self.shards: List[Deployment] = []
+        for index, block in enumerate(np.array_split(np.arange(rows), n_shards)):
+            piece = np.ascontiguousarray(np.take(full, block, axis=spec.axis))
+            constants = dict(servable.constants)
+            constants[spec.param] = piece
+            n_rows = piece.shape[spec.axis]
+            sub = Servable(
+                name=f"{servable.name}#shard{index}of{n_shards}",
+                build_program=lambda b, n=n_rows: spec.build_partial(b, n),
+                constants=constants,
+                query_param=servable.query_param,
+                sample_shape=servable.sample_shape,
+                # Shard slices of different deployments of the same model
+                # share cache entries; the slice identity is the parent
+                # signature plus the shard coordinates.
+                signature=f"{servable.signature}:shard{index}of{n_shards}",
+                supported_targets=servable.supported_targets,
+            )
+            self.shards.append(
+                Deployment(sub.name, sub, cache, config=config, default_target=self.default_target)
+            )
+
+    # -- handles ------------------------------------------------------------------
+    def shard_handle_for(self, shard: int, batch_size: int, worker=None) -> BoundProgram:
+        """The partial-score inference handle of one shard."""
+        return self.shards[shard].handle_for(batch_size, worker=worker)
+
+    def warm(self, batch_sizes: Iterable[int], worker=None) -> None:
+        """Pre-compile every shard's handles for the given buckets."""
+        batch_sizes = list(batch_sizes)
+        for shard in self.shards:
+            shard.warm(batch_sizes, worker=worker)
+
+    # -- reduction ----------------------------------------------------------------
+    def reduce(self, partials: Sequence[np.ndarray], top_k: int = 1) -> np.ndarray:
+        """Fold gathered shard scores into predictions (see spec.reduce)."""
+        return reduce_partials(partials, self.spec.reduce, top_k=top_k)
+
+    # -- direct execution ---------------------------------------------------------
+    def run(self, batch: np.ndarray, worker=None, top_k: int = 1) -> ExecutionResult:
+        """Scatter one batch over all shards sequentially and reduce.
+
+        The standalone path (no worker pool): every shard's partial
+        program runs on the deployment's default backend and the merged
+        :class:`~repro.backends.base.ExecutionReport` sums their costs.
+        The server's scatter path instead spreads the shards across
+        distinct pool workers.
+        """
+        batch = np.asarray(batch)
+        report = ExecutionReport(target=self.default_target.value)
+        partials = []
+        for shard in self.shards:
+            result = shard.run(batch, worker=worker)
+            partials.append(np.asarray(result.output))
+            report.merge(result.report)
+        predictions = self.reduce(partials, top_k=top_k)
+        return ExecutionResult({"predictions": predictions}, report)
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedDeployment({self.name!r}, shards={self.n_shards}, "
+            f"target={self.default_target.value}, reduce={self.spec.reduce})"
+        )
+
+
 class ModelRegistry:
     """Named (servable, target, approximation-config) deployments."""
 
@@ -127,14 +268,25 @@ class ModelRegistry:
         target: Union[str, Target] = Target.CPU,
         config: Optional[ApproximationConfig] = None,
         warm_batch_sizes: Iterable[int] = (1,),
+        shards: Optional[int] = None,
     ) -> Deployment:
         """Deploy a servable under a name, warming the compile cache.
 
         Re-registering an unchanged servable is cheap: the signature keys
         the same cache entries, so warming hits instead of recompiling.
+
+        Args:
+            shards: Deploy sharded across this many class-memory slices
+                (requires ``servable.shard_spec``); ``None`` deploys the
+                ordinary single-memory program.
         """
         name = name or servable.name
-        deployment = Deployment(name, servable, self.cache, config=config, default_target=target)
+        if shards is not None:
+            deployment: Deployment = ShardedDeployment(
+                name, servable, self.cache, shards, config=config, default_target=target
+            )
+        else:
+            deployment = Deployment(name, servable, self.cache, config=config, default_target=target)
         deployment.warm(warm_batch_sizes)
         with self._lock:
             self._models[name] = deployment

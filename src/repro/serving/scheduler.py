@@ -1,6 +1,21 @@
-"""Multi-backend worker pool and dispatch policies.
+"""Multi-model fair scheduling and the multi-backend worker pool.
 
-A :class:`Worker` owns one back-end instance and a serial execution thread:
+Two layers live here.
+
+**Fairness across deployments.**  Every registered model feeds batches into
+a :class:`FairScheduler` lane; a single dispatcher drains the scheduler and
+hands batches to the pool.  Lane selection is *weighted round-robin with
+starvation aging* (stride scheduling): each lane advances a virtual "pass"
+by ``1 / weight`` per served batch and the lane with the smallest pass —
+minus an aging bonus that grows with its head batch's wait — is served
+next.  Under a skewed load this interleaves the cold model's occasional
+batch between the hot model's backlog instead of queueing behind it, which
+bounds the cold model's wait at a couple of batch service times.  Plain
+per-model FIFO dispatch (the previous design) gives the cold model a wait
+proportional to the hot model's entire backlog.
+
+**Workers.**  A :class:`Worker` owns one back-end instance and a serial
+execution thread:
 
 * CPU workers default to the batched host kernel path
   (``CPUBackend(batched=True)``) so coalesced micro-batches execute as
@@ -13,8 +28,11 @@ A :class:`Worker` owns one back-end instance and a serial execution thread:
   the paper's "lift redundant data movements" host optimization applied
   fleet-wide.
 
-A :class:`WorkerPool` fans batches out across workers under a pluggable
-:class:`SchedulingPolicy` (round-robin, least-loaded or latency-aware).
+A :class:`WorkerPool` fans :class:`BatchWork` items out across workers
+under a pluggable :class:`SchedulingPolicy` (round-robin, least-loaded or
+latency-aware) and can *scatter* the shard tasks of one batch across
+distinct workers (:meth:`WorkerPool.dispatch_scatter`), which is how
+:class:`~repro.serving.registry.ShardedDeployment` executes.
 """
 
 from __future__ import annotations
@@ -22,7 +40,9 @@ from __future__ import annotations
 import queue
 import threading
 import time
-from typing import Callable, Iterable, List, Optional, Sequence, Union
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.backends import backend_for_target
 from repro.backends.base import Backend
@@ -30,6 +50,9 @@ from repro.ir.dataflow import Target
 
 __all__ = [
     "default_worker_backend",
+    "BatchWork",
+    "ShardGather",
+    "FairScheduler",
     "Worker",
     "SchedulingPolicy",
     "RoundRobinPolicy",
@@ -51,6 +74,234 @@ def default_worker_backend(target: Target) -> Backend:
     if target in _ACCELERATOR_TARGETS:
         return backend_for_target(target, reuse_session=True)
     return backend_for_target(target)
+
+
+# ---------------------------------------------------------------------------
+# Work items
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BatchWork:
+    """One unit of worker work: a coalesced batch bound to a deployment.
+
+    For sharded deployments one logical batch fans out into ``n_shards``
+    ``BatchWork`` items sharing a :class:`ShardGather`; ``shard`` selects
+    which slice of the class memory this item's worker searches.
+    """
+
+    deployment: object
+    requests: list
+    shard: Optional[int] = None
+    gather: Optional["ShardGather"] = None
+
+    @property
+    def enqueued_at(self) -> float:
+        """Enqueue time of the oldest request in the batch (for aging)."""
+        return min(r.enqueued_at for r in self.requests) if self.requests else time.monotonic()
+
+
+class ShardGather:
+    """Rendezvous for the partial results of one scatter-executed batch.
+
+    Each shard worker calls :meth:`complete` with its partial score
+    matrix; the call that delivers the final missing partial returns
+    ``True`` and its worker performs the reduction (so the reduce runs on
+    whichever worker finishes last, with no extra thread).  The first
+    shard to fail wins :meth:`fail` and resolves the batch's futures with
+    its error exactly once.
+    """
+
+    def __init__(self, n_shards: int):
+        self.n_shards = n_shards
+        self.partials: List[Optional[object]] = [None] * n_shards
+        self._pending = n_shards
+        self._failed = False
+        self._lock = threading.Lock()
+
+    def complete(self, shard: int, partial) -> bool:
+        """Deliver one shard's partial; True when this was the last one."""
+        with self._lock:
+            if self._failed:
+                return False
+            self.partials[shard] = partial
+            self._pending -= 1
+            return self._pending == 0
+
+    def fail(self, exc: BaseException) -> bool:
+        """Mark the batch failed; True only for the first failing shard."""
+        with self._lock:
+            if self._failed:
+                return False
+            self._failed = True
+            return True
+
+
+# ---------------------------------------------------------------------------
+# Fair scheduling across deployments
+# ---------------------------------------------------------------------------
+
+
+class FairScheduler:
+    """Weighted round-robin over deployment lanes with starvation aging.
+
+    Implements stride scheduling: lane ``i`` carries a virtual *pass*
+    that advances by ``1 / weight_i`` each time the lane is served, and
+    :meth:`next_ready` serves the non-empty lane with the smallest
+    effective pass.  A lane that was idle re-enters at the global virtual
+    time (it cannot hoard credit while empty).  The effective pass
+    subtracts ``head_wait / aging_seconds`` stride units, so a lane whose
+    head batch has waited long jumps the queue — the starvation-aging
+    guarantee on top of proportional sharing.
+
+    Args:
+        aging_seconds: Wait time that earns one stride unit of priority
+            boost.  Smaller values age faster (more latency-fair, less
+            throughput-proportional).
+    """
+
+    def __init__(self, aging_seconds: float = 0.25):
+        if aging_seconds <= 0:
+            raise ValueError("aging_seconds must be positive")
+        self.aging_seconds = aging_seconds
+        self._queues: Dict[str, deque] = {}
+        self._weights: Dict[str, float] = {}
+        self._passes: Dict[str, float] = {}
+        self._served: Dict[str, int] = {}
+        self._vtime = 0.0
+        self._cond = threading.Condition()
+        self._closed = False
+
+    # -- lanes --------------------------------------------------------------------
+    def ensure_lane(self, name: str, weight: float = 1.0) -> None:
+        """Create (or re-weight) the lane for one deployment."""
+        if weight <= 0:
+            raise ValueError("lane weight must be positive")
+        with self._cond:
+            self._queues.setdefault(name, deque())
+            self._weights[name] = float(weight)
+            self._passes.setdefault(name, self._vtime)
+            self._served.setdefault(name, 0)
+
+    def remove_lane(self, name: str) -> None:
+        """Drop a lane; queued batches are discarded (callers drain first)."""
+        with self._cond:
+            self._queues.pop(name, None)
+            self._weights.pop(name, None)
+            self._passes.pop(name, None)
+            self._served.pop(name, None)
+
+    # -- producer side ------------------------------------------------------------
+    def offer(self, name: str, work: BatchWork) -> None:
+        """Queue one batch on a deployment's lane."""
+        with self._cond:
+            lane = self._queues.get(name)
+            if lane is None:
+                self.ensure_lane(name)
+                lane = self._queues[name]
+            if not lane:
+                # Re-entering after idling: no hoarded credit.
+                self._passes[name] = max(self._passes[name], self._vtime)
+            lane.append(work)
+            self._cond.notify_all()
+
+    # -- consumer side ------------------------------------------------------------
+    def next_ready(
+        self,
+        timeout: Optional[float] = None,
+        admissible: Optional[Callable[[BatchWork], bool]] = None,
+    ) -> Optional[BatchWork]:
+        """The next batch under weighted round-robin with aging.
+
+        Blocks up to ``timeout`` for work; returns ``None`` on timeout or
+        when the scheduler is closed and drained.
+
+        Args:
+            admissible: Optional predicate over a lane's head batch; a
+                lane whose head fails it is skipped this round.  The
+                server passes worker-capacity admission control here, so
+                one model's saturated workers never head-of-line block
+                another model whose workers are idle.  Inadmissible lanes
+                are re-polled on a short tick (capacity frees up without
+                a notification).
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while True:
+                name, blocked = self._select(admissible)
+                if name is not None:
+                    work = self._queues[name].popleft()
+                    self._vtime = self._passes[name]
+                    self._passes[name] += 1.0 / self._weights[name]
+                    self._served[name] += 1
+                    return work
+                if self._closed and not blocked:
+                    return None
+                # With only inadmissible work queued, poll on a short
+                # tick; otherwise sleep until offered work or timeout.
+                wait = 5e-4 if blocked else None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return None
+                    wait = remaining if wait is None else min(wait, remaining)
+                self._cond.wait(wait)
+
+    def _select(
+        self, admissible: Optional[Callable[[BatchWork], bool]] = None
+    ) -> "tuple[Optional[str], bool]":
+        """(Best admissible lane, whether any lane was skipped as blocked).
+
+        Best = non-empty lane with the smallest aging-adjusted pass.
+        """
+        now = time.monotonic()
+        best, best_score, blocked = None, None, False
+        for name, lane in self._queues.items():
+            if not lane:
+                continue
+            if admissible is not None and not admissible(lane[0]):
+                blocked = True
+                continue
+            wait = now - lane[0].enqueued_at
+            score = self._passes[name] - wait / self.aging_seconds
+            if best_score is None or score < best_score:
+                best, best_score = name, score
+        return best, blocked
+
+    # -- lifecycle / observability ------------------------------------------------
+    def pending(self) -> int:
+        with self._cond:
+            return sum(len(lane) for lane in self._queues.values())
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Stop blocking consumers once the remaining lanes drain."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def stats(self) -> dict:
+        """Per-lane weight / served / pending snapshot for ServerStats."""
+        with self._cond:
+            return {
+                name: {
+                    "weight": self._weights.get(name, 1.0),
+                    "served_batches": self._served.get(name, 0),
+                    "pending_batches": len(lane),
+                }
+                for name, lane in self._queues.items()
+            }
+
+    def __repr__(self) -> str:
+        return f"FairScheduler(lanes={sorted(self._queues)}, aging={self.aging_seconds}s)"
+
+
+# ---------------------------------------------------------------------------
+# Workers
+# ---------------------------------------------------------------------------
 
 
 class Worker:
@@ -89,11 +340,10 @@ class Worker:
         with self._lock:
             return self.inflight
 
-    def submit(self, work) -> None:
-        """Queue ``(deployment, requests)`` work for this worker's thread."""
-        _, requests = work
+    def submit(self, work: BatchWork) -> None:
+        """Queue one :class:`BatchWork` for this worker's thread."""
         with self._lock:
-            self.inflight += len(requests)
+            self.inflight += len(work.requests)
         self.queue.put(work)
 
     def estimated_drain_seconds(self, extra_samples: int = 0) -> float:
@@ -126,8 +376,8 @@ class Worker:
         return stats
 
     # -- thread -------------------------------------------------------------------
-    def start(self, execute: Callable[["Worker", object, list], None]) -> None:
-        """Start the worker thread; ``execute(worker, deployment, requests)`` runs a batch."""
+    def start(self, execute: Callable[["Worker", BatchWork], None]) -> None:
+        """Start the worker thread; ``execute(worker, work)`` runs a batch."""
         if self._thread is not None:
             return
 
@@ -136,12 +386,11 @@ class Worker:
                 work = self.queue.get()
                 if work is _SENTINEL:
                     break
-                deployment, requests = work
                 start = time.perf_counter()
                 try:
-                    execute(self, deployment, requests)
+                    execute(self, work)
                 finally:
-                    self._record(len(requests), time.perf_counter() - start)
+                    self._record(len(work.requests), time.perf_counter() - start)
 
         self._thread = threading.Thread(target=loop, name=f"hdc-worker-{self.name}", daemon=True)
         self._thread.start()
@@ -249,18 +498,54 @@ class WorkerPool:
     def eligible(self, servable) -> List[Worker]:
         return [w for w in self.workers if servable.supports_target(w.target)]
 
-    def dispatch(self, servable, deployment, requests) -> Worker:
+    def min_backlog(self, servable) -> int:
+        """Smallest in-flight sample count among eligible workers.
+
+        The server's dispatcher uses this for admission control: holding
+        batches in the :class:`FairScheduler` until a worker is nearly
+        free is what lets weighted round-robin actually interleave models
+        — once a batch sits in a worker's FIFO queue its order is fixed.
+        """
+        workers = self.eligible(servable)
+        if not workers:
+            return 0
+        return min(w.pending_samples() for w in workers)
+
+    def dispatch(self, servable, work: BatchWork) -> Worker:
+        """Route one batch to a worker chosen by the scheduling policy."""
+        workers = self._require_eligible(servable)
+        worker = self.policy.choose(workers, len(work.requests))
+        worker.submit(work)
+        return worker
+
+    def dispatch_scatter(self, servable, works: Sequence[BatchWork]) -> List[Worker]:
+        """Scatter the shard tasks of one batch across distinct workers.
+
+        With at least as many eligible workers as shards, the least-loaded
+        workers each take one shard (true scatter — the point of sharding
+        is that no single worker holds the whole class memory).  With
+        fewer workers, shards wrap around the eligible set and execute
+        serially on their shared workers, which stays correct.
+        """
+        workers = self._require_eligible(servable)
+        ranked = sorted(workers, key=lambda w: w.pending_samples())
+        chosen = []
+        for index, work in enumerate(works):
+            worker = ranked[index % len(ranked)]
+            worker.submit(work)
+            chosen.append(worker)
+        return chosen
+
+    def _require_eligible(self, servable) -> List[Worker]:
         workers = self.eligible(servable)
         if not workers:
             raise RuntimeError(
                 f"no worker in the pool supports {servable.name!r} "
                 f"(targets {servable.supported_targets})"
             )
-        worker = self.policy.choose(workers, len(requests))
-        worker.submit((deployment, requests))
-        return worker
+        return workers
 
-    def start(self, execute: Callable[[Worker, object, list], float]) -> None:
+    def start(self, execute: Callable[[Worker, BatchWork], None]) -> None:
         if self._started:
             return
         for worker in self.workers:

@@ -29,7 +29,7 @@ import numpy as np
 
 from repro.hdcpp.program import Program
 
-__all__ = ["Servable", "servable_signature", "ALL_TARGETS", "HOST_TARGETS"]
+__all__ = ["Servable", "ShardSpec", "servable_signature", "ALL_TARGETS", "HOST_TARGETS"]
 
 #: Targets every fully stage-mapped application supports.
 ALL_TARGETS = ("cpu", "gpu", "hdc_asic", "hdc_reram")
@@ -58,6 +58,45 @@ def servable_signature(
     return digest.hexdigest()
 
 
+@dataclass(frozen=True)
+class ShardSpec:
+    """How a servable's class memory splits across shard workers.
+
+    A sharded deployment slices the constant named ``param`` into N
+    contiguous row blocks along ``axis`` and compiles one *partial
+    program* per shard via ``build_partial(batch_size, n_rows)``.  The
+    partial program must return the raw per-row similarity scores of its
+    shard — shape ``(batch_size, n_rows)`` — instead of the arg-reduced
+    labels; the serving runtime concatenates the partials in shard order
+    (restoring the original row indexing) and applies the ``reduce``
+    (``"argmin"`` for distances, ``"argmax"`` for similarities, both with
+    first-match tie-breaking, or their top-k forms) on the way back.
+
+    Bit-identity with the unsharded path holds because every score is a
+    function of one class-memory row and the query alone: splitting the
+    rows changes neither the per-score arithmetic nor — after ordered
+    concatenation — the arg-reduction input.
+
+    Attributes:
+        param: Name of the constant to split (e.g. ``"class_hvs"``).
+        build_partial: ``(batch_size, n_rows) -> Program`` factory tracing
+            the partial-score program for one shard size.
+        reduce: ``"argmin"`` or ``"argmax"`` — how partial scores fold
+            back into predictions.
+        axis: Split axis of the constant (default 0: one row per class /
+            bucket / library entry).
+    """
+
+    param: str
+    build_partial: Callable[[int, int], "Program"]
+    reduce: str = "argmin"
+    axis: int = 0
+
+    def __post_init__(self) -> None:
+        if self.reduce not in ("argmin", "argmax"):
+            raise ValueError(f"reduce must be 'argmin' or 'argmax', got {self.reduce!r}")
+
+
 @dataclass
 class Servable:
     """A trained model packaged for the serving runtime.
@@ -74,6 +113,9 @@ class Servable:
         supported_targets: Targets this application maps onto.
         postprocess: Optional callable applied to the batched program
             output before per-request results are sliced out.
+        shard_spec: Optional :class:`ShardSpec` enabling sharded
+            deployments (class memory split across N workers); ``None``
+            means the servable only deploys unsharded.
         description: Human-readable note for registries/dashboards.
     """
 
@@ -85,6 +127,7 @@ class Servable:
     signature: str = ""
     supported_targets: tuple = ALL_TARGETS
     postprocess: Optional[Callable[[np.ndarray], np.ndarray]] = None
+    shard_spec: Optional[ShardSpec] = None
     description: str = ""
 
     def __post_init__(self) -> None:

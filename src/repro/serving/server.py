@@ -1,4 +1,4 @@
-"""The inference server: registry + micro-batching + worker pool + metrics.
+"""The inference server: registry + batching + fair scheduling + workers.
 
 :class:`InferenceServer` turns compiled HDC programs into long-lived,
 queryable services::
@@ -10,13 +10,29 @@ queryable services::
     with server:
         label = server.infer("hd-classification", features)
 
-Request flow: ``submit`` enqueues a single sample with a per-model
-:class:`~repro.serving.batching.MicroBatcher`; a dispatcher thread releases
-batches when a watermark trips and routes each to a worker under the pool's
-scheduling policy; the worker pads the batch to a power-of-two bucket, runs
-it through the deployment's warm :class:`~repro.backends.BoundProgram`
-handle (compiled at most once per bucket via the shared program cache), and
-resolves the per-request futures with the sliced results.
+Request flow: ``submit`` enqueues a single sample (optionally with a
+``priority`` lane and a ``deadline_ms`` budget) into the model's
+:class:`~repro.serving.batching.MicroBatcher`; a per-model *feeder* thread
+releases batches when a watermark trips and offers them to the
+:class:`~repro.serving.scheduler.FairScheduler`; one *dispatcher* thread
+drains the scheduler under weighted round-robin with starvation aging —
+holding batches back while every eligible worker is saturated, so a hot
+model's backlog queues in the scheduler (where it can be interleaved)
+instead of in worker FIFOs (where it cannot) — and routes each batch to a
+worker under the pool's policy.  The worker pads the batch to a
+power-of-two bucket, runs it through the deployment's warm
+:class:`~repro.backends.BoundProgram` handle (compiled at most once per
+bucket via the shared program cache), and resolves the per-request futures
+with the sliced results.
+
+Sharded deployments scatter instead of dispatching: one batch fans out to
+N workers, each searching its slice of the class memory, and the last
+shard to finish reduces the gathered partial scores back into predictions
+(see :class:`~repro.serving.registry.ShardedDeployment`).
+
+Requests whose deadline expires before execution are shed with a typed
+:class:`~repro.serving.batching.DeadlineExceeded` error and counted in
+``ServerStats.deadline_exceeded``.
 """
 
 from __future__ import annotations
@@ -28,10 +44,17 @@ from typing import Iterable, List, Optional, Union
 import numpy as np
 
 from repro.ir.dataflow import Target
-from repro.serving.batching import MicroBatcher, bucket_for, pad_batch
+from repro.serving.batching import MicroBatcher, bucket_for, pad_batch, shed_expired
 from repro.serving.metrics import ServerStats, ServingMetrics
-from repro.serving.registry import Deployment, ModelRegistry
-from repro.serving.scheduler import SchedulingPolicy, Worker, WorkerPool
+from repro.serving.registry import Deployment, ModelRegistry, ShardedDeployment
+from repro.serving.scheduler import (
+    BatchWork,
+    FairScheduler,
+    SchedulingPolicy,
+    ShardGather,
+    Worker,
+    WorkerPool,
+)
 from repro.serving.servable import Servable
 from repro.transforms.pipeline import ApproximationConfig
 
@@ -39,7 +62,29 @@ __all__ = ["InferenceServer"]
 
 
 class InferenceServer:
-    """Serve registered HDC models over a dynamic micro-batching queue."""
+    """Serve registered HDC models over a fair, dynamic micro-batching queue.
+
+    Args:
+        workers: Worker specs (target names, :class:`Target` values or
+            prebuilt :class:`Worker` instances).
+        policy: Worker-selection policy for ready batches (``round_robin``,
+            ``least_loaded`` or ``latency_aware``).
+        max_batch_size: Micro-batching size watermark.
+        max_wait_seconds: Micro-batching time watermark.
+        pad_to_buckets: Pad batches to power-of-two buckets so at most
+            ``log2(max_batch_size) + 1`` program variants compile per
+            (model, target); disable to compile exact batch shapes.
+        registry: Optionally share a :class:`ModelRegistry` (and hence a
+            compiled-program cache) across servers.
+        latency_window: Retained latency samples for the percentiles.
+        scheduler_aging_seconds: Starvation-aging constant of the
+            :class:`FairScheduler` — the head-of-lane wait that earns one
+            weighted-round-robin turn.
+        worker_backlog_samples: Admission-control threshold: the
+            dispatcher holds the next batch while every eligible worker
+            has at least this many samples in flight.  Defaults to
+            ``2 * max_batch_size`` (one executing batch plus one queued).
+    """
 
     def __init__(
         self,
@@ -50,20 +95,30 @@ class InferenceServer:
         pad_to_buckets: bool = True,
         registry: Optional[ModelRegistry] = None,
         latency_window: int = 8192,
+        scheduler_aging_seconds: float = 0.25,
+        worker_backlog_samples: Optional[int] = None,
     ):
         self.registry = registry if registry is not None else ModelRegistry()
         self.pool = WorkerPool(workers, policy=policy)
         self.max_batch_size = max_batch_size
         self.max_wait_seconds = max_wait_seconds
-        #: Pad batches up to power-of-two buckets so at most
-        #: ``log2(max_batch_size) + 1`` program variants are compiled per
-        #: (model, target); disable to compile exact batch shapes.
         self.pad_to_buckets = pad_to_buckets
+        self.scheduler_aging_seconds = scheduler_aging_seconds
+        self.worker_backlog_samples = (
+            worker_backlog_samples if worker_backlog_samples is not None else 2 * max_batch_size
+        )
         self.metrics = ServingMetrics(latency_window=latency_window)
+        self._scheduler: Optional[FairScheduler] = None
         self._batchers: dict = {}
-        self._dispatchers: List[threading.Thread] = []
+        self._weights: dict = {}
+        self._feeders: List[threading.Thread] = []
+        self._dispatcher: Optional[threading.Thread] = None
         self._lock = threading.Lock()
         self._running = False
+        # Outstanding-request accounting behind drain(): every submitted
+        # future counts until it resolves (result, failure or shed).
+        self._outstanding = 0
+        self._drain_cond = threading.Condition()
 
     # -- registration -------------------------------------------------------------
     def register(
@@ -72,6 +127,8 @@ class InferenceServer:
         name: Optional[str] = None,
         config: Optional[ApproximationConfig] = None,
         warm: bool = True,
+        weight: float = 1.0,
+        shards: Optional[int] = None,
     ) -> Deployment:
         """Register a servable and set up its request queue.
 
@@ -80,6 +137,14 @@ class InferenceServer:
         first.  Re-registering under an existing name hot-swaps the model:
         requests already queued still resolve against the old deployment,
         new requests see the new one.
+
+        Args:
+            weight: Fair-scheduler share.  Under contention a deployment
+                receives batches proportionally to its weight, with
+                starvation aging protecting low-weight lanes.
+            shards: Deploy sharded across this many class-memory slices
+                (requires ``servable.shard_spec``); each batch then
+                scatter-executes over up to ``shards`` workers.
         """
         deployment = self.registry.register(
             servable,
@@ -87,22 +152,35 @@ class InferenceServer:
             target=self._default_target(servable),
             config=config,
             warm_batch_sizes=(),
+            shards=shards,
         )
         if warm:
             buckets = sorted({1, self._bucket(self.max_batch_size)})
             for worker in self.pool.eligible(servable):
                 deployment.warm(buckets, worker=worker)
         with self._lock:
-            # Close a replaced batcher so its dispatcher drains the queued
-            # requests (against the old deployment) and exits.
+            # Replace the batcher.  While running, closing the old one
+            # makes its feeder drain the queued requests (against the old
+            # deployment) and exit.  While stopped there is no feeder, so
+            # the new batcher adopts the queued requests instead — they
+            # resolve against the new deployment once the server starts,
+            # never orphaned.
             old = self._batchers.get(deployment.name)
-            if old is not None:
-                old.close()
-            self._batchers[deployment.name] = MicroBatcher(
-                max_batch_size=self.max_batch_size, max_wait_seconds=self.max_wait_seconds
+            batcher = MicroBatcher(
+                max_batch_size=self.max_batch_size,
+                max_wait_seconds=self.max_wait_seconds,
+                on_expire=self.metrics.record_expired,
             )
+            if old is not None:
+                if not self._running:
+                    batcher.adopt(old.drain_requests())
+                old.close()
+            self._batchers[deployment.name] = batcher
+            self._weights[deployment.name] = float(weight)
+            if self._scheduler is not None:
+                self._scheduler.ensure_lane(deployment.name, weight)
             if self._running:
-                self._start_dispatcher(deployment.name)
+                self._start_feeder(deployment.name)
         return deployment
 
     def _default_target(self, servable: Servable) -> Target:
@@ -117,42 +195,89 @@ class InferenceServer:
 
     # -- lifecycle ----------------------------------------------------------------
     def start(self) -> "InferenceServer":
-        """Start (or restart) workers and per-model dispatchers."""
+        """Start (or restart) workers, per-model feeders and the dispatcher."""
         with self._lock:
             if self._running:
                 return self
             self._running = True
+            if self._scheduler is None or self._scheduler.closed:
+                self._scheduler = FairScheduler(aging_seconds=self.scheduler_aging_seconds)
+            for name in self._batchers:
+                self._scheduler.ensure_lane(name, self._weights.get(name, 1.0))
             self.pool.start(self._execute)
             for name, batcher in list(self._batchers.items()):
                 if batcher.closed:  # restarted after stop(): reopen the queue
-                    self._batchers[name] = MicroBatcher(
+                    reopened = MicroBatcher(
                         max_batch_size=self.max_batch_size,
                         max_wait_seconds=self.max_wait_seconds,
+                        on_expire=self.metrics.record_expired,
                     )
-                self._start_dispatcher(name)
+                    reopened.adopt(batcher.drain_requests())
+                    self._batchers[name] = reopened
+                self._start_feeder(name)
+            self._dispatcher = threading.Thread(
+                target=self._dispatch_loop,
+                args=(self._scheduler,),
+                name="hdc-dispatch",
+                daemon=True,
+            )
+            self._dispatcher.start()
         return self
 
-    def _start_dispatcher(self, name: str) -> None:
+    def _start_feeder(self, name: str) -> None:
         thread = threading.Thread(
-            target=self._dispatch_loop, args=(name,), name=f"hdc-dispatch-{name}", daemon=True
+            target=self._feed_loop,
+            args=(name, self._batchers[name], self._scheduler),
+            name=f"hdc-feed-{name}",
+            daemon=True,
         )
-        self._dispatchers.append(thread)
+        self._feeders.append(thread)
         thread.start()
 
     def stop(self) -> None:
-        """Drain queued requests, then stop dispatchers and workers."""
+        """Drain queued requests, then stop feeders, dispatcher and workers."""
         with self._lock:
             if not self._running:
                 return
             self._running = False
             batchers = list(self._batchers.values())
-            dispatchers = list(self._dispatchers)
-            self._dispatchers = []
+            feeders = list(self._feeders)
+            dispatcher = self._dispatcher
+            scheduler = self._scheduler
+            self._feeders = []
+            self._dispatcher = None
         for batcher in batchers:
             batcher.close()
-        for thread in dispatchers:
+        for thread in feeders:  # feeders drain their batchers, then exit
             thread.join()
+        if scheduler is not None:
+            scheduler.close()  # dispatcher drains remaining lanes, then exits
+        if dispatcher is not None:
+            dispatcher.join()
         self.pool.stop()
+
+    def drain(self, timeout: Optional[float] = None) -> None:
+        """Block until every submitted request has resolved.
+
+        "Resolved" covers successful results, failures and deadline sheds
+        alike.  This is the idiom for reading a consistent
+        :class:`ServerStats` snapshot while the server keeps running —
+        ``stop()`` also drains, but tears the workers down with it::
+
+            with server:
+                futures = [server.submit(name, s) for s in samples]
+                server.drain()
+                print(server.stats())   # every request accounted for
+
+        Raises:
+            TimeoutError: The queue did not empty within ``timeout``
+                seconds (e.g. the server was never started).
+        """
+        with self._drain_cond:
+            if not self._drain_cond.wait_for(lambda: self._outstanding == 0, timeout):
+                raise TimeoutError(
+                    f"drain timed out with {self._outstanding} requests outstanding"
+                )
 
     def __enter__(self) -> "InferenceServer":
         return self.start()
@@ -161,15 +286,51 @@ class InferenceServer:
         self.stop()
 
     # -- request path -------------------------------------------------------------
-    def submit(self, model: str, sample: np.ndarray):
-        """Enqueue one sample; returns a future resolving to its result."""
+    def submit(
+        self,
+        model: str,
+        sample: np.ndarray,
+        priority: int = 0,
+        deadline_ms: Optional[float] = None,
+    ):
+        """Enqueue one sample; returns a future resolving to its result.
+
+        Args:
+            priority: Batching lane; higher-priority requests flush first.
+            deadline_ms: Latency budget from now, in milliseconds.  The
+                future raises :class:`DeadlineExceeded` if the budget runs
+                out before the request executes.
+        """
         deployment = self.registry.get(model)
         batcher = self._batchers[deployment.name]
-        return batcher.submit(deployment.servable.validate_sample(sample))
+        future = batcher.submit(
+            deployment.servable.validate_sample(sample),
+            priority=priority,
+            deadline_ms=deadline_ms,
+        )
+        with self._drain_cond:
+            self._outstanding += 1
+        future.add_done_callback(self._on_request_done)
+        return future
 
-    def infer(self, model: str, sample: np.ndarray, timeout: Optional[float] = None):
+    def _on_request_done(self, _future) -> None:
+        with self._drain_cond:
+            self._outstanding -= 1
+            if self._outstanding == 0:
+                self._drain_cond.notify_all()
+
+    def infer(
+        self,
+        model: str,
+        sample: np.ndarray,
+        timeout: Optional[float] = None,
+        priority: int = 0,
+        deadline_ms: Optional[float] = None,
+    ):
         """Synchronous single-sample inference through the batching queue."""
-        return self.submit(model, sample).result(timeout=timeout)
+        return self.submit(model, sample, priority=priority, deadline_ms=deadline_ms).result(
+            timeout=timeout
+        )
 
     def infer_many(
         self, model: str, samples: Iterable[np.ndarray], timeout: Optional[float] = None
@@ -178,30 +339,77 @@ class InferenceServer:
         futures = [self.submit(model, sample) for sample in samples]
         return [future.result(timeout=timeout) for future in futures]
 
-    # -- dispatch / execution -----------------------------------------------------
-    def _dispatch_loop(self, name: str) -> None:
+    # -- feed / dispatch ----------------------------------------------------------
+    def _feed_loop(self, name: str, batcher: MicroBatcher, scheduler: FairScheduler) -> None:
+        """Per-model feeder: batcher watermarks -> fair-scheduler lane."""
         deployment = self.registry.get(name)
-        batcher = self._batchers[name]
         while True:
             batch = batcher.next_batch(timeout=0.1)
             if batch is None:
                 if batcher.closed:
                     return
                 continue
+            scheduler.offer(name, BatchWork(deployment, batch))
+
+    def _admissible(self, work: BatchWork) -> bool:
+        """Admission control: some eligible worker has queue headroom.
+
+        Applied per lane inside the scheduler's selection, so a model
+        whose workers are saturated never head-of-line blocks a model
+        whose workers are idle (heterogeneous pools).  Workers keep
+        draining during shutdown (the pool stops after the dispatcher
+        exits), so inadmissible batches always become admissible.
+        """
+        return self.pool.min_backlog(work.deployment.servable) < self.worker_backlog_samples
+
+    def _dispatch_loop(self, scheduler: FairScheduler) -> None:
+        """Single dispatcher: fair-scheduler -> worker pool, with admission
+        control so backlogs queue where they can still be reordered."""
+        while True:
+            work = scheduler.next_ready(timeout=0.1, admissible=self._admissible)
+            if work is None:
+                if scheduler.closed and scheduler.pending() == 0:
+                    return
+                continue
+            work.requests = self._shed_expired(work.requests)
+            if not work.requests:
+                continue
+            servable = work.deployment.servable
             try:
-                self.pool.dispatch(deployment.servable, deployment, batch)
+                if isinstance(work.deployment, ShardedDeployment):
+                    gather = ShardGather(work.deployment.n_shards)
+                    works = [
+                        BatchWork(work.deployment, work.requests, shard=i, gather=gather)
+                        for i in range(work.deployment.n_shards)
+                    ]
+                    self.pool.dispatch_scatter(servable, works)
+                else:
+                    self.pool.dispatch(servable, work)
             except Exception as exc:  # no eligible worker — fail the batch
-                for request in batch:
-                    request.future.set_exception(exc)
-                self.metrics.record_failure(len(batch))
+                for request in work.requests:
+                    if not request.future.done():
+                        request.future.set_exception(exc)
+                self.metrics.record_failure(len(work.requests))
+
+    def _shed_expired(self, requests: list) -> list:
+        """Drop requests whose deadline lapsed while queued for dispatch."""
+        live, shed = shed_expired(requests)
+        if shed:
+            self.metrics.record_expired(shed)
+        return live
 
     def _bucket(self, size: int) -> int:
         if not self.pad_to_buckets:
             return size
         return bucket_for(size, self.max_batch_size)
 
-    def _execute(self, worker: Worker, deployment: Deployment, requests: list) -> None:
-        """Run one coalesced batch on a worker (called on the worker thread)."""
+    # -- execution (worker threads) -----------------------------------------------
+    def _execute(self, worker: Worker, work: BatchWork) -> None:
+        """Run one work item on a worker (called on the worker thread)."""
+        if work.gather is not None:
+            self._execute_shard(worker, work)
+            return
+        deployment, requests = work.deployment, work.requests
         try:
             servable = deployment.servable
             batch = np.stack([request.sample for request in requests])
@@ -218,6 +426,32 @@ class InferenceServer:
                     request.future.set_exception(exc)
             self.metrics.record_failure(len(requests))
             return
+        self._resolve(requests, outputs)
+
+    def _execute_shard(self, worker: Worker, work: BatchWork) -> None:
+        """Run one shard's partial-score program; the last shard reduces."""
+        deployment, requests, gather = work.deployment, work.requests, work.gather
+        servable = deployment.servable
+        try:
+            batch = np.stack([request.sample for request in requests])
+            bucket = self._bucket(len(requests))
+            handle = deployment.shard_handle_for(work.shard, bucket, worker=worker)
+            result = handle.run(**{servable.query_param: pad_batch(batch, bucket)})
+            partial = np.asarray(result.output)[: len(requests)]
+        except Exception as exc:
+            if gather.fail(exc):  # first failing shard resolves the batch
+                for request in requests:
+                    if not request.future.done():
+                        request.future.set_exception(exc)
+                self.metrics.record_failure(len(requests))
+            return
+        if gather.complete(work.shard, partial):
+            outputs = deployment.reduce(gather.partials)
+            if servable.postprocess is not None:
+                outputs = servable.postprocess(outputs)
+            self._resolve(requests, outputs)
+
+    def _resolve(self, requests: list, outputs: np.ndarray) -> None:
         now = time.monotonic()
         for request, output in zip(requests, outputs):
             request.future.set_result(output)
@@ -226,8 +460,11 @@ class InferenceServer:
 
     # -- observability ------------------------------------------------------------
     def stats(self) -> ServerStats:
-        """A :class:`ServerStats` snapshot (latency, throughput, cache, workers)."""
-        return self.metrics.snapshot(cache=self.registry.cache, workers=self.pool.workers)
+        """A :class:`ServerStats` snapshot (latency, throughput, cache,
+        workers, deadline sheds and fair-scheduler lanes)."""
+        return self.metrics.snapshot(
+            cache=self.registry.cache, workers=self.pool.workers, scheduler=self._scheduler
+        )
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,62 @@
+"""The documentation suite must exist and its code snippets must run.
+
+README.md and docs/*.md embed runnable ```python blocks; this test drives
+the same extractor/executor as the CI docs job
+(``tools/check_doc_snippets.py``) so a doc edit that breaks a snippet
+fails tier-1 locally, not just in CI.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def _load_checker():
+    path = REPO_ROOT / "tools" / "check_doc_snippets.py"
+    spec = importlib.util.spec_from_file_location("check_doc_snippets", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+checker = _load_checker()
+
+
+def test_documentation_files_exist():
+    assert (REPO_ROOT / "README.md").is_file()
+    assert (REPO_ROOT / "docs" / "ARCHITECTURE.md").is_file()
+    assert (REPO_ROOT / "docs" / "SERVING.md").is_file()
+
+
+def test_extractor_respects_skip_marker():
+    text = "\n".join(
+        [
+            "intro",
+            "```python",
+            "x = 1",
+            "```",
+            checker.SKIP_MARKER,
+            "```python",
+            "raise RuntimeError('never runs')",
+            "```",
+            "```text",
+            "not python",
+            "```",
+        ]
+    )
+    snippets = checker.extract_snippets(text)
+    assert len(snippets) == 1
+    assert snippets[0][1] == "x = 1"
+
+
+@pytest.mark.parametrize(
+    "path", [pytest.param(p, id=str(p.relative_to(REPO_ROOT))) for p in checker.default_files()]
+)
+def test_doc_snippets_execute(path):
+    count = checker.run_file(path)
+    assert count >= 1, f"{path} has no runnable snippets — docs must stay executable"

@@ -15,15 +15,20 @@ from repro.backends import CPUBackend, compile as hdc_compile, compile_cached
 from repro.datasets import IsoletConfig, make_isolet_like
 from repro.serving import (
     CompiledProgramCache,
+    DeadlineExceeded,
+    FairScheduler,
     InferenceServer,
     MicroBatcher,
     ModelRegistry,
     Servable,
+    ShardedDeployment,
     bucket_for,
     pad_batch,
     program_signature,
+    reduce_partials,
 )
-from repro.serving.scheduler import WorkerPool, make_policy
+from repro.serving.batching import InferenceRequest
+from repro.serving.scheduler import BatchWork, WorkerPool, make_policy
 from repro.transforms import ApproximationConfig
 
 DIM = 256
@@ -251,6 +256,402 @@ class TestMicroBatcher:
         assert np.array_equal(padded[3:], np.repeat(batch[-1:], 5, axis=0))
         with pytest.raises(ValueError):
             pad_batch(batch, 2)
+
+
+class TestPrioritiesAndDeadlines:
+    def test_priority_lanes_flush_high_first(self):
+        batcher = MicroBatcher(max_batch_size=4, max_wait_seconds=10.0)
+        batcher.submit(np.array([0]), priority=0)
+        batcher.submit(np.array([1]), priority=0)
+        batcher.submit(np.array([2]), priority=5)
+        batcher.submit(np.array([3]), priority=-1)
+        batch = batcher.next_batch(timeout=1.0)
+        assert [int(r.sample[0]) for r in batch] == [2, 0, 1, 3]
+
+    def test_earliest_deadline_first_within_lane(self):
+        batcher = MicroBatcher(max_batch_size=4, max_wait_seconds=10.0)
+        batcher.submit(np.array([0]))  # no deadline: flushes last, FIFO
+        batcher.submit(np.array([1]), deadline_ms=5000)
+        batcher.submit(np.array([2]), deadline_ms=1000)
+        batcher.submit(np.array([3]), deadline_ms=3000)
+        batch = batcher.next_batch(timeout=1.0)
+        assert [int(r.sample[0]) for r in batch] == [2, 3, 1, 0]
+
+    def test_expired_requests_shed_with_typed_error(self):
+        shed_counts = []
+        batcher = MicroBatcher(
+            max_batch_size=64, max_wait_seconds=0.01, on_expire=shed_counts.append
+        )
+        doomed = [batcher.submit(np.array([i]), deadline_ms=1.0) for i in range(3)]
+        survivor = batcher.submit(np.array([9]))
+        time.sleep(0.02)
+        batch = batcher.next_batch(timeout=1.0)
+        assert [int(r.sample[0]) for r in batch] == [9]
+        assert batcher.expired == 3 and shed_counts == [3]
+        for future in doomed:
+            with pytest.raises(DeadlineExceeded):
+                future.result(timeout=0)
+        assert not survivor.done()
+
+    def test_tight_deadline_flushes_before_time_watermark(self):
+        batcher = MicroBatcher(max_batch_size=64, max_wait_seconds=0.5)
+        batcher.submit(np.array([0]), deadline_ms=20.0)
+        start = time.monotonic()
+        batch = batcher.next_batch(timeout=2.0)
+        waited = time.monotonic() - start
+        assert len(batch) == 1
+        assert waited < 0.2  # did not sit out the 500ms time watermark
+
+    def test_request_deadline_accessors(self):
+        request = InferenceRequest(np.zeros(1), deadline_ms=50.0)
+        assert request.deadline_at == pytest.approx(request.enqueued_at + 0.05)
+        assert not request.expired(request.enqueued_at + 0.01)
+        assert request.expired(request.enqueued_at + 0.06)
+        assert InferenceRequest(np.zeros(1)).deadline_at is None
+
+    def test_server_accounts_deadline_sheds(self, servable, dataset):
+        server = InferenceServer(workers=("cpu",), max_batch_size=8)
+        server.register(servable)
+        # Enqueue against the stopped server so the deadlines lapse in queue.
+        doomed = [
+            server.submit(servable.name, dataset.test_features[i], deadline_ms=1.0)
+            for i in range(5)
+        ]
+        time.sleep(0.03)
+        with server:
+            label = int(np.asarray(server.infer(servable.name, dataset.test_features[0])))
+            server.drain()
+            stats = server.stats()
+        for future in doomed:
+            with pytest.raises(DeadlineExceeded):
+                future.result(timeout=0)
+        assert stats.deadline_exceeded == 5
+        assert stats.requests == 1  # sheds are not served requests
+        assert 0 <= label < CLASSES
+
+
+class TestFairScheduler:
+    @staticmethod
+    def _work(enqueued_at=None):
+        request = InferenceRequest(np.zeros(1))
+        if enqueued_at is not None:
+            request.enqueued_at = enqueued_at
+        return BatchWork(None, [request])
+
+    def test_equal_weights_alternate(self):
+        scheduler = FairScheduler()
+        now = time.monotonic()
+        for name in ("a", "b"):
+            scheduler.ensure_lane(name)
+        works = {name: [self._work(now) for _ in range(3)] for name in ("a", "b")}
+        for name, items in works.items():
+            for item in items:
+                scheduler.offer(name, item)
+        served = [scheduler.next_ready(timeout=0.1) for _ in range(6)]
+        lanes = ["a" if w in works["a"] else "b" for w in served]
+        assert lanes[:2] in (["a", "b"], ["b", "a"])
+        assert lanes.count("a") == lanes.count("b") == 3
+        # Never two consecutive turns for the same lane while both have work.
+        assert all(lanes[i] != lanes[i + 1] for i in range(4))
+
+    def test_weighted_shares(self):
+        scheduler = FairScheduler()
+        now = time.monotonic()
+        scheduler.ensure_lane("heavy", weight=3.0)
+        scheduler.ensure_lane("light", weight=1.0)
+        heavy = [self._work(now) for _ in range(9)]
+        light = [self._work(now) for _ in range(9)]
+        for item in heavy:
+            scheduler.offer("heavy", item)
+        for item in light:
+            scheduler.offer("light", item)
+        first_eight = [scheduler.next_ready(timeout=0.1) for _ in range(8)]
+        n_heavy = sum(1 for w in first_eight if w in heavy)
+        assert n_heavy == 6  # 3:1 share over any window
+
+    def test_starvation_aging_boosts_old_head(self):
+        scheduler = FairScheduler(aging_seconds=0.05)
+        now = time.monotonic()
+        scheduler.ensure_lane("hot", weight=10.0)
+        scheduler.ensure_lane("cold", weight=0.1)
+        stale = self._work(now - 10.0)  # head has waited far past aging_seconds
+        fresh = [self._work(now) for _ in range(5)]
+        for item in fresh:
+            scheduler.offer("hot", item)
+        scheduler.offer("cold", stale)
+        assert scheduler.next_ready(timeout=0.1) is stale
+
+    def test_idle_lane_reenters_at_current_vtime(self):
+        scheduler = FairScheduler(aging_seconds=1000.0)  # effectively no aging
+        now = time.monotonic()
+        scheduler.ensure_lane("busy")
+        scheduler.ensure_lane("idle")
+        busy = [self._work(now) for _ in range(4)]
+        for item in busy:
+            scheduler.offer("busy", item)
+        for _ in range(4):
+            scheduler.next_ready(timeout=0.1)
+        # The idle lane must not replay the 4 turns it sat out.
+        late = [self._work(now) for _ in range(2)]
+        for item in late:
+            scheduler.offer("idle", item)
+        scheduler.offer("busy", self._work(now))
+        served = [scheduler.next_ready(timeout=0.1) for _ in range(3)]
+        assert sum(1 for w in served if w in late) == 2
+
+    def test_admissible_predicate_skips_blocked_lane(self):
+        scheduler = FairScheduler()
+        now = time.monotonic()
+        blocked = [self._work(now) for _ in range(3)]
+        free = [self._work(now) for _ in range(2)]
+        for item in blocked:
+            scheduler.offer("blocked", item)
+        for item in free:
+            scheduler.offer("free", item)
+        served = [
+            scheduler.next_ready(timeout=0.1, admissible=lambda w: w not in blocked)
+            for _ in range(2)
+        ]
+        # The blocked lane never head-of-line blocks the admissible one.
+        assert all(w in free for w in served)
+        assert scheduler.next_ready(timeout=0.05, admissible=lambda w: w not in blocked) is None
+        assert scheduler.pending() == 3  # blocked work still queued
+
+    def test_close_drains_then_signals(self):
+        scheduler = FairScheduler()
+        scheduler.offer("lane", self._work())
+        scheduler.close()
+        assert scheduler.next_ready(timeout=0.1) is not None
+        assert scheduler.next_ready(timeout=0.1) is None
+        assert scheduler.pending() == 0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            FairScheduler(aging_seconds=0.0)
+        scheduler = FairScheduler()
+        with pytest.raises(ValueError):
+            scheduler.ensure_lane("lane", weight=0.0)
+
+
+class TestMultiModelFairness:
+    def test_cold_model_p95_wait_bounded_under_skew(self):
+        """Acceptance: skewed two-model load keeps the cold model's p95
+        wait within 3x of the hot model's (FIFO would be unbounded)."""
+        hot = bipolar_servable(seed=3, name="hot-model")
+        cold = bipolar_servable(seed=4, name="cold-model")
+        server = InferenceServer(
+            workers=("cpu",),
+            max_batch_size=8,
+            max_wait_seconds=0.001,
+            worker_backlog_samples=16,
+        )
+        server.register(hot)
+        server.register(cold)
+        rng = np.random.default_rng(2)
+        hot_queries = (rng.integers(0, 2, (600, DIM)) * 2 - 1).astype(np.float32)
+        cold_queries = (rng.integers(0, 2, (12, DIM)) * 2 - 1).astype(np.float32)
+        latencies = {"hot": [], "cold": []}
+        lock = threading.Lock()
+
+        def tracked_submit(model, key, sample):
+            start = time.monotonic()
+
+            def record(_future):
+                with lock:
+                    latencies[key].append(time.monotonic() - start)
+
+            server.submit(model, sample).add_done_callback(record)
+
+        with server:
+            for sample in hot_queries:  # burst: saturates the worker
+                tracked_submit(hot.name, "hot", sample)
+            for sample in cold_queries:  # steady trickle during the backlog
+                tracked_submit(cold.name, "cold", sample)
+                time.sleep(0.002)
+            server.drain()
+            stats = server.stats()
+
+        from repro.serving import percentile
+
+        hot_p95 = percentile(latencies["hot"], 95)
+        cold_p95 = percentile(latencies["cold"], 95)
+        assert len(latencies["hot"]) == 600 and len(latencies["cold"]) == 12
+        assert cold_p95 <= 3.0 * hot_p95, (
+            f"cold p95 {cold_p95 * 1e3:.1f}ms vs hot p95 {hot_p95 * 1e3:.1f}ms"
+        )
+        assert stats.scheduler_stats["hot-model"]["served_batches"] >= 1
+        assert stats.scheduler_stats["cold-model"]["served_batches"] >= 1
+
+    def test_drain_idiom_yields_consistent_stats(self, servable, dataset):
+        server = InferenceServer(workers=("cpu",), max_batch_size=8)
+        server.register(servable)
+        with server:
+            futures = [
+                server.submit(servable.name, dataset.test_features[i]) for i in range(20)
+            ]
+            server.drain()
+            stats = server.stats()
+            assert stats.requests == 20  # every submitted request accounted for
+            assert all(future.done() for future in futures)
+
+    def test_reregister_while_stopped_preserves_queued_requests(
+        self, servable, dataset, per_request_labels
+    ):
+        """Regression: replacing a stopped server's batcher must adopt its
+        queued requests instead of orphaning their futures."""
+        server = InferenceServer(workers=("cpu",), max_batch_size=8)
+        server.register(servable)
+        future = server.submit(servable.name, dataset.test_features[0])
+        server.register(servable)  # re-register before ever starting
+        with server:
+            server.drain()
+        assert int(np.asarray(future.result(timeout=1.0))) == per_request_labels[0]
+
+    def test_submit_after_stop_rejected_until_restart(
+        self, servable, dataset, per_request_labels
+    ):
+        server = InferenceServer(workers=("cpu",), max_batch_size=8)
+        server.register(servable)
+        with server:
+            server.infer(servable.name, dataset.test_features[0])
+        with pytest.raises(RuntimeError):  # stopped queues reject, never orphan
+            server.submit(servable.name, dataset.test_features[1])
+        with server:  # restart reopens the queue
+            label = int(np.asarray(server.infer(servable.name, dataset.test_features[1])))
+        assert label == per_request_labels[1]
+
+    def test_drain_times_out_when_not_running(self, servable, dataset):
+        server = InferenceServer(workers=("cpu",), max_batch_size=8)
+        server.register(servable)
+        server.submit(servable.name, dataset.test_features[0])
+        with pytest.raises(TimeoutError):
+            server.drain(timeout=0.05)
+        with server:
+            server.drain()  # resolves once the server runs
+
+
+class TestShardedDeployments:
+    def test_reduce_partials_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        scores = rng.integers(0, 100, (10, 12)).astype(np.float32)
+        partials = [scores[:, :5], scores[:, 5:8], scores[:, 8:]]
+        assert np.array_equal(reduce_partials(partials, "argmin"), scores.argmin(axis=1))
+        assert np.array_equal(reduce_partials(partials, "argmax"), scores.argmax(axis=1))
+        top3 = reduce_partials(partials, "argmin", top_k=3)
+        assert np.array_equal(top3, np.argsort(scores, axis=1, kind="stable")[:, :3])
+        with pytest.raises(ValueError):
+            reduce_partials(partials, "median")
+        with pytest.raises(ValueError):
+            reduce_partials(partials, "argmin", top_k=13)
+
+    def test_sharded_registry_bit_identical(self, servable, dataset, per_request_labels):
+        registry = ModelRegistry()
+        for n_shards in (2, 4):
+            deployment = registry.register(servable, name=f"sharded-{n_shards}", shards=n_shards)
+            assert isinstance(deployment, ShardedDeployment)
+            out = np.asarray(deployment.run(dataset.test_features).output, dtype=np.int64)
+            assert np.array_equal(out, per_request_labels)
+
+    def test_sharded_server_bit_identical(self, servable, dataset, per_request_labels):
+        server = InferenceServer(workers=("cpu", "cpu"), max_batch_size=16, max_wait_seconds=0.005)
+        server.register(servable, name="sharded", shards=2)
+        with server:
+            results = server.infer_many("sharded", list(dataset.test_features))
+        served = np.array([int(np.asarray(r)) for r in results], dtype=np.int64)
+        assert np.array_equal(served, per_request_labels)
+
+    def test_sharded_top_k_contains_argmin(self, servable, dataset, per_request_labels):
+        registry = ModelRegistry()
+        deployment = registry.register(servable, name="sharded-topk", shards=2)
+        top2 = np.asarray(deployment.run(dataset.test_features, top_k=2).output)
+        assert top2.shape == (dataset.test_features.shape[0], 2)
+        assert np.array_equal(top2[:, 0], per_request_labels)
+
+    def test_shard_report_merges_partial_costs(self, servable, dataset):
+        registry = ModelRegistry()
+        deployment = registry.register(servable, name="sharded-report", shards=2)
+        result = deployment.run(dataset.test_features[:8])
+        assert result.report.kernel_launches > 0
+
+    def test_every_app_shard_spec_bit_identical(self):
+        """The shard hooks of the other four app adapters stay exact."""
+        rng = np.random.default_rng(17)
+
+        def clustering_servable():
+            from repro.apps.clustering import HDClustering
+
+            app = HDClustering(dimension=128)
+            rp = np.sign(rng.standard_normal((128, 16))).astype(np.float32)
+            clusters = np.sign(rng.standard_normal((5, 128))).astype(np.float32)
+            return app.as_servable(rp, clusters), rng.standard_normal((8, 16)).astype(np.float32)
+
+        def relhd_servable():
+            from repro.apps.relhd import RelHD
+
+            app = RelHD(dimension=128)
+            classes = np.sign(rng.standard_normal((7, 128))).astype(np.float32)
+            return app.as_servable(classes), np.sign(
+                rng.standard_normal((8, 128))
+            ).astype(np.float32)
+
+        def hyperoms_servable():
+            from repro.apps.hyperoms import HyperOMS
+
+            app = HyperOMS(dimension=128)
+            library = rng.random((12, 24)).astype(np.float32)
+            encodings = app.encode_library(library)
+            return app.as_servable(encodings, n_bins=24), rng.random((6, 24)).astype(np.float32)
+
+        def hashtable_servable():
+            from repro.apps.hashtable import HDHashtable
+            from repro.datasets.genomics import (
+                GenomicsConfig,
+                base_indices,
+                make_genomics_dataset,
+            )
+
+            config = GenomicsConfig(
+                genome_length=4000, bucket_size=500, read_length=60, n_reads=8, n_decoys=0,
+                kmer_length=8,
+            )
+            genomics = make_genomics_dataset(config)
+            app = HDHashtable(dimension=128)
+            base_hvs = app.make_base_hypervectors()
+            table = app.encode_reference_buckets(genomics, base_hvs)
+            queries = np.stack([base_indices(read) for read in genomics.reads[:6]])
+            return (
+                app.as_servable(
+                    table,
+                    read_length=config.read_length,
+                    kmer_length=config.kmer_length,
+                    base_hvs=base_hvs,
+                ),
+                queries,
+            )
+
+        for factory in (clustering_servable, relhd_servable, hyperoms_servable, hashtable_servable):
+            shardable, queries = factory()
+            registry = ModelRegistry()
+            base = np.asarray(registry.register(shardable).run(queries).output)
+            split = np.asarray(
+                registry.register(shardable, name="sharded", shards=2).run(queries).output
+            )
+            assert np.array_equal(base, split), shardable.name
+
+    def test_sharding_requires_spec_and_sane_counts(self, servable):
+        registry = ModelRegistry()
+        unshardable = Servable(
+            name="no-spec",
+            build_program=servable.build_program,
+            constants=servable.constants,
+            sample_shape=servable.sample_shape,
+        )
+        with pytest.raises(ValueError):
+            registry.register(unshardable, shards=2)
+        with pytest.raises(ValueError):
+            registry.register(servable, name="one", shards=1)
+        with pytest.raises(ValueError):
+            registry.register(servable, name="many", shards=CLASSES + 1)
 
 
 class TestSchedulingAndWorkers:

@@ -1,0 +1,101 @@
+"""Execute the fenced Python snippets of README.md and docs/*.md.
+
+Documentation that cannot run is documentation that rots.  This runner
+extracts every ```python fenced block from the given markdown files and
+executes each file's snippets in order inside one shared namespace (so a
+later snippet can build on an earlier one's variables, mirroring how a
+reader follows the page top to bottom).
+
+A block is skipped when the line immediately above its opening fence is
+the marker comment::
+
+    <!-- doc-snippet: skip -->
+
+Use the marker for illustrative fragments (pseudo-code, shell-flavoured
+transcripts) that are not meant to execute.
+
+Exit status is non-zero on the first failing snippet, printing the file,
+the snippet index and the traceback — which is what the CI docs job
+asserts on.
+
+Run with:  PYTHONPATH=src python tools/check_doc_snippets.py [files...]
+(defaults to README.md plus every markdown file under docs/).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import traceback
+from typing import List, Tuple
+
+SKIP_MARKER = "<!-- doc-snippet: skip -->"
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def extract_snippets(text: str) -> List[Tuple[int, str]]:
+    """All runnable ```python blocks as ``(start_line, source)`` pairs."""
+    snippets: List[Tuple[int, str]] = []
+    lines = text.splitlines()
+    index = 0
+    while index < len(lines):
+        line = lines[index].strip()
+        if line in ("```python", "```py"):
+            skip = index > 0 and lines[index - 1].strip() == SKIP_MARKER
+            start = index + 1
+            body: List[str] = []
+            index += 1
+            while index < len(lines) and lines[index].strip() != "```":
+                body.append(lines[index])
+                index += 1
+            if not skip:
+                snippets.append((start + 1, "\n".join(body)))
+        index += 1
+    return snippets
+
+
+def default_files() -> List[pathlib.Path]:
+    files = []
+    readme = REPO_ROOT / "README.md"
+    if readme.exists():
+        files.append(readme)
+    docs = REPO_ROOT / "docs"
+    if docs.is_dir():
+        files.extend(sorted(docs.glob("*.md")))
+    return files
+
+
+def run_file(path: pathlib.Path) -> int:
+    """Execute one file's snippets in a shared namespace; returns count."""
+    snippets = extract_snippets(path.read_text())
+    namespace: dict = {"__name__": "__doc_snippet__"}
+    try:
+        label = path.relative_to(REPO_ROOT)
+    except ValueError:
+        label = path
+    for number, (line, source) in enumerate(snippets, start=1):
+        try:
+            code = compile(source, f"{path.name}:snippet-{number}", "exec")
+            exec(code, namespace)
+        except Exception:
+            print(f"FAILED {path} snippet {number} (line {line}):", file=sys.stderr)
+            traceback.print_exc()
+            raise SystemExit(1)
+        print(f"ok {label} snippet {number} (line {line})")
+    return len(snippets)
+
+
+def main(argv: List[str]) -> int:
+    files = [pathlib.Path(arg).resolve() for arg in argv] if argv else default_files()
+    if not files:
+        print("no markdown files to check", file=sys.stderr)
+        return 1
+    total = 0
+    for path in files:
+        total += run_file(path)
+    print(f"{total} snippet(s) across {len(files)} file(s) executed cleanly")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
