@@ -18,10 +18,16 @@ actually hits.  A third pushes the same request stream through a
 **sharded deployment** (class memory split across two workers, partial
 scores reduced on the way back) and asserts the scatter/reduce path is
 bit-identical to unsharded serving while reporting its throughput cost.
+A fourth drives the **socket transport**: one blocking network client is
+latency-bound (each request pays a batching wait plus a socket round
+trip), while 8 concurrent clients coalesce into shared micro-batches on
+the server — the benchmark asserts the >= 2x aggregate-throughput
+scaling that the transport front end exists to deliver.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 
 import numpy as np
@@ -31,9 +37,13 @@ from repro.apps import HDClassificationInference
 from repro.backends import compile as hdc_compile
 from repro.datasets import make_isolet_like
 from repro.serving import InferenceServer, ModelRegistry
+from repro.serving.transport import ServingClient, TransportServer
 
 #: Number of single-sample requests pushed through both flows.
 N_REQUESTS = 512
+
+#: Socket requests per concurrency level of the transport benchmark.
+N_SOCKET_REQUESTS = 192
 
 
 @pytest.fixture(scope="module")
@@ -142,6 +152,76 @@ def test_sharded_deployment_throughput(benchmark, servable, requests):
     # Scatter pays one extra encode per shard, so allow slack — but the
     # sharded path must stay within the same order of magnitude.
     assert sharded_rps >= 0.2 * unsharded_rps
+
+
+def test_socket_clients_scale_aggregate_throughput(benchmark, servable, requests):
+    """8 concurrent socket clients must deliver >= 2x the aggregate
+    throughput of 1 client on CPU ISOLET classification.
+
+    A single blocking client serializes (submit, batching wait, execute,
+    socket round trip) per request; concurrent clients keep the
+    micro-batcher fed, so the batched kernel path amortizes across
+    connections.  That cross-client coalescing is the point of fronting
+    the shared RequestBroker with a network transport.
+    """
+    server = InferenceServer(workers=("cpu",), max_batch_size=64, max_wait_seconds=0.002)
+    server.register(servable)
+    server.start()
+    transport = TransportServer(server)
+    host, port = transport.start()
+    samples = requests[:N_SOCKET_REQUESTS]
+
+    def run_clients(n_clients: int) -> float:
+        """Aggregate seconds for the whole request set split evenly."""
+        chunks = np.array_split(np.arange(samples.shape[0]), n_clients)
+        errors = []
+
+        def client_loop(indices) -> None:
+            try:
+                with ServingClient(host, port, timeout=60.0) as client:
+                    for i in indices:
+                        client.infer(servable.name, samples[i])
+            except Exception as exc:
+                errors.append(exc)
+
+        threads = [threading.Thread(target=client_loop, args=(c,)) for c in chunks]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - start
+        assert not errors, errors
+        return elapsed
+
+    try:
+        run_clients(1)  # warm every bucket/handle before timing
+        single_seconds = run_clients(1)
+
+        def timed_concurrent():
+            return run_clients(8)
+
+        concurrent_seconds = benchmark.pedantic(timed_concurrent, rounds=1, iterations=1)
+        server.drain()
+        stats = server.stats()
+    finally:
+        transport.stop()
+        server.stop()
+
+    single_rps = samples.shape[0] / single_seconds
+    concurrent_rps = samples.shape[0] / concurrent_seconds
+    scaling = concurrent_rps / single_rps
+    benchmark.extra_info["single_client_rps"] = single_rps
+    benchmark.extra_info["eight_client_rps"] = concurrent_rps
+    benchmark.extra_info["scaling"] = scaling
+    benchmark.extra_info["mean_batch_size"] = stats.mean_batch_size
+    print(
+        f"\nsocket transport: {samples.shape[0]} requests, "
+        f"1 client {single_rps:.0f} req/s, 8 clients {concurrent_rps:.0f} req/s "
+        f"({scaling:.1f}x), mean batch {stats.mean_batch_size:.1f}"
+    )
+    assert stats.failures == 0
+    assert scaling >= 2.0
 
 
 def test_registry_round_trip_hits_compile_cache(benchmark, servable):

@@ -19,6 +19,7 @@ the benchmark harnesses consume.
 
 from __future__ import annotations
 
+import pickle
 import time
 from dataclasses import dataclass, field
 from typing import Optional
@@ -281,6 +282,44 @@ class Backend:
     # -- hooks ----------------------------------------------------------------------
     def prepare(self, program: Program, graph: DataflowGraph, config: ApproximationConfig) -> None:
         """Back-end specific compilation work (kernel selection, device setup)."""
+
+    # -- compiled-program serialization ----------------------------------------------
+    def serialize_compiled(self, compiled: "CompiledProgram") -> bytes:
+        """Serialize a compiled artifact for cross-process cache persistence.
+
+        The default serializes the post-compilation state — the transformed
+        program, the lowered/verified dataflow graph, the pass report and
+        the approximation config — so that :meth:`deserialize_compiled` can
+        skip tracing, transforms, lowering and verification entirely.
+        Programs that close over Python callables (eager ``parallel_map`` /
+        ``training_loop`` implementations) raise here; the serving cache
+        skips such entries and recompiles them after a restart.
+
+        Back ends holding device state may override both hooks to persist
+        (or refuse to persist) that state explicitly.
+        """
+        return pickle.dumps(
+            {
+                "program": compiled.program,
+                "graph": compiled.graph,
+                "pass_report": compiled.pass_report,
+                "config": compiled.config,
+            },
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+
+    def deserialize_compiled(self, payload: bytes) -> "CompiledProgram":
+        """Restore an artifact serialized by :meth:`serialize_compiled`.
+
+        Re-runs only :meth:`prepare` (kernel selection, device setup) on
+        this back-end instance — steps 1-3 of the compile workflow are
+        restored from the payload, not repeated.
+        """
+        state = pickle.loads(payload)
+        self.prepare(state["program"], state["graph"], state["config"])
+        return CompiledProgram(
+            self, state["program"], state["graph"], state["pass_report"], state["config"]
+        )
 
     def execute(
         self, compiled: CompiledProgram, env: dict[int, np.ndarray], report: ExecutionReport

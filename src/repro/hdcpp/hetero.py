@@ -81,20 +81,68 @@ def parallel_map(
     return _eager_parallel_map(impl, inputs, extra, element)
 
 
+#: Errors that indicate an implementation function is not batchable (it was
+#: written for a single row and chokes on a whole hypermatrix); anything
+#: else — a genuine implementation bug — must propagate.  Extends the
+#: batched-strategy set of :class:`repro.backends.executor
+#: .HostStageExecutor` with AttributeError/KeyError because the eager
+#: probe is *speculative*: a row impl touching HyperVector-only surface
+#: (``.dim``, ``len(row)``, ``row[i]``) must fall back, not crash code
+#: that worked before vectorization.
+_BATCH_FALLBACK_ERRORS = (TypeError, ValueError, IndexError, AttributeError, KeyError)
+
+
+def _apply_row(impl, row, extra):
+    return impl(row) if extra is None else impl(row, extra)
+
+
 def _eager_parallel_map(impl, inputs, extra, element: ElementType):
+    """Eager execution: one vectorized pass when possible, per-row otherwise.
+
+    The hot path hands the *whole* hypermatrix to ``impl`` in a single
+    call, so row-wise NumPy implementations (every elementwise primitive,
+    and encoders written to broadcast) run as one library call instead of
+    ``rows`` Python iterations — the ROADMAP-flagged eager-encoder
+    bottleneck.  The batched result is accepted only when it is
+    **bit-identical** to the per-row loop on the boundary rows: the first
+    and last row are recomputed via the per-row path and compared exactly,
+    which rejects implementations whose matrix semantics differ from
+    row-at-a-time application (reductions or scans across the row axis).
+    On a shape mismatch, a fallback error or a boundary-row mismatch, the
+    original per-row loop runs instead, so results never change — only
+    the number of Python-level iterations does.
+    """
     if isinstance(impl, TracedFunction):
         raise TracingError(
             "eager parallel_map requires a Python callable implementation; "
             "traced implementations are executed by compiled programs"
         )
     inputs_hm = inputs if isinstance(inputs, HyperMatrix) else HyperMatrix(as_numpy(inputs))
-    rows = []
-    for i in range(inputs_hm.rows):
-        row = inputs_hm.row(i)
-        out = impl(row) if extra is None else impl(row, extra)
-        rows.append(as_numpy(out))
-    out_element = element
-    sample = impl(inputs_hm.row(0)) if extra is None else impl(inputs_hm.row(0), extra)
-    if isinstance(sample, (HyperVector, HyperMatrix)):
-        out_element = sample.element
+    n_rows = inputs_hm.rows
+    first = _apply_row(impl, inputs_hm.row(0), extra)
+    out_element = first.element if isinstance(first, (HyperVector, HyperMatrix)) else element
+    first_arr = as_numpy(first)
+    if n_rows == 1:
+        return HyperMatrix(np.stack([first_arr]), out_element)
+    last_arr = as_numpy(_apply_row(impl, inputs_hm.row(n_rows - 1), extra))
+    try:
+        batched = _apply_row(impl, inputs_hm, extra)
+    except _BATCH_FALLBACK_ERRORS:
+        batched = None
+    if batched is not None:
+        batched_arr = as_numpy(batched)
+        if (
+            batched_arr.ndim == first_arr.ndim + 1
+            and batched_arr.shape[0] == n_rows
+            and batched_arr.shape[1:] == first_arr.shape
+            and np.array_equal(batched_arr[0], first_arr)
+            and np.array_equal(batched_arr[-1], last_arr)
+        ):
+            if isinstance(batched, (HyperVector, HyperMatrix)):
+                out_element = batched.element
+            return HyperMatrix(batched_arr, out_element)
+    rows = [first_arr]
+    for i in range(1, n_rows - 1):
+        rows.append(as_numpy(_apply_row(impl, inputs_hm.row(i), extra)))
+    rows.append(last_arr)
     return HyperMatrix(np.stack(rows), out_element)

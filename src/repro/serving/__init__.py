@@ -30,10 +30,20 @@ pushes a stream of single-sample requests through them:
   memory across N workers and reduces partial similarity scores back into
   predictions, bit-identically to the unsharded program.
 * :class:`~repro.serving.metrics.ServingMetrics` /
-  :class:`~repro.serving.metrics.ServerStats` — latency percentiles,
+  :class:`~repro.serving.metrics.ServerStats` — latency percentiles with a
+  per-deployment queue-wait/execute split and SLO violation counters,
   throughput, batch-size histogram, cache hit rate, elided transfers.
-* :class:`~repro.serving.server.InferenceServer` — the facade wiring all of
-  the above together; see :mod:`examples.serving_quickstart`.
+* :class:`~repro.serving.broker.RequestBroker` — the transport-agnostic
+  core owning the whole submit→batch→schedule→dispatch→settle path; front
+  ends adapt callers onto its future contract.
+* :class:`~repro.serving.server.InferenceServer` — the synchronous
+  in-process front end (a thin adapter over a broker it owns); see
+  :mod:`examples.serving_quickstart`.
+* :mod:`repro.serving.transport` — the network front end: an asyncio
+  socket server speaking length-prefixed JSON/binary frames plus a
+  blocking :class:`~repro.serving.transport.ServingClient`; see
+  :mod:`examples.network_serving`.  (Import the subpackage explicitly —
+  it is not pulled in here, so broker-only deployments skip asyncio.)
 """
 
 from repro.serving.batching import (
@@ -43,6 +53,7 @@ from repro.serving.batching import (
     bucket_for,
     pad_batch,
 )
+from repro.serving.broker import RequestBroker
 from repro.serving.cache import (
     CacheStats,
     CompiledProgramCache,
@@ -80,6 +91,7 @@ from repro.serving.server import InferenceServer
 
 __all__ = [
     "InferenceServer",
+    "RequestBroker",
     "ModelRegistry",
     "Deployment",
     "ShardedDeployment",

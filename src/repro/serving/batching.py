@@ -101,29 +101,39 @@ def _flush_key(request: InferenceRequest) -> tuple:
 
 
 def shed_expired(
-    requests: List[InferenceRequest], now: Optional[float] = None
+    requests: List[InferenceRequest],
+    now: Optional[float] = None,
+    on_shed: Optional[Callable[[int], None]] = None,
 ) -> "tuple[List[InferenceRequest], int]":
     """Split requests into (live, n_shed), failing the expired ones.
 
     The single definition of shed semantics: every expired request's
     future resolves to a typed :class:`DeadlineExceeded` here, whether
     the shed happens in the batcher lanes or later in the dispatcher.
+
+    ``on_shed`` (the stats-accounting hook) is invoked with the shed
+    count **before** the futures resolve: a caller that observes a
+    request's ``DeadlineExceeded`` is therefore guaranteed to see that
+    shed in the next metrics snapshot, so the drain-then-stats idiom
+    never undercounts.
     """
     now = time.monotonic() if now is None else now
     live: List[InferenceRequest] = []
-    shed = 0
+    expired: List[InferenceRequest] = []
     for request in requests:
-        if request.expired(now):
-            request.future.set_exception(
-                DeadlineExceeded(
-                    f"request shed after {(now - request.enqueued_at) * 1e3:.1f}ms "
-                    f"(deadline {request.deadline_ms}ms)"
-                )
+        (expired if request.expired(now) else live).append(request)
+    if expired and on_shed is not None:
+        on_shed(len(expired))
+    for request in expired:
+        if request.future.done():  # defensive: never die on a settled future
+            continue
+        request.future.set_exception(
+            DeadlineExceeded(
+                f"request shed after {(now - request.enqueued_at) * 1e3:.1f}ms "
+                f"(deadline {request.deadline_ms}ms)"
             )
-            shed += 1
-        else:
-            live.append(request)
-    return live, shed
+        )
+    return live, len(expired)
 
 
 def bucket_for(size: int, max_batch_size: int) -> int:
@@ -208,6 +218,12 @@ class MicroBatcher:
                 before dispatch.
         """
         request = InferenceRequest(np.asarray(sample), priority=int(priority), deadline_ms=deadline_ms)
+        # Mark the future RUNNING so callers (notably asyncio.wrap_future
+        # during a transport shutdown) cannot cancel it: a cancelled
+        # future would make the worker's set_result raise
+        # InvalidStateError and kill the worker thread mid-batch.
+        # Shedding remains the only way a request dies early.
+        request.future.set_running_or_notify_cancel()
         with self._cond:
             if self._closed:
                 raise RuntimeError("batcher is closed")
@@ -256,20 +272,23 @@ class MicroBatcher:
     def _shed_expired(self, now: float) -> None:
         """Drop expired requests, resolving their futures with the typed error.
 
-        Caller must hold the lock.
+        Caller must hold the lock.  Accounting (``expired`` counter and
+        the ``on_expire`` callback) runs before the futures resolve — see
+        :func:`shed_expired` — so stats reads taken after observing a
+        shed never miss it.
         """
-        shed = 0
+
+        def account(n_shed: int) -> None:
+            self.expired += n_shed
+            if self.on_expire is not None:
+                self.on_expire(n_shed)
+
         for priority in list(self._lanes):
-            live, lane_shed = shed_expired(self._lanes[priority], now)
-            shed += lane_shed
+            live, _ = shed_expired(self._lanes[priority], now, on_shed=account)
             if live:
                 self._lanes[priority] = live
             else:
                 del self._lanes[priority]
-        if shed:
-            self.expired += shed
-            if self.on_expire is not None:
-                self.on_expire(shed)
 
     # -- consumer side ------------------------------------------------------------
     def next_batch(self, timeout: Optional[float] = None) -> Optional[List[InferenceRequest]]:

@@ -1,0 +1,432 @@
+"""The transport-agnostic request core of the serving runtime.
+
+:class:`RequestBroker` owns the whole submit→batch→schedule→dispatch→settle
+path and speaks **futures** at its boundary: :meth:`RequestBroker.submit`
+enqueues one sample and returns a :class:`concurrent.futures.Future` that
+resolves to the request's result (or error).  Everything above the broker
+is a *front end* that adapts some caller interface onto that future
+contract:
+
+* :class:`repro.serving.server.InferenceServer` — the synchronous
+  in-process API (``submit`` / ``infer`` / ``infer_many``), now a thin
+  adapter over a broker it owns;
+* :mod:`repro.serving.transport` — the asyncio socket front end, which
+  bridges broker futures onto awaitables (``asyncio.wrap_future``) so many
+  network clients coalesce into the same micro-batches.
+
+Request flow: ``submit`` enqueues a single sample (optionally with a
+``priority`` lane and a ``deadline_ms`` budget) into the model's
+:class:`~repro.serving.batching.MicroBatcher`; a per-model *feeder* thread
+releases batches when a watermark trips and offers them to the
+:class:`~repro.serving.scheduler.FairScheduler`; one *dispatcher* thread
+drains the scheduler under weighted round-robin with starvation aging —
+holding batches back while every eligible worker is saturated, so a hot
+model's backlog queues in the scheduler (where it can be interleaved)
+instead of in worker FIFOs (where it cannot) — and routes each batch to a
+worker under the pool's policy.  The worker pads the batch to a
+power-of-two bucket, runs it through the deployment's warm
+:class:`~repro.backends.BoundProgram` handle (compiled at most once per
+bucket via the shared program cache), and resolves the per-request futures
+with the sliced results.
+
+Sharded deployments scatter instead of dispatching: one batch fans out to
+N workers, each searching its slice of the class memory, and the last
+shard to finish reduces the gathered partial scores back into predictions
+(see :class:`~repro.serving.registry.ShardedDeployment`).
+
+Requests whose deadline expires before execution are shed with a typed
+:class:`~repro.serving.batching.DeadlineExceeded` error and counted in
+``ServerStats.deadline_exceeded``.  Per deployment, the broker records the
+queue-wait vs execute latency split and enforces the optional SLO
+violation counter (see :mod:`repro.serving.metrics`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from typing import List, Optional
+
+import numpy as np
+
+from repro.serving.batching import MicroBatcher, bucket_for, pad_batch, shed_expired
+from repro.serving.metrics import ServerStats, ServingMetrics
+from repro.serving.registry import Deployment, ModelRegistry, ShardedDeployment
+from repro.serving.scheduler import BatchWork, FairScheduler, ShardGather, Worker, WorkerPool
+
+__all__ = ["RequestBroker"]
+
+
+class RequestBroker:
+    """The futures-speaking submit→batch→schedule→dispatch→settle core.
+
+    Args:
+        registry: Deployment lookup (and the shared compile cache).
+        pool: The worker pool executing dispatched batches.
+        max_batch_size: Micro-batching size watermark.
+        max_wait_seconds: Micro-batching time watermark.
+        pad_to_buckets: Pad batches to power-of-two buckets so at most
+            ``log2(max_batch_size) + 1`` program variants compile per
+            (model, target); disable to compile exact batch shapes.
+        latency_window: Retained latency samples for the percentiles.
+        scheduler_aging_seconds: Starvation-aging constant of the
+            :class:`FairScheduler` — the head-of-lane wait that earns one
+            weighted-round-robin turn.
+        worker_backlog_samples: Admission-control threshold: the
+            dispatcher holds the next batch while every eligible worker
+            has at least this many samples in flight.  Defaults to
+            ``2 * max_batch_size`` (one executing batch plus one queued).
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        pool: WorkerPool,
+        max_batch_size: int = 64,
+        max_wait_seconds: float = 0.002,
+        pad_to_buckets: bool = True,
+        latency_window: int = 8192,
+        scheduler_aging_seconds: float = 0.25,
+        worker_backlog_samples: Optional[int] = None,
+    ):
+        self.registry = registry
+        self.pool = pool
+        self.max_batch_size = max_batch_size
+        self.max_wait_seconds = max_wait_seconds
+        self.pad_to_buckets = pad_to_buckets
+        self.scheduler_aging_seconds = scheduler_aging_seconds
+        self.worker_backlog_samples = (
+            worker_backlog_samples if worker_backlog_samples is not None else 2 * max_batch_size
+        )
+        self.metrics = ServingMetrics(latency_window=latency_window)
+        self._scheduler: Optional[FairScheduler] = None
+        self._batchers: dict = {}
+        self._weights: dict = {}
+        self._feeders: List[threading.Thread] = []
+        self._dispatcher: Optional[threading.Thread] = None
+        self._lock = threading.Lock()
+        self._running = False
+        # Outstanding-request accounting behind drain(): every submitted
+        # future counts until it resolves (result, failure or shed).
+        self._outstanding = 0
+        self._drain_cond = threading.Condition()
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    # -- model wiring -------------------------------------------------------------
+    def add_model(
+        self,
+        deployment: Deployment,
+        weight: float = 1.0,
+        slo_ms: Optional[float] = None,
+    ) -> None:
+        """Set up (or replace) the request queue of one deployment.
+
+        Re-adding under an existing name hot-swaps the model's queue.
+        While running, closing the old batcher makes its feeder drain the
+        queued requests (against the old deployment) and exit.  While
+        stopped there is no feeder, so the new batcher adopts the queued
+        requests instead — they resolve against the new deployment once
+        the broker starts, never orphaned.
+
+        Args:
+            weight: Fair-scheduler share.  Under contention a deployment
+                receives batches proportionally to its weight, with
+                starvation aging protecting low-weight lanes.
+            slo_ms: Optional end-to-end latency SLO; served requests
+                exceeding it are counted per model in
+                ``ServerStats.model_stats[name]["slo_violations"]``.
+        """
+        with self._lock:
+            old = self._batchers.get(deployment.name)
+            batcher = self._make_batcher()
+            if old is not None:
+                if not self._running:
+                    batcher.adopt(old.drain_requests())
+                old.close()
+            self._batchers[deployment.name] = batcher
+            self._weights[deployment.name] = float(weight)
+            self.metrics.set_slo(deployment.name, slo_ms)
+            if self._scheduler is not None:
+                self._scheduler.ensure_lane(deployment.name, weight)
+            if self._running:
+                self._start_feeder(deployment.name)
+
+    def _make_batcher(self) -> MicroBatcher:
+        return MicroBatcher(
+            max_batch_size=self.max_batch_size,
+            max_wait_seconds=self.max_wait_seconds,
+            on_expire=self.metrics.record_expired,
+        )
+
+    # -- lifecycle ----------------------------------------------------------------
+    def start(self) -> "RequestBroker":
+        """Start (or restart) workers, per-model feeders and the dispatcher."""
+        with self._lock:
+            if self._running:
+                return self
+            self._running = True
+            if self._scheduler is None or self._scheduler.closed:
+                self._scheduler = FairScheduler(aging_seconds=self.scheduler_aging_seconds)
+            for name in self._batchers:
+                self._scheduler.ensure_lane(name, self._weights.get(name, 1.0))
+            self.pool.start(self._execute)
+            for name, batcher in list(self._batchers.items()):
+                if batcher.closed:  # restarted after stop(): reopen the queue
+                    reopened = self._make_batcher()
+                    reopened.adopt(batcher.drain_requests())
+                    self._batchers[name] = reopened
+                self._start_feeder(name)
+            self._dispatcher = threading.Thread(
+                target=self._dispatch_loop,
+                args=(self._scheduler,),
+                name="hdc-dispatch",
+                daemon=True,
+            )
+            self._dispatcher.start()
+        return self
+
+    def _start_feeder(self, name: str) -> None:
+        thread = threading.Thread(
+            target=self._feed_loop,
+            args=(name, self._batchers[name], self._scheduler),
+            name=f"hdc-feed-{name}",
+            daemon=True,
+        )
+        self._feeders.append(thread)
+        thread.start()
+
+    def stop(self) -> None:
+        """Drain queued requests, then stop feeders, dispatcher and workers."""
+        with self._lock:
+            if not self._running:
+                return
+            self._running = False
+            batchers = list(self._batchers.values())
+            feeders = list(self._feeders)
+            dispatcher = self._dispatcher
+            scheduler = self._scheduler
+            self._feeders = []
+            self._dispatcher = None
+        for batcher in batchers:
+            batcher.close()
+        for thread in feeders:  # feeders drain their batchers, then exit
+            thread.join()
+        if scheduler is not None:
+            scheduler.close()  # dispatcher drains remaining lanes, then exits
+        if dispatcher is not None:
+            dispatcher.join()
+        self.pool.stop()
+
+    def drain(self, timeout: Optional[float] = None) -> None:
+        """Block until every submitted request has resolved.
+
+        "Resolved" covers successful results, failures and deadline sheds
+        alike.  This is the idiom for reading a consistent
+        :class:`ServerStats` snapshot while the broker keeps running.
+
+        Raises:
+            TimeoutError: The queue did not empty within ``timeout``
+                seconds (e.g. the broker was never started).
+        """
+        with self._drain_cond:
+            if not self._drain_cond.wait_for(lambda: self._outstanding == 0, timeout):
+                raise TimeoutError(
+                    f"drain timed out with {self._outstanding} requests outstanding"
+                )
+
+    # -- request path -------------------------------------------------------------
+    def submit(
+        self,
+        model: str,
+        sample: np.ndarray,
+        priority: int = 0,
+        deadline_ms: Optional[float] = None,
+    ) -> Future:
+        """Enqueue one sample; returns a future resolving to its result.
+
+        Args:
+            priority: Batching lane; higher-priority requests flush first.
+            deadline_ms: Latency budget from now, in milliseconds.  The
+                future raises :class:`DeadlineExceeded` if the budget runs
+                out before the request executes.
+        """
+        deployment = self.registry.get(model)
+        batcher = self._batchers[deployment.name]
+        future = batcher.submit(
+            deployment.servable.validate_sample(sample),
+            priority=priority,
+            deadline_ms=deadline_ms,
+        )
+        with self._drain_cond:
+            self._outstanding += 1
+        future.add_done_callback(self._on_request_done)
+        return future
+
+    def _on_request_done(self, _future) -> None:
+        with self._drain_cond:
+            self._outstanding -= 1
+            if self._outstanding == 0:
+                self._drain_cond.notify_all()
+
+    # -- feed / dispatch ----------------------------------------------------------
+    def _feed_loop(self, name: str, batcher: MicroBatcher, scheduler: FairScheduler) -> None:
+        """Per-model feeder: batcher watermarks -> fair-scheduler lane."""
+        deployment = self.registry.get(name)
+        while True:
+            batch = batcher.next_batch(timeout=0.1)
+            if batch is None:
+                if batcher.closed:
+                    return
+                continue
+            scheduler.offer(name, BatchWork(deployment, batch))
+
+    def _admissible(self, work: BatchWork) -> bool:
+        """Admission control: some eligible worker has queue headroom.
+
+        Applied per lane inside the scheduler's selection, so a model
+        whose workers are saturated never head-of-line blocks a model
+        whose workers are idle (heterogeneous pools).  Workers keep
+        draining during shutdown (the pool stops after the dispatcher
+        exits), so inadmissible batches always become admissible.
+        """
+        return self.pool.min_backlog(work.deployment.servable) < self.worker_backlog_samples
+
+    def _dispatch_loop(self, scheduler: FairScheduler) -> None:
+        """Single dispatcher: fair-scheduler -> worker pool, with admission
+        control so backlogs queue where they can still be reordered."""
+        while True:
+            work = scheduler.next_ready(timeout=0.1, admissible=self._admissible)
+            if work is None:
+                if scheduler.closed and scheduler.pending() == 0:
+                    return
+                continue
+            work.requests = self._shed_expired(work.requests)
+            if not work.requests:
+                continue
+            servable = work.deployment.servable
+            try:
+                if isinstance(work.deployment, ShardedDeployment):
+                    gather = ShardGather(work.deployment.n_shards)
+                    works = [
+                        BatchWork(work.deployment, work.requests, shard=i, gather=gather)
+                        for i in range(work.deployment.n_shards)
+                    ]
+                    self.pool.dispatch_scatter(servable, works)
+                else:
+                    self.pool.dispatch(servable, work)
+            except Exception as exc:  # no eligible worker — fail the batch
+                for request in work.requests:
+                    if not request.future.done():
+                        request.future.set_exception(exc)
+                self.metrics.record_failure(len(work.requests))
+
+    def _shed_expired(self, requests: list) -> list:
+        """Drop requests whose deadline lapsed while queued for dispatch.
+
+        Sheds are recorded before their futures resolve (``on_shed``), so
+        a caller that saw the ``DeadlineExceeded`` also sees the count."""
+        live, _ = shed_expired(requests, on_shed=self.metrics.record_expired)
+        return live
+
+    def _bucket(self, size: int) -> int:
+        if not self.pad_to_buckets:
+            return size
+        return bucket_for(size, self.max_batch_size)
+
+    # -- execution (worker threads) -----------------------------------------------
+    def _execute(self, worker: Worker, work: BatchWork) -> None:
+        """Run one work item on a worker (called on the worker thread)."""
+        if work.gather is not None:
+            self._execute_shard(worker, work)
+            return
+        deployment, requests = work.deployment, work.requests
+        started = time.monotonic()
+        try:
+            servable = deployment.servable
+            batch = np.stack([request.sample for request in requests])
+            bucket = self._bucket(len(requests))
+            handle = deployment.handle_for(bucket, worker=worker)
+            result = handle.run(**{servable.query_param: pad_batch(batch, bucket)})
+            outputs = np.asarray(result.output)
+            if servable.postprocess is not None:
+                outputs = servable.postprocess(outputs)
+            outputs = outputs[: len(requests)]
+        except Exception as exc:
+            for request in requests:
+                if not request.future.done():
+                    request.future.set_exception(exc)
+            self.metrics.record_failure(len(requests))
+            return
+        self._resolve(deployment.name, requests, outputs, started)
+
+    def _execute_shard(self, worker: Worker, work: BatchWork) -> None:
+        """Run one shard's partial-score program; the last shard reduces."""
+        deployment, requests, gather = work.deployment, work.requests, work.gather
+        servable = deployment.servable
+        started = time.monotonic()
+        try:
+            batch = np.stack([request.sample for request in requests])
+            bucket = self._bucket(len(requests))
+            handle = deployment.shard_handle_for(work.shard, bucket, worker=worker)
+            result = handle.run(**{servable.query_param: pad_batch(batch, bucket)})
+            partial = np.asarray(result.output)[: len(requests)]
+        except Exception as exc:
+            if gather.fail(exc):  # first failing shard resolves the batch
+                for request in requests:
+                    if not request.future.done():
+                        request.future.set_exception(exc)
+                self.metrics.record_failure(len(requests))
+            return
+        if gather.complete(work.shard, partial):
+            outputs = deployment.reduce(gather.partials)
+            if servable.postprocess is not None:
+                outputs = servable.postprocess(outputs)
+            # The latency split attributes the reducing shard's execute
+            # window; earlier shards overlap it, so "execute" is the
+            # critical-path tail rather than summed shard time.
+            self._resolve(deployment.name, requests, outputs, started)
+
+    def _resolve(
+        self, model: str, requests: list, outputs: np.ndarray, execute_started: float
+    ) -> None:
+        now = time.monotonic()
+        execute_seconds = now - execute_started
+        for request, output in zip(requests, outputs):
+            if request.future.done():  # defensive: never die on a settled future
+                continue
+            request.future.set_result(output)
+            self.metrics.record_request(
+                now - request.enqueued_at,
+                model=model,
+                queue_wait_seconds=max(0.0, execute_started - request.enqueued_at),
+                execute_seconds=execute_seconds,
+            )
+        self.metrics.record_batch(len(requests))
+
+    # -- observability ------------------------------------------------------------
+    def stats(self) -> ServerStats:
+        """A :class:`ServerStats` snapshot (latency splits, throughput,
+        cache, workers, deadline sheds, SLOs and fair-scheduler lanes)."""
+        return self.metrics.snapshot(
+            cache=self.registry.cache, workers=self.pool.workers, scheduler=self._scheduler
+        )
+
+    def reset_stats(self) -> None:
+        """Zero the metrics window (per-interval reporting; SLOs survive)."""
+        self.metrics.reset()
+
+    def model_names(self) -> list:
+        """Deployments with a live request queue, sorted by name."""
+        with self._lock:
+            return sorted(self._batchers)
+
+    def __repr__(self) -> str:
+        return (
+            f"RequestBroker(models={self.model_names()}, pool={self.pool!r}, "
+            f"max_batch={self.max_batch_size}, wait={self.max_wait_seconds * 1e3:.1f}ms, "
+            f"running={self._running})"
+        )

@@ -13,15 +13,29 @@ state (see :func:`program_signature` and
 :func:`repro.serving.servable.servable_signature`) and *scope* isolates
 entries that cannot be shared — e.g. accelerator back ends whose compiled
 programs are tied to one device's residency state.
+
+The cache is **persistent**: :meth:`CompiledProgramCache.save` serializes
+every artifact through its back end's serialization hook
+(:meth:`repro.backends.Backend.serialize_compiled`) and
+:meth:`CompiledProgramCache.load` restores them into a fresh process —
+under the very same keys, so a restarted server's first registration hits
+instead of re-running trace/transform/lower/verify.  Hits served from
+loaded entries are additionally counted in ``CacheStats.warm_hits``,
+which is how tests (and operators) assert that a warm restart really
+skipped compilation.  Entries whose programs cannot be serialized (e.g.
+eager implementation closures) are skipped at save time and simply
+recompile on first use after a restart.
 """
 
 from __future__ import annotations
 
 import hashlib
+import os
+import pickle
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Optional, Tuple, Union
+from typing import Callable, Dict, Optional, Tuple, Union
 
 from repro.backends.base import Backend, CompiledProgram
 from repro.hdcpp.program import Program
@@ -87,11 +101,17 @@ def program_signature(program: Program) -> str:
 
 @dataclass
 class CacheStats:
-    """Hit/miss accounting for one cache instance."""
+    """Hit/miss accounting for one cache instance.
+
+    ``warm_hits`` counts the subset of ``hits`` served by entries that
+    were restored with :meth:`CompiledProgramCache.load` — i.e. lookups
+    that would have been trace/lower/verify misses in a cold process.
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    warm_hits: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -99,11 +119,16 @@ class CacheStats:
         return self.hits / total if total else 0.0
 
 
+#: On-disk format version of :meth:`CompiledProgramCache.save` payloads.
+PERSIST_FORMAT = 1
+
+
 class CompiledProgramCache:
     """Thread-safe LRU cache of :class:`CompiledProgram` artifacts."""
 
     def __init__(self, capacity: Optional[int] = None):
         self._entries: "OrderedDict[CacheKey, CompiledProgram]" = OrderedDict()
+        self._warm_keys: set = set()
         self._lock = threading.RLock()
         self.capacity = capacity
         self.stats = CacheStats()
@@ -139,20 +164,110 @@ class CompiledProgramCache:
             cached = self._entries.get(key)
             if cached is not None:
                 self.stats.hits += 1
+                if key in self._warm_keys:
+                    self.stats.warm_hits += 1
                 self._entries.move_to_end(key)
                 return cached
             self.stats.misses += 1
             compiled = backend.compile(build(), config=config)
             self._entries[key] = compiled
-            while self.capacity is not None and len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
-                self.stats.evictions += 1
+            self._evict_over_capacity()
             return compiled
+
+    def _evict_over_capacity(self) -> None:
+        """Caller must hold the lock."""
+        while self.capacity is not None and len(self._entries) > self.capacity:
+            evicted, _ = self._entries.popitem(last=False)
+            self._warm_keys.discard(evicted)
+            self.stats.evictions += 1
+
+    # -- persistence --------------------------------------------------------------
+    def save(self, path: Union[str, "os.PathLike"]) -> int:
+        """Serialize the cached artifacts to ``path``; returns entries saved.
+
+        Each artifact is serialized through its back end's
+        :meth:`~repro.backends.Backend.serialize_compiled` hook.  Entries
+        that refuse serialization (programs closing over Python callables,
+        back ends with unserializable device state) are skipped — they
+        recompile on first use after a restart, exactly as before this
+        feature existed.
+        """
+        with self._lock:
+            entries = list(self._entries.items())
+        payloads: Dict[CacheKey, bytes] = {}
+        for key, compiled in entries:
+            try:
+                payloads[key] = compiled.backend.serialize_compiled(compiled)
+            except Exception:
+                continue  # unserializable entry: recompiles after restart
+        blob = pickle.dumps({"format": PERSIST_FORMAT, "entries": payloads})
+        tmp = f"{os.fspath(path)}.tmp"
+        with open(tmp, "wb") as handle:
+            handle.write(blob)
+        os.replace(tmp, path)  # readers never observe a half-written cache
+        return len(payloads)
+
+    def load(
+        self,
+        path: Union[str, "os.PathLike"],
+        backend_factory: Optional[Callable[[Target], "Backend"]] = None,
+    ) -> int:
+        """Restore artifacts saved with :meth:`save`; returns entries loaded.
+
+        Restoration deserializes through
+        :meth:`~repro.backends.Backend.deserialize_compiled`, which redoes
+        back-end preparation (kernel selection, device setup) but **not**
+        tracing, transforms, lowering or verification — the dominant fixed
+        cost the cache exists to avoid.  Keys already present in the cache
+        are kept (a live compile beats a stale disk entry), and loaded
+        entries count their subsequent hits in ``stats.warm_hits``.
+
+        Args:
+            backend_factory: ``Target -> Backend`` used to re-create the
+                executing back ends.  Defaults to the serving-default back
+                end per target (batched CPU kernels, warm accelerator
+                sessions), one shared instance per target.
+        """
+        with open(path, "rb") as handle:
+            data = pickle.load(handle)
+        if not isinstance(data, dict) or data.get("format") != PERSIST_FORMAT:
+            raise ValueError(
+                f"{os.fspath(path)} is not a compiled-program cache save "
+                f"(format {data.get('format') if isinstance(data, dict) else None!r})"
+            )
+        if backend_factory is None:
+            from repro.serving.scheduler import default_worker_backend
+
+            shared: Dict[Target, "Backend"] = {}
+
+            def backend_factory(target: Target) -> "Backend":
+                if target not in shared:
+                    shared[target] = default_worker_backend(target)
+                return shared[target]
+
+        loaded = 0
+        for key, payload in data["entries"].items():
+            if key in self:  # cheap pre-check: a live compile beats the
+                continue     # disk entry, so skip the whole restore cost
+            try:
+                backend = backend_factory(Target(key[1]))
+                compiled = backend.deserialize_compiled(payload)
+            except Exception:
+                continue  # skip entries this process cannot restore
+            with self._lock:
+                if key in self._entries:  # raced with a concurrent compile
+                    continue
+                self._entries[key] = compiled
+                self._warm_keys.add(key)
+                self._evict_over_capacity()
+            loaded += 1
+        return loaded
 
     # -- maintenance --------------------------------------------------------------
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            self._warm_keys.clear()
 
     def __len__(self) -> int:
         with self._lock:

@@ -1,11 +1,33 @@
-"""Serving metrics: latency percentiles, throughput and batch shape.
+"""Serving metrics: latency percentiles, throughput, batch shape and SLOs.
 
-The collectors are deliberately lightweight (a lock, a few counters and a
-bounded latency window) so that recording stays negligible next to even a
+The collectors are deliberately lightweight (one lock, a few counters and
+bounded sample windows) so that recording stays negligible next to even a
 single-sample inference.  :meth:`ServingMetrics.snapshot` folds in the
 compiled-program cache statistics and per-worker counters to produce one
 immutable :class:`ServerStats` view, which is what
 :meth:`repro.serving.server.InferenceServer.stats` returns.
+
+Request latency is split per deployment into its two components:
+
+* **queue wait** — enqueue until a worker thread starts executing the
+  request's batch (micro-batching wait + fair-scheduler queueing + worker
+  FIFO time), and
+* **execute** — the batch's time inside the worker (program execution
+  plus postprocess/slice).
+
+Each deployment may carry an optional **SLO threshold**: served requests
+whose end-to-end latency exceeds it are counted in
+``model_stats[name]["slo_violations"]`` (deadline sheds are accounted
+separately in ``deadline_exceeded``).
+
+Long-running servers report per-interval numbers with the reset idiom::
+
+    stats = server.stats()       # publish the interval snapshot
+    server.reset_stats()         # start the next interval at zero
+
+Every mutable collector lives behind a single lock and :meth:`snapshot`
+acquires it exactly once, so a snapshot taken under concurrent writers is
+internally consistent (no torn request/latency pairs).
 """
 
 from __future__ import annotations
@@ -14,8 +36,8 @@ import math
 import threading
 import time
 from collections import Counter, deque
-from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Iterable, Optional
 
 __all__ = ["ServerStats", "ServingMetrics", "percentile"]
 
@@ -37,9 +59,12 @@ class ServerStats:
     the micro-batching wait — in milliseconds.  ``deadline_exceeded``
     counts requests shed with :class:`~repro.serving.batching
     .DeadlineExceeded` before execution (not included in ``requests`` or
-    ``failures``), and ``scheduler_stats`` carries the
+    ``failures``), ``scheduler_stats`` carries the
     :class:`~repro.serving.scheduler.FairScheduler` per-lane view
-    (weight, served batches, pending batches per deployment).
+    (weight, served batches, pending batches per deployment), and
+    ``model_stats`` holds the per-deployment queue-wait/execute split
+    plus the SLO threshold and violation count (see
+    :class:`ServingMetrics`).
     """
 
     requests: int = 0
@@ -54,21 +79,81 @@ class ServerStats:
     mean_latency_ms: float = 0.0
     throughput_rps: float = 0.0
     uptime_seconds: float = 0.0
+    slo_violations: int = 0
+    model_stats: dict = field(default_factory=dict)
     cache_hits: int = 0
     cache_misses: int = 0
+    cache_warm_hits: int = 0
     cache_hit_rate: float = 0.0
     elided_transfers: int = 0
     worker_stats: dict = field(default_factory=dict)
     scheduler_stats: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable ``dict`` view (used by the network transport).
+
+        ``batch_size_histogram`` keys become strings — JSON objects cannot
+        carry integer keys.
+        """
+        data = asdict(self)
+        data["batch_size_histogram"] = {
+            str(size): count for size, count in self.batch_size_histogram.items()
+        }
+        return data
 
     def __repr__(self) -> str:
         return (
             f"ServerStats(requests={self.requests}, batches={self.batches}, "
             f"mean_batch={self.mean_batch_size:.1f}, p50={self.latency_p50_ms:.2f}ms, "
             f"p99={self.latency_p99_ms:.2f}ms, {self.throughput_rps:.0f} req/s, "
-            f"shed={self.deadline_exceeded}, "
+            f"shed={self.deadline_exceeded}, slo_violations={self.slo_violations}, "
             f"cache={self.cache_hits}/{self.cache_hits + self.cache_misses})"
         )
+
+
+class _ModelCollector:
+    """Per-deployment latency-split collectors (guarded by the owner's lock)."""
+
+    __slots__ = (
+        "requests",
+        "queue_waits",
+        "executes",
+        "queue_wait_sum",
+        "execute_sum",
+        "slo_seconds",
+        "slo_violations",
+    )
+
+    def __init__(self, window: int):
+        self.requests = 0
+        self.queue_waits: deque = deque(maxlen=window)
+        self.executes: deque = deque(maxlen=window)
+        self.queue_wait_sum = 0.0
+        self.execute_sum = 0.0
+        self.slo_seconds: Optional[float] = None
+        self.slo_violations = 0
+
+    def reset(self) -> None:
+        self.requests = 0
+        self.queue_waits.clear()
+        self.executes.clear()
+        self.queue_wait_sum = 0.0
+        self.execute_sum = 0.0
+        self.slo_violations = 0  # the threshold itself survives a reset
+
+    def view(self) -> dict:
+        requests = self.requests
+        return {
+            "requests": requests,
+            "queue_wait_p50_ms": percentile(self.queue_waits, 50) * 1e3,
+            "queue_wait_p95_ms": percentile(self.queue_waits, 95) * 1e3,
+            "execute_p50_ms": percentile(self.executes, 50) * 1e3,
+            "execute_p95_ms": percentile(self.executes, 95) * 1e3,
+            "mean_queue_wait_ms": (self.queue_wait_sum / requests * 1e3) if requests else 0.0,
+            "mean_execute_ms": (self.execute_sum / requests * 1e3) if requests else 0.0,
+            "slo_ms": self.slo_seconds * 1e3 if self.slo_seconds is not None else None,
+            "slo_violations": self.slo_violations,
+        }
 
 
 class ServingMetrics:
@@ -76,9 +161,11 @@ class ServingMetrics:
 
     def __init__(self, latency_window: int = 8192):
         self._lock = threading.Lock()
+        self.latency_window = latency_window
         self._latencies = deque(maxlen=latency_window)
         self._latency_sum = 0.0
         self._batch_sizes = Counter()
+        self._models: Dict[str, _ModelCollector] = {}
         self.requests = 0
         self.failures = 0
         self.deadline_exceeded = 0
@@ -86,12 +173,45 @@ class ServingMetrics:
         self.samples_in_batches = 0
         self._started = time.monotonic()
 
+    # -- configuration ------------------------------------------------------------
+    def set_slo(self, model: str, slo_ms: Optional[float]) -> None:
+        """Set (or clear, with ``None``) one deployment's latency SLO."""
+        with self._lock:
+            collector = self._model(model)
+            collector.slo_seconds = None if slo_ms is None else slo_ms / 1e3
+
+    def _model(self, name: str) -> _ModelCollector:
+        """Caller must hold the lock."""
+        collector = self._models.get(name)
+        if collector is None:
+            collector = self._models[name] = _ModelCollector(self.latency_window)
+        return collector
+
     # -- recording ----------------------------------------------------------------
-    def record_request(self, latency_seconds: float) -> None:
+    def record_request(
+        self,
+        latency_seconds: float,
+        model: Optional[str] = None,
+        queue_wait_seconds: Optional[float] = None,
+        execute_seconds: Optional[float] = None,
+    ) -> None:
+        """Account one served request, optionally with its latency split."""
         with self._lock:
             self.requests += 1
             self._latencies.append(latency_seconds)
             self._latency_sum += latency_seconds
+            if model is None:
+                return
+            collector = self._model(model)
+            collector.requests += 1
+            if queue_wait_seconds is not None:
+                collector.queue_waits.append(queue_wait_seconds)
+                collector.queue_wait_sum += queue_wait_seconds
+            if execute_seconds is not None:
+                collector.executes.append(execute_seconds)
+                collector.execute_sum += execute_seconds
+            if collector.slo_seconds is not None and latency_seconds > collector.slo_seconds:
+                collector.slo_violations += 1
 
     def record_failure(self, count: int = 1) -> None:
         with self._lock:
@@ -108,18 +228,45 @@ class ServingMetrics:
             self.samples_in_batches += size
             self._batch_sizes[size] += 1
 
+    # -- per-interval reporting ---------------------------------------------------
+    def reset(self) -> None:
+        """Zero every counter and sample window (SLO thresholds survive).
+
+        Restarts the uptime/throughput clock, so ``snapshot()`` after a
+        reset reports rates over the new interval only.
+        """
+        with self._lock:
+            self._latencies.clear()
+            self._latency_sum = 0.0
+            self._batch_sizes.clear()
+            self.requests = 0
+            self.failures = 0
+            self.deadline_exceeded = 0
+            self.batches = 0
+            self.samples_in_batches = 0
+            for collector in self._models.values():
+                collector.reset()
+            self._started = time.monotonic()
+
     # -- snapshot -----------------------------------------------------------------
     def snapshot(
         self, cache=None, workers: Optional[Iterable] = None, scheduler=None
     ) -> ServerStats:
         """Produce an immutable snapshot, optionally folding in cache, worker
-        and fair-scheduler state."""
+        and fair-scheduler state.
+
+        The metrics lock is acquired exactly once, so the request counters,
+        latency windows and per-model splits are mutually consistent even
+        under concurrent writers; cache/worker/scheduler state is sampled
+        after release (each has its own synchronization).
+        """
         with self._lock:
             uptime = time.monotonic() - self._started
             latencies = list(self._latencies)
             requests = self.requests
             mean_batch = self.samples_in_batches / self.batches if self.batches else 0.0
             mean_latency = self._latency_sum / requests if requests else 0.0
+            model_stats = {name: collector.view() for name, collector in self._models.items()}
             stats = dict(
                 requests=requests,
                 failures=self.failures,
@@ -133,11 +280,14 @@ class ServingMetrics:
                 mean_latency_ms=mean_latency * 1e3,
                 throughput_rps=requests / uptime if uptime > 0 else 0.0,
                 uptime_seconds=uptime,
+                slo_violations=sum(c.slo_violations for c in self._models.values()),
+                model_stats=model_stats,
             )
         if cache is not None:
             stats.update(
                 cache_hits=cache.stats.hits,
                 cache_misses=cache.stats.misses,
+                cache_warm_hits=cache.stats.warm_hits,
                 cache_hit_rate=cache.stats.hit_rate,
             )
         if workers is not None:

@@ -6,7 +6,9 @@ reusable :class:`~repro.backends.BoundProgram` inference handles, one per
 (micro-batch bucket, worker scope).  Handles are created through the shared
 :class:`~repro.serving.cache.CompiledProgramCache`, so re-registering a
 model or warming a second worker of the same target skips tracing,
-transforms, lowering and verification entirely.
+transforms, lowering and verification entirely — and, with
+:meth:`ModelRegistry.save_cache` / :meth:`ModelRegistry.load_cache`, so
+does re-registering after a process restart.
 
 :class:`ShardedDeployment` extends this to class memories that exceed one
 worker's capacity: the servable's :class:`~repro.serving.servable
@@ -304,6 +306,18 @@ class ModelRegistry:
     def unregister(self, name: str) -> None:
         with self._lock:
             self._models.pop(name, None)
+
+    # -- cache persistence --------------------------------------------------------
+    def save_cache(self, path) -> int:
+        """Persist the shared compile cache (see
+        :meth:`~repro.serving.cache.CompiledProgramCache.save`)."""
+        return self.cache.save(path)
+
+    def load_cache(self, path) -> int:
+        """Restore a persisted compile cache before registering, so the
+        registrations warm from disk instead of compiling (their hits are
+        counted in ``cache.stats.warm_hits``)."""
+        return self.cache.load(path)
 
     def names(self) -> list:
         with self._lock:

@@ -1,4 +1,4 @@
-"""The inference server: registry + batching + fair scheduling + workers.
+"""The synchronous in-process front end of the serving runtime.
 
 :class:`InferenceServer` turns compiled HDC programs into long-lived,
 queryable services::
@@ -10,51 +10,31 @@ queryable services::
     with server:
         label = server.infer("hd-classification", features)
 
-Request flow: ``submit`` enqueues a single sample (optionally with a
-``priority`` lane and a ``deadline_ms`` budget) into the model's
-:class:`~repro.serving.batching.MicroBatcher`; a per-model *feeder* thread
-releases batches when a watermark trips and offers them to the
-:class:`~repro.serving.scheduler.FairScheduler`; one *dispatcher* thread
-drains the scheduler under weighted round-robin with starvation aging —
-holding batches back while every eligible worker is saturated, so a hot
-model's backlog queues in the scheduler (where it can be interleaved)
-instead of in worker FIFOs (where it cannot) — and routes each batch to a
-worker under the pool's policy.  The worker pads the batch to a
-power-of-two bucket, runs it through the deployment's warm
-:class:`~repro.backends.BoundProgram` handle (compiled at most once per
-bucket via the shared program cache), and resolves the per-request futures
-with the sliced results.
-
-Sharded deployments scatter instead of dispatching: one batch fans out to
-N workers, each searching its slice of the class memory, and the last
-shard to finish reduces the gathered partial scores back into predictions
-(see :class:`~repro.serving.registry.ShardedDeployment`).
-
-Requests whose deadline expires before execution are shed with a typed
-:class:`~repro.serving.batching.DeadlineExceeded` error and counted in
-``ServerStats.deadline_exceeded``.
+Since the transport refactor the server is a **thin adapter**: it owns a
+:class:`~repro.serving.registry.ModelRegistry`, a
+:class:`~repro.serving.scheduler.WorkerPool` and a
+:class:`~repro.serving.broker.RequestBroker`, and maps the blocking
+``submit`` / ``infer`` / ``infer_many`` API onto the broker's future
+contract.  The entire submit→batch→schedule→dispatch→settle path lives in
+the broker (see :mod:`repro.serving.broker` for the request-flow
+documentation); the asyncio socket front end in
+:mod:`repro.serving.transport` layers network clients onto the very same
+broker, so in-process and remote requests coalesce into the same
+micro-batches and compete under the same fair scheduler.
 """
 
 from __future__ import annotations
 
-import threading
-import time
-from typing import Iterable, List, Optional, Union
+from typing import Iterable, Optional, Union
 
 import numpy as np
 
 from repro.ir.dataflow import Target
-from repro.serving.batching import MicroBatcher, bucket_for, pad_batch, shed_expired
-from repro.serving.metrics import ServerStats, ServingMetrics
-from repro.serving.registry import Deployment, ModelRegistry, ShardedDeployment
-from repro.serving.scheduler import (
-    BatchWork,
-    FairScheduler,
-    SchedulingPolicy,
-    ShardGather,
-    Worker,
-    WorkerPool,
-)
+from repro.serving.batching import bucket_for
+from repro.serving.broker import RequestBroker
+from repro.serving.metrics import ServerStats
+from repro.serving.registry import Deployment, ModelRegistry
+from repro.serving.scheduler import SchedulingPolicy, Worker, WorkerPool
 from repro.serving.servable import Servable
 from repro.transforms.pipeline import ApproximationConfig
 
@@ -78,8 +58,8 @@ class InferenceServer:
             compiled-program cache) across servers.
         latency_window: Retained latency samples for the percentiles.
         scheduler_aging_seconds: Starvation-aging constant of the
-            :class:`FairScheduler` — the head-of-lane wait that earns one
-            weighted-round-robin turn.
+            :class:`~repro.serving.scheduler.FairScheduler` — the
+            head-of-lane wait that earns one weighted-round-robin turn.
         worker_backlog_samples: Admission-control threshold: the
             dispatcher holds the next batch while every eligible worker
             has at least this many samples in flight.  Defaults to
@@ -100,25 +80,31 @@ class InferenceServer:
     ):
         self.registry = registry if registry is not None else ModelRegistry()
         self.pool = WorkerPool(workers, policy=policy)
-        self.max_batch_size = max_batch_size
-        self.max_wait_seconds = max_wait_seconds
-        self.pad_to_buckets = pad_to_buckets
-        self.scheduler_aging_seconds = scheduler_aging_seconds
-        self.worker_backlog_samples = (
-            worker_backlog_samples if worker_backlog_samples is not None else 2 * max_batch_size
+        self.broker = RequestBroker(
+            self.registry,
+            self.pool,
+            max_batch_size=max_batch_size,
+            max_wait_seconds=max_wait_seconds,
+            pad_to_buckets=pad_to_buckets,
+            latency_window=latency_window,
+            scheduler_aging_seconds=scheduler_aging_seconds,
+            worker_backlog_samples=worker_backlog_samples,
         )
-        self.metrics = ServingMetrics(latency_window=latency_window)
-        self._scheduler: Optional[FairScheduler] = None
-        self._batchers: dict = {}
-        self._weights: dict = {}
-        self._feeders: List[threading.Thread] = []
-        self._dispatcher: Optional[threading.Thread] = None
-        self._lock = threading.Lock()
-        self._running = False
-        # Outstanding-request accounting behind drain(): every submitted
-        # future counts until it resolves (result, failure or shed).
-        self._outstanding = 0
-        self._drain_cond = threading.Condition()
+
+    # Configuration and collectors live on the broker; these properties keep
+    # the pre-refactor surface (`server.max_batch_size`, `server.metrics`,
+    # ...) intact for callers and tests.
+    @property
+    def max_batch_size(self) -> int:
+        return self.broker.max_batch_size
+
+    @property
+    def max_wait_seconds(self) -> float:
+        return self.broker.max_wait_seconds
+
+    @property
+    def metrics(self):
+        return self.broker.metrics
 
     # -- registration -------------------------------------------------------------
     def register(
@@ -126,25 +112,36 @@ class InferenceServer:
         servable: Servable,
         name: Optional[str] = None,
         config: Optional[ApproximationConfig] = None,
-        warm: bool = True,
+        warm: Union[bool, str] = True,
         weight: float = 1.0,
         shards: Optional[int] = None,
+        slo_ms: Optional[float] = None,
     ) -> Deployment:
         """Register a servable and set up its request queue.
 
         Warming compiles, for every eligible worker, the single-sample and
         full-batch buckets — the two shapes a freshly started service hits
-        first.  Re-registering under an existing name hot-swaps the model:
-        requests already queued still resolve against the old deployment,
-        new requests see the new one.
+        first.  ``warm="full"`` compiles the whole power-of-two bucket
+        ladder instead, so no batch shape ever compiles at request time —
+        the mode to use before :meth:`save_cache`, since it makes a warm
+        restart deterministically recompile-free regardless of how traffic
+        happened to coalesce.  Re-registering under an existing name
+        hot-swaps the model: requests already queued still resolve against
+        the old deployment, new requests see the new one.
 
         Args:
+            warm: ``True`` (default) warms buckets ``{1, max}``,
+                ``"full"`` warms every power-of-two bucket up to
+                ``max_batch_size``, ``False`` skips warming.
             weight: Fair-scheduler share.  Under contention a deployment
                 receives batches proportionally to its weight, with
                 starvation aging protecting low-weight lanes.
             shards: Deploy sharded across this many class-memory slices
                 (requires ``servable.shard_spec``); each batch then
                 scatter-executes over up to ``shards`` workers.
+            slo_ms: Optional end-to-end latency SLO for this deployment;
+                served requests exceeding it are counted in
+                ``stats().model_stats[name]["slo_violations"]``.
         """
         deployment = self.registry.register(
             servable,
@@ -155,33 +152,25 @@ class InferenceServer:
             shards=shards,
         )
         if warm:
-            buckets = sorted({1, self._bucket(self.max_batch_size)})
+            buckets = self._warm_buckets(full_ladder=warm == "full")
             for worker in self.pool.eligible(servable):
                 deployment.warm(buckets, worker=worker)
-        with self._lock:
-            # Replace the batcher.  While running, closing the old one
-            # makes its feeder drain the queued requests (against the old
-            # deployment) and exit.  While stopped there is no feeder, so
-            # the new batcher adopts the queued requests instead — they
-            # resolve against the new deployment once the server starts,
-            # never orphaned.
-            old = self._batchers.get(deployment.name)
-            batcher = MicroBatcher(
-                max_batch_size=self.max_batch_size,
-                max_wait_seconds=self.max_wait_seconds,
-                on_expire=self.metrics.record_expired,
-            )
-            if old is not None:
-                if not self._running:
-                    batcher.adopt(old.drain_requests())
-                old.close()
-            self._batchers[deployment.name] = batcher
-            self._weights[deployment.name] = float(weight)
-            if self._scheduler is not None:
-                self._scheduler.ensure_lane(deployment.name, weight)
-            if self._running:
-                self._start_feeder(deployment.name)
+        self.broker.add_model(deployment, weight=weight, slo_ms=slo_ms)
         return deployment
+
+    def _warm_buckets(self, full_ladder: bool) -> list:
+        top = (
+            bucket_for(self.max_batch_size, self.max_batch_size)
+            if self.broker.pad_to_buckets
+            else self.max_batch_size
+        )
+        buckets = {1, top}
+        if full_ladder and self.broker.pad_to_buckets:
+            bucket = 1
+            while bucket < self.max_batch_size:
+                buckets.add(bucket)
+                bucket *= 2
+        return sorted(buckets)
 
     def _default_target(self, servable: Servable) -> Target:
         for worker in self.pool.workers:
@@ -196,65 +185,12 @@ class InferenceServer:
     # -- lifecycle ----------------------------------------------------------------
     def start(self) -> "InferenceServer":
         """Start (or restart) workers, per-model feeders and the dispatcher."""
-        with self._lock:
-            if self._running:
-                return self
-            self._running = True
-            if self._scheduler is None or self._scheduler.closed:
-                self._scheduler = FairScheduler(aging_seconds=self.scheduler_aging_seconds)
-            for name in self._batchers:
-                self._scheduler.ensure_lane(name, self._weights.get(name, 1.0))
-            self.pool.start(self._execute)
-            for name, batcher in list(self._batchers.items()):
-                if batcher.closed:  # restarted after stop(): reopen the queue
-                    reopened = MicroBatcher(
-                        max_batch_size=self.max_batch_size,
-                        max_wait_seconds=self.max_wait_seconds,
-                        on_expire=self.metrics.record_expired,
-                    )
-                    reopened.adopt(batcher.drain_requests())
-                    self._batchers[name] = reopened
-                self._start_feeder(name)
-            self._dispatcher = threading.Thread(
-                target=self._dispatch_loop,
-                args=(self._scheduler,),
-                name="hdc-dispatch",
-                daemon=True,
-            )
-            self._dispatcher.start()
+        self.broker.start()
         return self
-
-    def _start_feeder(self, name: str) -> None:
-        thread = threading.Thread(
-            target=self._feed_loop,
-            args=(name, self._batchers[name], self._scheduler),
-            name=f"hdc-feed-{name}",
-            daemon=True,
-        )
-        self._feeders.append(thread)
-        thread.start()
 
     def stop(self) -> None:
         """Drain queued requests, then stop feeders, dispatcher and workers."""
-        with self._lock:
-            if not self._running:
-                return
-            self._running = False
-            batchers = list(self._batchers.values())
-            feeders = list(self._feeders)
-            dispatcher = self._dispatcher
-            scheduler = self._scheduler
-            self._feeders = []
-            self._dispatcher = None
-        for batcher in batchers:
-            batcher.close()
-        for thread in feeders:  # feeders drain their batchers, then exit
-            thread.join()
-        if scheduler is not None:
-            scheduler.close()  # dispatcher drains remaining lanes, then exits
-        if dispatcher is not None:
-            dispatcher.join()
-        self.pool.stop()
+        self.broker.stop()
 
     def drain(self, timeout: Optional[float] = None) -> None:
         """Block until every submitted request has resolved.
@@ -273,11 +209,7 @@ class InferenceServer:
             TimeoutError: The queue did not empty within ``timeout``
                 seconds (e.g. the server was never started).
         """
-        with self._drain_cond:
-            if not self._drain_cond.wait_for(lambda: self._outstanding == 0, timeout):
-                raise TimeoutError(
-                    f"drain timed out with {self._outstanding} requests outstanding"
-                )
+        self.broker.drain(timeout)
 
     def __enter__(self) -> "InferenceServer":
         return self.start()
@@ -301,23 +233,7 @@ class InferenceServer:
                 future raises :class:`DeadlineExceeded` if the budget runs
                 out before the request executes.
         """
-        deployment = self.registry.get(model)
-        batcher = self._batchers[deployment.name]
-        future = batcher.submit(
-            deployment.servable.validate_sample(sample),
-            priority=priority,
-            deadline_ms=deadline_ms,
-        )
-        with self._drain_cond:
-            self._outstanding += 1
-        future.add_done_callback(self._on_request_done)
-        return future
-
-    def _on_request_done(self, _future) -> None:
-        with self._drain_cond:
-            self._outstanding -= 1
-            if self._outstanding == 0:
-                self._drain_cond.notify_all()
+        return self.broker.submit(model, sample, priority=priority, deadline_ms=deadline_ms)
 
     def infer(
         self,
@@ -339,132 +255,30 @@ class InferenceServer:
         futures = [self.submit(model, sample) for sample in samples]
         return [future.result(timeout=timeout) for future in futures]
 
-    # -- feed / dispatch ----------------------------------------------------------
-    def _feed_loop(self, name: str, batcher: MicroBatcher, scheduler: FairScheduler) -> None:
-        """Per-model feeder: batcher watermarks -> fair-scheduler lane."""
-        deployment = self.registry.get(name)
-        while True:
-            batch = batcher.next_batch(timeout=0.1)
-            if batch is None:
-                if batcher.closed:
-                    return
-                continue
-            scheduler.offer(name, BatchWork(deployment, batch))
+    # -- cache persistence --------------------------------------------------------
+    def save_cache(self, path) -> int:
+        """Persist the compiled-program cache; returns entries saved.
 
-    def _admissible(self, work: BatchWork) -> bool:
-        """Admission control: some eligible worker has queue headroom.
-
-        Applied per lane inside the scheduler's selection, so a model
-        whose workers are saturated never head-of-line blocks a model
-        whose workers are idle (heterogeneous pools).  Workers keep
-        draining during shutdown (the pool stops after the dispatcher
-        exits), so inadmissible batches always become admissible.
+        A restarted server sharing the same registry state can
+        :meth:`load_cache` before registering and skip trace/lower/verify
+        entirely (``stats().cache_warm_hits`` counts the skips).
         """
-        return self.pool.min_backlog(work.deployment.servable) < self.worker_backlog_samples
+        return self.registry.cache.save(path)
 
-    def _dispatch_loop(self, scheduler: FairScheduler) -> None:
-        """Single dispatcher: fair-scheduler -> worker pool, with admission
-        control so backlogs queue where they can still be reordered."""
-        while True:
-            work = scheduler.next_ready(timeout=0.1, admissible=self._admissible)
-            if work is None:
-                if scheduler.closed and scheduler.pending() == 0:
-                    return
-                continue
-            work.requests = self._shed_expired(work.requests)
-            if not work.requests:
-                continue
-            servable = work.deployment.servable
-            try:
-                if isinstance(work.deployment, ShardedDeployment):
-                    gather = ShardGather(work.deployment.n_shards)
-                    works = [
-                        BatchWork(work.deployment, work.requests, shard=i, gather=gather)
-                        for i in range(work.deployment.n_shards)
-                    ]
-                    self.pool.dispatch_scatter(servable, works)
-                else:
-                    self.pool.dispatch(servable, work)
-            except Exception as exc:  # no eligible worker — fail the batch
-                for request in work.requests:
-                    if not request.future.done():
-                        request.future.set_exception(exc)
-                self.metrics.record_failure(len(work.requests))
-
-    def _shed_expired(self, requests: list) -> list:
-        """Drop requests whose deadline lapsed while queued for dispatch."""
-        live, shed = shed_expired(requests)
-        if shed:
-            self.metrics.record_expired(shed)
-        return live
-
-    def _bucket(self, size: int) -> int:
-        if not self.pad_to_buckets:
-            return size
-        return bucket_for(size, self.max_batch_size)
-
-    # -- execution (worker threads) -----------------------------------------------
-    def _execute(self, worker: Worker, work: BatchWork) -> None:
-        """Run one work item on a worker (called on the worker thread)."""
-        if work.gather is not None:
-            self._execute_shard(worker, work)
-            return
-        deployment, requests = work.deployment, work.requests
-        try:
-            servable = deployment.servable
-            batch = np.stack([request.sample for request in requests])
-            bucket = self._bucket(len(requests))
-            handle = deployment.handle_for(bucket, worker=worker)
-            result = handle.run(**{servable.query_param: pad_batch(batch, bucket)})
-            outputs = np.asarray(result.output)
-            if servable.postprocess is not None:
-                outputs = servable.postprocess(outputs)
-            outputs = outputs[: len(requests)]
-        except Exception as exc:
-            for request in requests:
-                if not request.future.done():
-                    request.future.set_exception(exc)
-            self.metrics.record_failure(len(requests))
-            return
-        self._resolve(requests, outputs)
-
-    def _execute_shard(self, worker: Worker, work: BatchWork) -> None:
-        """Run one shard's partial-score program; the last shard reduces."""
-        deployment, requests, gather = work.deployment, work.requests, work.gather
-        servable = deployment.servable
-        try:
-            batch = np.stack([request.sample for request in requests])
-            bucket = self._bucket(len(requests))
-            handle = deployment.shard_handle_for(work.shard, bucket, worker=worker)
-            result = handle.run(**{servable.query_param: pad_batch(batch, bucket)})
-            partial = np.asarray(result.output)[: len(requests)]
-        except Exception as exc:
-            if gather.fail(exc):  # first failing shard resolves the batch
-                for request in requests:
-                    if not request.future.done():
-                        request.future.set_exception(exc)
-                self.metrics.record_failure(len(requests))
-            return
-        if gather.complete(work.shard, partial):
-            outputs = deployment.reduce(gather.partials)
-            if servable.postprocess is not None:
-                outputs = servable.postprocess(outputs)
-            self._resolve(requests, outputs)
-
-    def _resolve(self, requests: list, outputs: np.ndarray) -> None:
-        now = time.monotonic()
-        for request, output in zip(requests, outputs):
-            request.future.set_result(output)
-            self.metrics.record_request(now - request.enqueued_at)
-        self.metrics.record_batch(len(requests))
+    def load_cache(self, path) -> int:
+        """Restore a persisted compile cache; returns entries loaded."""
+        return self.registry.cache.load(path)
 
     # -- observability ------------------------------------------------------------
     def stats(self) -> ServerStats:
-        """A :class:`ServerStats` snapshot (latency, throughput, cache,
-        workers, deadline sheds and fair-scheduler lanes)."""
-        return self.metrics.snapshot(
-            cache=self.registry.cache, workers=self.pool.workers, scheduler=self._scheduler
-        )
+        """A :class:`ServerStats` snapshot (latency splits, throughput,
+        cache, workers, deadline sheds, SLOs and fair-scheduler lanes)."""
+        return self.broker.stats()
+
+    def reset_stats(self) -> None:
+        """Zero the metrics window for per-interval reporting (SLO
+        thresholds survive; see :meth:`ServingMetrics.reset`)."""
+        self.broker.reset_stats()
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,181 @@
+"""Blocking socket client for the serving transport.
+
+:class:`ServingClient` mirrors the in-process request API over TCP::
+
+    from repro.serving.transport import ServingClient
+
+    with ServingClient(host, port) as client:
+        label = client.infer("hd-classification", features)
+        labels = client.infer_batch("hd-classification", feature_matrix)
+        print(client.stats()["latency_p99_ms"], client.list_models())
+
+One client holds one connection and serializes its requests on it
+(request/response framing), so it is thread-safe but not concurrent —
+open one client per thread (or process) to generate concurrent load,
+exactly as the multi-client throughput benchmark does.  Server-side
+errors come back typed: a shed deadline re-raises
+:class:`~repro.serving.batching.DeadlineExceeded`, anything else raises
+:class:`RemoteServingError` carrying the remote type name and message.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.serving.batching import DeadlineExceeded
+from repro.serving.transport.protocol import (
+    PROTOCOL_VERSION,
+    decode_array,
+    encode_array_header,
+    encode_frame,
+    read_frame_sync,
+)
+
+__all__ = ["ServingClient", "RemoteServingError"]
+
+
+class RemoteServingError(RuntimeError):
+    """A server-side failure reported over the wire.
+
+    Attributes:
+        error_type: The remote exception's class name (e.g. ``KeyError``
+            for an unknown model).
+    """
+
+    def __init__(self, error_type: str, message: str):
+        super().__init__(f"{error_type}: {message}")
+        self.error_type = error_type
+
+
+def _raise_remote(header: dict) -> None:
+    error_type = header.get("error_type", "RuntimeError")
+    message = header.get("error", "")
+    if error_type == "DeadlineExceeded":
+        raise DeadlineExceeded(message)
+    raise RemoteServingError(error_type, message)
+
+
+class ServingClient:
+    """A blocking, thread-safe client for :class:`TransportServer`.
+
+    Args:
+        host / port: The transport server's bound address (as returned by
+            :meth:`TransportServer.start`).
+        timeout: Socket timeout in seconds for connect and for each
+            response (``None`` blocks indefinitely).
+    """
+
+    def __init__(self, host: str, port: int, timeout: Optional[float] = None):
+        self.address: Tuple[str, int] = (host, int(port))
+        self._sock = socket.create_connection(self.address, timeout=timeout)
+        self._sock.settimeout(timeout)
+        self._stream = self._sock.makefile("rb")
+        self._lock = threading.Lock()
+        self._broken = False
+
+    # -- plumbing -----------------------------------------------------------------
+    def _request(self, header: dict, payload: bytes = b"") -> Tuple[dict, bytes]:
+        with self._lock:
+            if self._broken:
+                raise ConnectionError(
+                    "connection is no longer usable after a transport failure; "
+                    "open a new ServingClient"
+                )
+            try:
+                self._sock.sendall(encode_frame(header, payload))
+                response, response_payload = read_frame_sync(self._stream)
+            except (OSError, ConnectionError):
+                # A timeout or truncated read leaves request/response
+                # framing desynchronized — a later request would read this
+                # one's late reply as its own.  There is no per-request id
+                # to re-correlate, so the connection is dead from here on.
+                self._broken = True
+                self._close_locked()
+                raise
+        if not response.get("ok"):
+            _raise_remote(response)  # stream still in sync: server replied
+        return response, response_payload
+
+    # -- request API --------------------------------------------------------------
+    def infer(
+        self,
+        model: str,
+        sample: np.ndarray,
+        priority: int = 0,
+        deadline_ms: Optional[float] = None,
+    ) -> np.ndarray:
+        """One sample through the remote micro-batching queue."""
+        fields, payload = encode_array_header(np.asarray(sample))
+        header = {
+            "op": "infer",
+            "model": model,
+            "priority": int(priority),
+            "deadline_ms": deadline_ms,
+            **fields,
+        }
+        response, response_payload = self._request(header, payload)
+        return decode_array(response, response_payload)
+
+    def infer_batch(
+        self,
+        model: str,
+        samples: np.ndarray,
+        priority: int = 0,
+        deadline_ms: Optional[float] = None,
+    ) -> np.ndarray:
+        """A whole batch in one frame; results come back row-aligned."""
+        fields, payload = encode_array_header(np.asarray(samples))
+        header = {
+            "op": "infer_batch",
+            "model": model,
+            "priority": int(priority),
+            "deadline_ms": deadline_ms,
+            **fields,
+        }
+        response, response_payload = self._request(header, payload)
+        return decode_array(response, response_payload)
+
+    def stats(self) -> dict:
+        """The server's :class:`ServerStats` snapshot as a plain dict."""
+        response, _ = self._request({"op": "stats"})
+        return response["stats"]
+
+    def list_models(self) -> list:
+        """Names of the deployments registered on the server."""
+        response, _ = self._request({"op": "list_models"})
+        return response["models"]
+
+    def drain(self, timeout: Optional[float] = None) -> None:
+        """Block until every request submitted to the server has resolved."""
+        self._request({"op": "drain", "timeout": timeout})
+
+    def ping(self) -> bool:
+        """Round-trip liveness probe; returns whether the broker runs."""
+        response, _ = self._request({"op": "ping"})
+        return bool(response.get("running"))
+
+    # -- lifecycle ----------------------------------------------------------------
+    def close(self) -> None:
+        with self._lock:
+            self._close_locked()
+
+    def _close_locked(self) -> None:
+        try:
+            self._stream.close()
+        except OSError:
+            pass
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServingClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"ServingClient({self.address[0]}:{self.address[1]}, v{PROTOCOL_VERSION})"

@@ -1,0 +1,262 @@
+"""Asyncio socket front end over the :class:`RequestBroker`.
+
+:class:`TransportServer` listens on a TCP socket, decodes the frames of
+:mod:`repro.serving.transport.protocol` and maps each operation onto the
+broker's future contract: an ``infer`` submits one sample and awaits the
+broker future via :func:`asyncio.wrap_future`, so one event-loop thread
+multiplexes every connection while the actual inference runs on the
+worker pool.  Because all front ends share one broker, samples arriving
+from different sockets (and from in-process callers) coalesce into the
+same micro-batches — concurrency across clients is what feeds the
+batcher, which is why aggregate throughput scales with client count (see
+``benchmarks/bench_serving.py``).
+
+The event loop runs on a daemon background thread, so the transport
+embeds in any host process::
+
+    server = InferenceServer(workers=("cpu",))
+    server.register(servable)
+    server.start()
+    transport = TransportServer(server)      # or TransportServer(broker)
+    host, port = transport.start()
+    ...
+    transport.stop(); server.stop()
+
+Lifecycle note: the transport accepts connections as soon as ``start()``
+returns, but requests only settle while the underlying broker is started
+— start the broker first (or use both context managers).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import threading
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.serving.transport.protocol import (
+    FrameError,
+    PROTOCOL_VERSION,
+    decode_array,
+    encode_array_header,
+    encode_frame,
+    read_frame,
+)
+
+__all__ = ["TransportServer"]
+
+
+class TransportServer:
+    """A length-prefixed-frame socket server over a request broker.
+
+    Args:
+        server: The serving core to expose — an
+            :class:`~repro.serving.server.InferenceServer` (its broker is
+            used) or a bare :class:`~repro.serving.broker.RequestBroker`.
+        host: Bind address (default loopback; bind ``"0.0.0.0"``
+            explicitly to serve remote machines).
+        port: TCP port; the default 0 picks an ephemeral free port —
+            read the bound address from :meth:`start`'s return value.
+    """
+
+    def __init__(self, server, host: str = "127.0.0.1", port: int = 0):
+        self.broker = getattr(server, "broker", server)
+        self.host = host
+        self.port = port
+        self.address: Optional[Tuple[str, int]] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._shutdown: Optional[asyncio.Event] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    # -- lifecycle ----------------------------------------------------------------
+    def start(self, timeout: float = 10.0) -> Tuple[str, int]:
+        """Start accepting connections; returns the bound ``(host, port)``."""
+        if self._thread is not None:
+            return self.address
+        self._started.clear()
+        self._startup_error = None
+        self._thread = threading.Thread(target=self._run, name="hdc-transport", daemon=True)
+        self._thread.start()
+        if not self._started.wait(timeout):
+            raise TimeoutError("transport server failed to start listening")
+        if self._startup_error is not None:
+            self._thread.join()
+            self._thread = None
+            raise self._startup_error
+        return self.address
+
+    def stop(self) -> None:
+        """Stop accepting connections and join the event-loop thread.
+
+        In-flight broker requests still settle (their futures resolve on
+        the worker pool); only the transport goes away.
+        """
+        if self._thread is None:
+            return
+        self._loop.call_soon_threadsafe(self._shutdown.set)
+        self._thread.join()
+        self._thread = None
+        self._loop = None
+        self.address = None
+
+    def __enter__(self) -> "TransportServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def _run(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_until_complete(self._serve())
+        finally:
+            self._loop.close()
+
+    async def _serve(self) -> None:
+        self._shutdown = asyncio.Event()
+        try:
+            server = await asyncio.start_server(self._handle_connection, self.host, self.port)
+        except OSError as exc:
+            self._startup_error = exc
+            self._started.set()
+            return
+        self.address = server.sockets[0].getsockname()[:2]
+        self._started.set()
+        async with server:
+            await self._shutdown.wait()
+        # Cancel the connection handlers still parked in read_frame so the
+        # loop shuts down without orphaned tasks; their finally blocks
+        # close the sockets.
+        current = asyncio.current_task()
+        handlers = [task for task in asyncio.all_tasks() if task is not current]
+        for task in handlers:
+            task.cancel()
+        await asyncio.gather(*handlers, return_exceptions=True)
+
+    # -- connection handling ------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    header, payload = await read_frame(reader)
+                except (asyncio.IncompleteReadError, ConnectionResetError):
+                    return  # client went away
+                except FrameError as exc:
+                    # The stream is desynchronized; report and hang up.
+                    await self._send(writer, self._error_header(exc))
+                    return
+                response, response_payload = await self._dispatch(header, payload)
+                await self._send(writer, response, response_payload)
+        except asyncio.CancelledError:
+            # Transport shutdown cancelled us mid-read; exiting normally
+            # (instead of staying "cancelled") keeps asyncio.streams'
+            # connection_made callback from logging a spurious traceback.
+            return
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    @staticmethod
+    async def _send(writer: asyncio.StreamWriter, header: dict, payload: bytes = b"") -> None:
+        writer.write(encode_frame(header, payload))
+        await writer.drain()
+
+    @staticmethod
+    def _error_header(exc: BaseException) -> dict:
+        return {
+            "ok": False,
+            "version": PROTOCOL_VERSION,
+            "error_type": type(exc).__name__,
+            "error": str(exc),
+        }
+
+    # -- operations ---------------------------------------------------------------
+    async def _dispatch(self, header: dict, payload: bytes) -> Tuple[dict, bytes]:
+        op = header.get("op")
+        handler = self._OPS.get(op)
+        if handler is None:
+            return self._error_header(ValueError(f"unknown op {op!r}")), b""
+        try:
+            return await handler(self, header, payload)
+        except Exception as exc:  # per-request failure, not a connection failure
+            return self._error_header(exc), b""
+
+    async def _op_infer(self, header: dict, payload: bytes) -> Tuple[dict, bytes]:
+        sample = decode_array(header, payload)
+        future = self.broker.submit(
+            header["model"],
+            sample,
+            priority=int(header.get("priority", 0)),
+            deadline_ms=header.get("deadline_ms"),
+        )
+        output = await asyncio.wrap_future(future)
+        fields, out_payload = encode_array_header(output)
+        return {"ok": True, "version": PROTOCOL_VERSION, **fields}, out_payload
+
+    async def _op_infer_batch(self, header: dict, payload: bytes) -> Tuple[dict, bytes]:
+        batch = decode_array(header, payload)
+        if batch.ndim < 1 or batch.shape[0] == 0:
+            raise ValueError(f"infer_batch needs a non-empty leading batch axis, got {batch.shape}")
+        # One broker submission per row: the rows flow through the same
+        # micro-batcher as everyone else's samples, preserving fairness
+        # and deadline semantics, and come back in order.
+        futures = [
+            self.broker.submit(
+                header["model"],
+                row,
+                priority=int(header.get("priority", 0)),
+                deadline_ms=header.get("deadline_ms"),
+            )
+            for row in batch
+        ]
+        outputs = await asyncio.gather(*(asyncio.wrap_future(f) for f in futures))
+        stacked = np.stack([np.asarray(o) for o in outputs])
+        fields, out_payload = encode_array_header(stacked)
+        return {"ok": True, "version": PROTOCOL_VERSION, **fields}, out_payload
+
+    async def _op_stats(self, header: dict, payload: bytes) -> Tuple[dict, bytes]:
+        stats = self.broker.stats()
+        return {"ok": True, "version": PROTOCOL_VERSION, "stats": stats.to_dict()}, b""
+
+    async def _op_list_models(self, header: dict, payload: bytes) -> Tuple[dict, bytes]:
+        return {
+            "ok": True,
+            "version": PROTOCOL_VERSION,
+            "models": self.broker.registry.names(),
+        }, b""
+
+    async def _op_drain(self, header: dict, payload: bytes) -> Tuple[dict, bytes]:
+        # drain() blocks, so it runs on the default executor — the event
+        # loop keeps serving other connections meanwhile.
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(
+            None, functools.partial(self.broker.drain, header.get("timeout"))
+        )
+        return {"ok": True, "version": PROTOCOL_VERSION}, b""
+
+    async def _op_ping(self, header: dict, payload: bytes) -> Tuple[dict, bytes]:
+        return {"ok": True, "version": PROTOCOL_VERSION, "running": self.broker.running}, b""
+
+    _OPS = {
+        "infer": _op_infer,
+        "infer_batch": _op_infer_batch,
+        "stats": _op_stats,
+        "list_models": _op_list_models,
+        "drain": _op_drain,
+        "ping": _op_ping,
+    }
+
+    def __repr__(self) -> str:
+        state = f"listening on {self.address}" if self.address else "stopped"
+        return f"TransportServer({self.broker!r}, {state})"

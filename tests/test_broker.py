@@ -1,0 +1,237 @@
+"""Tests for the transport-agnostic request core (repro.serving.broker)
+and the per-deployment SLO / latency-split metrics."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro import hdcpp as H
+from repro.apps.common import bipolar_random
+from repro.serving import (
+    InferenceServer,
+    ModelRegistry,
+    RequestBroker,
+    Servable,
+    ServingMetrics,
+)
+from repro.serving.scheduler import WorkerPool
+
+DIM = 128
+CLASSES = 5
+
+
+def make_servable(seed: int = 2, name: str = "broker-model") -> Servable:
+    classes = bipolar_random(CLASSES, DIM, seed=seed)
+
+    def build_program(batch_size: int) -> H.Program:
+        prog = H.Program(f"{name}_b{batch_size}")
+
+        @prog.define(H.hv(DIM), H.hm(CLASSES, DIM))
+        def infer_one(encoding, class_hvs):
+            distances = H.hamming_distance(H.sign(encoding), H.sign(class_hvs))
+            return H.arg_min(distances)
+
+        @prog.entry(H.hm(batch_size, DIM), H.hm(CLASSES, DIM))
+        def main(encodings, class_hvs):
+            return H.inference_loop(infer_one, encodings, class_hvs)
+
+        return prog
+
+    return Servable(
+        name=name,
+        build_program=build_program,
+        constants={"class_hvs": classes},
+        query_param="encodings",
+        sample_shape=(DIM,),
+        supported_targets=("cpu", "gpu"),
+    )
+
+
+def queries(n: int, seed: int = 3) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return (rng.integers(0, 2, (n, DIM)) * 2 - 1).astype(np.float32)
+
+
+class TestRequestBrokerStandalone:
+    """The broker is usable without the InferenceServer facade."""
+
+    def test_submit_batch_dispatch_settle(self):
+        servable = make_servable()
+        registry = ModelRegistry()
+        deployment = registry.register(servable, warm_batch_sizes=())
+        broker = RequestBroker(
+            registry, WorkerPool(("cpu",)), max_batch_size=8, max_wait_seconds=0.002
+        )
+        broker.add_model(deployment)
+        assert not broker.running
+        broker.start()
+        try:
+            assert broker.running
+            futures = [broker.submit(servable.name, q) for q in queries(20)]
+            broker.drain()
+            labels = [int(np.asarray(f.result(timeout=5.0))) for f in futures]
+            assert all(0 <= label < CLASSES for label in labels)
+            stats = broker.stats()
+            assert stats.requests == 20
+            assert broker.model_names() == [servable.name]
+        finally:
+            broker.stop()
+        assert not broker.running
+
+    def test_server_is_thin_adapter_over_broker(self):
+        """The facade and its broker must observe the same state."""
+        server = InferenceServer(workers=("cpu",), max_batch_size=8)
+        servable = make_servable(name="adapter-model")
+        server.register(servable)
+        assert server.metrics is server.broker.metrics
+        assert server.broker.registry is server.registry
+        assert server.broker.pool is server.pool
+        with server:
+            server.infer(servable.name, queries(1)[0])
+            server.drain()
+        assert server.stats().requests == server.broker.stats().requests == 1
+
+
+class TestLatencySplitAndSLO:
+    def test_queue_wait_execute_split_recorded(self):
+        server = InferenceServer(workers=("cpu",), max_batch_size=8, max_wait_seconds=0.002)
+        servable = make_servable(name="split-model")
+        server.register(servable)
+        with server:
+            for q in queries(24):
+                server.submit(servable.name, q)
+            server.drain()
+            stats = server.stats()
+        model = stats.model_stats[servable.name]
+        assert model["requests"] == 24
+        assert model["mean_execute_ms"] > 0.0
+        assert model["queue_wait_p95_ms"] >= model["queue_wait_p50_ms"] >= 0.0
+        assert model["execute_p95_ms"] >= model["execute_p50_ms"] > 0.0
+        # The split components cannot exceed the end-to-end latency.
+        assert model["mean_queue_wait_ms"] + model["mean_execute_ms"] <= (
+            stats.mean_latency_ms * 1.5 + 1.0
+        )
+
+    def test_slo_violations_counted_per_model(self):
+        server = InferenceServer(workers=("cpu",), max_batch_size=8, max_wait_seconds=0.002)
+        strict = make_servable(seed=4, name="strict-slo")
+        relaxed = make_servable(seed=5, name="relaxed-slo")
+        server.register(strict, slo_ms=1e-9)       # everything violates
+        server.register(relaxed, slo_ms=60_000.0)  # nothing violates
+        with server:
+            for q in queries(10):
+                server.submit(strict.name, q)
+                server.submit(relaxed.name, q)
+            server.drain()
+            stats = server.stats()
+        assert stats.model_stats[strict.name]["slo_violations"] == 10
+        assert stats.model_stats[strict.name]["slo_ms"] == pytest.approx(1e-9)
+        assert stats.model_stats[relaxed.name]["slo_violations"] == 0
+        assert stats.slo_violations == 10
+
+    def test_no_slo_means_no_violations(self):
+        metrics = ServingMetrics()
+        metrics.record_request(10.0, model="m", queue_wait_seconds=9.0, execute_seconds=1.0)
+        stats = metrics.snapshot()
+        assert stats.model_stats["m"]["slo_ms"] is None
+        assert stats.model_stats["m"]["slo_violations"] == 0
+
+    def test_stats_to_dict_is_json_serializable(self):
+        server = InferenceServer(workers=("cpu",), max_batch_size=4)
+        servable = make_servable(name="json-model")
+        server.register(servable, slo_ms=5_000.0)
+        with server:
+            server.infer(servable.name, queries(1)[0])
+            server.drain()
+            payload = json.dumps(server.stats().to_dict())
+        restored = json.loads(payload)
+        assert restored["requests"] == 1
+        assert all(isinstance(k, str) for k in restored["batch_size_histogram"])
+
+
+class TestMetricsReset:
+    def test_reset_zeroes_interval_but_keeps_slo(self):
+        metrics = ServingMetrics()
+        metrics.set_slo("m", 0.5)
+        metrics.record_request(1.0, model="m", queue_wait_seconds=0.9, execute_seconds=0.1)
+        metrics.record_batch(4)
+        metrics.record_failure()
+        metrics.record_expired(2)
+        assert metrics.snapshot().model_stats["m"]["slo_violations"] == 1
+
+        metrics.reset()
+        stats = metrics.snapshot()
+        assert stats.requests == 0 and stats.batches == 0
+        assert stats.failures == 0 and stats.deadline_exceeded == 0
+        assert stats.latency_p99_ms == 0.0 and stats.mean_latency_ms == 0.0
+        assert stats.model_stats["m"]["requests"] == 0
+        assert stats.model_stats["m"]["slo_violations"] == 0
+        assert stats.model_stats["m"]["slo_ms"] == pytest.approx(0.5)
+
+        # The next interval counts from zero.
+        metrics.record_request(0.1, model="m", queue_wait_seconds=0.05, execute_seconds=0.05)
+        assert metrics.snapshot().requests == 1
+
+    def test_per_interval_reporting_on_live_server(self):
+        server = InferenceServer(workers=("cpu",), max_batch_size=8, max_wait_seconds=0.002)
+        servable = make_servable(name="interval-model")
+        server.register(servable)
+        with server:
+            for q in queries(12):
+                server.submit(servable.name, q)
+            server.drain()
+            first = server.stats()
+            server.reset_stats()
+            for q in queries(5, seed=9):
+                server.submit(servable.name, q)
+            server.drain()
+            second = server.stats()
+        assert first.requests == 12
+        assert second.requests == 5  # only the new interval
+        assert second.uptime_seconds < first.uptime_seconds
+
+    def test_snapshot_consistent_under_concurrent_writers(self):
+        """Hammer the collectors from several threads while snapshotting;
+        every snapshot must be internally consistent (single lock)."""
+        metrics = ServingMetrics(latency_window=64)
+        stop = threading.Event()
+
+        def writer():
+            while not stop.is_set():
+                metrics.record_request(0.001, model="m", queue_wait_seconds=0.0005,
+                                       execute_seconds=0.0005)
+                metrics.record_batch(2)
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            for _ in range(200):
+                stats = metrics.snapshot()
+                # requests and the per-model collector advance under one
+                # lock, so a torn read could never show model > total.
+                assert stats.model_stats.get("m", {}).get("requests", 0) <= stats.requests
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+
+
+class TestFutureLifecycle:
+    def test_submitted_futures_are_not_cancellable(self):
+        """Broker futures are marked RUNNING at submit: a front end that
+        gets torn down (e.g. asyncio.wrap_future during transport stop)
+        must not be able to cancel them out from under the worker, which
+        would make set_result raise and kill the worker thread."""
+        server = InferenceServer(workers=("cpu",), max_batch_size=8)
+        servable = make_servable(name="nocancel-model")
+        server.register(servable)
+        future = server.submit(servable.name, queries(1)[0])  # server stopped: stays queued
+        assert future.cancel() is False
+        with server:
+            server.drain()
+        assert int(np.asarray(future.result(timeout=5.0))) >= 0

@@ -198,3 +198,101 @@ class TestEagerStagesAndHetero:
 
     def test_hetero_attributes_is_noop(self):
         assert H.hetero_attributes(1, 2, 3) is None
+
+
+class TestVectorizedEagerParallelMap:
+    """The eager parallel_map fast path (one batched NumPy call) must stay
+    bit-identical to the reference per-row Python loop."""
+
+    @staticmethod
+    def _per_row_reference(impl, data, extra=None):
+        rows = []
+        for i in range(data.rows):
+            row = data.row(i)
+            out = impl(row) if extra is None else impl(row, extra)
+            rows.append(np.asarray(out))
+        return np.stack(rows)
+
+    def test_vectorizable_impl_bit_identical_to_row_loop(self):
+        rng = np.random.default_rng(3)
+        data = H.HyperMatrix(rng.standard_normal((17, 33)).astype(np.float32))
+        for impl in (
+            lambda row: H.sign(row),
+            lambda row: H.sign_flip(row),
+            lambda row: H.wrap_shift(row, 2),
+        ):
+            out = np.asarray(H.parallel_map(impl, data))
+            assert np.array_equal(out, self._per_row_reference(impl, data)), impl
+
+    def test_extra_operand_bit_identical(self):
+        rng = np.random.default_rng(4)
+        data = H.HyperMatrix(rng.standard_normal((9, 16)).astype(np.float32))
+        codebook = H.HyperMatrix(
+            np.sign(rng.standard_normal((9, 16))).astype(np.float32)
+        )
+
+        def impl(row, extra):
+            return H.HyperVector(np.asarray(row) * np.asarray(extra)[0])
+
+        out = np.asarray(H.parallel_map(impl, data, extra=codebook))
+        assert np.array_equal(out, self._per_row_reference(impl, data, codebook))
+
+    def test_row_only_impl_falls_back_bit_identical(self):
+        """An impl that chokes on matrices must run the per-row path."""
+        rng = np.random.default_rng(5)
+        data = H.HyperMatrix(rng.standard_normal((7, 12)).astype(np.float32))
+
+        def row_only(row):
+            arr = np.asarray(row)
+            if arr.ndim != 1:
+                raise ValueError("rows only")
+            return H.HyperVector(arr * 2.0 + 1.0)
+
+        out = np.asarray(H.parallel_map(row_only, data))
+        assert np.array_equal(out, self._per_row_reference(row_only, data))
+
+    def test_non_rowwise_matrix_semantics_rejected(self):
+        """A batched result that differs from per-row application (here a
+        scan across the row axis) must be rejected via the boundary-row
+        check and recomputed row by row."""
+        data = H.HyperMatrix(np.ones((5, 4), dtype=np.float32))
+
+        def sneaky(value):
+            arr = np.asarray(value)
+            if arr.ndim == 2:
+                # Row 0 matches per-row application, rows 1+ do not.
+                return H.HyperMatrix(np.cumsum(arr, axis=0))
+            return H.HyperVector(arr)
+
+        out = np.asarray(H.parallel_map(sneaky, data))
+        assert np.array_equal(out, self._per_row_reference(sneaky, data))
+
+    def test_single_row_matrix(self):
+        data = H.HyperMatrix(np.arange(4, dtype=np.float32).reshape(1, 4))
+        out = np.asarray(H.parallel_map(lambda row: H.sign_flip(row), data))
+        assert np.array_equal(out, -np.asarray(data))
+
+    def test_hashtable_read_encoder_bit_identical(self):
+        """The ROADMAP-flagged hot encoder: batched vs per-row paths agree."""
+        from repro.apps.hashtable import HDHashtable
+
+        app = HDHashtable(dimension=64, seed=9)
+        base_hvs = app.make_base_hypervectors()
+        encode_read = app._make_read_encoder(base_hvs, kmer_length=4)
+        rng = np.random.default_rng(6)
+        reads = H.HyperMatrix(rng.integers(0, 4, (8, 20)).astype(np.int64), H.int64)
+        out = np.asarray(H.parallel_map(encode_read, reads, output_dim=64))
+        assert np.array_equal(out, self._per_row_reference(encode_read, reads))
+
+    def test_hypervector_only_attributes_fall_back(self):
+        """An impl touching HyperVector-only surface (``.dim``) raises
+        AttributeError on the speculative whole-matrix probe; it must fall
+        back to the per-row loop, not crash."""
+        rng = np.random.default_rng(8)
+        data = H.HyperMatrix(rng.standard_normal((6, 10)).astype(np.float32))
+
+        def row_attrs(row):
+            return H.HyperVector(np.asarray(row) * float(row.dim))
+
+        out = np.asarray(H.parallel_map(row_attrs, data))
+        assert np.array_equal(out, self._per_row_reference(row_attrs, data))

@@ -1,0 +1,269 @@
+"""Tests for the network front end (repro.serving.transport).
+
+The end-to-end tests launch the asyncio socket server over a running
+:class:`InferenceServer` and drive it with blocking clients — including
+the multi-client smoke test the CI transport job runs under a pytest
+timeout (a hung event loop fails fast instead of stalling the workflow).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import struct
+import threading
+
+import numpy as np
+import pytest
+
+from repro import hdcpp as H
+from repro.apps.common import bipolar_random
+from repro.backends import compile as hdc_compile
+from repro.serving import DeadlineExceeded, InferenceServer, Servable
+from repro.serving.transport import (
+    FrameError,
+    RemoteServingError,
+    ServingClient,
+    TransportServer,
+    decode_array,
+    encode_array_header,
+    encode_frame,
+    read_frame_sync,
+)
+
+DIM = 128
+CLASSES = 6
+N_QUERIES = 40
+
+
+def make_servable(seed: int = 5, name: str = "bipolar-net") -> Servable:
+    """A bipolar classifier: exact in every path, so served results must be
+    bit-identical to per-request execution."""
+    classes = bipolar_random(CLASSES, DIM, seed=seed)
+
+    def build_program(batch_size: int) -> H.Program:
+        prog = H.Program(f"{name}_b{batch_size}")
+
+        @prog.define(H.hv(DIM), H.hm(CLASSES, DIM))
+        def infer_one(encoding, class_hvs):
+            distances = H.hamming_distance(H.sign(encoding), H.sign(class_hvs))
+            return H.arg_min(distances)
+
+        @prog.entry(H.hm(batch_size, DIM), H.hm(CLASSES, DIM))
+        def main(encodings, class_hvs):
+            return H.inference_loop(infer_one, encodings, class_hvs)
+
+        return prog
+
+    return Servable(
+        name=name,
+        build_program=build_program,
+        constants={"class_hvs": classes},
+        query_param="encodings",
+        sample_shape=(DIM,),
+        supported_targets=("cpu", "gpu"),
+    )
+
+
+@pytest.fixture(scope="module")
+def servable():
+    return make_servable()
+
+
+@pytest.fixture(scope="module")
+def queries():
+    rng = np.random.default_rng(11)
+    return (rng.integers(0, 2, (N_QUERIES, DIM)) * 2 - 1).astype(np.float32)
+
+
+@pytest.fixture(scope="module")
+def expected_labels(servable, queries):
+    handle = hdc_compile(servable.build_program(1), target="cpu").bind(**servable.constants)
+    return [
+        int(np.asarray(handle.run(encodings=queries[i : i + 1]).output)[0])
+        for i in range(queries.shape[0])
+    ]
+
+
+@pytest.fixture(scope="module")
+def serving_stack(servable):
+    """A running InferenceServer + TransportServer on an ephemeral port."""
+    server = InferenceServer(workers=("cpu", "cpu"), max_batch_size=16, max_wait_seconds=0.002)
+    server.register(servable, slo_ms=30_000.0)
+    server.start()
+    transport = TransportServer(server)
+    host, port = transport.start()
+    yield server, host, port
+    transport.stop()
+    server.stop()
+
+
+class TestFrameProtocol:
+    def test_frame_round_trip(self):
+        header = {"op": "infer", "model": "m", "priority": 2, "deadline_ms": None}
+        payload = b"\x00\x01\x02payload"
+        frame = encode_frame(header, payload)
+        got_header, got_payload = read_frame_sync(io.BytesIO(frame))
+        assert got_header == header and got_payload == payload
+
+    def test_empty_payload_round_trip(self):
+        frame = encode_frame({"op": "stats"})
+        header, payload = read_frame_sync(io.BytesIO(frame))
+        assert header == {"op": "stats"} and payload == b""
+
+    def test_array_round_trip(self):
+        rng = np.random.default_rng(0)
+        for array in (
+            rng.standard_normal((3, 5)).astype(np.float32),
+            np.arange(7, dtype=np.int64),
+            np.int64(42),  # 0-d result scalar
+        ):
+            fields, payload = encode_array_header(np.asarray(array))
+            restored = decode_array(fields, payload)
+            assert np.array_equal(restored, np.asarray(array))
+            assert restored.dtype == np.asarray(array).dtype
+
+    def test_truncated_stream_raises(self):
+        frame = encode_frame({"op": "ping"}, b"1234")
+        with pytest.raises(FrameError):
+            read_frame_sync(io.BytesIO(frame[:-2]))
+
+    def test_oversized_prefix_rejected(self):
+        bogus = struct.pack("!II", 2**31, 16)
+        with pytest.raises(FrameError):
+            read_frame_sync(io.BytesIO(bogus + b"\x00" * 64))
+
+    def test_non_object_header_rejected(self):
+        body = json.dumps([1, 2]).encode()
+        frame = struct.pack("!II", len(body), 0) + body
+        with pytest.raises(FrameError):
+            read_frame_sync(io.BytesIO(frame))
+
+    def test_payload_length_mismatch_rejected(self):
+        with pytest.raises(FrameError):
+            decode_array({"dtype": "float32", "shape": [4]}, b"\x00" * 8)
+
+
+class TestSocketServing:
+    def test_infer_matches_in_process(self, serving_stack, servable, queries, expected_labels):
+        server, host, port = serving_stack
+        with ServingClient(host, port, timeout=30.0) as client:
+            assert client.ping()
+            for i in range(8):
+                remote = int(client.infer(servable.name, queries[i]))
+                local = int(np.asarray(server.infer(servable.name, queries[i])))
+                assert remote == local == expected_labels[i]
+
+    def test_infer_batch_row_aligned(self, serving_stack, servable, queries, expected_labels):
+        _, host, port = serving_stack
+        with ServingClient(host, port, timeout=30.0) as client:
+            out = client.infer_batch(servable.name, queries)
+            assert out.shape == (N_QUERIES,)
+            assert [int(v) for v in out] == expected_labels
+
+    def test_list_models_and_stats(self, serving_stack, servable):
+        _, host, port = serving_stack
+        with ServingClient(host, port, timeout=30.0) as client:
+            client.infer(servable.name, np.ones(DIM, dtype=np.float32))
+            client.drain()
+            assert servable.name in client.list_models()
+            stats = client.stats()
+            assert stats["requests"] >= 1
+            assert stats["failures"] == 0
+            model = stats["model_stats"][servable.name]
+            assert model["requests"] >= 1
+            assert model["slo_ms"] == 30_000.0
+            assert model["slo_violations"] == 0
+            assert model["mean_queue_wait_ms"] >= 0.0
+            assert model["mean_execute_ms"] > 0.0
+            json.dumps(stats)  # the whole snapshot is JSON-serializable
+
+    def test_expired_deadline_raises_typed_error(self, serving_stack, servable, queries):
+        _, host, port = serving_stack
+        with ServingClient(host, port, timeout=30.0) as client:
+            with pytest.raises(DeadlineExceeded):
+                client.infer(servable.name, queries[0], deadline_ms=1e-6)
+            # The connection survives a shed request.
+            assert int(client.infer(servable.name, queries[0])) >= 0
+
+    def test_unknown_model_is_request_error_not_disconnect(self, serving_stack, servable, queries):
+        _, host, port = serving_stack
+        with ServingClient(host, port, timeout=30.0) as client:
+            with pytest.raises(RemoteServingError) as excinfo:
+                client.infer("no-such-model", queries[0])
+            assert excinfo.value.error_type == "KeyError"
+            with pytest.raises(RemoteServingError):
+                client.infer_batch(servable.name, np.zeros((0, DIM), dtype=np.float32))
+            assert int(client.infer(servable.name, queries[0])) >= 0
+
+    def test_bad_sample_shape_reported(self, serving_stack, servable):
+        _, host, port = serving_stack
+        with ServingClient(host, port, timeout=30.0) as client:
+            with pytest.raises(RemoteServingError) as excinfo:
+                client.infer(servable.name, np.zeros(DIM + 1, dtype=np.float32))
+            assert excinfo.value.error_type == "ValueError"
+
+    def test_multi_client_smoke(self, serving_stack, servable, queries, expected_labels):
+        """8 concurrent socket clients; every result bit-identical.
+
+        This is the smoke test CI runs against the launched socket server
+        (with a pytest timeout so a hung event loop fails the job fast).
+        """
+        _, host, port = serving_stack
+        n_clients, per_client = 8, 10
+        rng = np.random.default_rng(7)
+        picks = rng.integers(0, N_QUERIES, size=(n_clients, per_client))
+        results = [[None] * per_client for _ in range(n_clients)]
+        errors = []
+
+        def client_thread(c: int) -> None:
+            try:
+                with ServingClient(host, port, timeout=60.0) as client:
+                    for j, index in enumerate(picks[c]):
+                        results[c][j] = int(client.infer(servable.name, queries[index]))
+            except Exception as exc:  # surfaces in the main thread's assert
+                errors.append((c, exc))
+
+        threads = [threading.Thread(target=client_thread, args=(c,)) for c in range(n_clients)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert not errors, errors
+        for c in range(n_clients):
+            for j, index in enumerate(picks[c]):
+                assert results[c][j] == expected_labels[index]
+
+
+class TestClientConnectionHygiene:
+    def test_timeout_poisons_the_connection(self):
+        """A response timeout desynchronizes request/response framing, so
+        the client must refuse further use instead of silently reading a
+        stale reply (there is no per-request id to re-correlate)."""
+        import socket as socket_module
+
+        accepted = []
+
+        def silent_server(sock):
+            conn, _ = sock.accept()
+            accepted.append(conn)  # read nothing, reply nothing
+
+        listener = socket_module.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        thread = threading.Thread(target=silent_server, args=(listener,), daemon=True)
+        thread.start()
+        host, port = listener.getsockname()
+        client = ServingClient(host, port, timeout=0.2)
+        try:
+            with pytest.raises(OSError):  # socket.timeout
+                client.ping()
+            with pytest.raises(ConnectionError):
+                client.ping()  # poisoned: refuses instead of desyncing
+        finally:
+            client.close()
+            thread.join()
+            for conn in accepted:
+                conn.close()
+            listener.close()
