@@ -2,7 +2,11 @@
 
 Not a paper figure, but useful for understanding where the time of the
 figure-level benchmarks goes: encoding GEMMs, similarity searches (float,
-bipolar-GEMM and packed-bit variants), and the element-wise primitives.
+bipolar-GEMM and packed-bit variants), the element-wise primitives, and
+the batched vs per-row application encoders of the batch-native execution
+plane.  Every case's mean time lands in ``BENCH_primitives.json`` (see
+the ``bench_json`` fixture in ``conftest.py``) so kernel-level
+regressions are visible across PRs.
 """
 
 from __future__ import annotations
@@ -29,36 +33,100 @@ def data():
     }
 
 
-def test_encode_gemm_batched(benchmark, data):
+def _record(bench_json, benchmark, case: str, **extra) -> None:
+    """Fold one pytest-benchmark case into the JSON summary."""
+    stats = benchmark.stats.stats
+    bench_json.record(
+        case,
+        mean_seconds=stats.mean,
+        min_seconds=stats.min,
+        ops_per_second=(1.0 / stats.mean) if stats.mean else 0.0,
+        **extra,
+    )
+
+
+def test_encode_gemm_batched(benchmark, bench_json, data):
     benchmark(lambda: batched.gemm(data["features"], data["rp"]))
+    _record(bench_json, benchmark, "encode_gemm_batched", queries=QUERIES, dim=DIM)
 
 
-def test_encode_matmul_per_sample(benchmark, data):
+def test_encode_matmul_per_sample(benchmark, bench_json, data):
     benchmark(lambda: ref.matmul(data["features"][0], data["rp"]))
+    _record(bench_json, benchmark, "encode_matmul_per_sample", dim=DIM)
 
 
-def test_cossim_batched(benchmark, data):
+def test_cossim_batched(benchmark, bench_json, data):
     benchmark(lambda: batched.pairwise_cossim(data["encoded"], data["classes"]))
+    _record(bench_json, benchmark, "cossim_batched", queries=QUERIES, classes=CLASSES)
 
 
-def test_hamming_batched_bipolar(benchmark, data):
+def test_hamming_batched_bipolar(benchmark, bench_json, data):
     benchmark(lambda: batched.pairwise_hamming(data["encoded"], data["classes"]))
+    _record(bench_json, benchmark, "hamming_batched_bipolar", queries=QUERIES, classes=CLASSES)
 
 
-def test_hamming_reference(benchmark, data):
+def test_hamming_reference(benchmark, bench_json, data):
     benchmark(lambda: ref.hamming_distance(data["encoded"][:16], data["classes"]))
+    _record(bench_json, benchmark, "hamming_reference", queries=16, classes=CLASSES)
 
 
-def test_hamming_packed_bits(benchmark, data):
+def test_hamming_packed_bits(benchmark, bench_json, data):
     packed_q = binkern.pack_bipolar(data["encoded"])
     packed_c = binkern.pack_bipolar(data["classes"])
     benchmark(lambda: binkern.hamming_distance_packed(packed_q, packed_c))
+    _record(bench_json, benchmark, "hamming_packed_bits", queries=QUERIES, classes=CLASSES)
 
 
-def test_sign_kernel(benchmark, data):
+def test_sign_kernel(benchmark, bench_json, data):
     raw = data["features"] @ data["rp"].T
     benchmark(lambda: ref.sign(raw))
+    _record(bench_json, benchmark, "sign_kernel", queries=QUERIES, dim=DIM)
 
 
-def test_wrap_shift(benchmark, data):
+def test_wrap_shift(benchmark, bench_json, data):
     benchmark(lambda: ref.wrap_shift(data["encoded"], 3))
+    _record(bench_json, benchmark, "wrap_shift", queries=QUERIES, dim=DIM)
+
+
+def test_batched_permute(benchmark, bench_json, data):
+    benchmark(lambda: batched.permute(data["encoded"], 3))
+    _record(bench_json, benchmark, "batched_permute", queries=QUERIES, dim=DIM)
+
+
+# ---------------------------------------------------------------------------
+# Application encoders: batched route vs per-row reference
+# ---------------------------------------------------------------------------
+
+HASHTABLE_READS = 64
+READ_LENGTH = 60
+KMER = 8
+
+
+@pytest.fixture(scope="module")
+def hashtable_encoders():
+    from repro.apps.hashtable import HDHashtable
+
+    app = HDHashtable(dimension=2048, seed=9)
+    base_hvs = app.make_base_hypervectors()
+    rng = np.random.default_rng(6)
+    reads = rng.integers(0, 4, (HASHTABLE_READS, READ_LENGTH)).astype(np.int64)
+    return (
+        app._make_read_encoder(base_hvs, KMER),
+        app._make_batched_read_encoder(base_hvs, KMER),
+        reads,
+    )
+
+
+def test_hashtable_encoder_per_read(benchmark, bench_json, hashtable_encoders):
+    encode_read, _, reads = hashtable_encoders
+    benchmark(lambda: np.stack([encode_read(read) for read in reads]))
+    _record(bench_json, benchmark, "hashtable_encoder_per_read", reads=HASHTABLE_READS)
+
+
+def test_hashtable_encoder_batched(benchmark, bench_json, hashtable_encoders):
+    encode_read, encode_reads, reads = hashtable_encoders
+    result = encode_reads(reads)
+    # The batched route must stay bit-identical to the per-read reference.
+    assert np.array_equal(result, np.stack([encode_read(read) for read in reads]))
+    benchmark(lambda: encode_reads(reads))
+    _record(bench_json, benchmark, "hashtable_encoder_batched", reads=HASHTABLE_READS)

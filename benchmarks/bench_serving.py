@@ -23,6 +23,16 @@ latency-bound (each request pays a batching wait plus a socket round
 trip), while 8 concurrent clients coalesce into shared micro-batches on
 the server — the benchmark asserts the >= 2x aggregate-throughput
 scaling that the transport front end exists to deliver.
+
+Two benchmarks cover the **batch-native execution plane**: the HyperOMS
+workload served through the default batched worker must beat a per-row
+worker by >= 3x (the encoder runs as per-level GEMMs instead of one
+Python iteration per spectrum), and every stock app adapter must serve
+fully vectorized — zero per-row fallbacks in the per-deployment
+``ServerStats`` counters, which is what CI's perf-smoke step fails on.
+
+Every case also lands in ``BENCH_serving.json`` (see the ``bench_json``
+fixture) so the throughput trajectory is tracked across PRs.
 """
 
 from __future__ import annotations
@@ -33,10 +43,12 @@ import time
 import numpy as np
 import pytest
 
-from repro.apps import HDClassificationInference
+from repro.apps import HDClassificationInference, HyperOMS
 from repro.backends import compile as hdc_compile
+from repro.backends.cpu import CPUBackend
 from repro.datasets import make_isolet_like
 from repro.serving import InferenceServer, ModelRegistry
+from repro.serving.scheduler import Worker
 from repro.serving.transport import ServingClient, TransportServer
 
 #: Number of single-sample requests pushed through both flows.
@@ -44,6 +56,9 @@ N_REQUESTS = 512
 
 #: Socket requests per concurrency level of the transport benchmark.
 N_SOCKET_REQUESTS = 192
+
+#: Requests pushed through the batched-vs-per-row encoder comparison.
+N_ENCODER_REQUESTS = 256
 
 
 @pytest.fixture(scope="module")
@@ -64,7 +79,7 @@ def requests(isolet):
     return np.tile(test, (reps, 1))[:N_REQUESTS]
 
 
-def test_dynamic_batching_speedup(benchmark, servable, requests):
+def test_dynamic_batching_speedup(benchmark, bench_json, servable, requests):
     """Served throughput must be >= 3x the single-request baseline."""
     # Warm single-request baseline: compiled once, constants bound once.
     baseline_handle = hdc_compile(servable.build_program(1), target="cpu").bind(
@@ -106,11 +121,20 @@ def test_dynamic_batching_speedup(benchmark, servable, requests):
         f"speedup {speedup:.1f}x, mean batch {stats.mean_batch_size:.1f}, "
         f"p99 {stats.latency_p99_ms:.2f}ms"
     )
+    bench_json.record(
+        "dynamic_batching",
+        requests=requests.shape[0],
+        baseline_rps=requests.shape[0] / baseline_seconds,
+        served_rps=requests.shape[0] / served_seconds,
+        speedup=speedup,
+        mean_batch_size=stats.mean_batch_size,
+        latency_p99_ms=stats.latency_p99_ms,
+    )
     assert stats.mean_batch_size > 1.0
     assert speedup >= 3.0
 
 
-def test_sharded_deployment_throughput(benchmark, servable, requests):
+def test_sharded_deployment_throughput(benchmark, bench_json, servable, requests):
     """Sharded serving (N=2) must match unsharded predictions bit-for-bit;
     report the scatter/reduce throughput next to the unsharded path."""
     unsharded = InferenceServer(
@@ -148,13 +172,20 @@ def test_sharded_deployment_throughput(benchmark, servable, requests):
         f"({sharded_rps / unsharded_rps:.2f}x relative)"
     )
     stats = sharded.stats()
+    bench_json.record(
+        "sharded_deployment",
+        requests=requests.shape[0],
+        unsharded_rps=unsharded_rps,
+        sharded_rps=sharded_rps,
+        relative_throughput=sharded_rps / unsharded_rps,
+    )
     assert stats.failures == 0
     # Scatter pays one extra encode per shard, so allow slack — but the
     # sharded path must stay within the same order of magnitude.
     assert sharded_rps >= 0.2 * unsharded_rps
 
 
-def test_socket_clients_scale_aggregate_throughput(benchmark, servable, requests):
+def test_socket_clients_scale_aggregate_throughput(benchmark, bench_json, servable, requests):
     """8 concurrent socket clients must deliver >= 2x the aggregate
     throughput of 1 client on CPU ISOLET classification.
 
@@ -220,11 +251,19 @@ def test_socket_clients_scale_aggregate_throughput(benchmark, servable, requests
         f"1 client {single_rps:.0f} req/s, 8 clients {concurrent_rps:.0f} req/s "
         f"({scaling:.1f}x), mean batch {stats.mean_batch_size:.1f}"
     )
+    bench_json.record(
+        "socket_transport",
+        requests=samples.shape[0],
+        single_client_rps=single_rps,
+        eight_client_rps=concurrent_rps,
+        scaling=scaling,
+        mean_batch_size=stats.mean_batch_size,
+    )
     assert stats.failures == 0
     assert scaling >= 2.0
 
 
-def test_registry_round_trip_hits_compile_cache(benchmark, servable):
+def test_registry_round_trip_hits_compile_cache(benchmark, bench_json, servable):
     """register -> warm -> re-register must hit the compiled-program cache."""
     registry = ModelRegistry()
 
@@ -239,5 +278,173 @@ def test_registry_round_trip_hits_compile_cache(benchmark, servable):
     benchmark.extra_info["cache_hits"] = stats.hits
     benchmark.extra_info["cache_misses"] = stats.misses
     print(f"\ncompile cache: {stats.hits} hits / {stats.misses} misses")
+    bench_json.record(
+        "registry_compile_cache", cache_hits=stats.hits, cache_misses=stats.misses
+    )
     assert stats.misses == 2  # one compile per warmed bucket
     assert stats.hits >= 1
+
+
+# ---------------------------------------------------------------------------
+# Batch-native execution plane
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def hyperoms_workload():
+    """A served HyperOMS search at a typical online-request shape.
+
+    Small-ish spectra (64 m/z bins, ~20% occupancy) keep each row's NumPy
+    work modest, which is exactly the regime where the per-row path pays
+    its Python-per-row tax: one closure call per spectrum for the encoder
+    plus one interpreted traced-function run per query for the search.
+    The batched plane replaces both with a handful of whole-batch library
+    calls.
+    """
+    rng = np.random.default_rng(29)
+    n_bins, n_library = 64, 64
+    app = HyperOMS(dimension=512, n_levels=8, seed=11)
+    library = (rng.random((n_library, n_bins)) * (rng.random((n_library, n_bins)) > 0.8)).astype(
+        np.float32
+    )
+    servable = app.as_servable(app.encode_library(library), n_bins=n_bins)
+    spectra = (
+        rng.random((N_ENCODER_REQUESTS, n_bins)) * (rng.random((N_ENCODER_REQUESTS, n_bins)) > 0.8)
+    ).astype(np.float32)
+    return servable, spectra
+
+
+def test_batched_encoder_speedup(benchmark, bench_json, hyperoms_workload):
+    """The batched execution plane must serve the HyperOMS workload >= 3x
+    faster than the per-row reference path.
+
+    Both servers run identical programs; the only difference is the
+    worker's stage strategy — ``CPUBackend(batched=True)`` (the serving
+    default) executes the level-ID encoder as per-level GEMMs over the
+    whole micro-batch behind the bit-identity gate, while
+    ``CPUBackend(batched=False)`` loops one Python iteration per
+    spectrum.  Predictions must agree exactly (the gate guarantees it).
+    """
+    servable, spectra = hyperoms_workload
+
+    def serve_all(server):
+        with server:
+            results = server.infer_many(servable.name, list(spectra))
+            return [int(np.asarray(r)) for r in results]
+
+    rowwise_worker = Worker("cpu-rowwise", "cpu", backend=CPUBackend(batched=False))
+    rowwise = InferenceServer(workers=(rowwise_worker,), max_batch_size=64, max_wait_seconds=0.002)
+    rowwise.register(servable, warm="full")
+    start = time.perf_counter()
+    rowwise_labels = serve_all(rowwise)
+    rowwise_seconds = time.perf_counter() - start
+
+    batched = InferenceServer(workers=("cpu",), max_batch_size=64, max_wait_seconds=0.002)
+    batched.register(servable, warm="full")
+
+    start = time.perf_counter()
+    batched_labels = benchmark.pedantic(lambda: serve_all(batched), rounds=1, iterations=1)
+    batched_seconds = time.perf_counter() - start
+
+    assert batched_labels == rowwise_labels  # gate-guaranteed bit identity
+
+    stats = batched.stats().to_dict()
+    model = stats["model_stats"][servable.name]
+    speedup = rowwise_seconds / batched_seconds
+    benchmark.extra_info["rowwise_rps"] = spectra.shape[0] / rowwise_seconds
+    benchmark.extra_info["batched_rps"] = spectra.shape[0] / batched_seconds
+    benchmark.extra_info["speedup"] = speedup
+    print(
+        f"\nbatched encoder: {spectra.shape[0]} requests, "
+        f"per-row {rowwise_seconds * 1e3:.1f}ms, batched {batched_seconds * 1e3:.1f}ms "
+        f"({speedup:.1f}x), vectorized stages {model['vectorized_stages']}, "
+        f"fallbacks {model['fallback_stages']}"
+    )
+    bench_json.record(
+        "batched_encoder",
+        requests=spectra.shape[0],
+        rowwise_rps=spectra.shape[0] / rowwise_seconds,
+        batched_rps=spectra.shape[0] / batched_seconds,
+        speedup=speedup,
+        vectorized_stages=model["vectorized_stages"],
+        fallback_stages=model["fallback_stages"],
+    )
+    assert model["vectorized_stages"] > 0
+    assert model["fallback_stages"] == 0
+    assert speedup >= 3.0
+
+
+def test_stock_apps_serve_fully_vectorized(bench_json, scale, isolet):
+    """Every stock app adapter must take the batched route on every batch:
+    per-deployment ``vectorized_stages`` > 0 and ``fallback_stages`` == 0
+    in ``ServerStats.to_dict()`` — a model silently degrading to the
+    per-row path is a perf regression CI should catch, not scrollback."""
+    from repro.apps import HDClustering, HDHashtable, RelHD
+    from repro.datasets.genomics import GenomicsConfig, base_indices, make_genomics_dataset
+
+    rng = np.random.default_rng(31)
+    servables = []
+
+    cls_app = HDClassificationInference(dimension=scale.classification_dim, similarity="hamming")
+    servables.append((cls_app.as_servable(dataset=isolet), isolet.test_features[:32]))
+
+    clu = HDClustering(dimension=256)
+    rp = np.sign(rng.standard_normal((256, 16))).astype(np.float32)
+    clusters = np.sign(rng.standard_normal((8, 256))).astype(np.float32)
+    servables.append((clu.as_servable(rp, clusters), rng.standard_normal((32, 16)).astype(np.float32)))
+
+    rel = RelHD(dimension=256)
+    rel_classes = np.sign(rng.standard_normal((7, 256))).astype(np.float32)
+    servables.append(
+        (rel.as_servable(rel_classes), np.sign(rng.standard_normal((32, 256))).astype(np.float32))
+    )
+
+    oms = HyperOMS(dimension=256)
+    library = rng.random((12, 24)).astype(np.float32)
+    servables.append(
+        (oms.as_servable(oms.encode_library(library), n_bins=24), rng.random((32, 24)).astype(np.float32))
+    )
+
+    config = GenomicsConfig(
+        genome_length=4000, bucket_size=500, read_length=60, n_reads=32, n_decoys=0, kmer_length=8
+    )
+    genomics = make_genomics_dataset(config)
+    hasht = HDHashtable(dimension=256)
+    base_hvs = hasht.make_base_hypervectors()
+    table = hasht.encode_reference_buckets(genomics, base_hvs)
+    reads = np.stack([base_indices(read) for read in genomics.reads[:32]])
+    servables.append(
+        (hasht.as_servable(table, read_length=60, kmer_length=8, base_hvs=base_hvs), reads)
+    )
+
+    server = InferenceServer(workers=("cpu",), max_batch_size=16, max_wait_seconds=0.002)
+    for sv, _ in servables:
+        server.register(sv)
+    with server:
+        for sv, queries in servables:
+            server.infer_many(sv.name, list(queries))
+        server.drain()
+        stats = server.stats().to_dict()
+
+    summary = {}
+    for sv, _ in servables:
+        model = stats["model_stats"][sv.name]
+        summary[sv.name] = {
+            "vectorized_stages": model["vectorized_stages"],
+            "fallback_stages": model["fallback_stages"],
+        }
+        print(
+            f"\n{sv.name}: vectorized={model['vectorized_stages']} "
+            f"fallbacks={model['fallback_stages']} reasons={model['stage_fallback_reasons']}"
+        )
+    bench_json.record(
+        "stock_apps_vectorized",
+        aggregate_vectorized=stats["vectorized_stages"],
+        aggregate_fallbacks=stats["fallback_stages"],
+        per_model=summary,
+    )
+    for sv, _ in servables:
+        model = stats["model_stats"][sv.name]
+        assert model["vectorized_stages"] > 0, sv.name
+        assert model["fallback_stages"] == 0, (sv.name, model["stage_fallback_reasons"])
+    assert stats["fallback_stages"] == 0

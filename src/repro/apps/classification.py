@@ -59,6 +59,12 @@ def classification_servable(
     keeps the raw projection for cosine and signs only inside the Hamming
     comparison.
 
+    The traced ``infer_one`` needs no declared ``batch_impl``: every
+    primitive it uses broadcasts over whole hypermatrices, so the batched
+    execution plane auto-vectorizes the inference loop as one
+    GEMM-plus-similarity pass and the boundary-row bit-identity gate
+    verifies it against the per-row reference on every batch.
+
     The servable carries a :class:`~repro.serving.servable.ShardSpec`
     over the class memory, so it can also be deployed sharded (``shards=N``
     at registration): each shard's partial program re-encodes the query

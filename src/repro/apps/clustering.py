@@ -163,7 +163,10 @@ class HDClustering:
         The served program encodes each raw feature vector and assigns it
         to its nearest cluster hypervector — the streaming "which cluster
         does this new sample belong to" query, with the k-means iterations
-        left to offline fitting.
+        left to offline fitting.  Both traced stages auto-vectorize on the
+        batched execution plane (encoding as one GEMM + sign, assignment
+        as one pairwise-Hamming + arg-min), gated per batch on boundary-row
+        bit identity against the per-sample reference.
         """
         rp_matrix = np.asarray(rp_matrix, dtype=np.float32)
         clusters = np.asarray(clusters, dtype=np.float32)

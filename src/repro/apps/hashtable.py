@@ -32,6 +32,7 @@ import numpy as np
 from repro import hdcpp as H
 from repro.apps.common import AppResult, bipolar_random
 from repro.backends import compile as hdc_compile
+from repro.kernels import batched
 from repro.datasets.genomics import GenomicsDataset, base_indices
 from repro.serving.servable import HOST_TARGETS, Servable, ShardSpec, servable_signature
 from repro.transforms.pipeline import ApproximationConfig
@@ -53,32 +54,89 @@ class HDHashtable:
         Each k-mer *binds* (element-wise multiplies) its bases' hypervectors
         rotated by their offset inside the k-mer — the GenieHD / BioHD
         encoding — and the sequence encoding is the bundle (sum) of all of
-        its k-mer hypervectors.  The callable also accepts a whole matrix of
-        reads (it then loops over them), so it can serve both the per-row
-        CPU strategy and the batched GPU strategy of ``parallel_map``.
+        its k-mer hypervectors.  This is the **per-read reference**: the
+        bit-identity gate of the batched execution plane checks the
+        declared batched route (:meth:`_make_batched_read_encoder`)
+        against it on the boundary rows of every batch.
         """
         dimension = base_hvs.shape[1]
         # Pre-rotate the 4 base hypervectors for every offset inside a k-mer.
         shifted = np.stack(
-            [np.roll(base_hvs, offset, axis=1) for offset in range(kmer_length)]
+            [batched.permute(base_hvs, offset) for offset in range(kmer_length)]
         )  # (kmer_length, 4, D)
 
-        def encode_one(bases: np.ndarray) -> np.ndarray:
+        def encode_read(read_bases) -> np.ndarray:
+            bases = np.asarray(read_bases, dtype=np.int64)
+            if bases.ndim != 1:
+                raise ValueError("encode_read is the per-read reference; one read at a time")
             positions = bases.shape[0] - kmer_length + 1
             if positions <= 0:
                 return np.zeros(dimension, dtype=np.float32)
             kmers = np.ones((positions, dimension), dtype=np.float32)
             for offset in range(kmer_length):
-                kmers *= shifted[offset][bases[offset : offset + positions]]
-            return kmers.sum(axis=0)
-
-        def encode_read(read_bases):
-            bases = np.asarray(read_bases, dtype=np.int64)
-            if bases.ndim == 1:
-                return encode_one(bases)
-            return np.stack([encode_one(row) for row in bases])
+                kmers = batched.bind(kmers, shifted[offset][bases[offset : offset + positions]])
+            return batched.bundle_windows(kmers)
 
         return encode_read
+
+    #: Working-set budget of the batched read encoder, in float32 elements
+    #: of the ``(chunk, positions, D)`` k-mer accumulator.  Reads are
+    #: independent, so chunking changes nothing numerically — it only
+    #: keeps the accumulator cache-sized instead of letting a large
+    #: one-shot batch (hundreds of long reads) thrash DRAM across the
+    #: ``kmer_length`` bind passes.  ~400 KB keeps the accumulator
+    #: L2-resident: measured at parity with the per-read loop on large-row
+    #: shapes (long reads / high D, where each row is already one big
+    #: vectorized op) and ahead of it on serving-sized micro-batches
+    #: (small rows, where the per-row Python tax dominates).
+    batched_encoder_elements = 100_000
+
+    def _make_batched_read_encoder(self, base_hvs: np.ndarray, kmer_length: int):
+        """K-mer encode a whole matrix of reads in a few array operations.
+
+        The 2-D formulation of the same GenieHD / BioHD encoding: for every
+        k-mer offset, one gather selects the rotated base hypervectors of a
+        whole chunk of reads at once — shape ``(chunk, positions, D)`` —
+        and one batched bind folds them into the k-mer accumulator; one
+        batched bundle then sums the position axis.  ``kmer_length`` array
+        operations per chunk replace ``reads × kmer_length`` Python-level
+        steps.  Operands are bipolar (±1), so every partial sum is
+        integer-valued and exact in float32 — the batched result is
+        bit-identical to the per-read reference, which is what lets the
+        execution gate accept this route for every batch.
+        """
+        dimension = base_hvs.shape[1]
+        shifted = np.stack(
+            [batched.permute(base_hvs, offset) for offset in range(kmer_length)]
+        )  # (kmer_length, 4, D)
+
+        def encode_chunk(bases: np.ndarray, positions: int) -> np.ndarray:
+            kmers = np.ones((bases.shape[0], positions, dimension), dtype=np.float32)
+            for offset in range(kmer_length):
+                kmers = batched.bind(kmers, shifted[offset][bases[:, offset : offset + positions]])
+            return batched.bundle_windows(kmers)
+
+        def encode_reads(reads) -> np.ndarray:
+            bases = np.asarray(reads, dtype=np.int64)
+            single = bases.ndim == 1
+            bases = np.atleast_2d(bases)
+            n_reads = bases.shape[0]
+            positions = bases.shape[1] - kmer_length + 1
+            if positions <= 0:
+                out = np.zeros((n_reads, dimension), dtype=np.float32)
+                return out[0] if single else out
+            chunk = max(1, self.batched_encoder_elements // (positions * dimension))
+            if chunk >= n_reads:
+                out = encode_chunk(bases, positions)
+            else:
+                out = np.empty((n_reads, dimension), dtype=np.float32)
+                for begin in range(0, n_reads, chunk):
+                    out[begin : begin + chunk] = encode_chunk(
+                        bases[begin : begin + chunk], positions
+                    )
+            return out[0] if single else out
+
+        return encode_reads
 
     def make_base_hypervectors(self) -> np.ndarray:
         """The four per-nucleotide item-memory hypervectors."""
@@ -100,6 +158,7 @@ class HDHashtable:
     ) -> H.Program:
         dim = self.dimension
         encode_read = self._make_read_encoder(base_hvs, kmer_length)
+        encode_reads = self._make_batched_read_encoder(base_hvs, kmer_length)
 
         prog = H.Program("hd_hashtable")
 
@@ -110,7 +169,9 @@ class HDHashtable:
 
         @prog.entry(H.hm(n_reads, read_length, H.int64), H.hm(n_buckets, dim))
         def main(reads, bucket_table):
-            read_encodings = H.parallel_map(encode_read, reads, output_dim=dim)
+            read_encodings = H.parallel_map(
+                encode_read, reads, output_dim=dim, batch_impl=encode_reads
+            )
             matches = H.inference_loop(search_one, read_encodings, bucket_table)
             return matches
 
@@ -168,6 +229,7 @@ class HDHashtable:
         dim = self.dimension
         n_buckets = bucket_table.shape[0]
         encode_read = self._make_read_encoder(base_hvs, kmer_length)
+        encode_reads = self._make_batched_read_encoder(base_hvs, kmer_length)
 
         def build_program(batch_size: int) -> H.Program:
             prog = H.Program(f"{name}_serve_b{batch_size}")
@@ -179,7 +241,9 @@ class HDHashtable:
 
             @prog.entry(H.hm(batch_size, read_length, H.int64), H.hm(n_buckets, dim))
             def main(reads, table):
-                read_encodings = H.parallel_map(encode_read, reads, output_dim=dim)
+                read_encodings = H.parallel_map(
+                    encode_read, reads, output_dim=dim, batch_impl=encode_reads
+                )
                 return H.inference_loop(search_one, read_encodings, table)
 
             return prog
@@ -190,7 +254,9 @@ class HDHashtable:
 
             @prog.entry(H.hm(batch_size, read_length, H.int64), H.hm(n_rows, dim))
             def main(reads, table):
-                read_encodings = H.parallel_map(encode_read, reads, output_dim=dim)
+                read_encodings = H.parallel_map(
+                    encode_read, reads, output_dim=dim, batch_impl=encode_reads
+                )
                 return H.hamming_distance(H.sign(read_encodings), H.sign(table))
 
             return prog

@@ -29,6 +29,7 @@ import numpy as np
 from repro import hdcpp as H
 from repro.apps.common import AppResult, bipolar_random
 from repro.backends import compile as hdc_compile
+from repro.kernels import batched
 from repro.datasets.spectra import SpectralDataset
 from repro.serving.servable import HOST_TARGETS, Servable, ShardSpec, servable_signature
 from repro.transforms.pipeline import ApproximationConfig
@@ -64,33 +65,66 @@ class HyperOMS:
 
     # --------------------------------------------------------------- encoding impl --
     def _make_encoder(self, id_hvs: np.ndarray, level_hvs: np.ndarray):
-        """Level-ID encoding of one binned spectrum (per-row implementation).
+        """Level-ID encoding of one binned spectrum (per-row reference).
 
         The implementation is a host callable (closure over the ID / level
-        item memories) executed once per spectrum by ``parallel_map``; it
-        works on a single spectrum vector or on a whole spectrum matrix,
-        which is what lets the GPU back end batch it.
+        item memories) executed once per spectrum by ``parallel_map``.  It
+        is the reference the bit-identity gate checks the declared batched
+        route (:meth:`_make_batched_encoder`) against on the boundary rows
+        of every batch.
         """
         n_levels = self.n_levels
 
         def encode_spectrum(binned):
             dense = np.asarray(binned, dtype=np.float32)
-            single = dense.ndim == 1
-            dense = np.atleast_2d(dense)
+            if dense.ndim != 1:
+                raise ValueError("encode_spectrum is the per-spectrum reference; one row at a time")
             levels = np.clip((dense * (n_levels - 1)).round().astype(np.int64), 0, n_levels - 1)
             # Bind each active peak's ID hypervector with its level
             # hypervector and bundle over peaks:  sum_b  active_b * (id_b ⊙ level_b).
-            encoded = np.empty((dense.shape[0], id_hvs.shape[1]), dtype=np.float32)
-            for i in range(dense.shape[0]):
-                active = np.nonzero(dense[i] > 0)[0]
-                if active.size == 0:
-                    encoded[i] = 0.0
-                    continue
-                bound = id_hvs[active] * level_hvs[levels[i, active]]
-                encoded[i] = bound.sum(axis=0)
-            return encoded[0] if single else encoded
+            active = np.nonzero(dense > 0)[0]
+            if active.size == 0:
+                return np.zeros(id_hvs.shape[1], dtype=np.float32)
+            bound = id_hvs[active] * level_hvs[levels[active]]
+            return bound.sum(axis=0)
 
         return encode_spectrum
+
+    def _make_batched_encoder(self, id_hvs: np.ndarray, level_hvs: np.ndarray):
+        """Level-ID encode a whole spectrum matrix with per-level GEMMs.
+
+        One selection mask and one ``(spectra, bins) @ (bins, D)`` GEMM per
+        intensity level replace the per-spectrum Python loop: level ``l``'s
+        GEMM bundles ``id_b ⊙ level_l`` over every active peak quantized to
+        ``l``, for all spectra at once — ``n_levels`` library calls instead
+        of one Python iteration per spectrum.  Masks are 0/1 and the bound
+        item memories bipolar (±1), so every partial sum is integer-valued
+        and exact in float32: the batched result is bit-identical to the
+        per-spectrum reference regardless of summation order, which is what
+        lets the execution gate accept this route for every batch.
+        """
+        n_levels = self.n_levels
+        # Pre-bind the ID item memory against every level hypervector:
+        # (n_levels, bins, D).
+        bound_levels = np.stack(
+            [batched.bind(id_hvs, level_hvs[level]) for level in range(n_levels)]
+        ).astype(np.float32)
+
+        def encode_spectra(binned):
+            dense = np.asarray(binned, dtype=np.float32)
+            single = dense.ndim == 1
+            dense = np.atleast_2d(dense)
+            levels = np.clip((dense * (n_levels - 1)).round().astype(np.int64), 0, n_levels - 1)
+            active = dense > 0
+            encoded = np.zeros((dense.shape[0], id_hvs.shape[1]), dtype=np.float32)
+            for level in range(n_levels):
+                select = (active & (levels == level)).astype(np.float32)
+                if not select.any():
+                    continue
+                encoded += batched.gemm(select, batched.transpose(bound_levels[level]))
+            return encoded[0] if single else encoded
+
+        return encode_spectra
 
     # ------------------------------------------------------------------ program --
     def build_program(self, n_queries: int, n_library: int, n_bins: int) -> H.Program:
@@ -98,6 +132,7 @@ class HyperOMS:
         id_hvs = bipolar_random(n_bins, dim, seed=self.seed)
         level_hvs = make_level_hypervectors(self.n_levels, dim, seed=self.seed + 1)
         encode_spectrum = self._make_encoder(id_hvs, level_hvs)
+        encode_spectra = self._make_batched_encoder(id_hvs, level_hvs)
 
         prog = H.Program("hyperoms")
 
@@ -110,9 +145,11 @@ class HyperOMS:
         @prog.entry(H.hm(n_queries, n_bins), H.hm(n_library, n_bins))
         def main(query_spectra, library_spectra):
             library_encodings = H.parallel_map(
-                encode_spectrum, library_spectra, output_dim=dim
+                encode_spectrum, library_spectra, output_dim=dim, batch_impl=encode_spectra
             )
-            query_encodings = H.parallel_map(encode_spectrum, query_spectra, output_dim=dim)
+            query_encodings = H.parallel_map(
+                encode_spectrum, query_spectra, output_dim=dim, batch_impl=encode_spectra
+            )
             matches = H.inference_loop(search_one, query_encodings, library_encodings)
             return matches
 
@@ -154,8 +191,8 @@ class HyperOMS:
         n_bins = library_matrix.shape[1] if n_bins is None else n_bins
         id_hvs = bipolar_random(n_bins, self.dimension, seed=self.seed)
         level_hvs = make_level_hypervectors(self.n_levels, self.dimension, seed=self.seed + 1)
-        encode_spectrum = self._make_encoder(id_hvs, level_hvs)
-        return np.asarray(encode_spectrum(library_matrix), dtype=np.float32)
+        encode_spectra = self._make_batched_encoder(id_hvs, level_hvs)
+        return np.asarray(encode_spectra(library_matrix), dtype=np.float32)
 
     def as_servable(
         self, library_encodings: np.ndarray, n_bins: int, name: str = "hyperoms"
@@ -174,6 +211,7 @@ class HyperOMS:
         id_hvs = bipolar_random(n_bins, dim, seed=self.seed)
         level_hvs = make_level_hypervectors(self.n_levels, dim, seed=self.seed + 1)
         encode_spectrum = self._make_encoder(id_hvs, level_hvs)
+        encode_spectra = self._make_batched_encoder(id_hvs, level_hvs)
 
         def build_program(batch_size: int) -> H.Program:
             prog = H.Program(f"{name}_serve_b{batch_size}")
@@ -185,7 +223,9 @@ class HyperOMS:
 
             @prog.entry(H.hm(batch_size, n_bins), H.hm(n_library, dim))
             def main(query_spectra, library):
-                query_encodings = H.parallel_map(encode_spectrum, query_spectra, output_dim=dim)
+                query_encodings = H.parallel_map(
+                    encode_spectrum, query_spectra, output_dim=dim, batch_impl=encode_spectra
+                )
                 return H.inference_loop(search_one, query_encodings, library)
 
             return prog
@@ -196,7 +236,9 @@ class HyperOMS:
 
             @prog.entry(H.hm(batch_size, n_bins), H.hm(n_rows, dim))
             def main(query_spectra, library):
-                query_encodings = H.parallel_map(encode_spectrum, query_spectra, output_dim=dim)
+                query_encodings = H.parallel_map(
+                    encode_spectrum, query_spectra, output_dim=dim, batch_impl=encode_spectra
+                )
                 return H.hamming_distance(H.sign(query_encodings), H.sign(library))
 
             return prog

@@ -174,6 +174,10 @@ class RelHD:
         output of :meth:`aggregate_neighbours`, the sparse host-side step);
         the served program performs the Hamming similarity search against
         the trained class memories.  CPU/GPU only, matching the paper.
+        The traced search auto-vectorizes on the batched execution plane
+        (one pairwise-Hamming + arg-min over the whole micro-batch), gated
+        per batch on boundary-row bit identity against the per-node
+        reference.
         """
         classes = np.asarray(classes, dtype=np.float32)
         dim = self.dimension

@@ -56,6 +56,26 @@ class ExecutionReport:
     energy_joules: float = 0.0
     notes: dict = field(default_factory=dict)
 
+    def record_stage_counters(self, stages) -> None:
+        """Surface a stage executor's vectorized-vs-fallback accounting.
+
+        ``notes["stage_vectorized"]`` / ``notes["stage_fallbacks"]`` count
+        how many stage / parallel-map executions took the batched route vs
+        fell back to the per-row loop (both 0 for a per-row executor —
+        the reference loop is its configured strategy, not a fallback);
+        ``notes["stage_fallback_reasons"]`` maps each falling-back stage
+        to its reason and ``notes["batched_fallback"]`` keeps the last
+        reason string for quick inspection.  The serving runtime folds
+        these into per-deployment :class:`~repro.serving.metrics
+        .ServerStats` counters.
+        """
+        self.notes["stage_vectorized"] = stages.vectorized_stages
+        self.notes["stage_fallbacks"] = stages.fallback_stages
+        if stages.stage_fallbacks:
+            self.notes["stage_fallback_reasons"] = dict(stages.stage_fallbacks)
+        if stages.last_fallback is not None:
+            self.notes["batched_fallback"] = stages.last_fallback
+
     def merge_device_counters(self, counters) -> None:
         """Fold a device simulator's counters into this report."""
         self.device_seconds += counters.device_seconds
@@ -315,7 +335,16 @@ class Backend:
         this back-end instance — steps 1-3 of the compile workflow are
         restored from the payload, not repeated.
         """
+        from repro.backends.executor import _REJECTED_ATTR
+
         state = pickle.loads(payload)
+        # Runtime batched-route rejections are pinned per *process* (they
+        # can be data dependent — e.g. a bit-identity gate failure on one
+        # particular batch's float values); a restored artifact starts
+        # with a clean slate and re-probes its batched routes.
+        for fn in state["program"].functions.values():
+            for op in fn.ops:
+                op.attrs.pop(_REJECTED_ATTR, None)
         self.prepare(state["program"], state["graph"], state["config"])
         return CompiledProgram(
             self, state["program"], state["graph"], state["pass_report"], state["config"]

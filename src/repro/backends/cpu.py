@@ -16,7 +16,11 @@ For the serving runtime the back end additionally offers a *batched* host
 mode (``CPUBackend(batched=True)``): stage primitives execute once over the
 whole query hypermatrix using the vectorized library-routine kernels
 (one GEMM instead of per-row GEMVs), which is how coalesced micro-batches
-amortize the per-sample interpreter overhead on the host.
+amortize the per-sample interpreter overhead on the host.  Batched mode is
+the default for serving workers because bit-compatibility is *gated*, not
+assumed: every batched stage result must pass the boundary-row
+bit-identity check against the per-row reference, falling back to the
+per-row loop (and recording why in ``ExecutionReport.notes``) otherwise.
 """
 
 from __future__ import annotations
@@ -63,6 +67,5 @@ class CPUBackend(Backend):
         interpreter.run_entry(env)
         report.kernel_launches = kernels.kernel_invocations
         report.notes["kernel_set"] = kernels.name
-        if stages.last_fallback is not None:
-            report.notes["batched_fallback"] = stages.last_fallback
+        report.record_stage_counters(stages)
         return self.collect_outputs(compiled.entry, env)

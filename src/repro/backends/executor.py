@@ -4,14 +4,20 @@ The :class:`OpInterpreter` walks the operation stream of a traced function
 in order, keeping an environment from SSA value ids to concrete NumPy
 arrays, and dispatches each operation to the back end's kernel set.  The
 high-level stage primitives and Hetero-C++ parallel maps are handled by
-:class:`HostStageExecutor`, which either
+:class:`HostStageExecutor` through one **vectorized-dispatch path**:
 
-* loops over samples, invoking the implementation function once per row
-  (the CPU strategy), or
-* executes the implementation function once over the whole query
-  hypermatrix using the batched kernels (the GPU strategy — the analogue of
-  lowering the stage onto cuBLAS/Thrust batched routines), falling back to
-  the per-row loop when the implementation is not batchable.
+* in batched mode (the GPU strategy, and the serving-default CPU mode) a
+  stage first tries the *batched route* — the operation's declared
+  ``batch_impl``, or auto-vectorization of the per-row implementation as
+  one whole-hypermatrix call — and accepts its result only when it passes
+  the **boundary-row bit-identity gate**: the first and last row are
+  recomputed through the per-row reference and compared exactly;
+* on a fallback error, a shape mismatch or a gate rejection, the stage
+  runs the original per-row loop, so results never change — only the
+  number of Python-level iterations does.  The fallback reason is
+  recorded per stage and surfaced through
+  ``ExecutionReport.notes["stage_fallback_reasons"]`` so serving metrics
+  can expose deployments that silently degrade to the slow path.
 
 Implementation functions may be traced functions (interpreted with the same
 kernel set — which is how the approximation transforms reach them) or plain
@@ -39,6 +45,23 @@ _STAGE_OPS = {Opcode.ENCODING_LOOP, Opcode.TRAINING_LOOP, Opcode.INFERENCE_LOOP}
 #: written for a single row and chokes on a whole hypermatrix).  Anything
 #: else — a genuine kernel or implementation bug — must propagate.
 _BATCH_FALLBACK_ERRORS = (TypeError, ValueError, IndexError)
+
+#: Runtime attribute caching a rejected batched route on the operation of
+#: the *compiled clone* (the traced source program is never mutated).
+#: Retrying the whole-batch attempt on every execution would make a
+#: permanently falling-back model strictly slower than the plain per-row
+#: path, so a rejection — row-only implementation, wrong shape, or a
+#: bit-identity gate failure — pins the per-row loop for the rest of this
+#: compiled program's life in this process.  The gate verdict *is* data
+#: dependent (a float-valued route may disagree on one batch's values and
+#: agree on the next), so pinning deliberately trades a possibly
+#: recoverable route for correct, predictable cost; the pin does not
+#: outlive the process (``Backend.deserialize_compiled`` strips it, so
+#: cache-restored artifacts re-probe).  Acceptances are *never* cached:
+#: the gate must re-verify every batch.  Writes are GIL-atomic dict
+#: stores, so handles shared across worker threads at worst attempt the
+#: doomed route once per thread.
+_REJECTED_ATTR = "_batched_route_rejected"
 
 
 class ExecutionError(RuntimeError):
@@ -89,16 +112,48 @@ class HostStageExecutor:
     """Stage/parallel-map execution strategy for CPU and GPU back ends."""
 
     def __init__(self, batched: bool):
-        #: ``True`` for the GPU strategy (execute the implementation once
-        #: over the whole dataset), ``False`` for the per-sample CPU loop.
+        #: ``True`` for the batched strategy (try one whole-hypermatrix
+        #: call per stage, gated on boundary-row bit identity), ``False``
+        #: for the per-sample reference loop.
         self.batched = batched
         #: Reason of the most recent batched-execution fallback (``None``
         #: when every batched attempt so far succeeded).  Back ends surface
         #: this in ``ExecutionReport.notes["batched_fallback"]``.
         self.last_fallback: Optional[str] = None
+        #: Stage/parallel-map executions served by the batched route
+        #: (gate passed) during this executor's lifetime.
+        self.vectorized_stages = 0
+        #: Stage/parallel-map executions that fell back to the per-row
+        #: loop.  Both counters only move in batched mode: the per-row
+        #: loop of an unbatched executor is the configured strategy, not
+        #: a degradation.
+        self.fallback_stages = 0
+        #: Per-stage fallback reasons, keyed by a human-readable stage
+        #: label (``opcode[impl]``).
+        self.stage_fallbacks: dict[str, str] = {}
 
-    def _record_fallback(self, op: Operation, exc: Exception) -> None:
-        self.last_fallback = f"{op.opcode}: {type(exc).__name__}: {exc}"
+    # ------------------------------------------------------------- accounting --
+    @staticmethod
+    def _stage_label(op: Operation) -> str:
+        impl = op.attrs.get("impl")
+        if impl is None:
+            impl_callable = op.attrs.get("impl_callable")
+            impl = getattr(impl_callable, "__name__", repr(impl_callable))
+        label = f"{op.opcode.value}[{impl}]"
+        if op.result is not None:
+            # Disambiguate two stages sharing an opcode and impl (e.g.
+            # HyperOMS encodes both the library and the query spectra with
+            # the same callable) by the result's SSA name.
+            label += f"@%{op.result.name}"
+        return label
+
+    def _record_fallback(self, op: Operation, reason: str) -> None:
+        self.fallback_stages += 1
+        self.last_fallback = f"{op.opcode}: {reason}"
+        self.stage_fallbacks[self._stage_label(op)] = reason
+
+    def _record_vectorized(self, op: Operation) -> None:
+        self.vectorized_stages += 1
 
     # ------------------------------------------------------------------ helpers --
     def _resolve_impl(
@@ -140,6 +195,100 @@ class HostStageExecutor:
     def _call_impl_callable(self, impl: Callable, args: list) -> np.ndarray:
         return as_numpy(impl(*args))
 
+    def _apply_once(self, interpreter, op, traced, eager, args: list[np.ndarray]) -> np.ndarray:
+        if traced is not None:
+            return self._call_impl_traced(interpreter, traced, [np.asarray(a) for a in args])
+        wrapped = [self._wrap(a, v) for a, v in zip(args, op.operands)]
+        return self._call_impl_callable(eager, wrapped)
+
+    @staticmethod
+    def _empty_result(op: Operation) -> np.ndarray:
+        """The zero-row result of a stage applied to an empty batch."""
+        rtype = getattr(op.result, "type", None)
+        shape = getattr(rtype, "shape", None)
+        element = getattr(rtype, "element", None)
+        if shape is not None:
+            dtype = element.numpy_dtype if element is not None else np.float32
+            return np.zeros(tuple(shape), dtype=dtype)
+        return np.zeros((0,), dtype=np.float32)
+
+    # ------------------------------------------------ vectorized dispatch path --
+    def _try_batched(
+        self,
+        interpreter: OpInterpreter,
+        op: Operation,
+        traced: Optional[TracedFunction],
+        eager: Optional[Callable],
+        batched_args: list,
+        row_result: Callable[[int], np.ndarray],
+        n_rows: int,
+        transform: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    ) -> Optional[np.ndarray]:
+        """One whole-hypermatrix attempt behind the bit-identity gate.
+
+        Tries the declared ``batch_impl`` first, then auto-vectorization
+        (the per-row implementation invoked once over the whole batch).
+        The result is accepted only if its boundary rows are exactly equal
+        to the per-row reference (``row_result``); otherwise the fallback
+        reason is recorded and ``None`` returned so the caller runs the
+        per-row loop.  Fallback-class errors (shape/type trouble from a
+        row-only implementation) are recorded too; genuine bugs propagate.
+        """
+        cached_rejection = op.attrs.get(_REJECTED_ATTR)
+        if cached_rejection is not None:
+            # This operation's batched route was already rejected on an
+            # earlier execution of the same compiled program (row-only
+            # implementation, shape mismatch or gate failure).  None of
+            # those verdicts can improve with different data in a way
+            # that would be safe to trust, so skip the doomed whole-batch
+            # attempt and go straight to the per-row loop — a permanently
+            # falling-back model costs what the per-row path always cost,
+            # instead of per-row plus a discarded batched run per batch.
+            self._record_fallback(op, cached_rejection)
+            return None
+        batch_impl = op.attrs.get("batch_impl")
+        route = "batch_impl" if batch_impl is not None else "auto-vectorization"
+        try:
+            if batch_impl is not None:
+                wrapped = [self._wrap(a, v) for a, v in zip(batched_args, op.operands)]
+                out = as_numpy(batch_impl(*wrapped))
+            else:
+                out = np.asarray(self._apply_once(interpreter, op, traced, eager, batched_args))
+        except _BATCH_FALLBACK_ERRORS as exc:
+            self._reject(op, f"{type(exc).__name__}: {exc}")
+            return None
+        out = np.asarray(out)
+        if transform is not None:
+            out = transform(out)
+        first = np.asarray(row_result(0))
+        if out.ndim != first.ndim + 1 or out.shape[0] != n_rows or out.shape[1:] != first.shape:
+            self._reject(
+                op,
+                f"{route} returned shape {out.shape}, expected ({n_rows},) + {first.shape}",
+            )
+            return None
+        if out.dtype != first.dtype:
+            # Bit identity includes the byte representation: a value-equal
+            # result in a different dtype would make the program's output
+            # depend on which back end ran it.
+            self._reject(
+                op, f"{route} returned dtype {out.dtype}, per-row reference is {first.dtype}"
+            )
+            return None
+        last = first if n_rows == 1 else np.asarray(row_result(n_rows - 1))
+        if not (np.array_equal(out[0], first) and np.array_equal(out[-1], last)):
+            self._reject(
+                op, f"{route} is not bit-identical to the per-row reference on the boundary rows"
+            )
+            return None
+        self._record_vectorized(op)
+        return out
+
+    def _reject(self, op: Operation, reason: str) -> None:
+        """Record a fallback and pin the rejection for future executions."""
+        op.attrs[_REJECTED_ATTR] = reason
+        self._record_fallback(op, reason)
+
     # ------------------------------------------------------------------ stages --
     def execute_stage(self, interpreter: OpInterpreter, op: Operation, inputs: list[np.ndarray]):
         if op.opcode == Opcode.ENCODING_LOOP:
@@ -153,35 +302,57 @@ class HostStageExecutor:
     def _encoding(self, interpreter, op, inputs):
         queries, encoder = inputs[0], inputs[1]
         traced, eager = self._resolve_impl(interpreter, op)
+        n_rows = int(np.asarray(queries).shape[0])
+        if n_rows == 0:
+            return self._empty_result(op)
+        cache: dict[int, np.ndarray] = {}
+
+        def row_result(i: int) -> np.ndarray:
+            if i not in cache:
+                cache[i] = np.asarray(
+                    self._apply_once(interpreter, op, traced, eager, [self._row_of(queries, i), encoder])
+                )
+            return cache[i]
+
         if self.batched:
-            try:
-                return self._apply_once(interpreter, op, traced, eager, [queries, encoder])
-            except _BATCH_FALLBACK_ERRORS as exc:
-                self._record_fallback(op, exc)  # fall back to the per-row loop below
-        rows = []
-        for i in range(np.asarray(queries).shape[0]):
-            rows.append(
-                self._apply_once(interpreter, op, traced, eager, [self._row_of(queries, i), encoder])
+            out = self._try_batched(
+                interpreter, op, traced, eager, [queries, encoder], row_result, n_rows
             )
-        return np.stack(rows)
+            if out is not None:
+                return out
+        return np.stack([row_result(i) for i in range(n_rows)])
 
     def _inference(self, interpreter, op, inputs):
         queries, classes = inputs[0], inputs[1]
         extra = list(inputs[2:]) if op.attrs.get("has_encoder") else []
         traced, eager = self._resolve_impl(interpreter, op)
+        n_rows = int(np.asarray(queries).shape[0])
+        if n_rows == 0:
+            return np.zeros((0,), dtype=np.int64)
+        cache: dict[int, np.ndarray] = {}
+
+        def row_result(i: int) -> np.ndarray:
+            if i not in cache:
+                out = self._apply_once(
+                    interpreter, op, traced, eager, [self._row_of(queries, i), classes] + extra
+                )
+                cache[i] = np.asarray(out, dtype=np.int64).reshape(())
+            return cache[i]
+
         if self.batched:
-            try:
-                out = self._apply_once(interpreter, op, traced, eager, [queries, classes] + extra)
-                return np.asarray(out, dtype=np.int64).reshape(-1)
-            except _BATCH_FALLBACK_ERRORS as exc:
-                self._record_fallback(op, exc)
-        labels = []
-        for i in range(np.asarray(queries).shape[0]):
-            out = self._apply_once(
-                interpreter, op, traced, eager, [self._row_of(queries, i), classes] + extra
+            out = self._try_batched(
+                interpreter,
+                op,
+                traced,
+                eager,
+                [queries, classes] + extra,
+                row_result,
+                n_rows,
+                transform=lambda a: np.asarray(a, dtype=np.int64).reshape(-1),
             )
-            labels.append(int(np.asarray(out).reshape(())))
-        return np.asarray(labels, dtype=np.int64)
+            if out is not None:
+                return out
+        return np.asarray([int(row_result(i)) for i in range(n_rows)], dtype=np.int64)
 
     #: Mini-batch size used when a batched training implementation is
     #: available (the same default the CUDA baselines use).
@@ -199,7 +370,12 @@ class HostStageExecutor:
         batch_impl = op.attrs.get("batch_impl")
         if self.batched and batch_impl is not None:
             # GPU strategy: one library call per mini-batch, mirroring the
-            # scatter-add training kernels of the CUDA baselines.
+            # scatter-add training kernels of the CUDA baselines.  The
+            # bit-identity gate does not apply here: mini-batched training
+            # is a *declared* semantic (update ordering differs from the
+            # per-sample rule by construction), so the declared route is
+            # trusted and counted as vectorized.
+            self._record_vectorized(op)
             size = self.training_batch_size
             for _ in range(epochs):
                 for begin in range(0, queries_arr.shape[0], size):
@@ -213,6 +389,10 @@ class HostStageExecutor:
                     current = as_numpy(batch_impl(*args))
             return current
 
+        if self.batched:
+            self._record_fallback(
+                op, "training_loop has no batch_impl (data-dependent per-sample update rule)"
+            )
         if eager is None:
             raise ExecutionError(
                 "training_loop on CPU/GPU requires a Python-callable implementation "
@@ -231,27 +411,29 @@ class HostStageExecutor:
                 current = as_numpy(eager(*args))
         return current
 
-    def _apply_once(self, interpreter, op, traced, eager, args: list[np.ndarray]) -> np.ndarray:
-        if traced is not None:
-            return self._call_impl_traced(interpreter, traced, [np.asarray(a) for a in args])
-        wrapped = [self._wrap(a, v) for a, v in zip(args, op.operands)]
-        return self._call_impl_callable(eager, wrapped)
-
     # ------------------------------------------------------------ parallel map --
     def execute_parallel_map(self, interpreter: OpInterpreter, op: Operation, inputs: list[np.ndarray]):
         data = inputs[0]
         extra = inputs[1] if len(inputs) > 1 else None
         traced, eager = self._resolve_impl(interpreter, op)
+        n_rows = int(np.asarray(data).shape[0])
+        if n_rows == 0:
+            return self._empty_result(op)
+        batched_args = [data] if extra is None else [data, extra]
+        cache: dict[int, np.ndarray] = {}
+
+        def row_result(i: int) -> np.ndarray:
+            if i not in cache:
+                args = [self._row_of(data, i)]
+                if extra is not None:
+                    args.append(extra)
+                cache[i] = np.asarray(self._apply_once(interpreter, op, traced, eager, args))
+            return cache[i]
+
         if self.batched:
-            try:
-                args = [data] if extra is None else [data, extra]
-                return np.asarray(self._apply_once(interpreter, op, traced, eager, args))
-            except _BATCH_FALLBACK_ERRORS as exc:
-                self._record_fallback(op, exc)
-        rows = []
-        for i in range(np.asarray(data).shape[0]):
-            args = [self._row_of(data, i)]
-            if extra is not None:
-                args.append(extra)
-            rows.append(self._apply_once(interpreter, op, traced, eager, args))
-        return np.stack(rows)
+            out = self._try_batched(
+                interpreter, op, traced, eager, batched_args, row_result, n_rows
+            )
+            if out is not None:
+                return out
+        return np.stack([row_result(i) for i in range(n_rows)])

@@ -96,6 +96,5 @@ class GPUBackend(Backend):
         )
         report.energy_joules = report.device_seconds * self.device_model.device_power_watts
         report.notes["kernel_set"] = kernels.name
-        if stages.last_fallback is not None:
-            report.notes["batched_fallback"] = stages.last_fallback
+        report.record_stage_counters(stages)
         return self.collect_outputs(compiled.entry, env)

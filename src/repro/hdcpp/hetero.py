@@ -43,6 +43,7 @@ def parallel_map(
     extra=None,
     output_dim: Optional[int] = None,
     element: ElementType = float32,
+    batch_impl: Optional[Callable] = None,
 ):
     """Apply ``impl`` to every row of ``inputs`` in parallel.
 
@@ -56,6 +57,14 @@ def parallel_map(
         output_dim: Length of the produced rows (defaults to the input
             row length).
         element: Element type of the produced hypermatrix.
+        batch_impl: Optional whole-hypermatrix formulation of the same
+            per-row algorithm, taking ``(inputs[, extra])`` and returning
+            one output row per input row.  Recorded as an operation
+            attribute, so traced programs carry *both* routes: batched
+            back ends try ``batch_impl`` (or, failing that,
+            auto-vectorization of ``impl``) under a boundary-row
+            bit-identity gate, and ``impl`` stays the reference the gate
+            checks against.
 
     Returns:
         A hypermatrix with one output row per input row.
@@ -69,6 +78,10 @@ def parallel_map(
     if output_dim is not None:
         attrs["output_dim"] = int(output_dim)
     attrs["element"] = element
+    if batch_impl is not None:
+        if not callable(batch_impl):
+            raise TracingError(f"parallel_map batch_impl must be callable, got {batch_impl!r}")
+        attrs["batch_impl"] = batch_impl
 
     if isinstance(inputs, Value):
         builder = current_builder()
@@ -78,7 +91,7 @@ def parallel_map(
         result_type = infer_result_type(Opcode.PARALLEL_MAP, [v.type for v in operands], attrs)
         return builder.emit(Opcode.PARALLEL_MAP, operands, attrs, result_type)
 
-    return _eager_parallel_map(impl, inputs, extra, element)
+    return _eager_parallel_map(impl, inputs, extra, element, batch_impl=batch_impl, output_dim=output_dim)
 
 
 #: Errors that indicate an implementation function is not batchable (it was
@@ -96,21 +109,22 @@ def _apply_row(impl, row, extra):
     return impl(row) if extra is None else impl(row, extra)
 
 
-def _eager_parallel_map(impl, inputs, extra, element: ElementType):
+def _eager_parallel_map(impl, inputs, extra, element: ElementType, batch_impl=None, output_dim=None):
     """Eager execution: one vectorized pass when possible, per-row otherwise.
 
-    The hot path hands the *whole* hypermatrix to ``impl`` in a single
-    call, so row-wise NumPy implementations (every elementwise primitive,
-    and encoders written to broadcast) run as one library call instead of
-    ``rows`` Python iterations — the ROADMAP-flagged eager-encoder
-    bottleneck.  The batched result is accepted only when it is
-    **bit-identical** to the per-row loop on the boundary rows: the first
-    and last row are recomputed via the per-row path and compared exactly,
-    which rejects implementations whose matrix semantics differ from
-    row-at-a-time application (reductions or scans across the row axis).
-    On a shape mismatch, a fallback error or a boundary-row mismatch, the
-    original per-row loop runs instead, so results never change — only
-    the number of Python-level iterations does.
+    The hot path hands the *whole* hypermatrix to ``batch_impl`` (when
+    declared) or to ``impl`` itself in a single call, so row-wise NumPy
+    implementations (every elementwise primitive, and encoders written to
+    broadcast) run as one library call instead of ``rows`` Python
+    iterations — the ROADMAP-flagged eager-encoder bottleneck.  The
+    batched result is accepted only when it is **bit-identical** to the
+    per-row loop on the boundary rows: the first and last row are
+    recomputed via the per-row path and compared exactly, which rejects
+    implementations whose matrix semantics differ from row-at-a-time
+    application (reductions or scans across the row axis).  On a shape
+    mismatch, a fallback error or a boundary-row mismatch, the original
+    per-row loop runs instead, so results never change — only the number
+    of Python-level iterations does.
     """
     if isinstance(impl, TracedFunction):
         raise TracingError(
@@ -119,28 +133,45 @@ def _eager_parallel_map(impl, inputs, extra, element: ElementType):
         )
     inputs_hm = inputs if isinstance(inputs, HyperMatrix) else HyperMatrix(as_numpy(inputs))
     n_rows = inputs_hm.rows
+    if n_rows == 0:
+        cols = inputs_hm.cols if output_dim is None else int(output_dim)
+        if batch_impl is not None:
+            try:
+                empty = as_numpy(_apply_row(batch_impl, inputs_hm, extra))
+                if empty.ndim >= 2 and empty.shape[0] == 0:
+                    return HyperMatrix(empty, element)
+            except _BATCH_FALLBACK_ERRORS:
+                pass
+        return HyperMatrix(np.zeros((0, cols), dtype=element.numpy_dtype), element)
     first = _apply_row(impl, inputs_hm.row(0), extra)
     out_element = first.element if isinstance(first, (HyperVector, HyperMatrix)) else element
     first_arr = as_numpy(first)
-    if n_rows == 1:
-        return HyperMatrix(np.stack([first_arr]), out_element)
-    last_arr = as_numpy(_apply_row(impl, inputs_hm.row(n_rows - 1), extra))
-    try:
-        batched = _apply_row(impl, inputs_hm, extra)
-    except _BATCH_FALLBACK_ERRORS:
-        batched = None
-    if batched is not None:
+    last_arr = (
+        first_arr
+        if n_rows == 1
+        else as_numpy(_apply_row(impl, inputs_hm.row(n_rows - 1), extra))
+    )
+    for candidate in (batch_impl, impl):
+        if candidate is None:
+            continue
+        try:
+            batched = _apply_row(candidate, inputs_hm, extra)
+        except _BATCH_FALLBACK_ERRORS:
+            continue
         batched_arr = as_numpy(batched)
         if (
             batched_arr.ndim == first_arr.ndim + 1
             and batched_arr.shape[0] == n_rows
             and batched_arr.shape[1:] == first_arr.shape
+            and batched_arr.dtype == first_arr.dtype  # bit identity includes bytes
             and np.array_equal(batched_arr[0], first_arr)
             and np.array_equal(batched_arr[-1], last_arr)
         ):
             if isinstance(batched, (HyperVector, HyperMatrix)):
                 out_element = batched.element
             return HyperMatrix(batched_arr, out_element)
+    if n_rows == 1:
+        return HyperMatrix(np.stack([first_arr]), out_element)
     rows = [first_arr]
     for i in range(1, n_rows - 1):
         rows.append(as_numpy(_apply_row(impl, inputs_hm.row(i), extra)))

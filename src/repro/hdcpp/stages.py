@@ -40,13 +40,28 @@ __all__ = ["encoding_loop", "training_loop", "inference_loop"]
 ImplFunction = Union[TracedFunction, Callable]
 
 
-def _impl_attrs(impl: ImplFunction) -> dict:
-    """Encode the implementation function reference as op attributes."""
+def _impl_attrs(impl: ImplFunction, batch_impl: Optional[Callable] = None) -> dict:
+    """Encode the implementation function references as op attributes.
+
+    ``batch_impl`` — the optional whole-hypermatrix formulation of the
+    same per-sample algorithm — is recorded alongside the per-row route,
+    so traced programs carry both: batched back ends prefer the declared
+    batched route (bit-identity gated against ``impl``), everything else
+    ignores it.
+    """
     if isinstance(impl, TracedFunction):
-        return {"impl": impl.name}
-    if callable(impl):
-        return {"impl_callable": impl}
-    raise TracingError(f"stage implementation must be a traced function or callable, got {impl!r}")
+        attrs = {"impl": impl.name}
+    elif callable(impl):
+        attrs = {"impl_callable": impl}
+    else:
+        raise TracingError(
+            f"stage implementation must be a traced function or callable, got {impl!r}"
+        )
+    if batch_impl is not None:
+        if not callable(batch_impl):
+            raise TracingError(f"stage batch_impl must be callable, got {batch_impl!r}")
+        attrs["batch_impl"] = batch_impl
+    return attrs
 
 
 def _emit_stage(opcode: Opcode, operands: list[Value], attrs: dict) -> Value:
@@ -63,6 +78,7 @@ def encoding_loop(
     encoder,
     encoded_dim: Optional[int] = None,
     element=float32,
+    batch_impl: Optional[Callable] = None,
 ):
     """Apply HDC encoding over an entire dataset.
 
@@ -75,11 +91,15 @@ def encoding_loop(
         encoded_dim: Dimensionality of the encoded hypervectors; inferred
             from ``encoder`` (its row count) when omitted.
         element: Element type of the encoded hypermatrix.
+        batch_impl: Optional whole-hypermatrix formulation of the same
+            per-sample encoder, taking ``(queries, encoder)`` and
+            returning one encoded row per sample.  Batched back ends
+            prefer it under the boundary-row bit-identity gate.
 
     Returns:
         A hypermatrix of encoded hypervectors (one row per sample).
     """
-    attrs = _impl_attrs(impl)
+    attrs = _impl_attrs(impl, batch_impl)
     if encoded_dim is not None:
         attrs["encoded_dim"] = int(encoded_dim)
     attrs["element"] = element
@@ -88,7 +108,13 @@ def encoding_loop(
     return _eager_encoding_loop(impl, queries, encoder)
 
 
-def inference_loop(impl: ImplFunction, queries, classes, encoder=None):
+def inference_loop(
+    impl: ImplFunction,
+    queries,
+    classes,
+    encoder=None,
+    batch_impl: Optional[Callable] = None,
+):
     """Apply HDC inference over an entire dataset.
 
     ``queries`` are the (already encoded or raw, depending on the chosen
@@ -100,8 +126,13 @@ def inference_loop(impl: ImplFunction, queries, classes, encoder=None):
     projection matrix) through to the implementation function; on the HDC
     accelerators it is what gets programmed into the device's base memory,
     so the same source line serves every target.
+
+    ``batch_impl`` optionally declares the whole-hypermatrix formulation
+    of the same search, taking ``(queries, classes[, encoder])`` and
+    returning one label per query; batched back ends prefer it under the
+    boundary-row bit-identity gate.
     """
-    attrs = _impl_attrs(impl)
+    attrs = _impl_attrs(impl, batch_impl)
     if isinstance(queries, Value):
         operands = [queries, classes]
         if encoder is not None:
@@ -134,10 +165,8 @@ def training_loop(
     per library call — the exact structure of the hand-written CUDA
     baselines — while the CPU back end and the accelerators ignore it.
     """
-    attrs = _impl_attrs(impl)
+    attrs = _impl_attrs(impl, batch_impl)
     attrs["epochs"] = int(epochs)
-    if batch_impl is not None:
-        attrs["batch_impl"] = batch_impl
     if isinstance(queries, Value):
         operands = [queries, labels, classes]
         if encoder is not None:

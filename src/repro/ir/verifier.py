@@ -55,6 +55,13 @@ def _verify_ops(ops: Iterable[Operation], defined_ids: set[int], context: str) -
         if op.opcode in _STAGE_OPS or op.opcode == Opcode.PARALLEL_MAP:
             if "impl" not in op.attrs and "impl_callable" not in op.attrs:
                 errors.append(f"{context}: {op.opcode} has no implementation function")
+            batch_impl = op.attrs.get("batch_impl")
+            if batch_impl is not None and not callable(batch_impl):
+                errors.append(
+                    f"{context}: {op.opcode} batch_impl attribute is not callable "
+                    f"({batch_impl!r}); the batched route must be a whole-hypermatrix "
+                    "callable alongside the per-row implementation"
+                )
         if op.result is not None:
             try:
                 expected = infer_result_type(op.opcode, op.operand_types(), op.attrs)
@@ -107,7 +114,10 @@ def _verify_graph_structure(graph: DataflowGraph, context: str) -> list[str]:
             visible = set(produced) | _upstream_values(graph, node)
             errors.extend(_verify_ops(node.ops, visible, f"{context}.{node.name}"))
         elif isinstance(node, InternalNode):
-            if node.dynamic_instances < 1:
+            # Zero instances is legal: a parallel loop over an empty batch
+            # (one dynamic instance per row, zero rows) executes as a no-op
+            # producing the empty result hypermatrix.
+            if node.dynamic_instances < 0:
                 errors.append(f"{context}: internal node {node.name} has {node.dynamic_instances} instances")
     return errors
 

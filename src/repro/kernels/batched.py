@@ -31,7 +31,10 @@ __all__ = [
     "rowwise_argmin",
     "rowwise_argmax",
     "normalize_rows",
+    "bind",
     "bundle_rows",
+    "bundle_windows",
+    "permute",
     "transpose",
 ]
 
@@ -177,6 +180,40 @@ def normalize_rows(x: np.ndarray) -> np.ndarray:
     norms[norms == 0.0] = 1.0
     out = arr / norms
     return out[0] if x.ndim == 1 else out
+
+
+def bind(lhs: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """Batched HDC *bind* (element-wise multiply with broadcasting).
+
+    The CUDA baselines implement binding as one fused element-wise kernel
+    over whole hypermatrices; this is that routine.  Works on any pair of
+    broadcast-compatible stacks of hypervectors — e.g. a ``(reads,
+    positions, D)`` k-mer accumulator against a ``(reads, positions, D)``
+    gather of rotated base hypervectors.
+    """
+    return np.multiply(lhs, rhs)
+
+
+def permute(x: np.ndarray, shift: int) -> np.ndarray:
+    """Batched HDC *permute* — rotate every hypervector along its last axis.
+
+    The batched analogue of the per-row ``wrap_shift`` reference kernel:
+    one strided copy rotates a whole stack of hypervectors at once
+    (offset-encoded positional binding does this once per k-mer offset
+    instead of once per row).
+    """
+    return np.roll(np.asarray(x), shift, axis=-1)
+
+
+def bundle_windows(x: np.ndarray) -> np.ndarray:
+    """Bundle (sum) the second-to-last axis of a hypervector stack.
+
+    Reduces a ``(..., windows, D)`` stack to ``(..., D)`` — e.g. the
+    per-position k-mer hypervectors of every read at once.  Bipolar
+    operands make the reduction exact in float32 (integer-valued partial
+    sums), so the batched bundle is bit-identical to any per-row order.
+    """
+    return np.asarray(x, dtype=np.float32).sum(axis=-2)
 
 
 def bundle_rows(x: np.ndarray, weights: Optional[np.ndarray] = None) -> np.ndarray:

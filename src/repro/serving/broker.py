@@ -319,10 +319,10 @@ class RequestBroker:
                 else:
                     self.pool.dispatch(servable, work)
             except Exception as exc:  # no eligible worker — fail the batch
+                self.metrics.record_failure(len(work.requests))
                 for request in work.requests:
                     if not request.future.done():
                         request.future.set_exception(exc)
-                self.metrics.record_failure(len(work.requests))
 
     def _shed_expired(self, requests: list) -> list:
         """Drop requests whose deadline lapsed while queued for dispatch.
@@ -336,6 +336,17 @@ class RequestBroker:
         if not self.pad_to_buckets:
             return size
         return bucket_for(size, self.max_batch_size)
+
+    def _record_stage_counters(self, model: str, report) -> None:
+        """Fold one execution report's batched-route accounting into the
+        per-deployment metrics (vectorized vs per-row-fallback stages)."""
+        notes = report.notes
+        self.metrics.record_stage_counters(
+            model,
+            notes.get("stage_vectorized", 0),
+            notes.get("stage_fallbacks", 0),
+            notes.get("stage_fallback_reasons"),
+        )
 
     # -- execution (worker threads) -----------------------------------------------
     def _execute(self, worker: Worker, work: BatchWork) -> None:
@@ -351,15 +362,16 @@ class RequestBroker:
             bucket = self._bucket(len(requests))
             handle = deployment.handle_for(bucket, worker=worker)
             result = handle.run(**{servable.query_param: pad_batch(batch, bucket)})
+            self._record_stage_counters(deployment.name, result.report)
             outputs = np.asarray(result.output)
             if servable.postprocess is not None:
                 outputs = servable.postprocess(outputs)
             outputs = outputs[: len(requests)]
         except Exception as exc:
+            self.metrics.record_failure(len(requests))
             for request in requests:
                 if not request.future.done():
                     request.future.set_exception(exc)
-            self.metrics.record_failure(len(requests))
             return
         self._resolve(deployment.name, requests, outputs, started)
 
@@ -373,13 +385,14 @@ class RequestBroker:
             bucket = self._bucket(len(requests))
             handle = deployment.shard_handle_for(work.shard, bucket, worker=worker)
             result = handle.run(**{servable.query_param: pad_batch(batch, bucket)})
+            self._record_stage_counters(deployment.name, result.report)
             partial = np.asarray(result.output)[: len(requests)]
         except Exception as exc:
             if gather.fail(exc):  # first failing shard resolves the batch
+                self.metrics.record_failure(len(requests))
                 for request in requests:
                     if not request.future.done():
                         request.future.set_exception(exc)
-                self.metrics.record_failure(len(requests))
             return
         if gather.complete(work.shard, partial):
             outputs = deployment.reduce(gather.partials)
@@ -395,24 +408,36 @@ class RequestBroker:
     ) -> None:
         now = time.monotonic()
         execute_seconds = now - execute_started
+        # Metrics are recorded *before* each future resolves (matching the
+        # shed path's on_shed ordering), so a caller that drained on the
+        # resolved futures reads a snapshot that already counts them.
+        self.metrics.record_batch(len(requests))
         for request, output in zip(requests, outputs):
             if request.future.done():  # defensive: never die on a settled future
                 continue
-            request.future.set_result(output)
             self.metrics.record_request(
                 now - request.enqueued_at,
                 model=model,
                 queue_wait_seconds=max(0.0, execute_started - request.enqueued_at),
                 execute_seconds=execute_seconds,
             )
-        self.metrics.record_batch(len(requests))
+            request.future.set_result(output)
 
     # -- observability ------------------------------------------------------------
-    def stats(self) -> ServerStats:
+    def stats(self, reset: bool = False) -> ServerStats:
         """A :class:`ServerStats` snapshot (latency splits, throughput,
-        cache, workers, deadline sheds, SLOs and fair-scheduler lanes)."""
+        cache, workers, deadline sheds, SLOs and fair-scheduler lanes).
+
+        ``reset=True`` atomically zeroes the metrics window under the same
+        lock that took the snapshot — the scrape-then-reset idiom without
+        the gap in which concurrent requests would vanish from every
+        interval.
+        """
         return self.metrics.snapshot(
-            cache=self.registry.cache, workers=self.pool.workers, scheduler=self._scheduler
+            cache=self.registry.cache,
+            workers=self.pool.workers,
+            scheduler=self._scheduler,
+            reset=reset,
         )
 
     def reset_stats(self) -> None:

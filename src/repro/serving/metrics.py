@@ -71,6 +71,12 @@ class ServerStats:
     failures: int = 0
     deadline_exceeded: int = 0
     batches: int = 0
+    #: Stage/parallel-map executions served by the batched route across
+    #: all deployments, and the executions that silently degraded to the
+    #: per-row loop — the fleet-level view of the batch-native execution
+    #: plane (per-deployment splits live in ``model_stats``).
+    vectorized_stages: int = 0
+    fallback_stages: int = 0
     mean_batch_size: float = 0.0
     batch_size_histogram: dict = field(default_factory=dict)
     latency_p50_ms: float = 0.0
@@ -122,6 +128,9 @@ class _ModelCollector:
         "execute_sum",
         "slo_seconds",
         "slo_violations",
+        "vectorized_stages",
+        "fallback_stages",
+        "stage_fallback_reasons",
     )
 
     def __init__(self, window: int):
@@ -132,6 +141,13 @@ class _ModelCollector:
         self.execute_sum = 0.0
         self.slo_seconds: Optional[float] = None
         self.slo_violations = 0
+        # Batch-native execution plane accounting: how many stage /
+        # parallel-map executions of this deployment's programs took the
+        # vectorized route vs fell back to the per-row loop, plus the
+        # last fallback reason per stage label.
+        self.vectorized_stages = 0
+        self.fallback_stages = 0
+        self.stage_fallback_reasons: dict = {}
 
     def reset(self) -> None:
         self.requests = 0
@@ -140,6 +156,9 @@ class _ModelCollector:
         self.queue_wait_sum = 0.0
         self.execute_sum = 0.0
         self.slo_violations = 0  # the threshold itself survives a reset
+        self.vectorized_stages = 0
+        self.fallback_stages = 0
+        self.stage_fallback_reasons = {}
 
     def view(self) -> dict:
         requests = self.requests
@@ -153,6 +172,9 @@ class _ModelCollector:
             "mean_execute_ms": (self.execute_sum / requests * 1e3) if requests else 0.0,
             "slo_ms": self.slo_seconds * 1e3 if self.slo_seconds is not None else None,
             "slo_violations": self.slo_violations,
+            "vectorized_stages": self.vectorized_stages,
+            "fallback_stages": self.fallback_stages,
+            "stage_fallback_reasons": dict(self.stage_fallback_reasons),
         }
 
 
@@ -213,6 +235,28 @@ class ServingMetrics:
             if collector.slo_seconds is not None and latency_seconds > collector.slo_seconds:
                 collector.slo_violations += 1
 
+    def record_stage_counters(
+        self,
+        model: str,
+        vectorized: int,
+        fallbacks: int,
+        reasons: Optional[dict] = None,
+    ) -> None:
+        """Account one batch execution's vectorized-vs-fallback stage split.
+
+        Fed from ``ExecutionReport.notes`` after every batch a worker runs,
+        so operators can see — per deployment — when a model's batched
+        route silently degrades to the per-row loop (and why).
+        """
+        if not vectorized and not fallbacks:
+            return
+        with self._lock:
+            collector = self._model(model)
+            collector.vectorized_stages += int(vectorized)
+            collector.fallback_stages += int(fallbacks)
+            if reasons:
+                collector.stage_fallback_reasons.update(reasons)
+
     def record_failure(self, count: int = 1) -> None:
         with self._lock:
             self.failures += count
@@ -233,24 +277,36 @@ class ServingMetrics:
         """Zero every counter and sample window (SLO thresholds survive).
 
         Restarts the uptime/throughput clock, so ``snapshot()`` after a
-        reset reports rates over the new interval only.
+        reset reports rates over the new interval only.  For
+        scrape-then-reset reporting prefer ``snapshot(reset=True)``,
+        which does both under one lock acquisition — no request can land
+        between the snapshot and the reset and vanish from every
+        interval.
         """
         with self._lock:
-            self._latencies.clear()
-            self._latency_sum = 0.0
-            self._batch_sizes.clear()
-            self.requests = 0
-            self.failures = 0
-            self.deadline_exceeded = 0
-            self.batches = 0
-            self.samples_in_batches = 0
-            for collector in self._models.values():
-                collector.reset()
-            self._started = time.monotonic()
+            self._reset_locked()
+
+    def _reset_locked(self) -> None:
+        """Caller must hold the lock."""
+        self._latencies.clear()
+        self._latency_sum = 0.0
+        self._batch_sizes.clear()
+        self.requests = 0
+        self.failures = 0
+        self.deadline_exceeded = 0
+        self.batches = 0
+        self.samples_in_batches = 0
+        for collector in self._models.values():
+            collector.reset()
+        self._started = time.monotonic()
 
     # -- snapshot -----------------------------------------------------------------
     def snapshot(
-        self, cache=None, workers: Optional[Iterable] = None, scheduler=None
+        self,
+        cache=None,
+        workers: Optional[Iterable] = None,
+        scheduler=None,
+        reset: bool = False,
     ) -> ServerStats:
         """Produce an immutable snapshot, optionally folding in cache, worker
         and fair-scheduler state.
@@ -259,6 +315,11 @@ class ServingMetrics:
         latency windows and per-model splits are mutually consistent even
         under concurrent writers; cache/worker/scheduler state is sampled
         after release (each has its own synchronization).
+
+        ``reset=True`` zeroes the window under the *same* lock acquisition
+        (atomic scrape-then-reset): requests recorded after the snapshot
+        land in the next interval instead of disappearing between two
+        separate ``snapshot()`` / ``reset()`` calls.
         """
         with self._lock:
             uptime = time.monotonic() - self._started
@@ -281,8 +342,12 @@ class ServingMetrics:
                 throughput_rps=requests / uptime if uptime > 0 else 0.0,
                 uptime_seconds=uptime,
                 slo_violations=sum(c.slo_violations for c in self._models.values()),
+                vectorized_stages=sum(c.vectorized_stages for c in self._models.values()),
+                fallback_stages=sum(c.fallback_stages for c in self._models.values()),
                 model_stats=model_stats,
             )
+            if reset:
+                self._reset_locked()
         if cache is not None:
             stats.update(
                 cache_hits=cache.stats.hits,

@@ -270,10 +270,11 @@ class InferenceServer:
         return self.registry.cache.load(path)
 
     # -- observability ------------------------------------------------------------
-    def stats(self) -> ServerStats:
+    def stats(self, reset: bool = False) -> ServerStats:
         """A :class:`ServerStats` snapshot (latency splits, throughput,
-        cache, workers, deadline sheds, SLOs and fair-scheduler lanes)."""
-        return self.broker.stats()
+        cache, workers, deadline sheds, SLOs and fair-scheduler lanes).
+        ``reset=True`` atomically starts the next reporting interval."""
+        return self.broker.stats(reset=reset)
 
     def reset_stats(self) -> None:
         """Zero the metrics window for per-interval reporting (SLO

@@ -16,6 +16,16 @@ exactly as the multi-client throughput benchmark does.  Server-side
 errors come back typed: a shed deadline re-raises
 :class:`~repro.serving.batching.DeadlineExceeded`, anything else raises
 :class:`RemoteServingError` carrying the remote type name and message.
+
+With ``max_retries > 0`` the client survives transport failures: a
+``ConnectionError`` / ``EOFError`` during any request tears the dead
+connection down, reconnects with capped exponential backoff and resends
+the request — so a server restart mid-session costs the caller latency,
+not an exception.  Retries resend the whole request; inference is safe
+to resend (a duplicate execution of the same sample yields the same
+result), but a request that died *after* the server acted and *before*
+the reply landed will be executed twice, so keep retries off for
+non-idempotent extensions.
 """
 
 from __future__ import annotations
@@ -67,35 +77,140 @@ class ServingClient:
             :meth:`TransportServer.start`).
         timeout: Socket timeout in seconds for connect and for each
             response (``None`` blocks indefinitely).
+        max_retries: Transport-failure retries per request (and for the
+            initial connection in the constructor).  On a
+            ``ConnectionError`` / ``EOFError`` of an established
+            connection — or *any* ``OSError`` while (re)connecting, where
+            nothing can be in flight — the client reconnects and resends,
+            sleeping ``backoff_seconds * 2**attempt`` (capped at
+            ``max_backoff_seconds``) between attempts, outside the
+            request lock.  The default 0 keeps the fail-fast behaviour:
+            the first transport failure marks the connection dead and the
+            error propagates.
+        backoff_seconds: Initial reconnect backoff (doubled per attempt).
+        max_backoff_seconds: Upper bound on one backoff sleep.
     """
 
-    def __init__(self, host: str, port: int, timeout: Optional[float] = None):
+    #: Transport failures that are safe to heal with reconnect + resend:
+    #: the request/response stream is dead, so no late reply can ever be
+    #: misattributed to the resent request.  (FrameError subclasses
+    #: ConnectionError, covering truncated frames from a dying server.)
+    _RETRYABLE_ERRORS = (ConnectionError, EOFError)
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: Optional[float] = None,
+        max_retries: int = 0,
+        backoff_seconds: float = 0.05,
+        max_backoff_seconds: float = 1.0,
+    ):
         self.address: Tuple[str, int] = (host, int(port))
-        self._sock = socket.create_connection(self.address, timeout=timeout)
-        self._sock.settimeout(timeout)
-        self._stream = self._sock.makefile("rb")
+        self.timeout = timeout
+        self.max_retries = int(max_retries)
+        self.backoff_seconds = float(backoff_seconds)
+        self.max_backoff_seconds = float(max_backoff_seconds)
+        self.reconnects = 0
         self._lock = threading.Lock()
+        self._sock: Optional[socket.socket] = None
+        self._stream = None
         self._broken = False
+        # Set by close(): interrupts backoff sleeps and aborts further
+        # reconnect attempts, so a supervisor can stop a client that is
+        # mid-way through its retry budget.
+        self._closing = threading.Event()
+        # The retry budget covers the initial connection too, so a client
+        # constructed while the server is still (re)starting rides out
+        # the gap instead of dying on the doorstep.
+        attempt = 0
+        while True:
+            try:
+                with self._lock:
+                    self._connect_locked()
+                break
+            except OSError:
+                attempt = self._backoff_or_raise(attempt)
 
     # -- plumbing -----------------------------------------------------------------
-    def _request(self, header: dict, payload: bytes = b"") -> Tuple[dict, bytes]:
-        with self._lock:
-            if self._broken:
-                raise ConnectionError(
-                    "connection is no longer usable after a transport failure; "
-                    "open a new ServingClient"
-                )
+    def _connect_locked(self) -> None:
+        self._sock = socket.create_connection(self.address, timeout=self.timeout)
+        self._sock.settimeout(self.timeout)
+        self._stream = self._sock.makefile("rb")
+        self._broken = False
+
+    def _backoff_or_raise(self, attempt: int) -> int:
+        """Sleep one capped-exponential step; re-raise when the budget is
+        spent or the client is closing.  Called outside the lock."""
+        if attempt >= self.max_retries:
+            raise
+        delay = min(self.max_backoff_seconds, self.backoff_seconds * (2.0 ** attempt))
+        # Event-based sleep: close() interrupts the backoff instead of
+        # waiting out the whole retry budget.
+        if self._closing.wait(delay):
+            raise ConnectionError("client closed while retrying")
+        return attempt + 1
+
+    def _request(
+        self, header: dict, payload: bytes = b"", resend: bool = True
+    ) -> Tuple[dict, bytes]:
+        """One framed request/response exchange, with retries.
+
+        ``resend=False`` marks a **non-idempotent** request (the
+        stats-with-reset and reset ops): reconnect attempts still use the
+        retry budget — nothing was sent on a fresh connection — but a
+        failure *after* the frame went out is never resent, because the
+        server may have acted before the reply was lost and a resend
+        would apply the side effect twice.
+        """
+        frame = encode_frame(header, payload)
+        attempt = 0
+        while True:
+            if self._closing.is_set():
+                raise ConnectionError("client closed while retrying")
+            phase = "exchange"
             try:
-                self._sock.sendall(encode_frame(header, payload))
-                response, response_payload = read_frame_sync(self._stream)
-            except (OSError, ConnectionError):
-                # A timeout or truncated read leaves request/response
-                # framing desynchronized — a later request would read this
-                # one's late reply as its own.  There is no per-request id
-                # to re-correlate, so the connection is dead from here on.
-                self._broken = True
-                self._close_locked()
-                raise
+                with self._lock:
+                    if self._broken or self._sock is None:
+                        if self.max_retries == 0:
+                            raise ConnectionError(
+                                "connection is no longer usable after a transport failure; "
+                                "open a new ServingClient (or construct with max_retries > 0)"
+                            )
+                        phase = "connect"
+                        self._connect_locked()
+                        self.reconnects += 1
+                        phase = "exchange"
+                    try:
+                        self._sock.sendall(frame)
+                        response, response_payload = read_frame_sync(self._stream)
+                    except (OSError, EOFError):
+                        self._broken = True
+                        self._close_locked()
+                        raise
+                break
+            except (OSError, EOFError) as exc:
+                if phase == "connect":
+                    # Nothing was in flight on a fresh connect, so *any*
+                    # failure here (refused, timed out, unresolvable) is
+                    # safe to retry.
+                    retryable = True
+                else:
+                    # On an established connection, only a dead stream is
+                    # retryable: the request/response framing is
+                    # desynchronized and no late reply can be
+                    # misattributed after a fresh connection + resend.
+                    # Timeouts keep the fail-fast contract — the reply
+                    # may still be in flight, so a blind resend could
+                    # desynchronize more than it heals.  Non-idempotent
+                    # requests are never resent once the frame went out.
+                    retryable = resend and isinstance(exc, self._RETRYABLE_ERRORS)
+                if not retryable:
+                    raise
+                # Backoff happens outside the lock, so other threads
+                # sharing the client fail fast on the (broken) connection
+                # instead of queueing behind the sleeper's retry budget.
+                attempt = self._backoff_or_raise(attempt)
         if not response.get("ok"):
             _raise_remote(response)  # stream still in sync: server replied
         return response, response_payload
@@ -139,10 +254,31 @@ class ServingClient:
         response, response_payload = self._request(header, payload)
         return decode_array(response, response_payload)
 
-    def stats(self) -> dict:
-        """The server's :class:`ServerStats` snapshot as a plain dict."""
-        response, _ = self._request({"op": "stats"})
+    def stats(self, reset: bool = False) -> dict:
+        """The server's :class:`ServerStats` snapshot as a plain dict.
+
+        ``reset=True`` atomically zeroes the metrics window with the same
+        server-side lock acquisition that took the snapshot — the
+        scrape-then-reset idiom without the between-frames gap in which
+        concurrent requests would vanish from every interval.  Because
+        the reset is a side effect, the request is never *resent* by the
+        retry machinery: if the connection dies after the frame went out,
+        the error propagates (the interval may or may not have been
+        reset) instead of silently resetting twice.
+        """
+        response, _ = self._request(
+            {"op": "stats", "reset": bool(reset)}, resend=not reset
+        )
         return response["stats"]
+
+    def reset_stats(self) -> None:
+        """Zero the server's metrics window (per-interval reporting).
+
+        Prefer ``stats(reset=True)`` when the snapshot is also needed:
+        it is atomic server-side.  SLO thresholds survive either way.
+        Never resent on transport failure (non-idempotent).
+        """
+        self._request({"op": "reset_stats"}, resend=False)
 
     def list_models(self) -> list:
         """Names of the deployments registered on the server."""
@@ -160,16 +296,24 @@ class ServingClient:
 
     # -- lifecycle ----------------------------------------------------------------
     def close(self) -> None:
+        # Signal before taking the lock: a _request mid-retry wakes from
+        # its backoff sleep and aborts, releasing the lock promptly (an
+        # in-flight socket operation still bounds this by `timeout`).
+        self._closing.set()
         with self._lock:
             self._close_locked()
 
     def _close_locked(self) -> None:
         try:
-            self._stream.close()
+            if self._stream is not None:
+                self._stream.close()
         except OSError:
             pass
         finally:
-            self._sock.close()
+            if self._sock is not None:
+                self._sock.close()
+            self._stream = None
+            self._sock = None
 
     def __enter__(self) -> "ServingClient":
         return self

@@ -22,7 +22,8 @@ Request headers::
      "deadline_ms": float|null, "dtype": str, "shape": [..]}   + sample
     {"op": "infer_batch", "model": str, "priority": int,
      "deadline_ms": float|null, "dtype": str, "shape": [n,..]} + samples
-    {"op": "stats"} | {"op": "list_models"} | {"op": "ping"}
+    {"op": "stats", "reset": bool} | {"op": "reset_stats"}
+    {"op": "list_models"} | {"op": "ping"}
     {"op": "drain", "timeout": float|null}
 
 Response headers carry ``"ok": true`` plus op-specific fields (array

@@ -154,7 +154,19 @@ class TransportServer:
                     await self._send(writer, self._error_header(exc))
                     return
                 response, response_payload = await self._dispatch(header, payload)
-                await self._send(writer, response, response_payload)
+                try:
+                    await self._send(writer, response, response_payload)
+                except FrameError as exc:
+                    # The *response* could not be framed (oversized array);
+                    # report it as a request error so the client fails
+                    # loudly instead of reconnect-and-resending a doomed
+                    # request until its retry budget burns out.
+                    try:
+                        await self._send(writer, self._error_header(exc))
+                    except (ConnectionError, OSError):
+                        return
+                except (ConnectionError, OSError):
+                    return  # client went away mid-reply; nothing to tell it
         except asyncio.CancelledError:
             # Transport shutdown cancelled us mid-read; exiting normally
             # (instead of staying "cancelled") keeps asyncio.streams'
@@ -226,8 +238,18 @@ class TransportServer:
         return {"ok": True, "version": PROTOCOL_VERSION, **fields}, out_payload
 
     async def _op_stats(self, header: dict, payload: bytes) -> Tuple[dict, bytes]:
-        stats = self.broker.stats()
+        # ``reset`` snapshots and zeroes the window atomically (one lock
+        # acquisition broker-side), so scrape-then-reset over the wire
+        # never loses requests that land between two frames.
+        stats = self.broker.stats(reset=bool(header.get("reset", False)))
         return {"ok": True, "version": PROTOCOL_VERSION, "stats": stats.to_dict()}, b""
+
+    async def _op_reset_stats(self, header: dict, payload: bytes) -> Tuple[dict, bytes]:
+        # The per-interval reporting idiom over the wire: scrape `stats`,
+        # then `reset_stats`, so the next snapshot covers the new interval
+        # only (SLO thresholds survive; see ServingMetrics.reset).
+        self.broker.reset_stats()
+        return {"ok": True, "version": PROTOCOL_VERSION}, b""
 
     async def _op_list_models(self, header: dict, payload: bytes) -> Tuple[dict, bytes]:
         return {
@@ -252,6 +274,7 @@ class TransportServer:
         "infer": _op_infer,
         "infer_batch": _op_infer_batch,
         "stats": _op_stats,
+        "reset_stats": _op_reset_stats,
         "list_models": _op_list_models,
         "drain": _op_drain,
         "ping": _op_ping,

@@ -1,0 +1,432 @@
+"""The batch-native execution plane: bit-identity and the fallback gate.
+
+Covers the tentpole contract end to end:
+
+* for **all five application adapters**, the batched route (declared
+  ``batch_impl`` or auto-vectorized traced implementation) produces
+  outputs **bit-identical** to the per-row reference path, across dtypes
+  and edge shapes (empty batch, single row, reads shorter than one
+  k-mer);
+* a deliberately **non-bit-identical** ``batch_impl`` is rejected by the
+  boundary-row gate, the per-row result is returned instead, and the
+  fallback is recorded in ``ExecutionReport.notes``;
+* the per-deployment vectorized-vs-fallback counters flow through the
+  serving metrics into ``ServerStats.to_dict()``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import hdcpp as H
+from repro.apps.classification import HDClassificationInference
+from repro.apps.clustering import HDClustering
+from repro.apps.common import bipolar_random
+from repro.apps.hashtable import HDHashtable
+from repro.apps.hyperoms import HyperOMS, make_level_hypervectors
+from repro.apps.relhd import RelHD
+from repro.backends import compile as hdc_compile
+from repro.backends.cpu import CPUBackend
+from repro.datasets import make_isolet_like
+from repro.datasets.genomics import GenomicsConfig, base_indices, make_genomics_dataset
+from repro.evaluation import EvaluationScale
+from repro.serving import InferenceServer
+
+
+def run_both(program, **inputs):
+    """Execute one program on the per-row and the batched CPU back end.
+
+    Returns ``(reference_result, batched_result)``; the batched back end
+    uses the same reference kernels semantics gated on bit identity, so
+    outputs must agree exactly whenever the gate passed (and also when it
+    fell back — the per-row loop *is* the reference).
+    """
+    reference = CPUBackend(batched=False).compile(program).run(**inputs)
+    batched = CPUBackend(batched=True).compile(program).run(**inputs)
+    return reference, batched
+
+
+def assert_vectorized(result, minimum: int = 1):
+    notes = result.report.notes
+    assert notes.get("stage_fallbacks", 0) == 0, notes.get("stage_fallback_reasons")
+    assert notes.get("stage_vectorized", 0) >= minimum
+
+
+# ---------------------------------------------------------------------------
+# All five apps: batched route bit-identical to the per-row reference
+# ---------------------------------------------------------------------------
+
+
+class TestFiveAppsBitIdentical:
+    @pytest.fixture(scope="class")
+    def isolet(self):
+        return make_isolet_like(EvaluationScale.smoke().isolet())
+
+    def test_classification_inference(self, isolet):
+        app = HDClassificationInference(dimension=256, similarity="hamming")
+        rp, classes = app.train_offline(isolet)
+        program = app.build_program(isolet.n_features, isolet.n_classes, 16)
+        queries = isolet.test_features[:16]
+        reference, batched = run_both(
+            program, test_queries=queries, classes=classes, rp_matrix=rp
+        )
+        assert np.array_equal(np.asarray(reference.output), np.asarray(batched.output))
+        assert_vectorized(batched)
+
+    def test_clustering_encode_and_assign(self, isolet):
+        app = HDClustering(dimension=128, n_clusters=4)
+        rng = np.random.default_rng(3)
+        samples = isolet.train_features[:12]
+        encode_prog = app.build_encode_program(samples.shape[0], samples.shape[1])
+        rp = bipolar_random(app.dimension, samples.shape[1], seed=app.seed)
+        ref_enc, bat_enc = run_both(encode_prog, samples=samples, rp_matrix=rp)
+        assert np.array_equal(np.asarray(ref_enc.output), np.asarray(bat_enc.output))
+        assert_vectorized(bat_enc)
+
+        clusters = np.sign(rng.standard_normal((4, app.dimension))).astype(np.float32)
+        assign_prog = app.build_assign_program(samples.shape[0])
+        ref_assign, bat_assign = run_both(
+            assign_prog, encoded_samples=np.asarray(ref_enc.output), clusters=clusters
+        )
+        assert np.array_equal(np.asarray(ref_assign.output), np.asarray(bat_assign.output))
+        assert_vectorized(bat_assign)
+
+    def test_relhd_servable_search(self):
+        rng = np.random.default_rng(7)
+        app = RelHD(dimension=128)
+        classes = np.sign(rng.standard_normal((5, 128))).astype(np.float32)
+        servable = app.as_servable(classes)
+        program = servable.build_program(8)
+        encodings = np.sign(rng.standard_normal((8, 128))).astype(np.float32)
+        reference, batched = run_both(program, node_encodings=encodings, class_hvs=classes)
+        assert np.array_equal(np.asarray(reference.output), np.asarray(batched.output))
+        assert_vectorized(batched)
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_hyperoms_program(self, dtype):
+        rng = np.random.default_rng(11)
+        app = HyperOMS(dimension=128, n_levels=8)
+        queries = (rng.random((6, 24)) * (rng.random((6, 24)) > 0.4)).astype(dtype)
+        library = (rng.random((9, 24)) * (rng.random((9, 24)) > 0.4)).astype(dtype)
+        program = app.build_program(queries.shape[0], library.shape[0], queries.shape[1])
+        reference, batched = run_both(
+            program, query_spectra=queries, library_spectra=library
+        )
+        assert np.array_equal(np.asarray(reference.output), np.asarray(batched.output))
+        assert_vectorized(batched, minimum=2)  # both parallel_maps + the search
+
+    def test_hashtable_program(self):
+        config = GenomicsConfig(
+            genome_length=2000, bucket_size=400, read_length=40, n_reads=6, n_decoys=0,
+            kmer_length=6,
+        )
+        dataset = make_genomics_dataset(config)
+        app = HDHashtable(dimension=128)
+        base_hvs = app.make_base_hypervectors()
+        table = app.encode_reference_buckets(dataset, base_hvs)
+        reads = np.stack([base_indices(read) for read in dataset.reads])
+        program = app.build_program(
+            reads.shape[0], reads.shape[1], dataset.n_buckets, config.kmer_length, base_hvs
+        )
+        reference, batched = run_both(program, reads=reads, bucket_table=table)
+        assert np.array_equal(np.asarray(reference.output), np.asarray(batched.output))
+        assert_vectorized(batched, minimum=2)  # k-mer encoding + the search
+
+
+# ---------------------------------------------------------------------------
+# Encoder equivalence across shapes and dtypes (property-style)
+# ---------------------------------------------------------------------------
+
+
+class TestEncoderEquivalence:
+    @given(
+        n_reads=st.integers(min_value=1, max_value=12),
+        read_length=st.integers(min_value=1, max_value=40),
+        kmer=st.integers(min_value=2, max_value=10),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_hashtable_batched_encoder_matches_reference(
+        self, n_reads, read_length, kmer, seed
+    ):
+        """Bit identity holds for every shape — including *ragged* k-mer
+        counts: reads shorter than one k-mer encode to the zero vector on
+        both routes."""
+        app = HDHashtable(dimension=64, seed=9)
+        base_hvs = app.make_base_hypervectors()
+        encode_read = app._make_read_encoder(base_hvs, kmer)
+        encode_reads = app._make_batched_read_encoder(base_hvs, kmer)
+        reads = np.random.default_rng(seed).integers(0, 4, (n_reads, read_length)).astype(np.int64)
+        reference = np.stack([encode_read(read) for read in reads])
+        assert np.array_equal(reference, encode_reads(reads))
+
+    @given(
+        n_spectra=st.integers(min_value=1, max_value=12),
+        n_bins=st.integers(min_value=1, max_value=48),
+        n_levels=st.integers(min_value=2, max_value=16),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_hyperoms_batched_encoder_matches_reference(
+        self, n_spectra, n_bins, n_levels, seed
+    ):
+        app = HyperOMS(dimension=64, n_levels=n_levels, seed=11)
+        id_hvs = bipolar_random(n_bins, 64, seed=11)
+        level_hvs = make_level_hypervectors(n_levels, 64, seed=12)
+        encode_spectrum = app._make_encoder(id_hvs, level_hvs)
+        encode_spectra = app._make_batched_encoder(id_hvs, level_hvs)
+        rng = np.random.default_rng(seed)
+        spectra = (rng.random((n_spectra, n_bins)) * (rng.random((n_spectra, n_bins)) > 0.5)).astype(
+            np.float32
+        )
+        reference = np.stack([encode_spectrum(row) for row in spectra])
+        assert np.array_equal(reference, encode_spectra(spectra))
+
+    def test_sub_kmer_reads_encode_to_zero_on_both_routes(self):
+        app = HDHashtable(dimension=32, seed=9)
+        base_hvs = app.make_base_hypervectors()
+        encode_read = app._make_read_encoder(base_hvs, kmer_length=8)
+        encode_reads = app._make_batched_read_encoder(base_hvs, kmer_length=8)
+        short_reads = np.zeros((3, 5), dtype=np.int64)  # 5 < k = 8: zero k-mers
+        assert np.array_equal(encode_reads(short_reads), np.zeros((3, 32), dtype=np.float32))
+        assert np.array_equal(encode_read(short_reads[0]), np.zeros(32, dtype=np.float32))
+
+
+# ---------------------------------------------------------------------------
+# Edge shapes through the execution plane
+# ---------------------------------------------------------------------------
+
+
+class TestEdgeShapes:
+    def _parallel_map_program(self, n_rows: int, batch_impl=None):
+        prog = H.Program(f"edge_{n_rows}")
+
+        def double_row(row):
+            arr = np.asarray(row)
+            if arr.ndim != 1:
+                raise ValueError("rows only")
+            return arr * 2.0
+
+        @prog.entry(H.hm(n_rows, 8))
+        def main(data):
+            return H.parallel_map(double_row, data, output_dim=8, batch_impl=batch_impl)
+
+        return prog
+
+    @pytest.mark.parametrize("batched", [False, True])
+    def test_empty_batch(self, batched):
+        program = self._parallel_map_program(0, batch_impl=lambda m: np.asarray(m) * 2.0)
+        result = CPUBackend(batched=batched).compile(program).run(
+            data=np.zeros((0, 8), dtype=np.float32)
+        )
+        out = np.asarray(result.output)
+        assert out.shape == (0, 8)
+
+    @pytest.mark.parametrize("batched", [False, True])
+    def test_single_row(self, batched):
+        program = self._parallel_map_program(1, batch_impl=lambda m: np.asarray(m) * 2.0)
+        data = np.arange(8, dtype=np.float32).reshape(1, 8)
+        result = CPUBackend(batched=batched).compile(program).run(data=data)
+        assert np.array_equal(np.asarray(result.output), data * 2.0)
+
+    def test_eager_empty_batch(self):
+        out = H.parallel_map(
+            lambda row: np.asarray(row) * 2.0,
+            H.HyperMatrix(np.zeros((0, 4), dtype=np.float32)),
+        )
+        assert np.asarray(out).shape == (0, 4)
+
+    def test_eager_batch_impl_preferred_and_bit_identical(self):
+        data = H.HyperMatrix(np.arange(12, dtype=np.float32).reshape(3, 4))
+
+        def row_only(row):
+            arr = np.asarray(row)
+            if arr.ndim != 1:
+                raise ValueError("rows only")
+            return arr + 1.0
+
+        out = H.parallel_map(row_only, data, batch_impl=lambda m: np.asarray(m) + 1.0)
+        assert np.array_equal(np.asarray(out), np.asarray(data) + 1.0)
+
+
+# ---------------------------------------------------------------------------
+# The gate rejects non-bit-identical batched routes
+# ---------------------------------------------------------------------------
+
+
+class TestBitIdentityGate:
+    def _program_with_lying_batch_impl(self):
+        prog = H.Program("lying_batch_impl")
+
+        def per_row(row):
+            arr = np.asarray(row)
+            if arr.ndim != 1:
+                raise ValueError("rows only")
+            return arr * 2.0
+
+        def lying_batch(matrix):
+            # Correct on row 0, off by one everywhere after — the classic
+            # "looks vectorized, is not row-equivalent" bug the gate
+            # exists to catch.
+            out = np.asarray(matrix) * 2.0
+            out[1:] += 1.0
+            return out
+
+        @prog.entry(H.hm(4, 8))
+        def main(data):
+            return H.parallel_map(per_row, data, output_dim=8, batch_impl=lying_batch)
+
+        return prog
+
+    def test_rejected_and_recorded_as_fallback(self):
+        program = self._program_with_lying_batch_impl()
+        data = np.arange(32, dtype=np.float32).reshape(4, 8)
+        result = CPUBackend(batched=True).compile(program).run(data=data)
+        # The per-row reference wins: the lying batched output is discarded.
+        assert np.array_equal(np.asarray(result.output), data * 2.0)
+        notes = result.report.notes
+        assert notes["stage_fallbacks"] == 1
+        assert notes["stage_vectorized"] == 0
+        assert "bit-identical" in notes["batched_fallback"]
+        reasons = notes["stage_fallback_reasons"]
+        assert any("bit-identical" in reason for reason in reasons.values())
+
+    def test_rejection_is_pinned_across_executions(self):
+        """A rejected batched route is not retried on later executions of
+        the same compiled program — a permanently falling-back model must
+        cost what the per-row path costs, not per-row plus a discarded
+        whole-batch attempt per batch — while still being counted as a
+        fallback in every report."""
+        calls = []
+
+        def per_row(row):
+            arr = np.asarray(row)
+            if arr.ndim != 1:
+                raise ValueError("rows only")
+            return arr * 2.0
+
+        def lying_batch(matrix):
+            calls.append(1)
+            out = np.asarray(matrix) * 2.0
+            out[1:] += 1.0
+            return out
+
+        prog = H.Program("pinned_rejection")
+
+        @prog.entry(H.hm(4, 8))
+        def main(data):
+            return H.parallel_map(per_row, data, output_dim=8, batch_impl=lying_batch)
+
+        compiled = CPUBackend(batched=True).compile(prog)
+        data = np.arange(32, dtype=np.float32).reshape(4, 8)
+        first = compiled.run(data=data)
+        second = compiled.run(data=data)
+        assert len(calls) == 1  # the doomed whole-batch attempt ran once
+        for result in (first, second):
+            assert np.array_equal(np.asarray(result.output), data * 2.0)
+            assert result.report.notes["stage_fallbacks"] == 1  # still visible
+
+    def test_wrong_dtype_batch_impl_falls_back(self):
+        """Bit identity includes the byte representation: a value-equal
+        batched result in a different dtype must be rejected, or the
+        program's output dtype would depend on which back end ran it."""
+        prog = H.Program("wrong_dtype")
+
+        def per_row(row):
+            arr = np.asarray(row)
+            if arr.ndim != 1:
+                raise ValueError("rows only")
+            return (arr * 2.0).astype(np.float32)
+
+        @prog.entry(H.hm(4, 8))
+        def main(data):
+            return H.parallel_map(
+                per_row,
+                data,
+                output_dim=8,
+                batch_impl=lambda m: np.asarray(m, dtype=np.float64) * 2.0,
+            )
+
+        data = np.ones((4, 8), dtype=np.float32)
+        result = CPUBackend(batched=True).compile(prog).run(data=data)
+        out = np.asarray(result.output)
+        assert out.dtype == np.float32  # the per-row reference won
+        assert np.array_equal(out, data * 2.0)
+        assert result.report.notes["stage_fallbacks"] == 1
+        assert any(
+            "dtype" in reason
+            for reason in result.report.notes["stage_fallback_reasons"].values()
+        )
+
+    def test_wrong_shape_batch_impl_falls_back(self):
+        prog = H.Program("wrong_shape")
+
+        def per_row(row):
+            arr = np.asarray(row)
+            if arr.ndim != 1:
+                raise ValueError("rows only")
+            return arr * 3.0
+
+        @prog.entry(H.hm(4, 8))
+        def main(data):
+            return H.parallel_map(
+                per_row, data, output_dim=8, batch_impl=lambda m: np.asarray(m)[:2] * 3.0
+            )
+
+        data = np.ones((4, 8), dtype=np.float32)
+        result = CPUBackend(batched=True).compile(prog).run(data=data)
+        assert np.array_equal(np.asarray(result.output), data * 3.0)
+        assert result.report.notes["stage_fallbacks"] == 1
+
+    def test_fallback_counters_reach_server_stats(self):
+        """A deployment whose batch_impl lies must show up in the
+        per-deployment fallback counters of ServerStats.to_dict()."""
+        rng = np.random.default_rng(5)
+
+        def per_row(row):
+            arr = np.asarray(row)
+            if arr.ndim != 1:
+                raise ValueError("rows only")
+            return float(arr.sum() * 0 + int(arr[0] > 0))
+
+        def build_program(batch_size: int) -> H.Program:
+            prog = H.Program(f"lying_serve_b{batch_size}")
+
+            def lying_batch(matrix):
+                out = (np.asarray(matrix)[:, 0] > 0).astype(np.float32)
+                out[1:] = 1.0 - out[1:]  # wrong everywhere after row 0
+                return out
+
+            @prog.entry(H.hm(batch_size, 4))
+            def main(queries):
+                return H.parallel_map(per_row, queries, output_dim=1, batch_impl=lying_batch)
+
+            return prog
+
+        # parallel_map returns one row per input; per_row yields a scalar,
+        # so declare output_dim=1 and post-slice.  Shape mismatch between
+        # the scalar reference and the 1-d lying batch output triggers the
+        # gate's shape check — still a recorded fallback.
+        from repro.serving.servable import Servable
+
+        servable = Servable(
+            name="lying-model",
+            build_program=build_program,
+            constants={},
+            query_param="queries",
+            sample_shape=(4,),
+            supported_targets=("cpu",),
+        )
+        server = InferenceServer(workers=("cpu",), max_batch_size=8, max_wait_seconds=0.001)
+        server.register(servable)
+        samples = rng.standard_normal((8, 4)).astype(np.float32)
+        with server:
+            server.infer_many("lying-model", list(samples))
+            server.drain()
+            stats = server.stats().to_dict()
+        model = stats["model_stats"]["lying-model"]
+        assert model["fallback_stages"] >= 1
+        assert stats["fallback_stages"] >= 1
+        assert model["stage_fallback_reasons"]

@@ -8,10 +8,13 @@ timeout (a hung event loop fails fast instead of stalling the workflow).
 
 from __future__ import annotations
 
+import importlib.util
 import io
 import json
+import pathlib
 import struct
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -267,3 +270,159 @@ class TestClientConnectionHygiene:
             for conn in accepted:
                 conn.close()
             listener.close()
+
+
+class TestResetStatsOverTheWire:
+    def test_scrape_then_reset_interval_idiom(self, serving_stack, servable, queries):
+        """stats -> reset_stats over the frame protocol zeroes the window,
+        so each scrape covers its own interval (the scraper tool's idiom)."""
+        server, host, port = serving_stack
+        with ServingClient(host, port, timeout=30.0) as client:
+            client.infer(servable.name, queries[0])
+            server.drain()
+            first = client.stats()
+            assert first["requests"] >= 1
+            client.reset_stats()
+            second = client.stats()
+            assert second["requests"] == 0
+            # Per-deployment batched-plane counters reset with the window.
+            for model in second["model_stats"].values():
+                assert model["vectorized_stages"] == 0
+                assert model["fallback_stages"] == 0
+
+
+class TestClientRetries:
+    def _stack(self, servable):
+        server = InferenceServer(workers=("cpu",), max_batch_size=8, max_wait_seconds=0.001)
+        server.register(servable)
+        server.start()
+        transport = TransportServer(server)
+        host, port = transport.start()
+        return server, transport, host, port
+
+    def test_reconnects_after_server_restart_mid_session(
+        self, servable, queries, expected_labels
+    ):
+        """Kill the transport mid-session, restart it on the same port: a
+        client with retries heals (reconnect + resend with capped
+        exponential backoff) instead of raising."""
+        server, transport, host, port = self._stack(servable)
+        replacement = TransportServer(server, port=port)
+        client = ServingClient(
+            host, port, timeout=10.0, max_retries=10, backoff_seconds=0.02
+        )
+        try:
+            label = int(np.asarray(client.infer(servable.name, queries[0])))
+            assert label == expected_labels[0]
+
+            transport.stop()  # kill the socket front end under the client
+
+            def restart_later():
+                time.sleep(0.2)  # let a few reconnect attempts fail first
+                replacement.start()
+
+            restarter = threading.Thread(target=restart_later, daemon=True)
+            restarter.start()
+            label = int(np.asarray(client.infer(servable.name, queries[1])))
+            restarter.join()
+            assert label == expected_labels[1]
+            assert client.reconnects >= 1
+
+            # The healed connection is a normal connection: stats work too.
+            assert client.stats()["requests"] >= 0
+        finally:
+            client.close()
+            replacement.stop()
+            server.stop()
+
+    def test_constructor_retries_cover_initial_connection(self, servable, queries):
+        """A client constructed before the transport is listening waits
+        out the gap with the same retry budget (scraper launch-order
+        case) instead of dying on the doorstep."""
+        server = InferenceServer(workers=("cpu",), max_batch_size=8, max_wait_seconds=0.001)
+        server.register(servable)
+        server.start()
+        probe = TransportServer(server)
+        host, port = probe.start()
+        probe.stop()  # port known, nothing listening yet
+        late = TransportServer(server, port=port)
+
+        def start_later():
+            time.sleep(0.2)
+            late.start()
+
+        starter = threading.Thread(target=start_later, daemon=True)
+        starter.start()
+        try:
+            client = ServingClient(
+                host, port, timeout=10.0, max_retries=10, backoff_seconds=0.02
+            )
+            starter.join()
+            with client:
+                assert client.ping()
+        finally:
+            late.stop()
+            server.stop()
+
+    def test_fail_fast_without_retries(self, servable, queries):
+        """max_retries=0 keeps the original contract: first transport
+        failure poisons the connection and the error propagates."""
+        server, transport, host, port = self._stack(servable)
+        client = ServingClient(host, port, timeout=5.0)
+        try:
+            client.ping()
+            transport.stop()
+            with pytest.raises((ConnectionError, OSError)):
+                client.infer(servable.name, queries[0])
+            with pytest.raises(ConnectionError):
+                client.ping()  # still poisoned, no silent reconnect
+        finally:
+            client.close()
+            server.stop()
+
+    def test_retry_budget_exhausts_when_server_stays_down(self, servable, queries):
+        server, transport, host, port = self._stack(servable)
+        client = ServingClient(
+            host, port, timeout=5.0, max_retries=2, backoff_seconds=0.01
+        )
+        try:
+            client.ping()
+            transport.stop()
+            server.stop()
+            start = time.perf_counter()
+            with pytest.raises((ConnectionError, OSError)):
+                client.infer(servable.name, queries[0])
+            # Both backoff sleeps ran before giving up (0.01s + 0.02s).
+            assert time.perf_counter() - start >= 0.03
+            assert client.reconnects == 0  # no successful reconnect: server stayed down
+        finally:
+            client.close()
+
+
+class TestScrapeStatsTool:
+    def test_scrapes_intervals_to_json_lines(self, serving_stack, servable, queries, tmp_path):
+        """tools/scrape_stats.py appends one JSON record per interval and
+        resets the window between scrapes."""
+        server, host, port = serving_stack
+        spec = importlib.util.spec_from_file_location(
+            "scrape_stats",
+            pathlib.Path(__file__).resolve().parent.parent / "tools" / "scrape_stats.py",
+        )
+        scrape_stats = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(scrape_stats)
+
+        server.infer(servable.name, queries[0])
+        server.drain()
+        out = tmp_path / "metrics.jsonl"
+        exit_code = scrape_stats.main(
+            ["--port", str(port), "--interval", "0.01", "--count", "2", "--out", str(out)]
+        )
+        assert exit_code == 0
+        records = [json.loads(line) for line in out.read_text().splitlines()]
+        assert len(records) == 2
+        assert records[0]["stats"]["requests"] >= 1
+        assert records[1]["stats"]["requests"] == 0  # window reset between scrapes
+        assert records[0]["interval_seconds"] == 0.01
+        for record in records:
+            assert "scraped_at" in record
+            assert "vectorized_stages" in record["stats"]

@@ -1,0 +1,129 @@
+"""Per-interval serving-metrics scraper over the frame protocol.
+
+Connects to a running :class:`~repro.serving.transport.TransportServer`,
+and on every tick scrapes one interval snapshot with the reset idiom —
+``stats`` (publish the interval), then ``reset_stats`` (start the next
+interval at zero) — appending one JSON line per interval to a metrics
+file.  The output is ready for ``jq``, a spreadsheet import, or a
+log-shipping agent::
+
+    {"scraped_at": 1700000000.0, "interval_seconds": 5.0, "stats": {...}}
+
+The client reconnects with capped exponential backoff (``--retries``),
+so a serving-process restart shows up as a gap in the series instead of
+killing the scraper.
+
+Run with::
+
+    PYTHONPATH=src python tools/scrape_stats.py \
+        --host 127.0.0.1 --port 8757 \
+        --interval 5 --count 12 --out serving_metrics.jsonl
+
+``--count 0`` scrapes forever (stop with Ctrl-C); ``--no-reset`` turns
+the scrape into a cumulative poll (no ``reset_stats``), for servers whose
+stats another consumer also resets.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+_SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.serving.transport import ServingClient  # noqa: E402
+
+
+def parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--host", default="127.0.0.1", help="transport server host")
+    parser.add_argument("--port", type=int, required=True, help="transport server port")
+    parser.add_argument(
+        "--interval", type=float, default=5.0, help="seconds between scrapes (default 5)"
+    )
+    parser.add_argument(
+        "--count", type=int, default=0, help="number of intervals to scrape (0 = forever)"
+    )
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=pathlib.Path("serving_metrics.jsonl"),
+        help="metrics file to append JSON lines to",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=8,
+        help="per-request reconnect retries with capped exponential backoff",
+    )
+    parser.add_argument(
+        "--no-reset",
+        action="store_true",
+        help="scrape cumulative stats without calling reset_stats",
+    )
+    return parser.parse_args(argv)
+
+
+def scrape_once(client: ServingClient, interval: float, reset: bool) -> dict:
+    """One interval record: an atomic snapshot-and-reset of the window.
+
+    ``stats(reset=True)`` zeroes the metrics under the same server-side
+    lock acquisition that took the snapshot, so requests landing between
+    scrapes are never lost to a gap between two separate frames.  The
+    client never *resends* the reset on a transport failure (the server
+    may have applied it before the reply was lost); the caller records
+    such a failure as an explicit gap in the series instead.
+    """
+    return {
+        "scraped_at": time.time(),
+        "interval_seconds": interval,
+        "stats": client.stats(reset=reset),
+    }
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    # max_retries covers the initial connection too, so launching the
+    # scraper before (or while) the serving process restarts just waits
+    # out the gap with capped exponential backoff.
+    client = ServingClient(args.host, args.port, timeout=30.0, max_retries=args.retries)
+    scraped = 0
+    try:
+        with client, args.out.open("a", encoding="utf-8") as out:
+            while args.count == 0 or scraped < args.count:
+                if scraped:
+                    time.sleep(args.interval)
+                try:
+                    record = scrape_once(client, args.interval, reset=not args.no_reset)
+                except (ConnectionError, EOFError, OSError) as exc:
+                    # The scrape (and possibly its reset) was lost in
+                    # flight.  Mark the gap explicitly — the next tick
+                    # reconnects via the client's retry budget — rather
+                    # than resending a non-idempotent reset.
+                    record = {
+                        "scraped_at": time.time(),
+                        "interval_seconds": args.interval,
+                        "error": f"{type(exc).__name__}: {exc}",
+                    }
+                out.write(json.dumps(record, separators=(",", ":")) + "\n")
+                out.flush()
+                scraped += 1
+                if "error" in record:
+                    print(f"[scrape {scraped}] lost interval: {record['error']}", file=sys.stderr)
+                else:
+                    requests = record["stats"].get("requests", 0)
+                    print(
+                        f"[scrape {scraped}] {requests} requests -> {args.out}", file=sys.stderr
+                    )
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
