@@ -31,6 +31,13 @@ Python iteration per spectrum), and every stock app adapter must serve
 fully vectorized — zero per-row fallbacks in the per-deployment
 ``ServerStats`` counters, which is what CI's perf-smoke step fails on.
 
+A **serve-while-retraining** benchmark drives sustained load across
+three online re-training hot-swaps (``InferenceServer.update``): zero
+dropped or errored requests end to end, and the post-swap predictions
+bit-identical to an offline retrain applying the same update rule to the
+same mini-batches.  Its ``failures`` / ``swaps`` fields feed the CI
+threshold gate (``tools/scrape_stats.py --check``).
+
 Every case also lands in ``BENCH_serving.json`` (see the ``bench_json``
 fixture) so the throughput trajectory is tracked across PRs.
 """
@@ -261,6 +268,105 @@ def test_socket_clients_scale_aggregate_throughput(benchmark, bench_json, servab
     )
     assert stats.failures == 0
     assert scaling >= 2.0
+
+
+def test_serve_while_retraining(benchmark, bench_json, servable, requests, isolet):
+    """Zero-downtime online re-training: sustained load across >= 3
+    hot-swaps with zero dropped/errored requests, and post-swap
+    predictions bit-identical to an offline retrain on the same data.
+
+    Loader threads keep submitting while ``server.update`` retrains the
+    class memories on three disjoint slices of the training set and
+    hot-swaps each re-trained deployment in.  Every submitted future must
+    resolve to a valid label — a request that errored (e.g. handed to a
+    just-closed batcher by the pre-fix race) or was silently dropped
+    fails the case, as does any ``ServerStats`` failure count.
+    """
+    n_swaps = 3
+    server = InferenceServer(workers=("cpu",), max_batch_size=64, max_wait_seconds=0.002)
+    server.register(servable)
+    rounds = [
+        (isolet.train_features[i::n_swaps], isolet.train_labels[i::n_swaps])
+        for i in range(n_swaps)
+    ]
+    stop = threading.Event()
+    futures, errors = [], []
+    futures_lock = threading.Lock()
+
+    def loader(seed: int) -> None:
+        i = seed
+        while not stop.is_set():
+            try:
+                future = server.submit(servable.name, requests[i % requests.shape[0]])
+                with futures_lock:
+                    futures.append(future)
+            except Exception as exc:
+                errors.append(exc)
+            i += 1
+            time.sleep(0.0005)
+
+    def run_case():
+        threads = [threading.Thread(target=loader, args=(t,)) for t in range(4)]
+        with server:
+            for thread in threads:
+                thread.start()
+            versions = []
+            for samples, labels in rounds:
+                versions.append(server.update(servable.name, samples, labels))
+                time.sleep(0.02)  # keep serving between swaps
+            stop.set()
+            for thread in threads:
+                thread.join()
+            server.drain()
+            post_swap = server.infer_many(servable.name, list(isolet.test_features))
+            server.drain()
+            return versions, post_swap, server.stats()
+
+    start = time.perf_counter()
+    versions, post_swap, stats = benchmark.pedantic(run_case, rounds=1, iterations=1)
+    elapsed = time.perf_counter() - start
+
+    assert not errors, errors  # zero requests errored at submit time
+    labels = [int(np.asarray(f.result(timeout=10.0))) for f in futures]  # zero dropped
+    assert stats.failures == 0 and stats.deadline_exceeded == 0
+    assert versions == [2, 3, 4] and stats.swaps == n_swaps
+    model = stats.model_stats[servable.name]
+    assert sum(model["requests_by_version"].values()) == model["requests"]
+
+    # Bit identity vs an offline retrain applying the same rule to the
+    # same mini-batches: identical constants, identical predictions.
+    offline = servable
+    for samples, labels_round in rounds:
+        offline = offline.updated(samples, labels_round)
+    live = server.registry.get(servable.name).servable
+    assert np.array_equal(offline.constants["class_hvs"], live.constants["class_hvs"])
+    handle = hdc_compile(
+        offline.build_program(isolet.test_features.shape[0]), target="cpu"
+    ).bind(**offline.constants)
+    expected = [int(v) for v in np.asarray(handle.run(**{offline.query_param: isolet.test_features}).output)]
+    assert [int(np.asarray(r)) for r in post_swap] == expected
+
+    served_rps = len(labels) / elapsed if elapsed > 0 else 0.0
+    benchmark.extra_info["requests_during_swaps"] = len(labels)
+    benchmark.extra_info["swaps"] = stats.swaps
+    benchmark.extra_info["served_rps"] = served_rps
+    print(
+        f"\nserve-while-retraining: {len(labels)} requests across {stats.swaps} hot-swaps "
+        f"({served_rps:.0f} req/s), failures {stats.failures}, "
+        f"versions {model['requests_by_version']}, bit-identical post-swap"
+    )
+    bench_json.record(
+        "serve_while_retraining",
+        requests=len(labels),
+        swaps=stats.swaps,
+        failures=stats.failures,
+        deadline_exceeded=stats.deadline_exceeded,
+        served_rps=served_rps,
+        requests_by_version=model["requests_by_version"],
+        bit_identical=True,
+    )
+    assert len(labels) > 0
+    assert all(0 <= label < isolet.n_classes for label in labels)
 
 
 def test_registry_round_trip_hits_compile_cache(benchmark, bench_json, servable):

@@ -28,10 +28,15 @@ from typing import Optional
 import numpy as np
 
 from repro import hdcpp as H
-from repro.apps.common import AppResult, bipolar_random, merge_reports
+from repro.apps.common import (
+    AppResult,
+    bipolar_random,
+    corrective_class_update,
+    merge_reports,
+)
 from repro.backends import compile as hdc_compile
 from repro.datasets.isolet import IsoletLike
-from repro.serving.servable import ALL_TARGETS, Servable, ShardSpec, servable_signature
+from repro.serving.servable import ALL_TARGETS, Servable, ShardSpec
 from repro.transforms.pipeline import ApproximationConfig
 
 __all__ = ["HDClassification", "HDClassificationInference", "classification_servable"]
@@ -70,6 +75,15 @@ def classification_servable(
     at registration): each shard's partial program re-encodes the query
     batch and scores it against its block of class rows only, and the
     serving runtime arg-reduces the concatenated scores.
+
+    It also carries an ``update_batch`` rule — the mini-batched corrective
+    training step of :class:`HDClassification` (bundle each signed
+    encoding into its true class, subtract it from a mistaken prediction)
+    applied to the bound constants, predicting with the *served*
+    similarity and encoding convention.  That is what
+    ``InferenceServer.update`` / the transport's ``update`` op run for
+    online re-training; offline retraining applies the very same callable,
+    so post-swap served predictions are bit-identical to it.
     """
     rp_matrix = np.asarray(rp_matrix, dtype=np.float32)
     classes = np.asarray(classes, dtype=np.float32)
@@ -117,6 +131,32 @@ def classification_servable(
 
         return prog
 
+    def update_batch(constants: dict, samples: np.ndarray, labels: np.ndarray) -> dict:
+        """Mini-batched corrective update of the served class memories.
+
+        The same rule as ``HDClassification``'s ``train_batch``, applied
+        to the deployment's bound state: every signed encoding is bundled
+        into its true class, and additionally subtracted from the class
+        the *served* inference path would have predicted — so the
+        corrective term tracks exactly what this deployment serves.
+        """
+        rp = np.asarray(constants["rp"], dtype=np.float32)
+        class_hvs = np.asarray(constants["class_hvs"], dtype=np.float32)
+        samples = np.asarray(samples, dtype=np.float32)
+        projected = np.asarray(H.matmul(samples, rp))
+        encoded = np.asarray(H.sign(projected), dtype=np.float32)
+        if similarity == "cosine":
+            query = encoded if binarize_encoding else projected
+            scores = np.asarray(H.cossim(query, class_hvs))
+            predicted = scores.argmax(axis=1)
+        else:
+            distances = np.asarray(
+                H.hamming_distance(encoded, np.asarray(H.sign(class_hvs)))
+            )
+            predicted = distances.argmin(axis=1)
+        updated = corrective_class_update(class_hvs, encoded, labels, predicted, name=name)
+        return {**constants, "class_hvs": updated}
+
     constants = {"class_hvs": classes, "rp": rp_matrix}
     return Servable(
         name=name,
@@ -124,18 +164,16 @@ def classification_servable(
         constants=constants,
         query_param="queries",
         sample_shape=(n_features,),
-        signature=servable_signature(
-            name,
-            (n_features,),
-            constants,
-            extra=f"dim={dimension},sim={similarity},bin={binarize_encoding}",
-        ),
+        # signature_extra (not an explicit signature) so online updates
+        # re-derive a collision-free identity from the new constants.
+        signature_extra=f"dim={dimension},sim={similarity},bin={binarize_encoding}",
         supported_targets=ALL_TARGETS,
         shard_spec=ShardSpec(
             param="class_hvs",
             build_partial=build_partial,
             reduce="argmax" if similarity == "cosine" else "argmin",
         ),
+        update_batch=update_batch,
         description=f"HDC classification, D={dimension}, {similarity} similarity",
     )
 

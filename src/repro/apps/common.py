@@ -9,7 +9,7 @@ import numpy as np
 
 from repro.backends.base import ExecutionReport
 
-__all__ = ["AppResult", "merge_reports", "bipolar_random"]
+__all__ = ["AppResult", "merge_reports", "bipolar_random", "corrective_class_update"]
 
 
 @dataclass
@@ -66,3 +66,38 @@ def bipolar_random(rows: int, cols: int, seed: int) -> np.ndarray:
     """A deterministic bipolar {+1, -1} matrix (random projection / item memory)."""
     rng = np.random.default_rng(seed)
     return (rng.integers(0, 2, size=(rows, cols)) * 2 - 1).astype(np.float32)
+
+
+def corrective_class_update(
+    class_hvs: np.ndarray,
+    encoded: np.ndarray,
+    labels: np.ndarray,
+    predicted: np.ndarray,
+    name: str = "update",
+) -> np.ndarray:
+    """The shared HDC corrective training rule over a mini-batch.
+
+    Bundle each encoding into its labelled class accumulator and subtract
+    it from the class it was mistaken for — the single definition used by
+    the online ``update_batch`` rules (classification, RelHD), so the
+    corrective arithmetic stays bit-identical across applications.
+
+    Args:
+        class_hvs: ``(n_classes, D)`` class memories (not modified).
+        encoded: ``(n, D)`` encodings to bundle.
+        labels: ``(n,)`` true class indices (validated against n_classes).
+        predicted: ``(n,)`` classes the serving path would have predicted.
+        name: Model name for error messages.
+    """
+    class_hvs = np.asarray(class_hvs, dtype=np.float32)
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.size and int(labels.max()) >= class_hvs.shape[0]:
+        raise ValueError(
+            f"{name}: update label {int(labels.max())} out of range for "
+            f"{class_hvs.shape[0]} classes"
+        )
+    updated = np.array(class_hvs, copy=True)
+    np.add.at(updated, labels, encoded)
+    wrong = np.asarray(predicted) != labels
+    np.add.at(updated, np.asarray(predicted)[wrong], -encoded[wrong])
+    return updated.astype(np.float32)

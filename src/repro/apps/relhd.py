@@ -28,10 +28,15 @@ from typing import Optional
 import numpy as np
 
 from repro import hdcpp as H
-from repro.apps.common import AppResult, bipolar_random, merge_reports
+from repro.apps.common import (
+    AppResult,
+    bipolar_random,
+    corrective_class_update,
+    merge_reports,
+)
 from repro.backends import compile as hdc_compile
 from repro.datasets.cora import CitationGraph
-from repro.serving.servable import HOST_TARGETS, Servable, ShardSpec, servable_signature
+from repro.serving.servable import HOST_TARGETS, Servable, ShardSpec
 from repro.transforms.pipeline import ApproximationConfig
 
 __all__ = ["RelHD"]
@@ -178,6 +183,12 @@ class RelHD:
         (one pairwise-Hamming + arg-min over the whole micro-batch), gated
         per batch on boundary-row bit identity against the per-node
         reference.
+
+        The servable is **online-updatable**: its ``update_batch`` rule is
+        the mini-batched form of the RelHD training step (bundle each
+        signed encoding into its labelled class, subtract it from a
+        mistaken prediction), so ``InferenceServer.update`` hot-swaps in
+        continued training on newly labelled nodes with zero downtime.
         """
         classes = np.asarray(classes, dtype=np.float32)
         dim = self.dimension
@@ -207,6 +218,24 @@ class RelHD:
 
             return prog
 
+        def update_batch(constants: dict, node_encodings: np.ndarray, labels: np.ndarray) -> dict:
+            """Mini-batched RelHD training step over the bound class memories.
+
+            The corrective prediction uses ``H.sign`` (zero maps to +1),
+            matching the *served* inference path exactly — aggregated
+            neighbour encodings routinely contain exact zeros, and the
+            class a correction targets must be the class the deployment
+            would actually have predicted.
+            """
+            class_hvs = np.asarray(constants["class_hvs"], dtype=np.float32)
+            encoded = np.asarray(
+                H.sign(np.asarray(node_encodings, dtype=np.float32)), dtype=np.float32
+            )
+            distances = np.asarray(H.hamming_distance(encoded, H.sign(class_hvs)))
+            predicted = distances.argmin(axis=1)
+            updated = corrective_class_update(class_hvs, encoded, labels, predicted, name=name)
+            return {**constants, "class_hvs": updated}
+
         constants = {"class_hvs": classes}
         return Servable(
             name=name,
@@ -214,8 +243,11 @@ class RelHD:
             constants=constants,
             query_param="node_encodings",
             sample_shape=(dim,),
-            signature=servable_signature(name, (dim,), constants, extra=f"dim={dim}"),
+            # signature_extra (not an explicit signature) so online updates
+            # re-derive a collision-free identity from the new constants.
+            signature_extra=f"dim={dim}",
             supported_targets=HOST_TARGETS,
             shard_spec=ShardSpec(param="class_hvs", build_partial=build_partial, reduce="argmin"),
+            update_batch=update_batch,
             description=f"RelHD node classification, D={dim}",
         )

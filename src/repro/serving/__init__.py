@@ -47,10 +47,12 @@ pushes a stream of single-sample requests through them:
 """
 
 from repro.serving.batching import (
+    BatcherClosed,
     DeadlineExceeded,
     InferenceRequest,
     MicroBatcher,
     bucket_for,
+    bucket_ladder,
     pad_batch,
 )
 from repro.serving.broker import RequestBroker
@@ -83,6 +85,7 @@ from repro.serving.scheduler import (
 from repro.serving.servable import (
     ALL_TARGETS,
     HOST_TARGETS,
+    NotUpdatableError,
     Servable,
     ShardSpec,
     servable_signature,
@@ -98,6 +101,7 @@ __all__ = [
     "reduce_partials",
     "Servable",
     "ShardSpec",
+    "NotUpdatableError",
     "servable_signature",
     "ALL_TARGETS",
     "HOST_TARGETS",
@@ -109,7 +113,9 @@ __all__ = [
     "MicroBatcher",
     "InferenceRequest",
     "DeadlineExceeded",
+    "BatcherClosed",
     "bucket_for",
+    "bucket_ladder",
     "pad_batch",
     "Worker",
     "WorkerPool",

@@ -39,10 +39,12 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 
 __all__ = [
+    "BatcherClosed",
     "DeadlineExceeded",
     "InferenceRequest",
     "MicroBatcher",
     "bucket_for",
+    "bucket_ladder",
     "pad_batch",
     "shed_expired",
 ]
@@ -54,6 +56,17 @@ class DeadlineExceeded(TimeoutError):
     Raised out of the request's future (``future.result()`` /
     ``InferenceServer.infer``); sheds are counted in
     ``ServerStats.deadline_exceeded``.
+    """
+
+
+class BatcherClosed(RuntimeError):
+    """Raised by :meth:`MicroBatcher.submit` / :meth:`MicroBatcher.adopt`
+    on a closed batcher.
+
+    The typed error lets the broker distinguish "this batcher was just
+    hot-swapped out from under me — refetch and retry" from any other
+    submit-time failure (see :meth:`RequestBroker.submit`'s
+    retry-on-closed loop).
     """
 
 
@@ -150,6 +163,30 @@ def bucket_for(size: int, max_batch_size: int) -> int:
     return min(bucket, max_batch_size)
 
 
+def bucket_ladder(max_batch_size: int, pad_to_buckets: bool = True, full: bool = True) -> list:
+    """The warm-bucket set for one deployment, smallest first.
+
+    The single definition of the warming policy (used by registration
+    warming and by hot-swap warming, which must agree):
+
+    * padded + ``full`` — the whole power-of-two ladder up to the batch
+      watermark, so no batch shape ever compiles at request time;
+    * padded, not ``full`` — just ``{1, top}``, the two shapes a fresh
+      service meets first;
+    * unpadded — ``{1, max_batch_size}``; exact batch shapes compile on
+      demand anyway.
+    """
+    if not pad_to_buckets:
+        return sorted({1, max_batch_size})
+    buckets = {1, bucket_for(max_batch_size, max_batch_size)}
+    if full:
+        bucket = 1
+        while bucket < max_batch_size:
+            buckets.add(bucket)
+            bucket *= 2
+    return sorted(buckets)
+
+
 def pad_batch(batch: np.ndarray, bucket: int) -> np.ndarray:
     """Pad a stacked batch up to ``bucket`` rows by repeating the last row.
 
@@ -226,7 +263,7 @@ class MicroBatcher:
         request.future.set_running_or_notify_cancel()
         with self._cond:
             if self._closed:
-                raise RuntimeError("batcher is closed")
+                raise BatcherClosed("batcher is closed")
             self._lanes.setdefault(request.priority, []).append(request)
             self._cond.notify_all()
         return request.future
@@ -262,7 +299,7 @@ class MicroBatcher:
         """
         with self._cond:
             if self._closed:
-                raise RuntimeError("batcher is closed")
+                raise BatcherClosed("batcher is closed")
             for request in requests:
                 self._lanes.setdefault(request.priority, []).append(request)
             if requests:

@@ -50,12 +50,23 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.serving.batching import MicroBatcher, bucket_for, pad_batch, shed_expired
+from repro.serving.batching import (
+    BatcherClosed,
+    MicroBatcher,
+    bucket_for,
+    bucket_ladder,
+    pad_batch,
+    shed_expired,
+)
 from repro.serving.metrics import ServerStats, ServingMetrics
 from repro.serving.registry import Deployment, ModelRegistry, ShardedDeployment
 from repro.serving.scheduler import BatchWork, FairScheduler, ShardGather, Worker, WorkerPool
 
 __all__ = ["RequestBroker"]
+
+#: Sentinel for swap()'s "keep the current setting" defaults (None is a
+#: meaningful value for slo_ms: it clears the SLO).
+_KEEP = object()
 
 
 class RequestBroker:
@@ -102,11 +113,20 @@ class RequestBroker:
         self.metrics = ServingMetrics(latency_window=latency_window)
         self._scheduler: Optional[FairScheduler] = None
         self._batchers: dict = {}
+        #: The deployment each live queue's feeder serves, pinned under the
+        #: broker lock at install time — feeders never re-resolve the
+        #: registry, so a queue's requests always execute against exactly
+        #: the deployment that queue was installed for.
+        self._deployments: dict = {}
         self._weights: dict = {}
         self._feeders: List[threading.Thread] = []
         self._dispatcher: Optional[threading.Thread] = None
         self._lock = threading.Lock()
         self._running = False
+        # Serializes whole online-update rounds (read state -> retrain ->
+        # swap), so two concurrent update() calls of one model compose
+        # instead of one clobbering the other's training step.
+        self._update_lock = threading.Lock()
         # Outstanding-request accounting behind drain(): every submitted
         # future counts until it resolves (result, failure or shed).
         self._outstanding = 0
@@ -141,19 +161,82 @@ class RequestBroker:
                 ``ServerStats.model_stats[name]["slo_violations"]``.
         """
         with self._lock:
-            old = self._batchers.get(deployment.name)
-            batcher = self._make_batcher()
-            if old is not None:
-                if not self._running:
-                    batcher.adopt(old.drain_requests())
-                old.close()
-            self._batchers[deployment.name] = batcher
-            self._weights[deployment.name] = float(weight)
-            self.metrics.set_slo(deployment.name, slo_ms)
-            if self._scheduler is not None:
-                self._scheduler.ensure_lane(deployment.name, weight)
-            if self._running:
-                self._start_feeder(deployment.name)
+            swapped = self._install_queue_locked(deployment, float(weight), slo_ms)
+        if swapped:
+            self.metrics.record_swap(deployment.name, deployment.version)
+
+    def swap(
+        self,
+        deployment: Deployment,
+        weight=_KEEP,
+        slo_ms=_KEEP,
+    ) -> None:
+        """Hot-swap a live model's queue onto a replacement deployment.
+
+        The safe swap path: the replacement batcher is installed first
+        (so :meth:`submit`'s locked fetch + retry-on-closed hands every
+        new request to it), and only then is the old batcher closed —
+        which never drops work: its feeder drains the queued requests
+        into the scheduler, where they execute against the *old*
+        deployment (each feeder pins the deployment it started with), and
+        exits once the queue is empty.  The old deployment therefore
+        quiesces exactly when its in-flight requests have settled, while
+        the new one is already serving — zero downtime, zero drops.
+
+        Call :meth:`ModelRegistry.swap` (which bumps the version) before
+        this, so the replacement feeder resolves the new deployment; or
+        use :meth:`update`, which orchestrates the whole round.
+
+        Args:
+            weight / slo_ms: Omitted values keep the model's current
+                fair-scheduler share / SLO threshold (``slo_ms=None``
+                explicitly clears the SLO).
+
+        Raises:
+            KeyError: The model has no live queue (use :meth:`add_model`).
+        """
+        name = deployment.name
+        with self._lock:
+            if name not in self._batchers:
+                raise KeyError(
+                    f"no model {name!r} to swap (have {sorted(self._batchers)})"
+                )
+            new_weight = self._weights.get(name, 1.0) if weight is _KEEP else float(weight)
+            self._install_queue_locked(
+                deployment, new_weight, self.metrics.slo_ms(name) if slo_ms is _KEEP else slo_ms
+            )
+        self.metrics.record_swap(name, deployment.version)
+
+    def _install_queue_locked(self, deployment: Deployment, weight: float, slo_ms) -> bool:
+        """Install a fresh batcher for one deployment (caller holds the
+        lock); returns whether an existing queue was replaced.
+
+        Replace-then-close ordering: the new batcher is in the map before
+        the old one closes, so a concurrent :meth:`submit` that loses the
+        race against the close finds the replacement on its first retry.
+        """
+        name = deployment.name
+        old = self._batchers.get(name)
+        batcher = self._make_batcher()
+        self._batchers[name] = batcher
+        self._deployments[name] = deployment
+        if old is not None:
+            # Close BEFORE draining: a concurrent submit that already
+            # fetched the old batcher now gets BatcherClosed and retries
+            # into the replacement (installed above).  The reverse order
+            # leaves a window — drain, racing enqueue succeeds, close —
+            # that orphans the racing request in a batcher nothing will
+            # ever feed or adopt again.
+            old.close()
+            if not self._running:
+                batcher.adopt(old.drain_requests())
+        self._weights[name] = float(weight)
+        self.metrics.set_slo(name, slo_ms)
+        if self._scheduler is not None:
+            self._scheduler.ensure_lane(name, weight)
+        if self._running:
+            self._start_feeder(name)
+        return old is not None
 
     def _make_batcher(self) -> MicroBatcher:
         return MicroBatcher(
@@ -161,6 +244,81 @@ class RequestBroker:
             max_wait_seconds=self.max_wait_seconds,
             on_expire=self.metrics.record_expired,
         )
+
+    # -- online re-training -------------------------------------------------------
+    def update(self, model: str, samples: np.ndarray, labels: np.ndarray) -> int:
+        """One online re-training round; returns the new model version.
+
+        Orchestrates the whole streaming-retraining step:
+
+        1. apply the servable's ``update_batch`` rule to the labelled
+           mini-batch (:meth:`Servable.updated` — the same callable an
+           offline retrain uses, so the resulting state is bit-identical);
+        2. build a same-shaped replacement deployment and warm its
+           serving buckets on every eligible worker, so the swap never
+           compiles on the request path;
+        3. bump the registry version (:meth:`ModelRegistry.swap`) and
+           install the replacement queue (:meth:`swap`) — new requests
+           cut over immediately, in-flight requests settle against the
+           old version.
+
+        Rounds are serialized per broker, so concurrent updates compose
+        (each trains on top of the previous round's state) instead of
+        clobbering one another.
+
+        Raises:
+            NotUpdatableError: The servable carries no update rule.
+            KeyError: ``model`` is not registered (or has no live queue).
+            RuntimeError: The model was re-registered concurrently during
+                the round (the registry's compare-and-swap guard refused
+                to clobber the newer deployment); re-issue the update.
+        """
+        with self._update_lock:
+            with self._lock:
+                # Checked before any registry mutation: a model known to
+                # the registry but without a live queue here must fail
+                # cleanly, not leave a bumped version no queue serves.
+                if model not in self._batchers:
+                    raise KeyError(
+                        f"no model {model!r} with a live queue to update "
+                        f"(have {sorted(self._batchers)})"
+                    )
+            deployment = self.registry.get(model)
+            new_servable = deployment.servable.updated(samples, labels)
+            replacement = deployment.with_servable(new_servable)
+            buckets = self._swap_warm_buckets()
+            for worker in self.pool.eligible(new_servable):
+                replacement.warm(buckets, worker=worker)
+            # Compare-and-swap against the deployment this round trained
+            # from: a concurrent re-register under the same name refuses
+            # the swap instead of being clobbered by a stale derivation.
+            version = self.registry.swap(model, replacement, expected=deployment)
+            self.swap(replacement)
+            if deployment.servable.signature != new_servable.signature:
+                # The replaced version's compiled programs can never hit
+                # again (its content-hashed state is gone); reclaim them
+                # so periodic updates don't grow the cache without bound.
+                # In-flight batches of the old deployment are unaffected —
+                # their handles are already bound.
+                self.registry.cache.evict_signature(deployment.servable.signature)
+            return version
+
+    def _swap_warm_buckets(self) -> list:
+        """Every bucket the swapped-in deployment can serve.
+
+        The whole power-of-two ladder (not just ``{1, max}``): each update
+        re-derives a content-hashed signature, so any unwarmed bucket
+        would be a guaranteed compile *on the request path* after every
+        swap — exactly the latency spike a zero-downtime swap must not
+        introduce.
+        """
+        return bucket_ladder(self.max_batch_size, self.pad_to_buckets, full=True)
+
+    def model_versions(self) -> dict:
+        """``{name: version}`` for every deployment with a live queue."""
+        with self._lock:
+            names = sorted(self._batchers)
+        return {name: self.registry.version(name) for name in names}
 
     # -- lifecycle ----------------------------------------------------------------
     def start(self) -> "RequestBroker":
@@ -190,12 +348,20 @@ class RequestBroker:
         return self
 
     def _start_feeder(self, name: str) -> None:
+        # The deployment is captured here, under the broker lock (every
+        # caller holds it), NOT re-resolved from the registry on the
+        # feeder thread — a registry write landing before the thread is
+        # scheduled must not change which deployment this queue serves.
         thread = threading.Thread(
             target=self._feed_loop,
-            args=(name, self._batchers[name], self._scheduler),
+            args=(self._deployments[name], self._batchers[name], self._scheduler),
             name=f"hdc-feed-{name}",
             daemon=True,
         )
+        # Prune feeders that already exited (each hot-swap retires one):
+        # a long-running broker with periodic updates must not accumulate
+        # dead Thread objects without bound.
+        self._feeders = [t for t in self._feeders if t.is_alive()]
         self._feeders.append(thread)
         thread.start()
 
@@ -248,6 +414,18 @@ class RequestBroker:
     ) -> Future:
         """Enqueue one sample; returns a future resolving to its result.
 
+        Safe against concurrent hot-swaps: the batcher is fetched under
+        the broker lock, and losing the fetch→enqueue race against a
+        swap closing that batcher retries against the replacement — the
+        request lands in the new queue instead of erroring out.  Only a
+        batcher that closed *without* being replaced (a stopped broker)
+        rejects, preserving the submit-after-stop contract.
+
+        Drain accounting registers the request *before* it is enqueued
+        (and rolls back if validation or the enqueue raises), so a
+        concurrent :meth:`drain` can never return while a just-submitted
+        request is still in flight.
+
         Args:
             priority: Batching lane; higher-priority requests flush first.
             deadline_ms: Latency budget from now, in milliseconds.  The
@@ -255,34 +433,61 @@ class RequestBroker:
                 out before the request executes.
         """
         deployment = self.registry.get(model)
-        batcher = self._batchers[deployment.name]
-        future = batcher.submit(
-            deployment.servable.validate_sample(sample),
-            priority=priority,
-            deadline_ms=deadline_ms,
-        )
         with self._drain_cond:
             self._outstanding += 1
+        try:
+            sample = deployment.servable.validate_sample(sample)
+            future = self._enqueue(deployment.name, sample, priority, deadline_ms)
+        except BaseException:
+            self._request_settled()
+            raise
         future.add_done_callback(self._on_request_done)
         return future
 
+    def _enqueue(
+        self, name: str, sample: np.ndarray, priority: int, deadline_ms: Optional[float]
+    ) -> Future:
+        """Hand one validated sample to the model's live batcher, retrying
+        when a concurrent hot-swap closes the fetched batcher."""
+        while True:
+            with self._lock:
+                batcher = self._batchers[name]
+            try:
+                return batcher.submit(sample, priority=priority, deadline_ms=deadline_ms)
+            except BatcherClosed:
+                with self._lock:
+                    replaced = self._batchers.get(name) is not batcher
+                if not replaced:
+                    # Closed without replacement: the broker stopped (or
+                    # the model was torn down) — reject, don't spin.
+                    raise
+
     def _on_request_done(self, _future) -> None:
+        self._request_settled()
+
+    def _request_settled(self) -> None:
         with self._drain_cond:
             self._outstanding -= 1
             if self._outstanding == 0:
                 self._drain_cond.notify_all()
 
     # -- feed / dispatch ----------------------------------------------------------
-    def _feed_loop(self, name: str, batcher: MicroBatcher, scheduler: FairScheduler) -> None:
-        """Per-model feeder: batcher watermarks -> fair-scheduler lane."""
-        deployment = self.registry.get(name)
+    def _feed_loop(
+        self, deployment: Deployment, batcher: MicroBatcher, scheduler: FairScheduler
+    ) -> None:
+        """Per-model feeder: batcher watermarks -> fair-scheduler lane.
+
+        The deployment is pinned by the caller at queue-install time, so
+        after a hot-swap the old queue's feeder keeps draining against the
+        *old* deployment while the replacement feeder serves the new one.
+        """
         while True:
             batch = batcher.next_batch(timeout=0.1)
             if batch is None:
                 if batcher.closed:
                     return
                 continue
-            scheduler.offer(name, BatchWork(deployment, batch))
+            scheduler.offer(deployment.name, BatchWork(deployment, batch))
 
     def _admissible(self, work: BatchWork) -> bool:
         """Admission control: some eligible worker has queue headroom.
@@ -373,7 +578,7 @@ class RequestBroker:
                 if not request.future.done():
                     request.future.set_exception(exc)
             return
-        self._resolve(deployment.name, requests, outputs, started)
+        self._resolve(deployment, requests, outputs, started)
 
     def _execute_shard(self, worker: Worker, work: BatchWork) -> None:
         """Run one shard's partial-score program; the last shard reduces."""
@@ -401,25 +606,29 @@ class RequestBroker:
             # The latency split attributes the reducing shard's execute
             # window; earlier shards overlap it, so "execute" is the
             # critical-path tail rather than summed shard time.
-            self._resolve(deployment.name, requests, outputs, started)
+            self._resolve(deployment, requests, outputs, started)
 
     def _resolve(
-        self, model: str, requests: list, outputs: np.ndarray, execute_started: float
+        self, deployment: Deployment, requests: list, outputs: np.ndarray, execute_started: float
     ) -> None:
         now = time.monotonic()
         execute_seconds = now - execute_started
         # Metrics are recorded *before* each future resolves (matching the
         # shed path's on_shed ordering), so a caller that drained on the
         # resolved futures reads a snapshot that already counts them.
+        # Requests are attributed to the deployment *version* that served
+        # them — after a hot-swap, the old version's in-flight tail and
+        # the new version's traffic stay separable in the snapshot.
         self.metrics.record_batch(len(requests))
         for request, output in zip(requests, outputs):
             if request.future.done():  # defensive: never die on a settled future
                 continue
             self.metrics.record_request(
                 now - request.enqueued_at,
-                model=model,
+                model=deployment.name,
                 queue_wait_seconds=max(0.0, execute_started - request.enqueued_at),
                 execute_seconds=execute_seconds,
+                version=deployment.version,
             )
             request.future.set_result(output)
 

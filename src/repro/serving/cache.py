@@ -264,6 +264,30 @@ class CompiledProgramCache:
         return loaded
 
     # -- maintenance --------------------------------------------------------------
+    def evict_signature(self, signature: str) -> int:
+        """Drop every entry compiled for one program-family signature.
+
+        Covers the signature itself and its scoped derivatives (shard
+        slices sign as ``"<signature>:shardIofN"``).  This is how the
+        hot-swap path reclaims a replaced deployment's artifacts: each
+        online update re-derives a content-hashed signature, so without
+        eviction a streaming-retraining service would leak one warmed
+        bucket ladder per round, forever.  Evicting is always safe —
+        already-bound handles keep executing (they never go back through
+        the cache), and a late lookup simply recompiles.
+        """
+        with self._lock:
+            doomed = [
+                key
+                for key in self._entries
+                if key[0] == signature or key[0].startswith(signature + ":")
+            ]
+            for key in doomed:
+                del self._entries[key]
+                self._warm_keys.discard(key)
+            self.stats.evictions += len(doomed)
+            return len(doomed)
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()

@@ -71,6 +71,11 @@ class ServerStats:
     failures: int = 0
     deadline_exceeded: int = 0
     batches: int = 0
+    #: Hot-swaps installed across all deployments this interval (online
+    #: re-training or re-registration under a live name); the per-model
+    #: split — current version, swap count, per-version request totals —
+    #: lives in ``model_stats``.
+    swaps: int = 0
     #: Stage/parallel-map executions served by the batched route across
     #: all deployments, and the executions that silently degraded to the
     #: per-row loop — the fleet-level view of the batch-native execution
@@ -131,6 +136,9 @@ class _ModelCollector:
         "vectorized_stages",
         "fallback_stages",
         "stage_fallback_reasons",
+        "version",
+        "swaps",
+        "requests_by_version",
     )
 
     def __init__(self, window: int):
@@ -141,6 +149,13 @@ class _ModelCollector:
         self.execute_sum = 0.0
         self.slo_seconds: Optional[float] = None
         self.slo_violations = 0
+        # Versioned hot-swap accounting: the deployment version currently
+        # serving, how many swaps landed this interval, and how many
+        # requests each version served (keys stringified in view() so the
+        # snapshot stays JSON-serializable).
+        self.version: Optional[int] = None
+        self.swaps = 0
+        self.requests_by_version: Counter = Counter()
         # Batch-native execution plane accounting: how many stage /
         # parallel-map executions of this deployment's programs took the
         # vectorized route vs fell back to the per-row loop, plus the
@@ -159,6 +174,8 @@ class _ModelCollector:
         self.vectorized_stages = 0
         self.fallback_stages = 0
         self.stage_fallback_reasons = {}
+        self.swaps = 0  # the current version itself survives a reset
+        self.requests_by_version.clear()
 
     def view(self) -> dict:
         requests = self.requests
@@ -175,6 +192,11 @@ class _ModelCollector:
             "vectorized_stages": self.vectorized_stages,
             "fallback_stages": self.fallback_stages,
             "stage_fallback_reasons": dict(self.stage_fallback_reasons),
+            "version": self.version,
+            "swaps": self.swaps,
+            "requests_by_version": {
+                str(version): count for version, count in sorted(self.requests_by_version.items())
+            },
         }
 
 
@@ -202,6 +224,14 @@ class ServingMetrics:
             collector = self._model(model)
             collector.slo_seconds = None if slo_ms is None else slo_ms / 1e3
 
+    def slo_ms(self, model: str) -> Optional[float]:
+        """One deployment's current SLO threshold in ms (``None`` if unset)."""
+        with self._lock:
+            collector = self._models.get(model)
+            if collector is None or collector.slo_seconds is None:
+                return None
+            return collector.slo_seconds * 1e3
+
     def _model(self, name: str) -> _ModelCollector:
         """Caller must hold the lock."""
         collector = self._models.get(name)
@@ -216,8 +246,15 @@ class ServingMetrics:
         model: Optional[str] = None,
         queue_wait_seconds: Optional[float] = None,
         execute_seconds: Optional[float] = None,
+        version: Optional[int] = None,
     ) -> None:
-        """Account one served request, optionally with its latency split."""
+        """Account one served request, optionally with its latency split.
+
+        ``version`` attributes the request to the deployment version that
+        executed it (``model_stats[name]["requests_by_version"]``) — the
+        ledger that shows a hot-swap's traffic cutover, including the
+        in-flight tail the old version drains after the swap lands.
+        """
         with self._lock:
             self.requests += 1
             self._latencies.append(latency_seconds)
@@ -226,6 +263,10 @@ class ServingMetrics:
                 return
             collector = self._model(model)
             collector.requests += 1
+            if version is not None:
+                if collector.version is None or version > collector.version:
+                    collector.version = version
+                collector.requests_by_version[int(version)] += 1
             if queue_wait_seconds is not None:
                 collector.queue_waits.append(queue_wait_seconds)
                 collector.queue_wait_sum += queue_wait_seconds
@@ -256,6 +297,20 @@ class ServingMetrics:
             collector.fallback_stages += int(fallbacks)
             if reasons:
                 collector.stage_fallback_reasons.update(reasons)
+
+    def record_swap(self, model: str, version: int) -> None:
+        """Account one hot-swap: ``model`` now serves ``version``.
+
+        Recorded when the broker installs the replacement queue, so a
+        snapshot that shows the new version may still show in-flight
+        requests settling against the previous one (``requests_by_version``
+        keeps both attributions).
+        """
+        with self._lock:
+            collector = self._model(model)
+            collector.swaps += 1
+            if collector.version is None or version > collector.version:
+                collector.version = version
 
     def record_failure(self, count: int = 1) -> None:
         with self._lock:
@@ -342,6 +397,7 @@ class ServingMetrics:
                 throughput_rps=requests / uptime if uptime > 0 else 0.0,
                 uptime_seconds=uptime,
                 slo_violations=sum(c.slo_violations for c in self._models.values()),
+                swaps=sum(c.swaps for c in self._models.values()),
                 vectorized_stages=sum(c.vectorized_stages for c in self._models.values()),
                 fallback_stages=sum(c.fallback_stages for c in self._models.values()),
                 model_stats=model_stats,

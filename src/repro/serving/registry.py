@@ -96,6 +96,10 @@ class Deployment:
         self._default_backend: Optional[Backend] = None
         self._handles: Dict[tuple, BoundProgram] = {}
         self._lock = threading.Lock()
+        #: Monotonic deployment version, stamped by the registry on
+        #: :meth:`ModelRegistry.register` / :meth:`ModelRegistry.swap`.
+        #: 0 means "never registered".
+        self.version = 0
 
     # -- backends -----------------------------------------------------------------
     @property
@@ -138,6 +142,19 @@ class Deployment:
         for batch_size in batch_sizes:
             self.handle_for(batch_size, worker=worker)
 
+    # -- hot-swap -----------------------------------------------------------------
+    def with_servable(self, servable: Servable) -> "Deployment":
+        """A same-shaped deployment (name, cache, config, target) serving a
+        different servable — the replacement a hot-swap installs after an
+        online update re-trained the bound state."""
+        return Deployment(
+            self.name,
+            servable,
+            self.cache,
+            config=self.config,
+            default_target=self.default_target,
+        )
+
     # -- direct execution ---------------------------------------------------------
     def run(self, batch: np.ndarray, worker=None) -> ExecutionResult:
         """One-shot batched inference through the deployment's own handle."""
@@ -147,8 +164,8 @@ class Deployment:
 
     def __repr__(self) -> str:
         return (
-            f"Deployment({self.name!r}, target={self.default_target.value}, "
-            f"handles={len(self._handles)})"
+            f"Deployment({self.name!r}, v{self.version}, "
+            f"target={self.default_target.value}, handles={len(self._handles)})"
         )
 
 
@@ -223,6 +240,19 @@ class ShardedDeployment(Deployment):
         for shard in self.shards:
             shard.warm(batch_sizes, worker=worker)
 
+    # -- hot-swap -----------------------------------------------------------------
+    def with_servable(self, servable: Servable) -> "ShardedDeployment":
+        """A same-shaped sharded deployment serving a different servable
+        (same shard count, cache, config and target)."""
+        return ShardedDeployment(
+            self.name,
+            servable,
+            self.cache,
+            self.n_shards,
+            config=self.config,
+            default_target=self.default_target,
+        )
+
     # -- reduction ----------------------------------------------------------------
     def reduce(self, partials: Sequence[np.ndarray], top_k: int = 1) -> np.ndarray:
         """Fold gathered shard scores into predictions (see spec.reduce)."""
@@ -256,11 +286,20 @@ class ShardedDeployment(Deployment):
 
 
 class ModelRegistry:
-    """Named (servable, target, approximation-config) deployments."""
+    """Named (servable, target, approximation-config) deployments.
+
+    Every name carries a **monotonically increasing version**: the first
+    :meth:`register` stamps 1, and each subsequent re-register or
+    :meth:`swap` under the same name bumps it — under the registry lock,
+    so concurrent swappers always observe strictly increasing versions.
+    Versions survive :meth:`unregister`, so a name re-registered later
+    continues the sequence instead of restarting it.
+    """
 
     def __init__(self, cache: Optional[CompiledProgramCache] = None):
         self.cache = cache if cache is not None else CompiledProgramCache()
         self._models: Dict[str, Deployment] = {}
+        self._versions: Dict[str, int] = {}
         self._lock = threading.Lock()
 
     def register(
@@ -291,8 +330,68 @@ class ModelRegistry:
             deployment = Deployment(name, servable, self.cache, config=config, default_target=target)
         deployment.warm(warm_batch_sizes)
         with self._lock:
-            self._models[name] = deployment
+            self._install_locked(name, deployment)
         return deployment
+
+    def swap(
+        self, name: str, deployment: Deployment, expected: Optional[Deployment] = None
+    ) -> int:
+        """Atomically replace a registered deployment; returns the version.
+
+        The replacement must already be built (and ideally warmed — see
+        :meth:`Deployment.with_servable`); the swap itself is one
+        dictionary write under the registry lock, so readers see either
+        the old deployment or the new one, never an intermediate state.
+        The name's version is bumped under the same lock acquisition,
+        which is what makes versions strictly monotonic under concurrent
+        swappers.
+
+        Args:
+            expected: Optional compare-and-swap guard — the deployment
+                this replacement was derived from.  The swap is refused
+                when the registry no longer holds it (someone else
+                re-registered or swapped the name meanwhile), so a stale
+                derivation cannot clobber newer state.
+
+        Raises:
+            KeyError: ``name`` is not registered (use :meth:`register`
+                for first-time deployment).
+            ValueError: The replacement was built under a different name.
+            RuntimeError: The compare-and-swap guard failed.
+        """
+        if deployment.name != name:
+            raise ValueError(
+                f"cannot swap {name!r} with a deployment named {deployment.name!r}"
+            )
+        with self._lock:
+            if name not in self._models:
+                raise KeyError(
+                    f"no model {name!r} registered to swap (have {sorted(self._models)})"
+                )
+            if expected is not None and self._models[name] is not expected:
+                raise RuntimeError(
+                    f"model {name!r} changed concurrently (now v{self._models[name].version}, "
+                    f"swap was derived from v{expected.version}); re-derive and retry"
+                )
+            return self._install_locked(name, deployment)
+
+    def _install_locked(self, name: str, deployment: Deployment) -> int:
+        """Install a deployment and bump its version (caller holds the lock)."""
+        version = self._versions.get(name, 0) + 1
+        self._versions[name] = version
+        deployment.version = version
+        self._models[name] = deployment
+        return version
+
+    def version(self, name: str) -> int:
+        """The current version of one registered name (0 if never seen)."""
+        with self._lock:
+            return self._versions.get(name, 0)
+
+    def versions(self) -> Dict[str, int]:
+        """``{name: version}`` for every currently registered deployment."""
+        with self._lock:
+            return {name: self._versions[name] for name in self._models}
 
     def get(self, name: str) -> Deployment:
         with self._lock:

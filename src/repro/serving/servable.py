@@ -21,6 +21,7 @@ Each of the five applications in :mod:`repro.apps` exposes an
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Optional
@@ -29,7 +30,24 @@ import numpy as np
 
 from repro.hdcpp.program import Program
 
-__all__ = ["Servable", "ShardSpec", "servable_signature", "ALL_TARGETS", "HOST_TARGETS"]
+__all__ = [
+    "NotUpdatableError",
+    "Servable",
+    "ShardSpec",
+    "servable_signature",
+    "ALL_TARGETS",
+    "HOST_TARGETS",
+]
+
+
+class NotUpdatableError(TypeError):
+    """Raised when online re-training is requested for a servable that
+    carries no ``update_batch`` rule.
+
+    Typed (rather than a bare ``TypeError`` message) so the transport can
+    report it by name and clients can distinguish "this model cannot
+    learn online" from transient serving failures.
+    """
 
 #: Targets every fully stage-mapped application supports.
 ALL_TARGETS = ("cpu", "gpu", "hdc_asic", "hdc_reram")
@@ -110,12 +128,23 @@ class Servable:
         sample_shape: Shape of a single request sample.
         signature: Stable identity for the compiled-program cache;
             derived from name/shapes/constants when omitted.
+        signature_extra: Extra configuration folded into the derived
+            signature (e.g. similarity mode) — state the constants alone
+            do not capture.  Preserved by :meth:`updated`, so re-trained
+            descendants of differently-configured servables never
+            collide in the cache.
         supported_targets: Targets this application maps onto.
         postprocess: Optional callable applied to the batched program
             output before per-request results are sliced out.
         shard_spec: Optional :class:`ShardSpec` enabling sharded
             deployments (class memory split across N workers); ``None``
             means the servable only deploys unsharded.
+        update_batch: Optional online-update rule
+            ``(constants, samples, labels) -> new constants`` — the
+            mini-batched training rule of the application applied to the
+            deployment's bound state.  ``None`` means the model's state
+            is frozen; :meth:`updated` then raises the typed
+            :class:`NotUpdatableError`.
         description: Human-readable note for registries/dashboards.
     """
 
@@ -125,14 +154,87 @@ class Servable:
     query_param: str = "queries"
     sample_shape: tuple = ()
     signature: str = ""
+    signature_extra: str = ""
     supported_targets: tuple = ALL_TARGETS
     postprocess: Optional[Callable[[np.ndarray], np.ndarray]] = None
     shard_spec: Optional[ShardSpec] = None
+    update_batch: Optional[Callable[[dict, np.ndarray, np.ndarray], dict]] = None
     description: str = ""
 
     def __post_init__(self) -> None:
         if not self.signature:
-            self.signature = servable_signature(self.name, self.sample_shape, self.constants)
+            self.signature = servable_signature(
+                self.name, self.sample_shape, self.constants, extra=self.signature_extra
+            )
+
+    @property
+    def updatable(self) -> bool:
+        """Whether this servable carries an online-update rule."""
+        return self.update_batch is not None
+
+    def updated(self, samples: np.ndarray, labels: np.ndarray) -> "Servable":
+        """One online re-training step: a new servable with updated state.
+
+        Applies ``update_batch`` — the application's mini-batched training
+        rule — over *read-only views* of the bound constants (rules must
+        build fresh arrays; in-place mutation raises) and returns a new
+        :class:`Servable` identical except for the updated constants and
+        a re-derived signature.  The same callable drives offline
+        retraining, so serving an updated servable is bit-identical to
+        retraining offline on the same data (same rule, same arithmetic,
+        same resulting constants, hence the same compiled programs).
+
+        Raises:
+            NotUpdatableError: The servable has no ``update_batch`` rule.
+        """
+        if self.update_batch is None:
+            raise NotUpdatableError(
+                f"servable {self.name!r} is not updatable: it carries no "
+                f"update_batch rule (its trained state is frozen)"
+            )
+        samples = np.asarray(samples)
+        if samples.ndim < 1 or tuple(samples.shape[1:]) != tuple(self.sample_shape):
+            raise ValueError(
+                f"{self.name}: update samples have shape {samples.shape}, expected "
+                f"(n, *{tuple(self.sample_shape)})"
+            )
+        labels = np.asarray(labels)
+        if labels.shape != (samples.shape[0],):
+            raise ValueError(
+                f"{self.name}: update labels have shape {labels.shape}, expected "
+                f"({samples.shape[0]},)"
+            )
+        if labels.size and not np.issubdtype(labels.dtype, np.integer):
+            raise ValueError(
+                f"{self.name}: update labels must be integers, got dtype {labels.dtype}"
+            )
+        if labels.size and int(labels.min()) < 0:
+            # Negative labels would silently index class memories from the
+            # end (numpy semantics) and corrupt the swapped-in state.
+            raise ValueError(f"{self.name}: update labels must be >= 0, got {labels.min()}")
+        # Read-only views, not copies: an update rule that tries to mutate
+        # the bound constants in place fails loudly (ValueError) instead
+        # of corrupting the state the *old* deployment is still serving
+        # mid-swap — without paying a per-round copy of large constants
+        # the rule never touches (e.g. the projection matrix).
+        working = {}
+        for key, value in self.constants.items():
+            if isinstance(value, np.ndarray):
+                view = value.view()
+                view.flags.writeable = False
+                working[key] = view
+            else:
+                working[key] = value
+        new_constants = dict(self.update_batch(working, samples, labels))
+        for key, value in list(new_constants.items()):
+            if value is working.get(key):
+                # Untouched key passed straight through: keep the original
+                # (writeable) array instead of the guard view.
+                new_constants[key] = self.constants[key]
+        # signature="" re-derives from the new constants in __post_init__
+        # (signature_extra rides along), so the compile cache treats the
+        # re-trained state as a distinct program family.
+        return dataclasses.replace(self, constants=dict(new_constants), signature="")
 
     def supports_target(self, target) -> bool:
         value = getattr(target, "value", target)

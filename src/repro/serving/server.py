@@ -30,7 +30,7 @@ from typing import Iterable, Optional, Union
 import numpy as np
 
 from repro.ir.dataflow import Target
-from repro.serving.batching import bucket_for
+from repro.serving.batching import bucket_ladder
 from repro.serving.broker import RequestBroker
 from repro.serving.metrics import ServerStats
 from repro.serving.registry import Deployment, ModelRegistry
@@ -159,18 +159,9 @@ class InferenceServer:
         return deployment
 
     def _warm_buckets(self, full_ladder: bool) -> list:
-        top = (
-            bucket_for(self.max_batch_size, self.max_batch_size)
-            if self.broker.pad_to_buckets
-            else self.max_batch_size
+        return bucket_ladder(
+            self.max_batch_size, self.broker.pad_to_buckets, full=full_ladder
         )
-        buckets = {1, top}
-        if full_ladder and self.broker.pad_to_buckets:
-            bucket = 1
-            while bucket < self.max_batch_size:
-                buckets.add(bucket)
-                bucket *= 2
-        return sorted(buckets)
 
     def _default_target(self, servable: Servable) -> Target:
         for worker in self.pool.workers:
@@ -254,6 +245,28 @@ class InferenceServer:
         """Submit many samples, then gather their results in order."""
         futures = [self.submit(model, sample) for sample in samples]
         return [future.result(timeout=timeout) for future in futures]
+
+    # -- online re-training -------------------------------------------------------
+    def update(self, model: str, samples: np.ndarray, labels: np.ndarray) -> int:
+        """One online re-training round; returns the new model version.
+
+        Applies the servable's ``update_batch`` rule (the application's
+        mini-batched training rule) to the labelled samples, then
+        hot-swaps the deployment with zero downtime: new requests cut
+        over to the re-trained version immediately, in-flight requests
+        settle against the old one, and nothing is dropped either way.
+        Serving the updated model is bit-identical to an offline retrain
+        on the same data (see :meth:`RequestBroker.update`).
+
+        Raises:
+            NotUpdatableError: The model's servable has no update rule.
+        """
+        return self.broker.update(model, samples, labels)
+
+    def model_versions(self) -> dict:
+        """``{name: version}`` for every served deployment (versions bump
+        on every re-register or online update under the same name)."""
+        return self.broker.model_versions()
 
     # -- cache persistence --------------------------------------------------------
     def save_cache(self, path) -> int:

@@ -9,8 +9,12 @@ batches as local callers.
 
 * :mod:`~repro.serving.transport.protocol` — the wire format: length-
   prefixed frames carrying a JSON header plus a raw binary payload
-  (NumPy array bytes), with ``infer`` / ``infer_batch`` / ``stats`` /
-  ``list_models`` / ``drain`` / ``ping`` operations.
+  (NumPy array bytes), opened by an **enforced version handshake**
+  (mismatched clients are rejected with a typed
+  :class:`~repro.serving.transport.protocol.ProtocolVersionError`
+  frame), with ``infer`` / ``infer_batch`` / ``update`` /
+  ``model_versions`` / ``stats`` / ``list_models`` / ``drain`` /
+  ``ping`` operations.
 * :class:`~repro.serving.transport.server.TransportServer` — an asyncio
   socket server running on a background thread; broker futures are
   bridged onto awaitables, so thousands of connections multiplex onto
@@ -27,6 +31,7 @@ from repro.serving.transport.protocol import (
     FrameError,
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
+    ProtocolVersionError,
     decode_array,
     encode_array_header,
     encode_frame,
@@ -40,6 +45,7 @@ __all__ = [
     "ServingClient",
     "RemoteServingError",
     "FrameError",
+    "ProtocolVersionError",
     "encode_frame",
     "read_frame",
     "read_frame_sync",

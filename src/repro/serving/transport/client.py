@@ -39,6 +39,7 @@ import numpy as np
 from repro.serving.batching import DeadlineExceeded
 from repro.serving.transport.protocol import (
     PROTOCOL_VERSION,
+    ProtocolVersionError,
     decode_array,
     encode_array_header,
     encode_frame,
@@ -66,6 +67,8 @@ def _raise_remote(header: dict) -> None:
     message = header.get("error", "")
     if error_type == "DeadlineExceeded":
         raise DeadlineExceeded(message)
+    if error_type == "ProtocolVersionError":
+        raise ProtocolVersionError(message)
     raise RemoteServingError(error_type, message)
 
 
@@ -138,6 +141,24 @@ class ServingClient:
         self._sock.settimeout(self.timeout)
         self._stream = self._sock.makefile("rb")
         self._broken = False
+        self._handshake_locked()
+
+    def _handshake_locked(self) -> None:
+        """Open the connection with the mandatory version handshake.
+
+        Every (re)connection sends ``hello`` carrying this client's
+        protocol version before any operation.  A server rejection raises
+        the typed :class:`ProtocolVersionError` — *not* retried by the
+        reconnect machinery, because a version mismatch is deterministic.
+        Transport failures mid-handshake surface as ``OSError`` and take
+        the normal connect-phase retry path.
+        """
+        self._sock.sendall(encode_frame({"op": "hello", "version": PROTOCOL_VERSION}))
+        response, _ = read_frame_sync(self._stream)
+        if not response.get("ok"):
+            self._broken = True
+            self._close_locked()
+            _raise_remote(response)
 
     def _backoff_or_raise(self, attempt: int) -> int:
         """Sleep one capped-exponential step; re-raise when the budget is
@@ -253,6 +274,43 @@ class ServingClient:
         }
         response, response_payload = self._request(header, payload)
         return decode_array(response, response_payload)
+
+    def update(self, model: str, samples: np.ndarray, labels) -> int:
+        """One online re-training round on the server; returns the new
+        monotonic model version.
+
+        The labelled mini-batch crosses the wire as one frame: samples
+        and int64 labels are concatenated in the binary payload (arrays
+        never ride the JSON header — same rationale as inference), with
+        the labels' metadata under the header's ``"labels"`` field.  The
+        server applies the servable's ``update_batch`` rule, warms the
+        re-trained deployment and hot-swaps it with zero downtime.
+        **Never resent** on transport failure: a round that died after
+        the frame went out may have landed, and blindly resending would
+        train on the same batch twice.  Check :meth:`model_versions` to
+        disambiguate.
+
+        Raises:
+            RemoteServingError: With ``error_type == "NotUpdatableError"``
+                when the model's servable carries no update rule.
+        """
+        labels = np.asarray(labels)
+        if labels.size and not np.issubdtype(labels.dtype, np.integer):
+            # Same contract as the local path (Servable.updated): casting
+            # 1.7 -> 1 on the wire would train on wrong labels silently.
+            raise ValueError(f"update labels must be integers, got dtype {labels.dtype}")
+        sample_fields, sample_payload = encode_array_header(np.asarray(samples))
+        label_fields, label_payload = encode_array_header(
+            np.ascontiguousarray(labels, dtype=np.int64)
+        )
+        header = {"op": "update", "model": model, "labels": label_fields, **sample_fields}
+        response, _ = self._request(header, sample_payload + label_payload, resend=False)
+        return int(response["model_version"])
+
+    def model_versions(self) -> dict:
+        """``{name: version}`` for every deployment served by the peer."""
+        response, _ = self._request({"op": "model_versions"})
+        return {str(name): int(version) for name, version in response["models"].items()}
 
     def stats(self, reset: bool = False) -> dict:
         """The server's :class:`ServerStats` snapshot as a plain dict.

@@ -16,22 +16,41 @@ data out of JSON means a feature vector crosses the wire at
 ``itemsize * size`` bytes with zero escaping or base64 overhead, while
 the header stays debuggable with any JSON tool.
 
-Request headers::
+Every connection opens with a **version handshake**: the client's first
+frame must be ``{"op": "hello", "version": PROTOCOL_VERSION}``, and the
+server *enforces* the match — a mismatched (or missing) handshake is
+answered with a typed :class:`ProtocolVersionError` frame carrying the
+server's version, and the connection is closed.  The client raises the
+same typed error instead of misparsing frames of an incompatible peer.
+
+Request headers (post-handshake)::
 
     {"op": "infer",       "model": str, "priority": int,
      "deadline_ms": float|null, "dtype": str, "shape": [..]}   + sample
     {"op": "infer_batch", "model": str, "priority": int,
      "deadline_ms": float|null, "dtype": str, "shape": [n,..]} + samples
+    {"op": "update",      "model": str, "dtype": str, "shape": [n,..],
+     "labels": {"dtype": "int64", "shape": [n]}}   + samples ++ labels
     {"op": "stats", "reset": bool} | {"op": "reset_stats"}
-    {"op": "list_models"} | {"op": "ping"}
+    {"op": "list_models"} | {"op": "model_versions"} | {"op": "ping"}
     {"op": "drain", "timeout": float|null}
+
+``update`` runs one online re-training round (the servable's
+``update_batch`` rule) and hot-swaps the re-trained deployment; its
+payload concatenates the sample matrix and the int64 label vector
+(described by the header's top-level and ``"labels"`` array metadata —
+labels are arrays, so like all arrays they stay out of the JSON), and
+its response carries the new monotonic ``"model_version"``.
+``model_versions`` returns the ``{name: version}`` map.
 
 Response headers carry ``"ok": true`` plus op-specific fields (array
 metadata for inference results, a ``"stats"`` object, a ``"models"``
-list), or ``"ok": false`` with ``"error"`` / ``"error_type"`` — the
-client re-raises :class:`~repro.serving.batching.DeadlineExceeded` for
-typed sheds and :class:`~repro.serving.transport.client
-.RemoteServingError` for everything else.
+list, a ``"model_version"``), or ``"ok": false`` with ``"error"`` /
+``"error_type"`` — the client re-raises
+:class:`~repro.serving.batching.DeadlineExceeded` for typed sheds,
+:class:`ProtocolVersionError` for handshake rejections and
+:class:`~repro.serving.transport.client.RemoteServingError` for
+everything else.
 """
 
 from __future__ import annotations
@@ -46,6 +65,7 @@ __all__ = [
     "PROTOCOL_VERSION",
     "MAX_FRAME_BYTES",
     "FrameError",
+    "ProtocolVersionError",
     "encode_frame",
     "read_frame",
     "read_frame_sync",
@@ -53,8 +73,10 @@ __all__ = [
     "decode_array",
 ]
 
-#: Bumped on incompatible wire changes; servers reject mismatched clients.
-PROTOCOL_VERSION = 1
+#: Bumped on incompatible wire changes; servers reject mismatched clients
+#: during the mandatory hello handshake.  v2 introduced the enforced
+#: handshake itself plus the ``update`` / ``model_versions`` operations.
+PROTOCOL_VERSION = 2
 
 #: Upper bound on either frame section, guarding both peers against
 #: corrupt prefixes (a desynchronized stream would otherwise be read as a
@@ -66,6 +88,16 @@ _PREFIX = struct.Struct("!II")
 
 class FrameError(ConnectionError):
     """Raised on malformed, oversized or truncated frames."""
+
+
+class ProtocolVersionError(RuntimeError):
+    """Raised when the hello handshake finds incompatible protocol versions.
+
+    Deliberately *not* a :class:`ConnectionError`: the client's reconnect
+    machinery retries dead connections, but a version mismatch is
+    deterministic — retrying would loop forever against the same peer —
+    so this propagates immediately with both versions in the message.
+    """
 
 
 def encode_frame(header: dict, payload: bytes = b"") -> bytes:

@@ -39,6 +39,7 @@ import numpy as np
 from repro.serving.transport.protocol import (
     FrameError,
     PROTOCOL_VERSION,
+    ProtocolVersionError,
     decode_array,
     encode_array_header,
     encode_frame,
@@ -143,6 +144,7 @@ class TransportServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        handshaken = False
         try:
             while True:
                 try:
@@ -153,6 +155,19 @@ class TransportServer:
                     # The stream is desynchronized; report and hang up.
                     await self._send(writer, self._error_header(exc))
                     return
+                if not handshaken:
+                    # PROTOCOL_VERSION is *enforced*: the first frame must
+                    # be a matching hello, or the client is rejected with
+                    # a typed error frame and the connection closed.
+                    response = self._handshake_response(header)
+                    try:
+                        await self._send(writer, response)
+                    except (ConnectionError, OSError):
+                        return
+                    if not response.get("ok"):
+                        return  # mismatched client: rejected, hang up
+                    handshaken = True
+                    continue
                 response, response_payload = await self._dispatch(header, payload)
                 try:
                     await self._send(writer, response, response_payload)
@@ -192,6 +207,34 @@ class TransportServer:
             "error_type": type(exc).__name__,
             "error": str(exc),
         }
+
+    @staticmethod
+    def _handshake_response(header: dict) -> dict:
+        """Validate a connection's opening hello frame.
+
+        Both failure modes — a ``hello`` carrying the wrong version, and
+        a first frame that is not a ``hello`` at all (a pre-handshake
+        client speaking an older protocol) — are answered with the same
+        typed :class:`ProtocolVersionError` frame, which always carries
+        the server's version so the peer can report both sides.
+        """
+        if header.get("op") != "hello":
+            return TransportServer._error_header(
+                ProtocolVersionError(
+                    f"expected a hello handshake as the first frame, got "
+                    f"op={header.get('op')!r}; this server speaks protocol "
+                    f"version {PROTOCOL_VERSION}"
+                )
+            )
+        client_version = header.get("version")
+        if client_version != PROTOCOL_VERSION:
+            return TransportServer._error_header(
+                ProtocolVersionError(
+                    f"protocol version mismatch: client speaks "
+                    f"{client_version!r}, server speaks {PROTOCOL_VERSION}"
+                )
+            )
+        return {"ok": True, "version": PROTOCOL_VERSION}
 
     # -- operations ---------------------------------------------------------------
     async def _dispatch(self, header: dict, payload: bytes) -> Tuple[dict, bytes]:
@@ -258,6 +301,36 @@ class TransportServer:
             "models": self.broker.registry.names(),
         }, b""
 
+    async def _op_update(self, header: dict, payload: bytes) -> Tuple[dict, bytes]:
+        # One online re-training round: retrain on the labelled samples,
+        # warm, bump the version, hot-swap.  Blocking (training + compile
+        # + swap), so it runs on the default executor — inference frames
+        # on other connections keep flowing while the round lands.
+        # The payload carries samples then int64 labels back to back; the
+        # header's top-level dtype/shape describe the samples and its
+        # "labels" object describes the labels.
+        sample_dtype = np.dtype(header.get("dtype", "float64"))
+        sample_count = int(np.prod([int(d) for d in header.get("shape", ())], dtype=np.int64))
+        split = sample_dtype.itemsize * sample_count
+        samples = decode_array(header, payload[:split])
+        labels = decode_array(header.get("labels") or {}, payload[split:])
+        loop = asyncio.get_running_loop()
+        model_version = await loop.run_in_executor(
+            None, functools.partial(self.broker.update, header["model"], samples, labels)
+        )
+        return {
+            "ok": True,
+            "version": PROTOCOL_VERSION,
+            "model_version": int(model_version),
+        }, b""
+
+    async def _op_model_versions(self, header: dict, payload: bytes) -> Tuple[dict, bytes]:
+        return {
+            "ok": True,
+            "version": PROTOCOL_VERSION,
+            "models": self.broker.model_versions(),
+        }, b""
+
     async def _op_drain(self, header: dict, payload: bytes) -> Tuple[dict, bytes]:
         # drain() blocks, so it runs on the default executor — the event
         # loop keeps serving other connections meanwhile.
@@ -273,6 +346,8 @@ class TransportServer:
     _OPS = {
         "infer": _op_infer,
         "infer_batch": _op_infer_batch,
+        "update": _op_update,
+        "model_versions": _op_model_versions,
         "stats": _op_stats,
         "reset_stats": _op_reset_stats,
         "list_models": _op_list_models,

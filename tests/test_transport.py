@@ -20,11 +20,14 @@ import numpy as np
 import pytest
 
 from repro import hdcpp as H
+from repro.apps.classification import classification_servable
 from repro.apps.common import bipolar_random
 from repro.backends import compile as hdc_compile
 from repro.serving import DeadlineExceeded, InferenceServer, Servable
 from repro.serving.transport import (
+    PROTOCOL_VERSION,
     FrameError,
+    ProtocolVersionError,
     RemoteServingError,
     ServingClient,
     TransportServer,
@@ -239,23 +242,176 @@ class TestSocketServing:
                 assert results[c][j] == expected_labels[index]
 
 
+class TestProtocolHandshake:
+    """PROTOCOL_VERSION is enforced, not informational: mismatched (or
+    handshake-less) clients are rejected with a typed error frame."""
+
+    def test_mismatched_client_version_raises_typed_error(self, serving_stack, monkeypatch):
+        _, host, port = serving_stack
+        from repro.serving.transport import client as client_module
+
+        monkeypatch.setattr(client_module, "PROTOCOL_VERSION", 999)
+        with pytest.raises(ProtocolVersionError) as excinfo:
+            # max_retries must NOT heal a deterministic version mismatch —
+            # the typed error escapes the reconnect machinery immediately.
+            ServingClient(host, port, timeout=5.0, max_retries=5, backoff_seconds=0.01)
+        assert "999" in str(excinfo.value)
+        assert str(PROTOCOL_VERSION) in str(excinfo.value)
+
+    def test_legacy_client_without_hello_is_rejected(self, serving_stack):
+        """A pre-handshake client whose first frame is an operation gets
+        the typed rejection frame, then the connection is closed."""
+        import socket as socket_module
+
+        _, host, port = serving_stack
+        with socket_module.create_connection((host, port), timeout=5.0) as sock:
+            sock.settimeout(5.0)
+            stream = sock.makefile("rb")
+            sock.sendall(encode_frame({"op": "ping"}))  # no hello first
+            header, _ = read_frame_sync(stream)
+            assert header["ok"] is False
+            assert header["error_type"] == "ProtocolVersionError"
+            assert header["version"] == PROTOCOL_VERSION  # server reports its side
+            with pytest.raises(FrameError):  # server hung up after rejecting
+                read_frame_sync(stream)
+
+    def test_matching_handshake_is_acknowledged(self, serving_stack):
+        import socket as socket_module
+
+        _, host, port = serving_stack
+        with socket_module.create_connection((host, port), timeout=5.0) as sock:
+            sock.settimeout(5.0)
+            stream = sock.makefile("rb")
+            sock.sendall(encode_frame({"op": "hello", "version": PROTOCOL_VERSION}))
+            header, _ = read_frame_sync(stream)
+            assert header == {"ok": True, "version": PROTOCOL_VERSION}
+            sock.sendall(encode_frame({"op": "ping"}))  # connection stays usable
+            header, _ = read_frame_sync(stream)
+            assert header["ok"] is True and header["running"] is True
+
+
+class TestOnlineUpdateOverTheWire:
+    """The transport's update / model_versions ops: online re-training
+    with versioned zero-downtime hot-swap, driven from a socket client."""
+
+    N_FEATURES, N_CLASSES, UPD_DIM = 16, 4, 64
+
+    def _updatable_stack(self):
+        rng = np.random.default_rng(23)
+        servable = classification_servable(
+            "net-updatable",
+            dimension=self.UPD_DIM,
+            similarity="hamming",
+            rp_matrix=bipolar_random(self.UPD_DIM, self.N_FEATURES, seed=3),
+            classes=rng.standard_normal((self.N_CLASSES, self.UPD_DIM)).astype(np.float32),
+        )
+        server = InferenceServer(workers=("cpu",), max_batch_size=8, max_wait_seconds=0.001)
+        server.register(servable)
+        server.register(make_servable(name="net-frozen"))  # no update rule
+        server.start()
+        transport = TransportServer(server)
+        host, port = transport.start()
+        return server, transport, host, port, servable
+
+    def test_update_bumps_version_and_serves_retrained_state(self):
+        server, transport, host, port, servable = self._updatable_stack()
+        rng = np.random.default_rng(29)
+        samples = rng.standard_normal((12, self.N_FEATURES)).astype(np.float32)
+        labels = rng.integers(0, self.N_CLASSES, 12)
+        try:
+            with ServingClient(host, port, timeout=30.0) as client:
+                assert client.model_versions() == {"net-frozen": 1, "net-updatable": 1}
+                before = int(client.infer(servable.name, samples[0]))
+                assert client.update(servable.name, samples, labels) == 2
+                assert client.model_versions()["net-updatable"] == 2
+                # The served state now equals an offline retrain on the
+                # same mini-batch (same rule, bit-identical constants) and
+                # predictions match its one-shot execution exactly.
+                offline = servable.updated(samples, labels)
+                live = server.registry.get(servable.name).servable
+                assert np.array_equal(
+                    offline.constants["class_hvs"], live.constants["class_hvs"]
+                )
+                handle = hdc_compile(offline.build_program(1), target="cpu").bind(
+                    **offline.constants
+                )
+                for i in range(4):
+                    expected = int(
+                        np.asarray(handle.run(queries=samples[i : i + 1]).output)[0]
+                    )
+                    assert int(client.infer(servable.name, samples[i])) == expected
+                client.drain()
+                stats = client.stats()
+                assert stats["swaps"] == 1
+                assert stats["failures"] == 0
+                model = stats["model_stats"][servable.name]
+                assert model["version"] == 2 and model["swaps"] == 1
+                assert sum(model["requests_by_version"].values()) == model["requests"]
+                assert before in range(self.N_CLASSES)
+        finally:
+            transport.stop()
+            server.stop()
+
+    def test_update_rejects_float_labels_client_side(self):
+        """The client must not silently truncate 1.7 -> 1 on the wire —
+        same integer-labels contract as the local Servable.updated path."""
+        server, transport, host, port, servable = self._updatable_stack()
+        try:
+            with ServingClient(host, port, timeout=30.0) as client:
+                with pytest.raises(ValueError):
+                    client.update(
+                        servable.name,
+                        np.zeros((2, self.N_FEATURES), dtype=np.float32),
+                        np.array([0.0, 1.7]),
+                    )
+                assert client.model_versions()[servable.name] == 1  # nothing landed
+        finally:
+            transport.stop()
+            server.stop()
+
+    def test_update_on_frozen_model_reports_typed_error(self):
+        server, transport, host, port, _ = self._updatable_stack()
+        try:
+            with ServingClient(host, port, timeout=30.0) as client:
+                with pytest.raises(RemoteServingError) as excinfo:
+                    client.update(
+                        "net-frozen",
+                        np.zeros((2, DIM), dtype=np.float32),
+                        np.zeros(2, dtype=np.int64),
+                    )
+                assert excinfo.value.error_type == "NotUpdatableError"
+                # The connection survives the typed rejection.
+                assert client.model_versions()["net-frozen"] == 1
+        finally:
+            transport.stop()
+            server.stop()
+
+
 class TestClientConnectionHygiene:
     def test_timeout_poisons_the_connection(self):
         """A response timeout desynchronizes request/response framing, so
         the client must refuse further use instead of silently reading a
-        stale reply (there is no per-request id to re-correlate)."""
+        stale reply (there is no per-request id to re-correlate).  The
+        fake server completes the version handshake, then goes silent."""
         import socket as socket_module
+
+        from repro.serving.transport import PROTOCOL_VERSION, encode_frame
 
         accepted = []
 
-        def silent_server(sock):
+        def mute_after_handshake(sock):
             conn, _ = sock.accept()
-            accepted.append(conn)  # read nothing, reply nothing
+            accepted.append(conn)
+            stream = conn.makefile("rb")
+            accepted.append(stream)
+            read_frame_sync(stream)  # the hello
+            conn.sendall(encode_frame({"ok": True, "version": PROTOCOL_VERSION}))
+            # ... then read nothing, reply nothing.
 
         listener = socket_module.socket()
         listener.bind(("127.0.0.1", 0))
         listener.listen(1)
-        thread = threading.Thread(target=silent_server, args=(listener,), daemon=True)
+        thread = threading.Thread(target=mute_after_handshake, args=(listener,), daemon=True)
         thread.start()
         host, port = listener.getsockname()
         client = ServingClient(host, port, timeout=0.2)
@@ -404,12 +560,7 @@ class TestScrapeStatsTool:
         """tools/scrape_stats.py appends one JSON record per interval and
         resets the window between scrapes."""
         server, host, port = serving_stack
-        spec = importlib.util.spec_from_file_location(
-            "scrape_stats",
-            pathlib.Path(__file__).resolve().parent.parent / "tools" / "scrape_stats.py",
-        )
-        scrape_stats = importlib.util.module_from_spec(spec)
-        spec.loader.exec_module(scrape_stats)
+        scrape_stats = self._load_tool()
 
         server.infer(servable.name, queries[0])
         server.drain()
@@ -426,3 +577,81 @@ class TestScrapeStatsTool:
         for record in records:
             assert "scraped_at" in record
             assert "vectorized_stages" in record["stats"]
+
+    def _load_tool(self):
+        spec = importlib.util.spec_from_file_location(
+            "scrape_stats",
+            pathlib.Path(__file__).resolve().parent.parent / "tools" / "scrape_stats.py",
+        )
+        scrape_stats = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(scrape_stats)
+        return scrape_stats
+
+    def test_fail_on_thresholds_gate_live_scrapes(
+        self, serving_stack, servable, queries, tmp_path
+    ):
+        """--fail-on turns the scraper into an alerting gate: a violated
+        threshold (or a missing metric) makes the exit code non-zero."""
+        server, host, port = serving_stack
+        scrape_stats = self._load_tool()
+        server.infer(servable.name, queries[0])
+        server.drain()
+        out = tmp_path / "gated.jsonl"
+        base = ["--port", str(port), "--interval", "0.01", "--count", "1", "--out", str(out)]
+        # A threshold that cannot trip on a healthy server: clean exit.
+        assert scrape_stats.main(base + ["--fail-on", "failures>0"]) == 0
+        # One that must trip (some requests were served this interval)...
+        server.infer(servable.name, queries[0])
+        server.drain()
+        assert scrape_stats.main(base + ["--fail-on", "requests>=1"]) == 1
+        # ...and a missing metric is a violation, never a silent pass.
+        assert scrape_stats.main(base + ["--fail-on", "no_such_metric>0"]) == 1
+
+    def test_check_mode_replays_thresholds_offline(self, tmp_path):
+        """--check evaluates --fail-on against an existing JSONL series or
+        a single JSON document (the CI perf-smoke wiring)."""
+        scrape_stats = self._load_tool()
+        series = tmp_path / "series.jsonl"
+        series.write_text(
+            json.dumps({"scraped_at": 1.0, "stats": {"fallback_stages": 0}})
+            + "\n"
+            + json.dumps({"scraped_at": 2.0, "stats": {"fallback_stages": 3}})
+            + "\n"
+            # A lost-interval marker (connection blip) is skipped, matching
+            # live mode — never counted as a missing-metric violation.
+            + json.dumps({"scraped_at": 3.0, "error": "ConnectionError: gone"})
+            + "\n"
+        )
+        assert scrape_stats.main(
+            ["--check", str(series), "--fail-on", "fallback_stages>0"]
+        ) == 1
+        assert scrape_stats.main(
+            ["--check", str(series), "--fail-on", "fallback_stages>3"]
+        ) == 0
+        bench = tmp_path / "BENCH_serving.json"
+        bench.write_text(
+            json.dumps({"cases": {"stock_apps_vectorized": {"aggregate_fallbacks": 0}}})
+        )
+        assert scrape_stats.main(
+            [
+                "--check", str(bench),
+                "--fail-on", "cases.stock_apps_vectorized.aggregate_fallbacks>0",
+            ]
+        ) == 0
+        assert scrape_stats.main(
+            [
+                "--check", str(bench),
+                "--fail-on", "cases.stock_apps_vectorized.aggregate_fallbacks>=0",
+            ]
+        ) == 1
+
+    def test_threshold_expression_parsing(self):
+        scrape_stats = self._load_tool()
+        threshold = scrape_stats.Threshold("model_stats.my-model.fallback_stages>0")
+        assert threshold.path == "model_stats.my-model.fallback_stages"
+        assert threshold.violation({"model_stats": {"my-model": {"fallback_stages": 0}}}) is None
+        assert "violated" in threshold.violation(
+            {"model_stats": {"my-model": {"fallback_stages": 2}}}
+        )
+        with pytest.raises(ValueError):
+            scrape_stats.Threshold("not an expression")

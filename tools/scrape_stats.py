@@ -22,13 +22,35 @@ Run with::
 ``--count 0`` scrapes forever (stop with Ctrl-C); ``--no-reset`` turns
 the scrape into a cumulative poll (no ``reset_stats``), for servers whose
 stats another consumer also resets.
+
+**Threshold mode** turns the scraper into an alerting gate: every
+``--fail-on "metric>limit"`` expression (repeatable; dotted paths reach
+nested fields, e.g. ``model_stats.my-model.fallback_stages>0``) is
+evaluated against each scraped interval, violations are reported on
+stderr, and the process exits non-zero if any interval violated — so a
+supervisor, cron job or CI step fails instead of scrolling past a
+regression.  A *missing* metric counts as a violation: an alerting
+expression that silently never matches is worse than a false alarm.
+
+``--check FILE`` evaluates the same expressions **offline** against an
+existing metrics file — either a JSONL series this tool scraped (each
+record's ``stats``) or a single JSON document such as the
+``BENCH_serving.json`` the benchmark suite writes::
+
+    PYTHONPATH=src python tools/scrape_stats.py --check BENCH_serving.json \
+        --fail-on "cases.stock_apps_vectorized.aggregate_fallbacks>0"
+
+which is how CI's perf-smoke step fails the build when a deployment's
+batched route silently degrades to the per-row loop.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import operator
 import pathlib
+import re
 import sys
 import time
 
@@ -38,11 +60,83 @@ if str(_SRC) not in sys.path:
 
 from repro.serving.transport import ServingClient  # noqa: E402
 
+_EXPR_RE = re.compile(
+    r"^\s*(?P<path>[A-Za-z0-9_.\- ]+?)\s*(?P<op>>=|<=|==|!=|>|<)\s*(?P<limit>-?\d+(?:\.\d+)?)\s*$"
+)
+
+_OPERATORS = {
+    ">": operator.gt,
+    ">=": operator.ge,
+    "<": operator.lt,
+    "<=": operator.le,
+    "==": operator.eq,
+    "!=": operator.ne,
+}
+
+
+class Threshold:
+    """One ``--fail-on`` expression: a dotted metric path, a comparison
+    operator and a numeric limit.  The expression states the *failure*
+    condition — ``fallback_stages>0`` means "fail when positive"."""
+
+    def __init__(self, expression: str):
+        match = _EXPR_RE.match(expression)
+        if match is None:
+            raise ValueError(
+                f"cannot parse threshold {expression!r} "
+                f"(expected e.g. 'fallback_stages>0' or 'model_stats.m.slo_violations>=5')"
+            )
+        self.expression = expression.strip()
+        self.path = match.group("path").strip()
+        self.op = match.group("op")
+        self.limit = float(match.group("limit"))
+
+    def violation(self, record: dict) -> "str | None":
+        """The violation message for one record, or ``None`` when clean."""
+        value = _resolve(record, self.path)
+        if value is None:
+            return f"{self.expression}: metric {self.path!r} missing from record"
+        try:
+            numeric = float(value)
+        except (TypeError, ValueError):
+            return f"{self.expression}: metric {self.path!r} is non-numeric ({value!r})"
+        if _OPERATORS[self.op](numeric, self.limit):
+            return f"{self.expression}: violated with {self.path} = {numeric:g}"
+        return None
+
+
+def _resolve(record: dict, path: str):
+    """Walk a dotted path through nested dicts (None when absent)."""
+    node = record
+    for part in path.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def check_thresholds(record: dict, thresholds, label: str) -> int:
+    """Report every violated threshold for one record; returns the count.
+
+    Scraped intervals carry their metrics under ``"stats"``; standalone
+    documents (``--check`` on a benchmark summary) are matched directly.
+    """
+    target = record.get("stats", record) if isinstance(record, dict) else record
+    violations = 0
+    for threshold in thresholds:
+        message = threshold.violation(target)
+        if message is not None:
+            violations += 1
+            print(f"[{label}] FAIL {message}", file=sys.stderr)
+    return violations
+
 
 def parse_args(argv=None) -> argparse.Namespace:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--host", default="127.0.0.1", help="transport server host")
-    parser.add_argument("--port", type=int, required=True, help="transport server port")
+    parser.add_argument(
+        "--port", type=int, default=None, help="transport server port (required unless --check)"
+    )
     parser.add_argument(
         "--interval", type=float, default=5.0, help="seconds between scrapes (default 5)"
     )
@@ -66,7 +160,30 @@ def parse_args(argv=None) -> argparse.Namespace:
         action="store_true",
         help="scrape cumulative stats without calling reset_stats",
     )
-    return parser.parse_args(argv)
+    parser.add_argument(
+        "--fail-on",
+        action="append",
+        default=[],
+        metavar="EXPR",
+        help="threshold expression (repeatable), e.g. 'fallback_stages>0'; "
+        "any scraped interval (or checked record) matching the expression "
+        "makes the process exit non-zero",
+    )
+    parser.add_argument(
+        "--check",
+        type=pathlib.Path,
+        default=None,
+        metavar="FILE",
+        help="offline mode: evaluate --fail-on thresholds against an existing "
+        "metrics JSONL or a single JSON document (e.g. BENCH_serving.json) "
+        "instead of scraping a live server",
+    )
+    args = parser.parse_args(argv)
+    if args.check is None and args.port is None:
+        parser.error("--port is required unless --check FILE is given")
+    if args.check is not None and not args.fail_on:
+        parser.error("--check needs at least one --fail-on expression")
+    return args
 
 
 def scrape_once(client: ServingClient, interval: float, reset: bool) -> dict:
@@ -86,13 +203,47 @@ def scrape_once(client: ServingClient, interval: float, reset: bool) -> dict:
     }
 
 
+def check_file(path: pathlib.Path, thresholds) -> int:
+    """Offline threshold evaluation; returns the total violation count.
+
+    Accepts either a JSONL series (one record per line, as this tool
+    scrapes) or one JSON document (e.g. a ``BENCH_*.json`` summary).
+    """
+    text = path.read_text(encoding="utf-8")
+    try:
+        records = [json.loads(text)]
+    except json.JSONDecodeError:
+        records = [json.loads(line) for line in text.splitlines() if line.strip()]
+    violations = 0
+    for index, record in enumerate(records):
+        label = path.name if len(records) == 1 else f"{path.name}:{index + 1}"
+        if isinstance(record, dict) and "error" in record and "stats" not in record:
+            # A lost-interval marker from the live scraper (connection
+            # blip) — skipped, matching live mode, not a metric failure.
+            print(f"[{label}] skipping lost interval: {record['error']}", file=sys.stderr)
+            continue
+        violations += check_thresholds(record, thresholds, label)
+    return violations
+
+
 def main(argv=None) -> int:
     args = parse_args(argv)
+    thresholds = [Threshold(expression) for expression in args.fail_on]
+
+    if args.check is not None:
+        violations = check_file(args.check, thresholds)
+        if violations:
+            print(f"{violations} threshold violation(s) in {args.check}", file=sys.stderr)
+            return 1
+        print(f"{args.check}: all {len(thresholds)} threshold(s) clean", file=sys.stderr)
+        return 0
+
     # max_retries covers the initial connection too, so launching the
     # scraper before (or while) the serving process restarts just waits
     # out the gap with capped exponential backoff.
     client = ServingClient(args.host, args.port, timeout=30.0, max_retries=args.retries)
     scraped = 0
+    violations = 0
     try:
         with client, args.out.open("a", encoding="utf-8") as out:
             while args.count == 0 or scraped < args.count:
@@ -116,12 +267,16 @@ def main(argv=None) -> int:
                 if "error" in record:
                     print(f"[scrape {scraped}] lost interval: {record['error']}", file=sys.stderr)
                 else:
+                    violations += check_thresholds(record, thresholds, f"scrape {scraped}")
                     requests = record["stats"].get("requests", 0)
                     print(
                         f"[scrape {scraped}] {requests} requests -> {args.out}", file=sys.stderr
                     )
     except KeyboardInterrupt:
         pass
+    if violations:
+        print(f"{violations} threshold violation(s) across {scraped} scrape(s)", file=sys.stderr)
+        return 1
     return 0
 
 
