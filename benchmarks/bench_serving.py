@@ -31,6 +31,14 @@ Python iteration per spectrum), and every stock app adapter must serve
 fully vectorized — zero per-row fallbacks in the per-deployment
 ``ServerStats`` counters, which is what CI's perf-smoke step fails on.
 
+Two cases cover the **observability plane**: a steady-load comparison
+asserting that per-request tracing costs < 5% of untraced throughput
+(min-of-repeats on both sides), and an export case that scrapes a live
+transport's Prometheus exposition (linted by the in-tree parser, written
+to ``BENCH_metrics.prom``) and dumps retained request traces as Chrome
+trace-event JSON (``BENCH_trace.json``) — both uploaded as CI artifacts
+next to ``BENCH_serving.json``.
+
 A **serve-while-retraining** benchmark drives sustained load across
 three online re-training hot-swaps (``InferenceServer.update``): zero
 dropped or errored requests end to end, and the post-swap predictions
@@ -367,6 +375,159 @@ def test_serve_while_retraining(benchmark, bench_json, servable, requests, isole
     )
     assert len(labels) > 0
     assert all(0 <= label < isolet.n_classes for label in labels)
+
+
+def test_tracing_overhead_under_steady_load(benchmark, bench_json, servable, requests):
+    """Per-request tracing must cost < 5% of untraced steady-state
+    throughput.
+
+    Both servers serve the identical request stream; the traced one runs
+    the worst-case configuration (``trace_sample_every=1`` — every
+    healthy trace retained, every span recorded).  Passes are
+    *interleaved* (untraced, traced, untraced, traced, ...) and each side
+    keeps its minimum, so a machine-wide slowdown mid-run biases both
+    configurations equally instead of penalizing whichever ran second.
+    Two noise sources need explicit countermeasures beyond that:
+
+    * passes must be long enough (~100ms — the stream serves the request
+      set several times over) for scheduler jitter not to swamp a
+      single-digit-microsecond per-request delta, and
+    * a server *instance* can be persistently ~10% slow from unlucky
+      thread placement, so each measurement attempt builds fresh server
+      pairs, and a below-threshold attempt is re-measured (bounded
+      retries) rather than trusted — a genuine >5% regression fails
+      every attempt, while a one-off noisy attempt does not fail CI.
+    """
+    stream = list(requests) * 6
+    pairs_per_attempt = 2
+    passes_per_pair = 3
+    max_attempts = 4
+
+    def make_server(tracing: bool) -> InferenceServer:
+        server = InferenceServer(
+            workers=("cpu",),
+            max_batch_size=64,
+            max_wait_seconds=0.002,
+            tracing=tracing,
+            trace_sample_every=1,
+        )
+        server.register(servable)
+        server.start()
+        server.infer_many(servable.name, list(requests[:64]))  # warm every bucket
+        return server
+
+    def one_pass(server: InferenceServer) -> float:
+        start = time.perf_counter()
+        server.infer_many(servable.name, stream)
+        return time.perf_counter() - start
+
+    def measure_attempt() -> "tuple[float, float]":
+        best_untraced = best_traced = float("inf")
+        for _ in range(pairs_per_attempt):
+            untraced_server = make_server(tracing=False)
+            traced_server = make_server(tracing=True)
+            try:
+                for _ in range(passes_per_pair):
+                    best_untraced = min(best_untraced, one_pass(untraced_server))
+                    best_traced = min(best_traced, one_pass(traced_server))
+            finally:
+                untraced_server.stop()
+                traced_server.stop()
+        return best_untraced, best_traced
+
+    untraced_seconds = traced_seconds = float("inf")
+    for attempt in range(max_attempts):
+        attempt_untraced, attempt_traced = measure_attempt()
+        untraced_seconds = min(untraced_seconds, attempt_untraced)
+        traced_seconds = min(traced_seconds, attempt_traced)
+        if traced_seconds <= untraced_seconds / 0.95:
+            break
+        print(f"\ntracing overhead attempt {attempt + 1} noisy, re-measuring")
+
+    # The recorded benchmark sample is one traced pass on a fresh server.
+    bench_server = make_server(tracing=True)
+    try:
+        benchmark.pedantic(lambda: one_pass(bench_server), rounds=1, iterations=1)
+    finally:
+        bench_server.stop()
+
+    untraced_rps = len(stream) / untraced_seconds
+    traced_rps = len(stream) / traced_seconds
+    relative = traced_rps / untraced_rps
+    benchmark.extra_info["untraced_rps"] = untraced_rps
+    benchmark.extra_info["traced_rps"] = traced_rps
+    benchmark.extra_info["relative_throughput"] = relative
+    print(
+        f"\ntracing overhead: {len(stream)} requests, "
+        f"untraced {untraced_rps:.0f} req/s, traced {traced_rps:.0f} req/s "
+        f"({relative:.3f}x relative)"
+    )
+    bench_json.record(
+        "tracing_overhead",
+        requests=len(stream),
+        untraced_rps=untraced_rps,
+        traced_rps=traced_rps,
+        relative_throughput=relative,
+    )
+    assert relative >= 0.95
+
+
+def test_observability_export_artifacts(bench_json, servable, requests):
+    """Scrape a live transport's observability surface into CI artifacts:
+    the Prometheus exposition (validated by the in-tree lint) and the
+    retained traces as loadable Chrome trace-event JSON."""
+    import json as json_module
+
+    from repro.serving import chrome_trace, parse_prometheus_text
+
+    server = InferenceServer(
+        workers=("cpu",), max_batch_size=64, max_wait_seconds=0.002, tracing=True
+    )
+    server.register(servable)
+    server.start()
+    transport = TransportServer(server)
+    host, port = transport.start()
+    try:
+        with ServingClient(host, port, timeout=60.0) as client:
+            for sample in requests[:64]:
+                client.infer(servable.name, sample)
+            text = client.metrics_text()
+            traces = client.traces()
+        stats = server.stats().to_dict()
+    finally:
+        transport.stop()
+        server.stop()
+
+    samples = parse_prometheus_text(text)  # raises on malformed exposition
+    assert samples
+
+    out_dir = bench_json.path.parent
+    out_dir.mkdir(parents=True, exist_ok=True)
+    prom_path = out_dir / "BENCH_metrics.prom"
+    prom_path.write_text(text, encoding="utf-8")
+
+    assert traces, "tracing enabled but no traces retained"
+    document = chrome_trace(traces)
+    trace_path = out_dir / "BENCH_trace.json"
+    trace_path.write_text(json_module.dumps(document, indent=2) + "\n", encoding="utf-8")
+    reloaded = json_module.loads(trace_path.read_text(encoding="utf-8"))
+    assert reloaded["traceEvents"]
+
+    names = {span["name"] for trace in traces for span in trace["spans"]}
+    print(
+        f"\nobservability export: {len(samples)} prometheus samples -> {prom_path.name}, "
+        f"{len(traces)} traces / {len(document['traceEvents'])} events -> {trace_path.name}"
+    )
+    bench_json.record(
+        "observability_export",
+        prometheus_samples=len(samples),
+        traces=len(traces),
+        trace_events=len(document["traceEvents"]),
+        span_names=sorted(names),
+        # The serialized histogram lets the CI threshold gate resolve
+        # quantile paths (…latency_histogram.p99_9_ms) offline.
+        latency_histogram=stats["model_stats"][servable.name]["histograms"]["latency"],
+    )
 
 
 def test_registry_round_trip_hits_compile_cache(benchmark, bench_json, servable):

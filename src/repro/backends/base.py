@@ -75,6 +75,11 @@ class ExecutionReport:
             self.notes["stage_fallback_reasons"] = dict(stages.stage_fallbacks)
         if stages.last_fallback is not None:
             self.notes["batched_fallback"] = stages.last_fallback
+        # Per-stage execute-time profile (wall/gate seconds, rows, route)
+        # with monotonic-clock bounds — the serving runtime folds it into
+        # per-(stage, bucket) breakdowns and per-request trace children.
+        if getattr(stages, "profile", None):
+            self.notes["stage_profile"] = list(stages.profile)
 
     def merge_device_counters(self, counters) -> None:
         """Fold a device simulator's counters into this report."""

@@ -27,6 +27,7 @@ Python callables executed eagerly with :class:`HyperVector` /
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Optional, Union
 
 import numpy as np
@@ -131,6 +132,18 @@ class HostStageExecutor:
         #: Per-stage fallback reasons, keyed by a human-readable stage
         #: label (``opcode[impl]``).
         self.stage_fallbacks: dict[str, str] = {}
+        #: Per-execution profiling records, appended by every stage /
+        #: parallel-map run: ``{"stage", "start", "end", "seconds",
+        #: "gate_seconds", "rows", "route"}`` with monotonic-clock bounds
+        #: (the same clock request traces use, so the entries double as
+        #: per-stage child spans).  Back ends surface the list in
+        #: ``ExecutionReport.notes["stage_profile"]``; executors are
+        #: created fresh per execution, so the list is per-run.
+        self.profile: list[dict] = []
+        #: Lifetime seconds spent inside the bit-identity gate (boundary
+        #: reference rows + exact comparisons); per-entry deltas land in
+        #: ``profile[i]["gate_seconds"]``.
+        self.gate_seconds = 0.0
 
     # ------------------------------------------------------------- accounting --
     @staticmethod
@@ -260,27 +273,35 @@ class HostStageExecutor:
         out = np.asarray(out)
         if transform is not None:
             out = transform(out)
-        first = np.asarray(row_result(0))
-        if out.ndim != first.ndim + 1 or out.shape[0] != n_rows or out.shape[1:] != first.shape:
-            self._reject(
-                op,
-                f"{route} returned shape {out.shape}, expected ({n_rows},) + {first.shape}",
-            )
-            return None
-        if out.dtype != first.dtype:
-            # Bit identity includes the byte representation: a value-equal
-            # result in a different dtype would make the program's output
-            # depend on which back end ran it.
-            self._reject(
-                op, f"{route} returned dtype {out.dtype}, per-row reference is {first.dtype}"
-            )
-            return None
-        last = first if n_rows == 1 else np.asarray(row_result(n_rows - 1))
-        if not (np.array_equal(out[0], first) and np.array_equal(out[-1], last)):
-            self._reject(
-                op, f"{route} is not bit-identical to the per-row reference on the boundary rows"
-            )
-            return None
+        # Everything from here to the verdict is gate cost (boundary
+        # reference rows + exact comparisons) — timed separately so the
+        # profile can show what bit-identity checking costs per stage.
+        gate_started = time.monotonic()
+        try:
+            first = np.asarray(row_result(0))
+            if out.ndim != first.ndim + 1 or out.shape[0] != n_rows or out.shape[1:] != first.shape:
+                self._reject(
+                    op,
+                    f"{route} returned shape {out.shape}, expected ({n_rows},) + {first.shape}",
+                )
+                return None
+            if out.dtype != first.dtype:
+                # Bit identity includes the byte representation: a value-equal
+                # result in a different dtype would make the program's output
+                # depend on which back end ran it.
+                self._reject(
+                    op, f"{route} returned dtype {out.dtype}, per-row reference is {first.dtype}"
+                )
+                return None
+            last = first if n_rows == 1 else np.asarray(row_result(n_rows - 1))
+            if not (np.array_equal(out[0], first) and np.array_equal(out[-1], last)):
+                self._reject(
+                    op,
+                    f"{route} is not bit-identical to the per-row reference on the boundary rows",
+                )
+                return None
+        finally:
+            self.gate_seconds += time.monotonic() - gate_started
         self._record_vectorized(op)
         return out
 
@@ -289,15 +310,55 @@ class HostStageExecutor:
         op.attrs[_REJECTED_ATTR] = reason
         self._record_fallback(op, reason)
 
+    # ---------------------------------------------------------------- profiling --
+    def _run_profiled(self, handler, interpreter: OpInterpreter, op: Operation, inputs: list):
+        """Run one stage/parallel-map handler under the profiling hook.
+
+        Route attribution reads the vectorized/fallback counter deltas, so
+        it agrees exactly with the accounting the serving metrics consume;
+        ``per-row`` marks the unbatched strategy (no attempt was made).
+        """
+        start = time.monotonic()
+        vectorized_before = self.vectorized_stages
+        fallbacks_before = self.fallback_stages
+        gate_before = self.gate_seconds
+        try:
+            return handler(interpreter, op, inputs)
+        finally:
+            end = time.monotonic()
+            if self.vectorized_stages > vectorized_before:
+                route = "vectorized"
+            elif self.fallback_stages > fallbacks_before:
+                route = "fallback"
+            else:
+                route = "per-row"
+            rows = 0
+            if inputs:
+                head = np.asarray(inputs[0])
+                rows = int(head.shape[0]) if head.ndim else 0
+            self.profile.append(
+                {
+                    "stage": self._stage_label(op),
+                    "start": start,
+                    "end": end,
+                    "seconds": end - start,
+                    "gate_seconds": self.gate_seconds - gate_before,
+                    "rows": rows,
+                    "route": route,
+                }
+            )
+
     # ------------------------------------------------------------------ stages --
     def execute_stage(self, interpreter: OpInterpreter, op: Operation, inputs: list[np.ndarray]):
         if op.opcode == Opcode.ENCODING_LOOP:
-            return self._encoding(interpreter, op, inputs)
-        if op.opcode == Opcode.INFERENCE_LOOP:
-            return self._inference(interpreter, op, inputs)
-        if op.opcode == Opcode.TRAINING_LOOP:
-            return self._training(interpreter, op, inputs)
-        raise ExecutionError(f"unsupported stage {op.opcode}")
+            handler = self._encoding
+        elif op.opcode == Opcode.INFERENCE_LOOP:
+            handler = self._inference
+        elif op.opcode == Opcode.TRAINING_LOOP:
+            handler = self._training
+        else:
+            raise ExecutionError(f"unsupported stage {op.opcode}")
+        return self._run_profiled(handler, interpreter, op, inputs)
 
     def _encoding(self, interpreter, op, inputs):
         queries, encoder = inputs[0], inputs[1]
@@ -413,6 +474,9 @@ class HostStageExecutor:
 
     # ------------------------------------------------------------ parallel map --
     def execute_parallel_map(self, interpreter: OpInterpreter, op: Operation, inputs: list[np.ndarray]):
+        return self._run_profiled(self._parallel_map, interpreter, op, inputs)
+
+    def _parallel_map(self, interpreter: OpInterpreter, op: Operation, inputs: list[np.ndarray]):
         data = inputs[0]
         extra = inputs[1] if len(inputs) > 1 else None
         traced, eager = self._resolve_impl(interpreter, op)

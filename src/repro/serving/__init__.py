@@ -33,6 +33,14 @@ pushes a stream of single-sample requests through them:
   :class:`~repro.serving.metrics.ServerStats` — latency percentiles with a
   per-deployment queue-wait/execute split and SLO violation counters,
   throughput, batch-size histogram, cache hit rate, elided transfers.
+* :mod:`repro.serving.observability` — mergeable log-linear
+  :class:`~repro.serving.observability.LatencyHistogram` collectors behind
+  the percentiles, per-request :class:`~repro.serving.observability
+  .TraceContext` span chains with tail-sampled retention
+  (:class:`~repro.serving.observability.RequestTracer`, Chrome trace-event
+  export) and the Prometheus text exposition
+  (:func:`~repro.serving.observability.render_prometheus`, the transport's
+  ``metrics`` op, ``tools/export_metrics.py``).
 * :class:`~repro.serving.broker.RequestBroker` — the transport-agnostic
   core owning the whole submit→batch→schedule→dispatch→settle path; front
   ends adapt callers onto its future contract.
@@ -64,6 +72,15 @@ from repro.serving.cache import (
     program_signature,
 )
 from repro.serving.metrics import ServerStats, ServingMetrics, percentile
+from repro.serving.observability import (
+    LatencyHistogram,
+    RequestTracer,
+    Span,
+    TraceContext,
+    chrome_trace,
+    parse_prometheus_text,
+    render_prometheus,
+)
 from repro.serving.registry import (
     Deployment,
     ModelRegistry,
@@ -130,4 +147,11 @@ __all__ = [
     "ServingMetrics",
     "ServerStats",
     "percentile",
+    "LatencyHistogram",
+    "TraceContext",
+    "Span",
+    "RequestTracer",
+    "chrome_trace",
+    "render_prometheus",
+    "parse_prometheus_text",
 ]

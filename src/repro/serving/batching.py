@@ -84,6 +84,9 @@ class InferenceRequest:
             :class:`DeadlineExceeded` instead of executing.
         future: Resolves to the request's result (or error).
         enqueued_at: ``time.monotonic()`` timestamp at submission.
+        trace: Optional :class:`~repro.serving.observability.TraceContext`
+            riding the request through the pipeline.  The batcher only
+            fails it on shed; the broker records the spans.
     """
 
     sample: np.ndarray
@@ -91,6 +94,7 @@ class InferenceRequest:
     deadline_ms: Optional[float] = None
     future: Future = field(default_factory=Future)
     enqueued_at: float = field(default_factory=time.monotonic)
+    trace: Optional[object] = None
 
     @property
     def deadline_at(self) -> Optional[float]:
@@ -140,12 +144,15 @@ def shed_expired(
     for request in expired:
         if request.future.done():  # defensive: never die on a settled future
             continue
-        request.future.set_exception(
-            DeadlineExceeded(
-                f"request shed after {(now - request.enqueued_at) * 1e3:.1f}ms "
-                f"(deadline {request.deadline_ms}ms)"
-            )
+        message = (
+            f"request shed after {(now - request.enqueued_at) * 1e3:.1f}ms "
+            f"(deadline {request.deadline_ms}ms)"
         )
+        trace = getattr(request, "trace", None)
+        if trace is not None:
+            trace.fail(f"DeadlineExceeded: {message}")
+            trace.finish_owned()
+        request.future.set_exception(DeadlineExceeded(message))
     return live, len(expired)
 
 
@@ -244,6 +251,7 @@ class MicroBatcher:
         sample: np.ndarray,
         priority: int = 0,
         deadline_ms: Optional[float] = None,
+        trace: Optional[object] = None,
     ) -> Future:
         """Enqueue one sample; the returned future resolves to its result.
 
@@ -253,8 +261,11 @@ class MicroBatcher:
             deadline_ms: Optional budget in milliseconds from now; the
                 future raises :class:`DeadlineExceeded` if it expires
                 before dispatch.
+            trace: Optional trace context to ride along on the request.
         """
-        request = InferenceRequest(np.asarray(sample), priority=int(priority), deadline_ms=deadline_ms)
+        request = InferenceRequest(
+            np.asarray(sample), priority=int(priority), deadline_ms=deadline_ms, trace=trace
+        )
         # Mark the future RUNNING so callers (notably asyncio.wrap_future
         # during a transport shutdown) cannot cancel it: a cancelled
         # future would make the worker's set_result raise

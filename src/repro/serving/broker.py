@@ -59,6 +59,12 @@ from repro.serving.batching import (
     shed_expired,
 )
 from repro.serving.metrics import ServerStats, ServingMetrics
+from repro.serving.observability.trace import (
+    RequestTracer,
+    TraceContext,
+    record_child_shared,
+    record_step_shared,
+)
 from repro.serving.registry import Deployment, ModelRegistry, ShardedDeployment
 from repro.serving.scheduler import BatchWork, FairScheduler, ShardGather, Worker, WorkerPool
 
@@ -88,6 +94,16 @@ class RequestBroker:
             dispatcher holds the next batch while every eligible worker
             has at least this many samples in flight.  Defaults to
             ``2 * max_batch_size`` (one executing batch plus one queued).
+        tracing: Enable per-request tracing: every submitted request
+            carries a :class:`~repro.serving.observability.TraceContext`
+            whose contiguous spans (queue → batch → schedule → dispatch →
+            execute → settle, with per-stage children) tile its lifetime;
+            completed traces land in :attr:`tracer` under tail-based
+            sampling.  Front ends may also pass their own ``trace`` into
+            :meth:`submit` (they then own its completion).
+        trace_capacity: Per-ring trace retention of the tracer.
+        trace_sample_every: Keep 1-in-N healthy traces (errors and SLO
+            violators are always retained).
     """
 
     def __init__(
@@ -100,6 +116,9 @@ class RequestBroker:
         latency_window: int = 8192,
         scheduler_aging_seconds: float = 0.25,
         worker_backlog_samples: Optional[int] = None,
+        tracing: bool = False,
+        trace_capacity: int = 512,
+        trace_sample_every: int = 1,
     ):
         self.registry = registry
         self.pool = pool
@@ -111,6 +130,12 @@ class RequestBroker:
             worker_backlog_samples if worker_backlog_samples is not None else 2 * max_batch_size
         )
         self.metrics = ServingMetrics(latency_window=latency_window)
+        #: The bounded trace ring (``None`` when tracing is disabled).
+        self.tracer: Optional[RequestTracer] = (
+            RequestTracer(capacity=trace_capacity, sample_every=trace_sample_every)
+            if tracing
+            else None
+        )
         self._scheduler: Optional[FairScheduler] = None
         self._batchers: dict = {}
         #: The deployment each live queue's feeder serves, pinned under the
@@ -411,6 +436,7 @@ class RequestBroker:
         sample: np.ndarray,
         priority: int = 0,
         deadline_ms: Optional[float] = None,
+        trace=None,
     ) -> Future:
         """Enqueue one sample; returns a future resolving to its result.
 
@@ -431,21 +457,40 @@ class RequestBroker:
             deadline_ms: Latency budget from now, in milliseconds.  The
                 future raises :class:`DeadlineExceeded` if the budget runs
                 out before the request executes.
+            trace: Optional caller-minted
+                :class:`~repro.serving.observability.TraceContext`; the
+                caller then owns its completion (``tracer.finish``).
+                Omitted with tracing enabled, the broker mints one and
+                finishes it when the request's future settles.
         """
         deployment = self.registry.get(model)
+        if trace is None and self.tracer is not None:
+            trace = self.tracer.begin(model)
+            # Broker-minted traces are finished in-line wherever their
+            # request terminally settles (_resolve, an exception site, or
+            # a deadline shed) — cheaper than a future done-callback.
+            trace.owner = self.tracer
         with self._drain_cond:
             self._outstanding += 1
         try:
             sample = deployment.servable.validate_sample(sample)
-            future = self._enqueue(deployment.name, sample, priority, deadline_ms)
-        except BaseException:
+            future = self._enqueue(deployment.name, sample, priority, deadline_ms, trace)
+        except BaseException as exc:
             self._request_settled()
+            if trace is not None:
+                trace.fail(f"{type(exc).__name__}: {exc}")
+                trace.finish_owned()
             raise
         future.add_done_callback(self._on_request_done)
         return future
 
     def _enqueue(
-        self, name: str, sample: np.ndarray, priority: int, deadline_ms: Optional[float]
+        self,
+        name: str,
+        sample: np.ndarray,
+        priority: int,
+        deadline_ms: Optional[float],
+        trace=None,
     ) -> Future:
         """Hand one validated sample to the model's live batcher, retrying
         when a concurrent hot-swap closes the fetched batcher."""
@@ -453,7 +498,9 @@ class RequestBroker:
             with self._lock:
                 batcher = self._batchers[name]
             try:
-                return batcher.submit(sample, priority=priority, deadline_ms=deadline_ms)
+                return batcher.submit(
+                    sample, priority=priority, deadline_ms=deadline_ms, trace=trace
+                )
             except BatcherClosed:
                 with self._lock:
                     replaced = self._batchers.get(name) is not batcher
@@ -461,6 +508,11 @@ class RequestBroker:
                     # Closed without replacement: the broker stopped (or
                     # the model was torn down) — reject, don't spin.
                     raise
+                # Same trace id across the retry: the hot-swap rerouting
+                # is part of this request's one causal story, visible as
+                # a span rather than a fresh trace.
+                if trace is not None:
+                    trace.step("retry", reason="batcher closed by hot-swap")
 
     def _on_request_done(self, _future) -> None:
         self._request_settled()
@@ -487,6 +539,14 @@ class RequestBroker:
                 if batcher.closed:
                     return
                 continue
+            # One cheap comprehension per batch is the whole tracing-off
+            # overhead of this loop; span recording only touches traced
+            # requests.  Both steps land before the offer — after it, the
+            # dispatcher may already own the batch on another thread.
+            traced = [request.trace for request in batch if request.trace is not None]
+            if traced:
+                record_step_shared(traced, "queue", time.monotonic(), {"batch_size": len(batch)})
+                record_step_shared(traced, "batch", time.monotonic(), {"model": deployment.name})
             scheduler.offer(deployment.name, BatchWork(deployment, batch))
 
     def _admissible(self, work: BatchWork) -> bool:
@@ -513,6 +573,11 @@ class RequestBroker:
             if not work.requests:
                 continue
             servable = work.deployment.servable
+            # The schedule span closes BEFORE the hand-off: a dispatched
+            # worker may start executing (and stepping) immediately.
+            traced = [request.trace for request in work.requests if request.trace is not None]
+            if traced:
+                record_step_shared(traced, "schedule", time.monotonic())
             try:
                 if isinstance(work.deployment, ShardedDeployment):
                     gather = ShardGather(work.deployment.n_shards)
@@ -527,6 +592,9 @@ class RequestBroker:
                 self.metrics.record_failure(len(work.requests))
                 for request in work.requests:
                     if not request.future.done():
+                        if request.trace is not None:
+                            request.trace.fail(f"{type(exc).__name__}: {exc}")
+                            request.trace.finish_owned()
                         request.future.set_exception(exc)
 
     def _shed_expired(self, requests: list) -> list:
@@ -542,9 +610,10 @@ class RequestBroker:
             return size
         return bucket_for(size, self.max_batch_size)
 
-    def _record_stage_counters(self, model: str, report) -> None:
+    def _record_stage_counters(self, model: str, report, bucket: int) -> None:
         """Fold one execution report's batched-route accounting into the
-        per-deployment metrics (vectorized vs per-row-fallback stages)."""
+        per-deployment metrics (vectorized vs per-row-fallback stages),
+        plus the per-(stage, bucket) execute-time profile."""
         notes = report.notes
         self.metrics.record_stage_counters(
             model,
@@ -552,6 +621,9 @@ class RequestBroker:
             notes.get("stage_fallbacks", 0),
             notes.get("stage_fallback_reasons"),
         )
+        profile = notes.get("stage_profile")
+        if profile:
+            self.metrics.record_stage_profile(model, bucket, profile)
 
     # -- execution (worker threads) -----------------------------------------------
     def _execute(self, worker: Worker, work: BatchWork) -> None:
@@ -561,13 +633,16 @@ class RequestBroker:
             return
         deployment, requests = work.deployment, work.requests
         started = time.monotonic()
+        traced = [request.trace for request in requests if request.trace is not None]
+        if traced:
+            record_step_shared(traced, "dispatch", started, {"worker": worker.name})
         try:
             servable = deployment.servable
             batch = np.stack([request.sample for request in requests])
             bucket = self._bucket(len(requests))
             handle = deployment.handle_for(bucket, worker=worker)
             result = handle.run(**{servable.query_param: pad_batch(batch, bucket)})
-            self._record_stage_counters(deployment.name, result.report)
+            self._record_stage_counters(deployment.name, result.report, bucket)
             outputs = np.asarray(result.output)
             if servable.postprocess is not None:
                 outputs = servable.postprocess(outputs)
@@ -576,8 +651,31 @@ class RequestBroker:
             self.metrics.record_failure(len(requests))
             for request in requests:
                 if not request.future.done():
+                    if request.trace is not None:
+                        request.trace.fail(f"{type(exc).__name__}: {exc}")
+                        request.trace.finish_owned()
                     request.future.set_exception(exc)
             return
+        executed = time.monotonic()
+        if traced:
+            # Per-stage child spans (executor profiling hooks share the
+            # monotonic clock), nested inside the contiguous execute
+            # step.  Every request in the batch ran the same stages, so
+            # each stage records one shared mark.
+            for entry in result.report.notes.get("stage_profile") or ():
+                record_child_shared(
+                    traced,
+                    f"stage:{entry.get('stage', '?')}",
+                    entry.get("start", started),
+                    entry.get("end", started),
+                    {
+                        "route": entry.get("route"),
+                        "gate_ms": round(float(entry.get("gate_seconds", 0.0)) * 1e3, 4),
+                    },
+                )
+            record_step_shared(
+                traced, "execute", executed, {"bucket": bucket, "batch": len(requests)}
+            )
         self._resolve(deployment, requests, outputs, started)
 
     def _execute_shard(self, worker: Worker, work: BatchWork) -> None:
@@ -590,13 +688,16 @@ class RequestBroker:
             bucket = self._bucket(len(requests))
             handle = deployment.shard_handle_for(work.shard, bucket, worker=worker)
             result = handle.run(**{servable.query_param: pad_batch(batch, bucket)})
-            self._record_stage_counters(deployment.name, result.report)
+            self._record_stage_counters(deployment.name, result.report, bucket)
             partial = np.asarray(result.output)[: len(requests)]
         except Exception as exc:
             if gather.fail(exc):  # first failing shard resolves the batch
                 self.metrics.record_failure(len(requests))
                 for request in requests:
                     if not request.future.done():
+                        if request.trace is not None:
+                            request.trace.fail(f"{type(exc).__name__}: {exc}")
+                            request.trace.finish_owned()
                         request.future.set_exception(exc)
             return
         if gather.complete(work.shard, partial):
@@ -606,6 +707,19 @@ class RequestBroker:
             # The latency split attributes the reducing shard's execute
             # window; earlier shards overlap it, so "execute" is the
             # critical-path tail rather than summed shard time.
+            # Tracing stays coarse on the sharded path: shard workers run
+            # concurrently over the same requests, so only the reducing
+            # shard (the sole surviving owner) touches the traces — one
+            # scatter-to-reduce execute span instead of racy per-shard
+            # steps.
+            traced = [request.trace for request in requests if request.trace is not None]
+            if traced:
+                record_step_shared(
+                    traced,
+                    "execute",
+                    time.monotonic(),
+                    {"shards": deployment.n_shards, "bucket": bucket},
+                )
             self._resolve(deployment, requests, outputs, started)
 
     def _resolve(
@@ -620,16 +734,33 @@ class RequestBroker:
         # them — after a hot-swap, the old version's in-flight tail and
         # the new version's traffic stay separable in the snapshot.
         self.metrics.record_batch(len(requests))
+        # One shared settle mark for the whole batch: the step ends at
+        # the resolve timestamp (the per-request skew inside the loop
+        # below is sub-microsecond, and one tuple beats one method call
+        # per request on the hot path).
+        settle_mark = (TraceContext._STEP, "settle", None, now, None)
         for request, output in zip(requests, outputs):
             if request.future.done():  # defensive: never die on a settled future
                 continue
-            self.metrics.record_request(
+            violated = self.metrics.record_request(
                 now - request.enqueued_at,
                 model=deployment.name,
                 queue_wait_seconds=max(0.0, execute_started - request.enqueued_at),
                 execute_seconds=execute_seconds,
                 version=deployment.version,
             )
+            # All trace mutation happens BEFORE the future resolves: the
+            # moment set_result lands, the front end may resume on its own
+            # thread and append its transport span.
+            trace = request.trace
+            if trace is not None:
+                if violated:
+                    trace.slo_violated = True
+                trace._marks.append(settle_mark)
+                owner = trace.owner
+                if owner is not None:  # broker-owned: finish in-line
+                    trace.owner = None
+                    owner.finish(trace)
             request.future.set_result(output)
 
     # -- observability ------------------------------------------------------------
@@ -652,6 +783,17 @@ class RequestBroker:
     def reset_stats(self) -> None:
         """Zero the metrics window (per-interval reporting; SLOs survive)."""
         self.metrics.reset()
+
+    def traces(self, limit: Optional[int] = None, clear: bool = False) -> list:
+        """Retained request traces as JSON-safe dicts (oldest first).
+
+        Empty when tracing is disabled.  ``clear=True`` empties the trace
+        rings after the read (the scrape-then-clear idiom of
+        ``tools/trace_dump.py``).
+        """
+        if self.tracer is None:
+            return []
+        return self.tracer.traces(limit=limit, clear=clear)
 
     def model_names(self) -> list:
         """Deployments with a live request queue, sorted by name."""

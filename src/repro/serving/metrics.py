@@ -1,11 +1,23 @@
-"""Serving metrics: latency percentiles, throughput, batch shape and SLOs.
+"""Serving metrics: latency histograms, throughput, batch shape and SLOs.
 
 The collectors are deliberately lightweight (one lock, a few counters and
-bounded sample windows) so that recording stays negligible next to even a
-single-sample inference.  :meth:`ServingMetrics.snapshot` folds in the
-compiled-program cache statistics and per-worker counters to produce one
-immutable :class:`ServerStats` view, which is what
+constant-memory log-linear histograms) so that recording stays negligible
+next to even a single-sample inference.  :meth:`ServingMetrics.snapshot`
+folds in the compiled-program cache statistics and per-worker counters to
+produce one immutable :class:`ServerStats` view, which is what
 :meth:`repro.serving.server.InferenceServer.stats` returns.
+
+Latency quantiles are derived from
+:class:`~repro.serving.observability.LatencyHistogram` — mergeable
+log-linear histograms with exact counts and bounded relative error
+(default ±5%) — instead of a fixed-size sample window.  A raw window
+silently forgets everything older than its last N samples, so a burst
+would evict the steady-state tail and bias p99 for as long as the burst
+fills the window; histograms keep *every* observation's bucket, so the
+reported quantiles cover the whole interval at constant memory.  The
+serialized histograms ride along in ``to_dict()`` (``latency_histogram``
+and ``model_stats[name]["histograms"]``) for remote aggregation, the
+Prometheus exposition and ``tools/scrape_stats.py`` quantile thresholds.
 
 Request latency is split per deployment into its two components:
 
@@ -35,15 +47,21 @@ from __future__ import annotations
 import math
 import threading
 import time
-from collections import Counter, deque
+from collections import Counter
 from dataclasses import asdict, dataclass, field
 from typing import Dict, Iterable, Optional
+
+from repro.serving.observability.histogram import LatencyHistogram
 
 __all__ = ["ServerStats", "ServingMetrics", "percentile"]
 
 
 def percentile(values: Iterable[float], p: float) -> float:
-    """The p-th percentile (nearest-rank) of a collection of samples."""
+    """The p-th percentile (nearest-rank) of a collection of samples.
+
+    The exact-samples reference the histogram quantiles are tested
+    against; still used wherever the full sample set is at hand.
+    """
     ordered = sorted(values)
     if not ordered:
         return 0.0
@@ -99,6 +117,11 @@ class ServerStats:
     elided_transfers: int = 0
     worker_stats: dict = field(default_factory=dict)
     scheduler_stats: dict = field(default_factory=dict)
+    #: The serialized log-linear latency histogram behind the percentile
+    #: fields (see :class:`~repro.serving.observability.LatencyHistogram`
+    #: ``.to_dict()``) — mergeable across replicas, and the source the
+    #: Prometheus exposition renders its ``_bucket`` series from.
+    latency_histogram: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         """A JSON-serializable ``dict`` view (used by the network transport).
@@ -127,6 +150,7 @@ class _ModelCollector:
 
     __slots__ = (
         "requests",
+        "latencies",
         "queue_waits",
         "executes",
         "queue_wait_sum",
@@ -136,15 +160,19 @@ class _ModelCollector:
         "vectorized_stages",
         "fallback_stages",
         "stage_fallback_reasons",
+        "stage_profile",
         "version",
         "swaps",
         "requests_by_version",
     )
 
-    def __init__(self, window: int):
+    def __init__(self):
         self.requests = 0
-        self.queue_waits: deque = deque(maxlen=window)
-        self.executes: deque = deque(maxlen=window)
+        # Constant-memory mergeable histograms per latency phase; the
+        # exact sums ride alongside so the means carry no bucket error.
+        self.latencies = LatencyHistogram()
+        self.queue_waits = LatencyHistogram()
+        self.executes = LatencyHistogram()
         self.queue_wait_sum = 0.0
         self.execute_sum = 0.0
         self.slo_seconds: Optional[float] = None
@@ -163,9 +191,15 @@ class _ModelCollector:
         self.vectorized_stages = 0
         self.fallback_stages = 0
         self.stage_fallback_reasons: dict = {}
+        # Per-(stage, batch bucket) execute-time breakdown, folded from
+        # the executor's profiling hooks after every batch: wall seconds,
+        # gate-check seconds and the vectorized/fallback split per stage
+        # label and bucket size.
+        self.stage_profile: dict = {}
 
     def reset(self) -> None:
         self.requests = 0
+        self.latencies.clear()
         self.queue_waits.clear()
         self.executes.clear()
         self.queue_wait_sum = 0.0
@@ -174,17 +208,27 @@ class _ModelCollector:
         self.vectorized_stages = 0
         self.fallback_stages = 0
         self.stage_fallback_reasons = {}
+        self.stage_profile = {}
         self.swaps = 0  # the current version itself survives a reset
         self.requests_by_version.clear()
 
     def view(self) -> dict:
         requests = self.requests
+        profile = {}
+        for key, slot in self.stage_profile.items():
+            row = dict(slot)
+            executions = row.get("executions", 0)
+            row["mean_ms"] = (row.get("seconds", 0.0) / executions * 1e3) if executions else 0.0
+            profile[key] = row
         return {
             "requests": requests,
-            "queue_wait_p50_ms": percentile(self.queue_waits, 50) * 1e3,
-            "queue_wait_p95_ms": percentile(self.queue_waits, 95) * 1e3,
-            "execute_p50_ms": percentile(self.executes, 50) * 1e3,
-            "execute_p95_ms": percentile(self.executes, 95) * 1e3,
+            "queue_wait_p50_ms": self.queue_waits.percentile(50) * 1e3,
+            "queue_wait_p95_ms": self.queue_waits.percentile(95) * 1e3,
+            "execute_p50_ms": self.executes.percentile(50) * 1e3,
+            "execute_p95_ms": self.executes.percentile(95) * 1e3,
+            "latency_p50_ms": self.latencies.percentile(50) * 1e3,
+            "latency_p95_ms": self.latencies.percentile(95) * 1e3,
+            "latency_p99_ms": self.latencies.percentile(99) * 1e3,
             "mean_queue_wait_ms": (self.queue_wait_sum / requests * 1e3) if requests else 0.0,
             "mean_execute_ms": (self.execute_sum / requests * 1e3) if requests else 0.0,
             "slo_ms": self.slo_seconds * 1e3 if self.slo_seconds is not None else None,
@@ -192,10 +236,19 @@ class _ModelCollector:
             "vectorized_stages": self.vectorized_stages,
             "fallback_stages": self.fallback_stages,
             "stage_fallback_reasons": dict(self.stage_fallback_reasons),
+            "stage_profile": profile,
             "version": self.version,
             "swaps": self.swaps,
             "requests_by_version": {
                 str(version): count for version, count in sorted(self.requests_by_version.items())
+            },
+            # Serialized histograms (seconds): mergeable across replicas
+            # and resolvable by scrape_stats quantile paths, e.g.
+            # ``model_stats.<name>.histograms.latency.p99_ms``.
+            "histograms": {
+                "latency": self.latencies.to_dict(),
+                "queue_wait": self.queue_waits.to_dict(),
+                "execute": self.executes.to_dict(),
             },
         }
 
@@ -205,8 +258,10 @@ class ServingMetrics:
 
     def __init__(self, latency_window: int = 8192):
         self._lock = threading.Lock()
+        #: Retained for API compatibility with the sample-window era; the
+        #: histogram collectors are constant-memory regardless.
         self.latency_window = latency_window
-        self._latencies = deque(maxlen=latency_window)
+        self._latency_hist = LatencyHistogram()
         self._latency_sum = 0.0
         self._batch_sizes = Counter()
         self._models: Dict[str, _ModelCollector] = {}
@@ -236,7 +291,7 @@ class ServingMetrics:
         """Caller must hold the lock."""
         collector = self._models.get(name)
         if collector is None:
-            collector = self._models[name] = _ModelCollector(self.latency_window)
+            collector = self._models[name] = _ModelCollector()
         return collector
 
     # -- recording ----------------------------------------------------------------
@@ -247,34 +302,42 @@ class ServingMetrics:
         queue_wait_seconds: Optional[float] = None,
         execute_seconds: Optional[float] = None,
         version: Optional[int] = None,
-    ) -> None:
+    ) -> bool:
         """Account one served request, optionally with its latency split.
 
         ``version`` attributes the request to the deployment version that
         executed it (``model_stats[name]["requests_by_version"]``) — the
         ledger that shows a hot-swap's traffic cutover, including the
         in-flight tail the old version drains after the swap lands.
+
+        Returns whether the request violated its deployment's SLO, so the
+        caller (the broker's resolve path) can mark the request's trace
+        for tail-based retention without re-deriving the threshold.
         """
+        violated = False
         with self._lock:
             self.requests += 1
-            self._latencies.append(latency_seconds)
+            self._latency_hist.record(latency_seconds)
             self._latency_sum += latency_seconds
             if model is None:
-                return
+                return violated
             collector = self._model(model)
             collector.requests += 1
+            collector.latencies.record(latency_seconds)
             if version is not None:
                 if collector.version is None or version > collector.version:
                     collector.version = version
                 collector.requests_by_version[int(version)] += 1
             if queue_wait_seconds is not None:
-                collector.queue_waits.append(queue_wait_seconds)
+                collector.queue_waits.record(queue_wait_seconds)
                 collector.queue_wait_sum += queue_wait_seconds
             if execute_seconds is not None:
-                collector.executes.append(execute_seconds)
+                collector.executes.record(execute_seconds)
                 collector.execute_sum += execute_seconds
             if collector.slo_seconds is not None and latency_seconds > collector.slo_seconds:
                 collector.slo_violations += 1
+                violated = True
+        return violated
 
     def record_stage_counters(
         self,
@@ -297,6 +360,45 @@ class ServingMetrics:
             collector.fallback_stages += int(fallbacks)
             if reasons:
                 collector.stage_fallback_reasons.update(reasons)
+
+    def record_stage_profile(self, model: str, bucket: int, entries: Iterable[dict]) -> None:
+        """Fold one batch's executor profile into per-(stage, bucket) slots.
+
+        ``entries`` are the :class:`~repro.backends.executor
+        .HostStageExecutor` profiling hook's records (one per stage /
+        parallel-map execution: wall seconds, gate-check seconds, route);
+        ``bucket`` is the padded batch bucket the batch compiled against.
+        The accumulated breakdown surfaces in
+        ``model_stats[name]["stage_profile"]`` and as the Prometheus
+        ``stage_seconds_total`` family.
+        """
+        entries = list(entries or ())
+        if not entries:
+            return
+        with self._lock:
+            collector = self._model(model)
+            for entry in entries:
+                stage = str(entry.get("stage", "?"))
+                key = f"{stage}@b{int(bucket)}"
+                slot = collector.stage_profile.get(key)
+                if slot is None:
+                    slot = collector.stage_profile[key] = {
+                        "stage": stage,
+                        "bucket": int(bucket),
+                        "executions": 0,
+                        "seconds": 0.0,
+                        "gate_seconds": 0.0,
+                        "vectorized": 0,
+                        "fallbacks": 0,
+                    }
+                slot["executions"] += 1
+                slot["seconds"] += float(entry.get("seconds", 0.0))
+                slot["gate_seconds"] += float(entry.get("gate_seconds", 0.0))
+                route = entry.get("route")
+                if route == "vectorized":
+                    slot["vectorized"] += 1
+                elif route in ("fallback", "per-row"):
+                    slot["fallbacks"] += 1
 
     def record_swap(self, model: str, version: int) -> None:
         """Account one hot-swap: ``model`` now serves ``version``.
@@ -343,7 +445,7 @@ class ServingMetrics:
 
     def _reset_locked(self) -> None:
         """Caller must hold the lock."""
-        self._latencies.clear()
+        self._latency_hist.clear()
         self._latency_sum = 0.0
         self._batch_sizes.clear()
         self.requests = 0
@@ -378,7 +480,7 @@ class ServingMetrics:
         """
         with self._lock:
             uptime = time.monotonic() - self._started
-            latencies = list(self._latencies)
+            latency_hist = self._latency_hist.copy()
             requests = self.requests
             mean_batch = self.samples_in_batches / self.batches if self.batches else 0.0
             mean_latency = self._latency_sum / requests if requests else 0.0
@@ -390,9 +492,10 @@ class ServingMetrics:
                 batches=self.batches,
                 mean_batch_size=mean_batch,
                 batch_size_histogram=dict(self._batch_sizes),
-                latency_p50_ms=percentile(latencies, 50) * 1e3,
-                latency_p95_ms=percentile(latencies, 95) * 1e3,
-                latency_p99_ms=percentile(latencies, 99) * 1e3,
+                latency_p50_ms=latency_hist.percentile(50) * 1e3,
+                latency_p95_ms=latency_hist.percentile(95) * 1e3,
+                latency_p99_ms=latency_hist.percentile(99) * 1e3,
+                latency_histogram=latency_hist.to_dict(),
                 mean_latency_ms=mean_latency * 1e3,
                 throughput_rps=requests / uptime if uptime > 0 else 0.0,
                 uptime_seconds=uptime,

@@ -1,0 +1,41 @@
+"""repro.serving.observability — the serving stack's sensory system.
+
+Three pieces, built for the SLO-autotuning work that sits on top:
+
+* :class:`~repro.serving.observability.histogram.LatencyHistogram` —
+  mergeable log-linear histograms with exact counts and bounded-relative-
+  error quantiles; constant memory per (model, phase), replacing the raw
+  sample windows :class:`~repro.serving.metrics.ServingMetrics` used to
+  keep.
+* :class:`~repro.serving.observability.trace.TraceContext` /
+  :class:`~repro.serving.observability.trace.RequestTracer` — per-request
+  span chains threaded from the transport through batching, scheduling,
+  dispatch and per-stage execution, retained in bounded rings with
+  tail-based sampling (errors and SLO violators always kept), exported
+  as Chrome trace-event JSON (:func:`chrome_trace`,
+  ``tools/trace_dump.py``).
+* :func:`~repro.serving.observability.prometheus.render_prometheus` /
+  :func:`~repro.serving.observability.prometheus.parse_prometheus_text`
+  — the Prometheus text exposition behind the transport's ``metrics`` op
+  and ``tools/export_metrics.py``, with a dependency-free lint.
+"""
+
+from repro.serving.observability.histogram import DEFAULT_RELATIVE_ERROR, LatencyHistogram
+from repro.serving.observability.prometheus import (
+    PrometheusSample,
+    parse_prometheus_text,
+    render_prometheus,
+)
+from repro.serving.observability.trace import RequestTracer, Span, TraceContext, chrome_trace
+
+__all__ = [
+    "LatencyHistogram",
+    "DEFAULT_RELATIVE_ERROR",
+    "Span",
+    "TraceContext",
+    "RequestTracer",
+    "chrome_trace",
+    "render_prometheus",
+    "parse_prometheus_text",
+    "PrometheusSample",
+]

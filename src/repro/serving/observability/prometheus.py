@@ -1,0 +1,328 @@
+"""Prometheus text exposition (and an in-tree lint) for serving stats.
+
+:func:`render_prometheus` turns a :meth:`ServerStats.to_dict` document
+into the Prometheus text format (version 0.0.4): counters for the
+request/batch/cache totals, gauges for the rates, and the serving
+latency histograms as ``_bucket`` / ``_sum`` / ``_count`` series with
+cumulative ``le`` labels — exact counts straight from the log-linear
+histograms' bin edges, per model and labelled with the deployment
+version.  The ``metrics`` transport op returns this text, and
+``tools/export_metrics.py`` snapshots or serves it over HTTP.
+
+:func:`parse_prometheus_text` is a dependency-free lint of that format
+(CI runs it against the bench server's scrape): every sample line must
+parse, every family must declare a ``# TYPE``, and histogram bucket
+series must be cumulative and consistent with their ``_count``.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.serving.observability.histogram import LatencyHistogram
+
+__all__ = ["render_prometheus", "parse_prometheus_text", "PrometheusSample"]
+
+DEFAULT_NAMESPACE = "hdc_serving"
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(?P<labels>.*)\})?\s+(?P<value>\S+)$"
+)
+_LABEL_RE = re.compile(r'\s*(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"\s*(?:,|$)')
+
+
+def _escape(value: object) -> str:
+    return str(value).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _labels(labels: Optional[dict]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{key}="{_escape(value)}"' for key, value in labels.items())
+    return "{" + inner + "}"
+
+
+def _value(value: float) -> str:
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return format(value, ".10g")
+
+
+class _Writer:
+    """Accumulates one exposition document, one family at a time."""
+
+    def __init__(self, namespace: str):
+        self.namespace = namespace
+        self.lines: List[str] = []
+
+    def family(self, name: str, mtype: str, help_text: str) -> str:
+        full = f"{self.namespace}_{name}"
+        self.lines.append(f"# HELP {full} {help_text}")
+        self.lines.append(f"# TYPE {full} {mtype}")
+        return full
+
+    def sample(self, name: str, labels: Optional[dict], value: float) -> None:
+        self.lines.append(f"{name}{_labels(labels)} {_value(value)}")
+
+    def scalar(self, name: str, mtype: str, help_text: str, value: float) -> None:
+        self.sample(self.family(name, mtype, help_text), None, value)
+
+    def histogram(
+        self, name: str, help_text: str, series: List[Tuple[dict, dict]]
+    ) -> None:
+        """One histogram family from ``(labels, serialized_histogram)`` pairs."""
+        full = self.family(name, "histogram", help_text)
+        for labels, data in series:
+            hist = LatencyHistogram.from_dict(data)
+            for bound, cumulative in hist.cumulative_buckets():
+                self.sample(f"{full}_bucket", {**labels, "le": _value(bound)}, cumulative)
+            self.sample(f"{full}_bucket", {**labels, "le": "+Inf"}, hist.count)
+            self.sample(f"{full}_sum", labels, hist.sum)
+            self.sample(f"{full}_count", labels, hist.count)
+
+    def render(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+def render_prometheus(stats: dict, namespace: str = DEFAULT_NAMESPACE) -> str:
+    """Render one ``ServerStats.to_dict()`` document as Prometheus text."""
+    w = _Writer(namespace)
+
+    counters = [
+        ("requests_total", "requests", "Requests served"),
+        ("failures_total", "failures", "Requests that failed"),
+        ("deadline_exceeded_total", "deadline_exceeded", "Requests shed past their deadline"),
+        ("batches_total", "batches", "Micro-batches executed"),
+        ("swaps_total", "swaps", "Hot-swaps installed"),
+        ("slo_violations_total", "slo_violations", "Served requests that exceeded their SLO"),
+        ("vectorized_stages_total", "vectorized_stages", "Stage executions on the batched route"),
+        ("fallback_stages_total", "fallback_stages", "Stage executions on the per-row fallback"),
+        ("cache_hits_total", "cache_hits", "Compile-cache hits"),
+        ("cache_misses_total", "cache_misses", "Compile-cache misses"),
+        ("cache_warm_hits_total", "cache_warm_hits", "Compile-cache hits off a loaded cache"),
+        ("elided_transfers_total", "elided_transfers", "Device transfers skipped by warm sessions"),
+    ]
+    for name, key, help_text in counters:
+        w.scalar(name, "counter", help_text, float(stats.get(key, 0) or 0))
+
+    gauges = [
+        ("uptime_seconds", "uptime_seconds", "Seconds since the metrics interval started"),
+        ("throughput_rps", "throughput_rps", "Requests per second over the interval"),
+        ("mean_batch_size", "mean_batch_size", "Mean micro-batch size"),
+        ("cache_hit_rate", "cache_hit_rate", "Compile-cache hit rate"),
+    ]
+    for name, key, help_text in gauges:
+        w.scalar(name, "gauge", help_text, float(stats.get(key, 0.0) or 0.0))
+
+    latency = stats.get("latency_histogram")
+    if latency and latency.get("buckets") is not None:
+        w.histogram(
+            "request_latency_seconds",
+            "End-to-end request latency (enqueue to result)",
+            [({}, latency)],
+        )
+
+    model_stats: dict = stats.get("model_stats") or {}
+    if model_stats:
+        name_of = {model: {"model": model} for model in sorted(model_stats)}
+
+        full = w.family("model_requests_total", "counter", "Requests served per deployment version")
+        for model in sorted(model_stats):
+            split = model_stats[model]
+            by_version = split.get("requests_by_version") or {}
+            if by_version:
+                for version in sorted(by_version, key=lambda v: int(v)):
+                    w.sample(full, {"model": model, "version": str(version)}, by_version[version])
+            else:
+                version = split.get("version")
+                labels = {"model": model, "version": "" if version is None else str(version)}
+                w.sample(full, labels, float(split.get("requests", 0)))
+
+        per_model_counters = [
+            ("model_slo_violations_total", "slo_violations", "SLO violations per deployment"),
+            ("model_vectorized_stages_total", "vectorized_stages", "Batched-route stages per deployment"),
+            ("model_fallback_stages_total", "fallback_stages", "Per-row fallback stages per deployment"),
+        ]
+        for name, key, help_text in per_model_counters:
+            full = w.family(name, "counter", help_text)
+            for model in sorted(model_stats):
+                w.sample(full, name_of[model], float(model_stats[model].get(key, 0) or 0))
+
+        histogram_families = [
+            ("model_request_latency_seconds", "latency", "Per-deployment end-to-end latency"),
+            ("model_queue_wait_seconds", "queue_wait", "Per-deployment queue wait (enqueue to worker start)"),
+            ("model_execute_seconds", "execute", "Per-deployment execute time inside the worker"),
+        ]
+        for name, key, help_text in histogram_families:
+            series = []
+            for model in sorted(model_stats):
+                data = (model_stats[model].get("histograms") or {}).get(key)
+                if data:
+                    series.append((name_of[model], data))
+            if series:
+                w.histogram(name, help_text, series)
+
+        profile_rows: List[Tuple[dict, dict]] = []
+        for model in sorted(model_stats):
+            for slot in (model_stats[model].get("stage_profile") or {}).values():
+                labels = {
+                    "model": model,
+                    "stage": str(slot.get("stage", "?")),
+                    "bucket": str(slot.get("bucket", "?")),
+                }
+                profile_rows.append((labels, slot))
+        if profile_rows:
+            full = w.family(
+                "stage_executions_total", "counter", "Stage executions per (model, stage, batch bucket)"
+            )
+            for labels, slot in profile_rows:
+                w.sample(full, labels, float(slot.get("executions", 0)))
+            full = w.family(
+                "stage_seconds_total", "counter", "Stage wall seconds per (model, stage, batch bucket)"
+            )
+            for labels, slot in profile_rows:
+                w.sample(full, labels, float(slot.get("seconds", 0.0)))
+            full = w.family(
+                "stage_gate_seconds_total",
+                "counter",
+                "Bit-identity gate-check seconds per (model, stage, batch bucket)",
+            )
+            for labels, slot in profile_rows:
+                w.sample(full, labels, float(slot.get("gate_seconds", 0.0)))
+
+    worker_stats: dict = stats.get("worker_stats") or {}
+    if worker_stats:
+        for name, key, help_text in [
+            ("worker_batches_total", "batches", "Batches executed per worker"),
+            ("worker_samples_total", "samples", "Samples executed per worker"),
+            ("worker_busy_seconds_total", "busy_seconds", "Busy seconds per worker"),
+        ]:
+            if any(key in view for view in worker_stats.values()):
+                full = w.family(name, "counter", help_text)
+                for worker in sorted(worker_stats):
+                    if key in worker_stats[worker]:
+                        w.sample(full, {"worker": worker}, float(worker_stats[worker][key] or 0))
+
+    return w.render()
+
+
+class PrometheusSample:
+    """One parsed sample line: ``name{labels} value``."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Dict[str, str], value: float):
+        self.name = name
+        self.labels = labels
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"PrometheusSample({self.name}{self.labels!r} {self.value:g})"
+
+
+def _parse_float(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    return float(text)
+
+
+def _family_of(name: str, types: Dict[str, str]) -> Optional[str]:
+    """The declared family a sample belongs to (histogram suffixes strip)."""
+    if name in types:
+        return name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix) and name[: -len(suffix)] in types:
+            return name[: -len(suffix)]
+    return None
+
+
+def parse_prometheus_text(text: str) -> List[PrometheusSample]:
+    """Parse (and lint) a Prometheus text-format document.
+
+    Raises ``ValueError`` on the first structural problem: an unparsable
+    line, a sample without a declared ``# TYPE`` family, a non-cumulative
+    histogram bucket series, a bucket series without ``+Inf``, or an
+    ``+Inf`` bucket disagreeing with its ``_count``.  Returns the parsed
+    samples so callers can assert on specific series.
+    """
+    types: Dict[str, str] = {}
+    samples: List[PrometheusSample] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or not _NAME_RE.match(parts[2]):
+                raise ValueError(f"line {lineno}: malformed TYPE comment: {raw!r}")
+            if parts[3] not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                raise ValueError(f"line {lineno}: unknown metric type {parts[3]!r}")
+            types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: unparsable sample line: {raw!r}")
+        labels: Dict[str, str] = {}
+        label_text = match.group("labels")
+        if label_text:
+            consumed = 0
+            for label in _LABEL_RE.finditer(label_text):
+                labels[label.group("key")] = label.group("value")
+                consumed = label.end()
+            if consumed < len(label_text.rstrip()):
+                raise ValueError(f"line {lineno}: malformed labels: {label_text!r}")
+        try:
+            value = _parse_float(match.group("value"))
+        except ValueError:
+            raise ValueError(
+                f"line {lineno}: non-numeric sample value {match.group('value')!r}"
+            ) from None
+        name = match.group("name")
+        if _family_of(name, types) is None:
+            raise ValueError(f"line {lineno}: sample {name!r} has no # TYPE declaration")
+        samples.append(PrometheusSample(name, labels, value))
+
+    # Histogram consistency: per label set, buckets cumulative, +Inf == _count.
+    for family, ftype in types.items():
+        if ftype != "histogram":
+            continue
+        series: Dict[tuple, List[Tuple[float, float]]] = {}
+        counts: Dict[tuple, float] = {}
+        for sample in samples:
+            if sample.name == f"{family}_bucket":
+                key = tuple(sorted((k, v) for k, v in sample.labels.items() if k != "le"))
+                series.setdefault(key, []).append(
+                    (_parse_float(sample.labels.get("le", "+Inf")), sample.value)
+                )
+            elif sample.name == f"{family}_count":
+                counts[tuple(sorted(sample.labels.items()))] = sample.value
+        for key, buckets in series.items():
+            buckets.sort(key=lambda pair: pair[0])
+            if not buckets or not math.isinf(buckets[-1][0]):
+                raise ValueError(f"{family}: bucket series {dict(key)} is missing le=\"+Inf\"")
+            last = -math.inf
+            for bound, cumulative in buckets:
+                if cumulative < last:
+                    raise ValueError(
+                        f"{family}: bucket series {dict(key)} is not cumulative at le={bound:g}"
+                    )
+                last = cumulative
+            expected = counts.get(key)
+            if expected is not None and buckets[-1][1] != expected:
+                raise ValueError(
+                    f"{family}: +Inf bucket {buckets[-1][1]:g} != _count {expected:g} "
+                    f"for {dict(key)}"
+                )
+    return samples

@@ -64,6 +64,14 @@ class InferenceServer:
             dispatcher holds the next batch while every eligible worker
             has at least this many samples in flight.  Defaults to
             ``2 * max_batch_size`` (one executing batch plus one queued).
+        tracing: Enable per-request tracing: every request carries a
+            span chain (queue → batch → schedule → dispatch → execute →
+            settle) tiling its lifetime; completed traces are retained
+            under tail-based sampling and readable via :meth:`traces`.
+        trace_capacity: Per-ring trace retention (see
+            :class:`~repro.serving.observability.RequestTracer`).
+        trace_sample_every: Keep 1-in-N healthy traces (errors and SLO
+            violators are always retained).
     """
 
     def __init__(
@@ -77,6 +85,9 @@ class InferenceServer:
         latency_window: int = 8192,
         scheduler_aging_seconds: float = 0.25,
         worker_backlog_samples: Optional[int] = None,
+        tracing: bool = False,
+        trace_capacity: int = 512,
+        trace_sample_every: int = 1,
     ):
         self.registry = registry if registry is not None else ModelRegistry()
         self.pool = WorkerPool(workers, policy=policy)
@@ -89,6 +100,9 @@ class InferenceServer:
             latency_window=latency_window,
             scheduler_aging_seconds=scheduler_aging_seconds,
             worker_backlog_samples=worker_backlog_samples,
+            tracing=tracing,
+            trace_capacity=trace_capacity,
+            trace_sample_every=trace_sample_every,
         )
 
     # Configuration and collectors live on the broker; these properties keep
@@ -293,6 +307,18 @@ class InferenceServer:
         """Zero the metrics window for per-interval reporting (SLO
         thresholds survive; see :meth:`ServingMetrics.reset`)."""
         self.broker.reset_stats()
+
+    @property
+    def tracer(self):
+        """The broker's :class:`~repro.serving.observability.RequestTracer`
+        (``None`` unless constructed with ``tracing=True``)."""
+        return self.broker.tracer
+
+    def traces(self, limit: Optional[int] = None, clear: bool = False) -> list:
+        """Retained request traces as JSON-safe dicts (oldest first);
+        empty unless the server was constructed with ``tracing=True``.
+        ``clear=True`` empties the trace rings after the read."""
+        return self.broker.traces(limit=limit, clear=clear)
 
     def __repr__(self) -> str:
         return (

@@ -352,6 +352,33 @@ class ServingClient:
         response, _ = self._request({"op": "ping"})
         return bool(response.get("running"))
 
+    def metrics_text(self, namespace: Optional[str] = None) -> str:
+        """The server's Prometheus text exposition (format 0.0.4).
+
+        Read-only server-side (no reset), so scrapes are idempotent and
+        safe to resend.  ``namespace`` overrides the metric-name prefix
+        (default ``hdc_serving``).
+        """
+        header = {"op": "metrics"}
+        if namespace is not None:
+            header["namespace"] = str(namespace)
+        _, payload = self._request(header)
+        return payload.decode("utf-8")
+
+    def traces(self, limit: Optional[int] = None, clear: bool = False) -> list:
+        """Retained request traces as JSON-safe dicts (oldest first).
+
+        Empty unless the server's broker runs with ``tracing=True``.
+        ``clear=True`` empties the server's trace rings after the read —
+        a side effect, so that variant is never resent by the retry
+        machinery (a dump that died mid-reply may already have cleared).
+        """
+        header = {"op": "traces", "clear": bool(clear)}
+        if limit is not None:
+            header["limit"] = int(limit)
+        response, _ = self._request(header, resend=not clear)
+        return response["traces"]
+
     # -- lifecycle ----------------------------------------------------------------
     def close(self) -> None:
         # Signal before taking the lock: a _request mid-retry wakes from

@@ -34,6 +34,8 @@ Request headers (post-handshake)::
     {"op": "stats", "reset": bool} | {"op": "reset_stats"}
     {"op": "list_models"} | {"op": "model_versions"} | {"op": "ping"}
     {"op": "drain", "timeout": float|null}
+    {"op": "metrics", "namespace": str|null}
+    {"op": "traces", "limit": int|null, "clear": bool}
 
 ``update`` runs one online re-training round (the servable's
 ``update_batch`` rule) and hot-swaps the re-trained deployment; its
@@ -41,7 +43,11 @@ payload concatenates the sample matrix and the int64 label vector
 (described by the header's top-level and ``"labels"`` array metadata —
 labels are arrays, so like all arrays they stay out of the JSON), and
 its response carries the new monotonic ``"model_version"``.
-``model_versions`` returns the ``{name: version}`` map.
+``model_versions`` returns the ``{name: version}`` map.  ``metrics``
+returns the Prometheus text exposition in the response *payload* (the
+header carries its ``"content_type"``); ``traces`` returns retained
+request traces as JSON dicts in the header, optionally clearing the
+server-side trace rings after the read.
 
 Response headers carry ``"ok": true`` plus op-specific fields (array
 metadata for inference results, a ``"stats"`` object, a ``"models"``

@@ -36,6 +36,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.serving.observability.prometheus import DEFAULT_NAMESPACE, render_prometheus
 from repro.serving.transport.protocol import (
     FrameError,
     PROTOCOL_VERSION,
@@ -249,15 +250,35 @@ class TransportServer:
 
     async def _op_infer(self, header: dict, payload: bytes) -> Tuple[dict, bytes]:
         sample = decode_array(header, payload)
-        future = self.broker.submit(
-            header["model"],
-            sample,
-            priority=int(header.get("priority", 0)),
-            deadline_ms=header.get("deadline_ms"),
-        )
-        output = await asyncio.wrap_future(future)
-        fields, out_payload = encode_array_header(output)
-        return {"ok": True, "version": PROTOCOL_VERSION, **fields}, out_payload
+        # The transport owns the trace when the broker has tracing on:
+        # minted here (so the chain starts at the socket front end) and
+        # finished here, after the closing "transport" span — which lands
+        # after the broker's settle step, so the top-level spans tile
+        # request arrival to response encoding exactly.
+        tracer = self.broker.tracer
+        trace = tracer.begin(header["model"]) if tracer is not None else None
+        try:
+            future = self.broker.submit(
+                header["model"],
+                sample,
+                priority=int(header.get("priority", 0)),
+                deadline_ms=header.get("deadline_ms"),
+                trace=trace,
+            )
+            output = await asyncio.wrap_future(future)
+            fields, out_payload = encode_array_header(output)
+        except Exception as exc:
+            if trace is not None:
+                trace.fail(f"{type(exc).__name__}: {exc}")
+            raise
+        finally:
+            if trace is not None:
+                trace.step("transport", op="infer")
+                tracer.finish(trace)
+        header_out = {"ok": True, "version": PROTOCOL_VERSION, **fields}
+        if trace is not None:
+            header_out["trace_id"] = trace.trace_id
+        return header_out, out_payload
 
     async def _op_infer_batch(self, header: dict, payload: bytes) -> Tuple[dict, bytes]:
         batch = decode_array(header, payload)
@@ -343,6 +364,36 @@ class TransportServer:
     async def _op_ping(self, header: dict, payload: bytes) -> Tuple[dict, bytes]:
         return {"ok": True, "version": PROTOCOL_VERSION, "running": self.broker.running}, b""
 
+    async def _op_metrics(self, header: dict, payload: bytes) -> Tuple[dict, bytes]:
+        # The Prometheus exposition: the current stats snapshot rendered
+        # as text format 0.0.4 in the payload.  Read-only (no reset), so
+        # scrapers never perturb the per-interval reporting idiom.
+        stats = self.broker.stats()
+        text = render_prometheus(
+            stats.to_dict(), namespace=header.get("namespace") or DEFAULT_NAMESPACE
+        )
+        return {
+            "ok": True,
+            "version": PROTOCOL_VERSION,
+            "content_type": "text/plain; version=0.0.4; charset=utf-8",
+        }, text.encode("utf-8")
+
+    async def _op_traces(self, header: dict, payload: bytes) -> Tuple[dict, bytes]:
+        # Retained request traces as JSON-safe dicts; ``clear`` empties
+        # the rings after the read (the trace_dump scrape-then-clear
+        # idiom).  Empty (with tracing=False) when tracing is disabled.
+        limit = header.get("limit")
+        traces = self.broker.traces(
+            limit=None if limit is None else int(limit),
+            clear=bool(header.get("clear", False)),
+        )
+        return {
+            "ok": True,
+            "version": PROTOCOL_VERSION,
+            "tracing": self.broker.tracer is not None,
+            "traces": traces,
+        }, b""
+
     _OPS = {
         "infer": _op_infer,
         "infer_batch": _op_infer_batch,
@@ -353,6 +404,8 @@ class TransportServer:
         "list_models": _op_list_models,
         "drain": _op_drain,
         "ping": _op_ping,
+        "metrics": _op_metrics,
+        "traces": _op_traces,
     }
 
     def __repr__(self) -> str:

@@ -1,0 +1,172 @@
+"""Prometheus exposition bridge for the serving transport.
+
+The transport server answers the ``metrics`` op with the Prometheus text
+format (version 0.0.4) rendered from a live :class:`ServingMetrics`
+snapshot.  This tool adapts that frame-protocol op to the two ways a
+metrics pipeline actually consumes it:
+
+**Snapshot mode** (``--once``) scrapes one exposition and writes it to
+stdout or ``--out`` — for cron-driven pushes, CI artifacts, or eyeballing
+what a scrape would see::
+
+    PYTHONPATH=src python tools/export_metrics.py \
+        --host 127.0.0.1 --port 8757 --once --out metrics.prom
+
+**Serve mode** (``--serve``) runs a minimal stdlib HTTP endpoint
+(``http.server``, no extra dependencies) that proxies ``GET /metrics``
+to the transport server on every scrape, so a stock Prometheus instance
+can pull from the serving process without speaking the frame protocol::
+
+    PYTHONPATH=src python tools/export_metrics.py \
+        --host 127.0.0.1 --port 8757 --serve --http-port 9100
+
+**Lint mode** (``--lint-file``) parses an existing exposition file with
+the in-tree :func:`parse_prometheus_text` validator (TYPE declarations,
+cumulative ``le`` buckets, ``+Inf`` == ``_count``) and exits non-zero on
+any violation — CI runs this against the exposition the benchmark suite
+captures, so a malformed metric name or a non-cumulative histogram fails
+the build before a real scraper ever sees it.
+
+Every scraped exposition is linted before it is written or served; a
+server that emits unparseable text is reported as an error, not passed
+through.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+_SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.serving.observability import parse_prometheus_text  # noqa: E402
+from repro.serving.transport import ServingClient  # noqa: E402
+
+
+def lint_text(text: str, label: str) -> int:
+    """Validate one exposition document; returns the sample count.
+
+    Raises ``ValueError`` (from the parser) with the offending line when
+    the document violates the text-format contract.
+    """
+    samples = parse_prometheus_text(text)
+    if not samples:
+        raise ValueError(f"{label}: exposition contains no samples")
+    return len(samples)
+
+
+def scrape(client: ServingClient, namespace: "str | None") -> str:
+    """One linted exposition from the transport server."""
+    text = client.metrics_text(namespace=namespace)
+    lint_text(text, "scrape")
+    return text
+
+
+def serve_http(args: argparse.Namespace) -> int:
+    """Stdlib HTTP /metrics endpoint proxying the transport's metrics op."""
+    from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+    class MetricsHandler(BaseHTTPRequestHandler):
+        def do_GET(self):  # noqa: N802 (BaseHTTPRequestHandler API)
+            if self.path.split("?", 1)[0] not in ("/metrics", "/"):
+                self.send_error(404, "only /metrics is served")
+                return
+            try:
+                with ServingClient(args.host, args.port, timeout=args.timeout) as client:
+                    text = scrape(client, args.namespace)
+            except Exception as exc:  # surfaced to the scraper, not swallowed
+                self.send_error(502, f"{type(exc).__name__}: {exc}")
+                return
+            body = text.encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def log_message(self, fmt, *log_args):
+            print(f"[export_metrics] {fmt % log_args}", file=sys.stderr)
+
+    httpd = ThreadingHTTPServer((args.http_host, args.http_port), MetricsHandler)
+    print(
+        f"[export_metrics] serving http://{args.http_host}:{httpd.server_address[1]}/metrics "
+        f"-> frame protocol {args.host}:{args.port}",
+        file=sys.stderr,
+    )
+    try:
+        httpd.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        httpd.server_close()
+    return 0
+
+
+def parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--host", default="127.0.0.1", help="transport server host")
+    parser.add_argument("--port", type=int, default=None, help="transport server port")
+    parser.add_argument("--namespace", default=None, help="metric name prefix override")
+    parser.add_argument("--timeout", type=float, default=30.0, help="frame-protocol timeout")
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--once", action="store_true", help="scrape one exposition and exit")
+    mode.add_argument("--serve", action="store_true", help="run an HTTP /metrics proxy")
+    mode.add_argument(
+        "--lint-file",
+        type=pathlib.Path,
+        default=None,
+        metavar="FILE",
+        help="offline: validate an existing exposition file and exit",
+    )
+    parser.add_argument(
+        "--out", type=pathlib.Path, default=None, help="write the scrape here instead of stdout"
+    )
+    parser.add_argument(
+        "--http-host", default="127.0.0.1", help="bind address for --serve (default loopback)"
+    )
+    parser.add_argument(
+        "--http-port", type=int, default=9100, help="HTTP port for --serve (0 = ephemeral)"
+    )
+    args = parser.parse_args(argv)
+    if args.lint_file is None and args.port is None:
+        parser.error("--port is required unless --lint-file is given")
+    return args
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+
+    if args.lint_file is not None:
+        text = args.lint_file.read_text(encoding="utf-8")
+        try:
+            count = lint_text(text, args.lint_file.name)
+        except ValueError as exc:
+            print(f"[export_metrics] LINT FAIL {exc}", file=sys.stderr)
+            return 1
+        print(f"[export_metrics] {args.lint_file}: {count} samples, lint clean", file=sys.stderr)
+        return 0
+
+    if args.serve:
+        return serve_http(args)
+
+    started = time.monotonic()
+    with ServingClient(args.host, args.port, timeout=args.timeout) as client:
+        text = scrape(client, args.namespace)
+    elapsed_ms = (time.monotonic() - started) * 1e3
+    if args.out is not None:
+        args.out.write_text(text, encoding="utf-8")
+        print(
+            f"[export_metrics] wrote {len(text)} bytes to {args.out} ({elapsed_ms:.1f} ms)",
+            file=sys.stderr,
+        )
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

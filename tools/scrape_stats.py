@@ -58,6 +58,7 @@ _SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
+from repro.serving.observability.histogram import LatencyHistogram  # noqa: E402
 from repro.serving.transport import ServingClient  # noqa: E402
 
 _EXPR_RE = re.compile(
@@ -105,11 +106,58 @@ class Threshold:
         return None
 
 
+#: Quantile tokens a dotted path may end with when it walks into a
+#: serialized histogram: ``p99``, ``p99_9`` (99.9) — with an optional
+#: ``_ms`` suffix converting the histogram's seconds to milliseconds.
+_HIST_QUANTILE_RE = re.compile(r"^p(?P<whole>\d+)(?:_(?P<frac>\d+))?(?P<ms>_ms)?$")
+
+
+def _histogram_stat(data: dict, token: str):
+    """Resolve a stat token against a serialized log-linear histogram.
+
+    ``data`` is a :meth:`LatencyHistogram.to_dict` document (recognized
+    by its ``"buckets"`` key); tokens are exact fields (``count``,
+    ``sum``, ``min``, ``max``), ``mean`` / ``mean_ms``, or quantiles
+    like ``p50`` / ``p99_9`` / ``p99_ms``.  Returns ``None`` for an
+    unknown token, which the threshold reports as a missing metric.
+    """
+    if token in ("count", "sum", "min", "max", "zero_count"):
+        return data.get(token)
+    if token in ("mean", "mean_ms"):
+        count = data.get("count") or 0
+        mean = (float(data.get("sum", 0.0)) / count) if count else 0.0
+        return mean * 1e3 if token == "mean_ms" else mean
+    match = _HIST_QUANTILE_RE.match(token)
+    if match is None:
+        return None
+    p = float(
+        f"{match.group('whole')}.{match.group('frac')}" if match.group("frac") else match.group("whole")
+    )
+    if not 0.0 <= p <= 100.0:
+        return None
+    value = LatencyHistogram.from_dict(data).percentile(p)
+    return value * 1e3 if match.group("ms") else value
+
+
 def _resolve(record: dict, path: str):
-    """Walk a dotted path through nested dicts (None when absent)."""
+    """Walk a dotted path through nested dicts (None when absent).
+
+    A path whose walk lands on a serialized latency histogram may end
+    with one extra stat token resolved *from* the histogram — e.g.
+    ``model_stats.isolet.histograms.latency.p99_ms`` derives the p99 (in
+    milliseconds) from the bucket data, so thresholds can gate on any
+    quantile, not just the pre-derived ``latency_p99_ms`` fields.
+    """
     node = record
-    for part in path.split("."):
+    parts = path.split(".")
+    for index, part in enumerate(parts):
         if not isinstance(node, dict) or part not in node:
+            if (
+                isinstance(node, dict)
+                and "buckets" in node
+                and index == len(parts) - 1
+            ):
+                return _histogram_stat(node, part)
             return None
         node = node[part]
     return node

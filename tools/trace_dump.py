@@ -1,0 +1,135 @@
+"""Export retained request traces as Chrome trace-event JSON.
+
+The serving stack's :class:`RequestTracer` keeps a bounded ring of
+per-request span chains (tail-sampled: SLO violators and errors always
+retained, healthy traffic 1-in-N).  This tool pulls those traces — over
+the frame protocol from a live server, or from a JSON file a previous
+pull wrote — and converts them to the Chrome trace-event format, so the
+queue→batch→schedule→dispatch→execute→settle lifetime of each request
+can be inspected visually in ``chrome://tracing`` or https://ui.perfetto.dev::
+
+    PYTHONPATH=src python tools/trace_dump.py \
+        --host 127.0.0.1 --port 8757 --out traces.json
+
+    # drain the server-side rings after reading (non-idempotent):
+    PYTHONPATH=src python tools/trace_dump.py --port 8757 --clear --out traces.json
+
+    # offline re-conversion of a raw dump:
+    PYTHONPATH=src python tools/trace_dump.py --input raw_traces.json --out traces.json
+
+Each trace renders as one virtual thread whose top-level spans tile the
+request's wall-clock lifetime end to end (the tracer's contiguous-cursor
+contract), with stage-level child spans nested under ``execute``.  Pass
+``--raw`` to write the tracer's own JSON documents instead (the format
+``--input`` accepts), preserving all span metadata verbatim.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+_SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.serving.observability import chrome_trace  # noqa: E402
+from repro.serving.transport import ServingClient  # noqa: E402
+
+
+def load_traces(args: argparse.Namespace) -> "list[dict]":
+    """Trace documents from ``--input`` or a live transport server.
+
+    An input file may be a raw trace list (``--raw`` output), a
+    ``{"traces": [...]}`` wrapper (the wire header), or a previous
+    Chrome export — the last is rejected with a pointer to ``--raw``,
+    since event soup cannot be re-grouped into traces.
+    """
+    if args.input is not None:
+        document = json.loads(args.input.read_text(encoding="utf-8"))
+        if isinstance(document, dict):
+            if "traces" in document:
+                return list(document["traces"])
+            if "traceEvents" in document:
+                raise SystemExit(
+                    f"{args.input} is already a Chrome trace export; "
+                    f"re-run the original dump with --raw to keep a convertible copy"
+                )
+            raise SystemExit(f"{args.input}: unrecognized trace document")
+        return list(document)
+    with ServingClient(args.host, args.port, timeout=args.timeout) as client:
+        traces = client.traces(limit=args.limit, clear=args.clear)
+    if not traces:
+        print(
+            "[trace_dump] server returned no traces (tracing disabled, "
+            "nothing retained yet, or rings already cleared)",
+            file=sys.stderr,
+        )
+    return list(traces)
+
+
+def parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--host", default="127.0.0.1", help="transport server host")
+    parser.add_argument(
+        "--port", type=int, default=None, help="transport server port (required unless --input)"
+    )
+    parser.add_argument("--timeout", type=float, default=30.0, help="frame-protocol timeout")
+    parser.add_argument(
+        "--limit", type=int, default=None, help="at most this many newest traces (default all)"
+    )
+    parser.add_argument(
+        "--clear",
+        action="store_true",
+        help="drain the server-side trace rings after reading (non-idempotent)",
+    )
+    parser.add_argument(
+        "--input",
+        type=pathlib.Path,
+        default=None,
+        metavar="FILE",
+        help="offline: convert a raw trace JSON file instead of scraping a server",
+    )
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=None,
+        help="output path (default stdout); open in chrome://tracing or Perfetto",
+    )
+    parser.add_argument(
+        "--raw",
+        action="store_true",
+        help="write the tracer's raw JSON documents instead of Chrome trace events",
+    )
+    args = parser.parse_args(argv)
+    if args.input is None and args.port is None:
+        parser.error("--port is required unless --input FILE is given")
+    if args.input is not None and args.clear:
+        parser.error("--clear only applies to a live server, not --input")
+    return args
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    traces = load_traces(args)
+    if args.raw:
+        document = {"traces": traces}
+    else:
+        document = chrome_trace(traces)
+    rendered = json.dumps(document, indent=2)
+    if args.out is not None:
+        args.out.write_text(rendered + "\n", encoding="utf-8")
+        events = len(document.get("traceEvents", traces))
+        print(
+            f"[trace_dump] wrote {len(traces)} trace(s) / {events} record(s) to {args.out}",
+            file=sys.stderr,
+        )
+    else:
+        sys.stdout.write(rendered + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
