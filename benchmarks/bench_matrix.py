@@ -1,0 +1,94 @@
+"""The scenario-matrix smoke benchmark: the checked-in 2x2 sub-matrix.
+
+Runs the same ``benchmarks/configs/matrix_smoke.json`` config that CI's
+matrix job drives through ``python -m repro.bench``, asserts every cell
+served cleanly, and re-evaluates the config's own per-cell gates — so a
+local ``pytest benchmarks/ --benchmark-only`` catches the same
+regressions the CI gate would.
+
+Unlike the other bench modules this one does *not* use the
+``bench_json`` recorder: the matrix runner already emits the canonical
+``BENCH_matrix.json`` document (a ``cells`` mapping, not a ``cases``
+mapping), and writing both formats to the same file would clobber one
+with the other.  The document written here is byte-compatible with the
+CLI's output and lands in the same place (``REPRO_BENCH_DIR`` or the
+repo root).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+import pytest
+
+from repro.bench import Threshold, bench_seed, evaluate, load_config, run_matrix
+from repro.bench.loadgen import build_schedule, derive_rng
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+_SMOKE_CONFIG = pathlib.Path(__file__).resolve().parent / "configs" / "matrix_smoke.json"
+
+
+@pytest.fixture(scope="module")
+def matrix_config():
+    return load_config(_SMOKE_CONFIG)
+
+
+@pytest.fixture(scope="module")
+def matrix_doc(matrix_config):
+    """One full smoke-matrix run, written out as ``BENCH_matrix.json``."""
+    history_path = _SMOKE_CONFIG.parent / str(matrix_config.history)
+    history = (
+        json.loads(history_path.read_text(encoding="utf-8")) if history_path.exists() else None
+    )
+    document = run_matrix(matrix_config, bench_seed(), history=history)
+    out_dir = pathlib.Path(os.environ.get("REPRO_BENCH_DIR", _REPO_ROOT))
+    out = out_dir / "BENCH_matrix.json"
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    print(f"\nbenchmark summary -> {out}")
+    return document
+
+
+def test_matrix_cells_serve_cleanly(matrix_doc, matrix_config):
+    """Every cell of the smoke matrix serves its whole request stream
+    with zero failures, zero sheds and zero vectorization fallbacks."""
+    assert set(matrix_doc["cells"]) == set(matrix_config.cell_ids)
+    for cell_id, cell in matrix_doc["cells"].items():
+        assert cell["failures"] == 0, (cell_id, cell["failures"])
+        assert cell["shed"] == 0, (cell_id, cell["shed"])
+        assert cell["fallback_stages"] == 0, (cell_id, cell["fallback_stages"])
+        assert cell["latency_histogram"]["count"] == cell["requests"], cell_id
+
+
+def test_matrix_config_gates_hold(matrix_doc, matrix_config):
+    """The config's own ``gates`` list — what CI fails the build on —
+    must be clean against a fresh run."""
+    thresholds = [Threshold(expression) for expression in matrix_config.gates]
+    assert evaluate(matrix_doc, thresholds) == []
+
+
+def test_same_seed_streams_are_identical(matrix_doc, matrix_config):
+    """Re-deriving every cell's schedule from the recorded seed must
+    reproduce the exact request stream the run fingerprinted.
+
+    The rebuild mirrors the runner's draw order — the cell generator
+    feeds the workload build first, then the schedule — so this also
+    locks that ordering as part of the reproducibility contract.
+    """
+    from repro.bench.workloads import build_workload
+
+    seed = matrix_doc["seed"]
+    for cell in matrix_config.cells:
+        shape = matrix_config.shapes[cell.shape]
+        params = {key: value for key, value in shape.items() if key != "kind"}
+        fingerprints = set()
+        for _ in range(2):
+            rng = derive_rng(seed, cell.cell_id)
+            workload = build_workload(matrix_config.apps[cell.app], rng)
+            schedule = build_schedule(
+                shape["kind"], params, rng, n_pool=workload.samples.shape[0]
+            )
+            fingerprints.add(schedule.fingerprint())
+        assert fingerprints == {matrix_doc["cells"][cell.cell_id]["stream_sha1"]}

@@ -61,6 +61,7 @@ import pytest
 from repro.apps import HDClassificationInference, HyperOMS
 from repro.backends import compile as hdc_compile
 from repro.backends.cpu import CPUBackend
+from repro.bench.loadgen import bench_seed, derive_rng
 from repro.datasets import make_isolet_like
 from repro.serving import InferenceServer, ModelRegistry
 from repro.serving.scheduler import Worker
@@ -568,7 +569,7 @@ def hyperoms_workload():
     The batched plane replaces both with a handful of whole-batch library
     calls.
     """
-    rng = np.random.default_rng(29)
+    rng = derive_rng(bench_seed(), "bench_serving.hyperoms_workload")
     n_bins, n_library = 64, 64
     app = HyperOMS(dimension=512, n_levels=8, seed=11)
     library = (rng.random((n_library, n_bins)) * (rng.random((n_library, n_bins)) > 0.8)).astype(
@@ -649,7 +650,7 @@ def test_stock_apps_serve_fully_vectorized(bench_json, scale, isolet):
     from repro.apps import HDClustering, HDHashtable, RelHD
     from repro.datasets.genomics import GenomicsConfig, base_indices, make_genomics_dataset
 
-    rng = np.random.default_rng(31)
+    rng = derive_rng(bench_seed(), "bench_serving.stock_apps")
     servables = []
 
     cls_app = HDClassificationInference(dimension=scale.classification_dim, similarity="hamming")

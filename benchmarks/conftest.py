@@ -17,6 +17,12 @@ tracked across PRs instead of living only in scrollback.  The summary
 timestamp is *passed in* via ``REPRO_BENCH_TIMESTAMP`` (seconds since
 epoch) so CI can stamp a whole matrix run consistently; it defaults to
 the current time.
+
+Every stochastic workload in the benchmark suite draws from generators
+rooted in the single ``REPRO_BENCH_SEED`` environment variable (fixed
+default; see :mod:`repro.bench.loadgen`), so two same-seed runs serve
+byte-identical request streams — the scenario matrix records each
+cell's stream fingerprint to make that checkable.
 """
 
 from __future__ import annotations

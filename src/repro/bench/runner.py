@@ -1,0 +1,289 @@
+"""The scenario-matrix executor: one cell, one real serving stack.
+
+Each cell builds its workload (:mod:`repro.bench.workloads`), stands up
+a real :class:`~repro.serving.server.InferenceServer` — and, for
+transport backends, the asyncio socket front end — then plays the
+cell's materialized :class:`~repro.bench.loadgen.Schedule` against it:
+paced arrivals, clone targeting, and (for retraining shapes) online
+update rounds **fed from a pre-materialized update log**, never from
+live RNG.  The emitted metrics come straight from
+:meth:`ServerStats.to_dict`, so every number CI gates on is the same
+number the serving runtime itself reports.
+
+The per-cell document (one entry in ``BENCH_matrix.json``'s ``cells``
+mapping, keyed by ``app.backend.config.shape``) carries the cell
+coordinates, throughput, latency quantiles plus the full serialized
+latency histogram (so gates can derive *any* quantile), the
+failure/shed/swap/fallback counters, the request-stream fingerprint
+(``stream_sha1`` — two same-seed runs must agree byte-for-byte), and a
+``trend`` block with deltas against the checked-in history run.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import threading
+import time
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.bench.config import Cell, MatrixConfig, MatrixConfigError, build_approximation
+from repro.bench.loadgen import SHAPE_KINDS, build_schedule, derive_rng
+from repro.bench.workloads import build_workload
+
+__all__ = ["run_matrix", "run_cell", "trend_deltas"]
+
+#: Per-request settle timeout — generous, the cells themselves are small.
+_RESULT_TIMEOUT_S = 60.0
+
+
+def _clone_names(cell: Cell, n_models: int) -> List[str]:
+    if n_models == 1:
+        return [cell.app]
+    return [f"{cell.app}-{k}" for k in range(n_models)]
+
+
+def _materialize_update_log(cell, workload, shape_params, model_name, directory):
+    """Slice the workload's labelled pool into the cell's update log.
+
+    The log — not the pool arrays — is what the run replays, so the
+    exact bytes behind every hot-swap are on disk before the first
+    request is submitted.
+    """
+    from repro.serving.update_log import UpdateLog
+
+    updates, batch = shape_params["updates"], shape_params["update_batch"]
+    pool = workload.update_samples
+    if pool is None or updates * batch > pool.shape[0]:
+        have = 0 if pool is None else pool.shape[0]
+        raise MatrixConfigError(
+            f"cell {cell.cell_id}: {updates} update rounds x batch {batch} "
+            f"need {updates * batch} labelled samples, but app {cell.app!r} "
+            f"provides {have} — shrink the shape or grow the app's pool"
+        )
+    log = UpdateLog(os.path.join(directory, "source.updatelog"))
+    labels = np.asarray(workload.update_labels, dtype=np.int64)
+    for round_index in range(updates):
+        sl = slice(round_index * batch, (round_index + 1) * batch)
+        log.append(model_name, pool[sl], labels[sl])
+    return log
+
+
+def _drive_in_process(server, names, workload, schedule):
+    """Paced submission through the broker's future contract."""
+    from repro.serving.batching import DeadlineExceeded
+
+    futures = []
+    t0 = time.perf_counter()
+    for at, sample, model in zip(schedule.at, schedule.sample, schedule.model):
+        delay = t0 + float(at) - time.perf_counter()
+        if delay > 0:
+            time.sleep(delay)
+        futures.append(server.submit(names[int(model)], workload.samples[int(sample)]))
+    failures = shed = 0
+    for future in futures:
+        try:
+            future.result(timeout=_RESULT_TIMEOUT_S)
+        except DeadlineExceeded:
+            shed += 1
+        except Exception:
+            failures += 1
+    return failures, shed
+
+
+def _drive_transport(server, names, workload, schedule, clients):
+    """Paced submission over the socket front end, N concurrent clients."""
+    from repro.serving.transport import ServingClient, TransportServer
+
+    transport = TransportServer(server)
+    host, port = transport.start()
+    failures = [0] * clients
+    try:
+        t0 = time.perf_counter()
+
+        def client_loop(c: int) -> None:
+            with ServingClient(host, port, timeout=_RESULT_TIMEOUT_S) as client:
+                for index in range(c, len(schedule), clients):
+                    delay = t0 + float(schedule.at[index]) - time.perf_counter()
+                    if delay > 0:
+                        time.sleep(delay)
+                    try:
+                        client.infer(
+                            names[int(schedule.model[index])],
+                            workload.samples[int(schedule.sample[index])],
+                        )
+                    except Exception:
+                        failures[c] += 1
+
+        threads = [
+            threading.Thread(target=client_loop, args=(c,), name=f"bench-client-{c}")
+            for c in range(clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    finally:
+        transport.stop()
+    return sum(failures), 0
+
+
+def run_cell(cell: Cell, config: MatrixConfig, seed: int) -> dict:
+    """Execute one matrix cell; returns its metrics dict."""
+    from repro.serving import InferenceServer
+    from repro.serving.update_log import UpdateLog
+
+    app_spec = config.apps[cell.app]
+    backend = config.backends[cell.backend]
+    approx = build_approximation(config.configs[cell.config])
+    shape = config.shapes[cell.shape]
+    shape_kind = SHAPE_KINDS[shape["kind"]]
+
+    rng = derive_rng(seed, cell.cell_id)
+    workload = build_workload(app_spec, rng)
+    schedule = build_schedule(
+        shape["kind"],
+        {key: value for key, value in shape.items() if key != "kind"},
+        rng,
+        n_pool=workload.samples.shape[0],
+    )
+    names = _clone_names(cell, schedule.n_models)
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        source_log = None
+        live_log = None
+        if shape_kind.retraining:
+            source_log = _materialize_update_log(cell, workload, shape, names[0], tmp)
+            # The server also keeps its own log, so the run exercises the
+            # append hook; it must end up mirroring the source log 1:1.
+            live_log = UpdateLog(os.path.join(tmp, "live.updatelog"))
+
+        server = InferenceServer(
+            workers=tuple(backend["workers"]),
+            policy=backend["policy"],
+            max_batch_size=int(backend["max_batch_size"]),
+            max_wait_seconds=float(backend["max_wait_ms"]) / 1e3,
+            update_log=live_log,
+        )
+        for name in names:
+            server.register(
+                workload.servable, name=name, config=approx, shards=backend["shards"]
+            )
+
+        versions: List[int] = []
+        update_errors: List[str] = []
+        updater = None
+        if source_log is not None:
+            records = source_log.read_all()
+
+            def apply_updates(t0: float) -> None:
+                for offset, record in zip(schedule.updates, records):
+                    delay = t0 + offset - time.perf_counter()
+                    if delay > 0:
+                        time.sleep(delay)
+                    try:
+                        versions.append(server.update(record.model, record.samples, record.labels))
+                    except Exception as exc:  # surfaced as cell failures below
+                        update_errors.append(f"{type(exc).__name__}: {exc}")
+
+        start = time.perf_counter()
+        with server:
+            if source_log is not None:
+                updater = threading.Thread(target=apply_updates, args=(start,), name="bench-updater")
+                updater.start()
+            if backend["transport"]:
+                failures, shed = _drive_transport(
+                    server, names, workload, schedule, int(backend["clients"])
+                )
+            else:
+                failures, shed = _drive_in_process(server, names, workload, schedule)
+            if updater is not None:
+                updater.join()
+            server.drain()
+            stats = server.stats().to_dict()
+        elapsed = time.perf_counter() - start
+
+        metrics = {
+            **cell.coords(),
+            "requests": len(schedule),
+            "duration_s": elapsed,
+            "served_rps": len(schedule) / elapsed if elapsed > 0 else 0.0,
+            "p50_ms": stats["latency_p50_ms"],
+            "p95_ms": stats["latency_p95_ms"],
+            "p99_ms": stats["latency_p99_ms"],
+            "mean_ms": stats["mean_latency_ms"],
+            "mean_batch_size": stats["mean_batch_size"],
+            "failures": int(stats["failures"]) + failures + len(update_errors),
+            "shed": int(stats["deadline_exceeded"]) + shed,
+            "swaps": int(stats["swaps"]),
+            "vectorized_stages": int(stats["vectorized_stages"]),
+            "fallback_stages": int(stats["fallback_stages"]),
+            "stream_sha1": schedule.fingerprint(),
+            "latency_histogram": stats["latency_histogram"],
+        }
+        if source_log is not None:
+            metrics["versions"] = versions
+            metrics["update_errors"] = update_errors
+            # The hook must have mirrored every applied round.
+            metrics["update_log_records"] = len(live_log)
+        return metrics
+
+
+#: (metric, higher_is_better) pairs the trend block reports deltas for.
+_TREND_METRICS = (("served_rps", True), ("p99_ms", False))
+
+
+def trend_deltas(metrics: dict, baseline: dict) -> dict:
+    """Percent deltas of one cell against its history-run counterpart.
+
+    Positive ``*_delta_pct`` always means *regression* — throughput
+    deltas are sign-flipped — so a trend gate is uniformly
+    ``cell.<...>.trend.p99_ms_delta_pct>25``-shaped regardless of the
+    metric's polarity.
+    """
+    trend = {}
+    for metric, higher_is_better in _TREND_METRICS:
+        old = baseline.get(metric)
+        new = metrics.get(metric)
+        if not isinstance(old, (int, float)) or not isinstance(new, (int, float)) or old <= 0:
+            continue
+        delta_pct = (new - old) / old * 100.0
+        trend[f"{metric}_delta_pct"] = -delta_pct if higher_is_better else delta_pct
+    return trend
+
+
+def run_matrix(
+    config: MatrixConfig,
+    seed: int,
+    cells: Optional[List[Cell]] = None,
+    history: Optional[dict] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> dict:
+    """Run the matrix (or a cell subset) and return the summary document.
+
+    The document is what ``BENCH_matrix.json`` holds: run metadata plus
+    the per-cell metrics mapping that ``cell.``-path gates resolve
+    against.  ``history`` is a previously emitted document; when given,
+    each cell present in both runs gains a ``trend`` block.
+    """
+    selected = config.cells if cells is None else cells
+    baseline_cells = (history or {}).get("cells", {})
+    results = {}
+    for index, cell in enumerate(selected):
+        if progress is not None:
+            progress(f"[{index + 1}/{len(selected)}] {cell.cell_id}")
+        metrics = run_cell(cell, config, seed)
+        baseline = baseline_cells.get(cell.cell_id)
+        if isinstance(baseline, dict):
+            metrics["trend"] = trend_deltas(metrics, baseline)
+        results[cell.cell_id] = metrics
+    timestamp = float(os.environ.get("REPRO_BENCH_TIMESTAMP", time.time()))
+    return {
+        "benchmark": "matrix",
+        "config_name": config.name,
+        "seed": int(seed),
+        "timestamp": timestamp,
+        "cells": results,
+    }

@@ -1,0 +1,216 @@
+"""The app axis of the scenario matrix: named workload builders.
+
+Each catalog entry packages one stock application
+(:mod:`repro.apps`) as a benchmark workload: a trained
+:class:`~repro.serving.servable.Servable`, a pool of request samples the
+load generator indexes into, and — for updatable apps — a labelled pool
+the serve-while-retraining shape slices into update-log mini-batches.
+
+Builders take a *derived* :class:`numpy.random.Generator` (see
+:func:`repro.bench.loadgen.derive_rng`), so a workload's trained state
+and sample pool are a pure function of (bench seed, cell ID, app spec):
+the same cell always serves the same model over the same samples.
+
+The ``params`` dict of each :class:`AppKind` doubles as the allowed-key
+schema — the config parser rejects any app-spec key not present here,
+so a typo fails parsing instead of silently running with defaults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+__all__ = ["Workload", "AppKind", "CATALOG", "build_workload"]
+
+
+@dataclass
+class Workload:
+    """One cell's served application and its request/update pools."""
+
+    servable: object
+    #: Request sample pool; the schedule's ``sample`` array indexes rows.
+    samples: np.ndarray
+    #: Labelled update pool (samples, labels) for retraining shapes;
+    #: ``None`` for apps without an online-update rule.
+    update_samples: Optional[np.ndarray] = None
+    update_labels: Optional[np.ndarray] = None
+
+
+def _classification(params: dict, rng: np.random.Generator) -> Workload:
+    from repro.apps import HDClassificationInference
+    from repro.datasets import IsoletConfig, make_isolet_like
+
+    dataset = make_isolet_like(
+        IsoletConfig(
+            n_features=params["n_features"],
+            n_classes=params["n_classes"],
+            n_train=params["n_train"],
+            n_test=params["n_test"],
+            seed=int(rng.integers(0, 2**31 - 1)),
+        )
+    )
+    app = HDClassificationInference(
+        dimension=params["dimension"], similarity=params["similarity"]
+    )
+    return Workload(
+        servable=app.as_servable(dataset=dataset),
+        samples=dataset.test_features,
+        update_samples=dataset.train_features,
+        update_labels=dataset.train_labels,
+    )
+
+
+def _hyperoms(params: dict, rng: np.random.Generator) -> Workload:
+    from repro.apps import HyperOMS
+
+    n_bins, n_library = params["n_bins"], params["n_library"]
+    occupancy = params["occupancy"]
+
+    def sparse_spectra(count: int) -> np.ndarray:
+        return (
+            rng.random((count, n_bins)) * (rng.random((count, n_bins)) > 1.0 - occupancy)
+        ).astype(np.float32)
+
+    app = HyperOMS(
+        dimension=params["dimension"],
+        n_levels=params["n_levels"],
+        seed=int(rng.integers(0, 2**31 - 1)),
+    )
+    library = sparse_spectra(n_library)
+    return Workload(
+        servable=app.as_servable(app.encode_library(library), n_bins=n_bins),
+        samples=sparse_spectra(params["pool"]),
+    )
+
+
+def _clustering(params: dict, rng: np.random.Generator) -> Workload:
+    from repro.apps import HDClustering
+
+    dim, n_features = params["dimension"], params["n_features"]
+    app = HDClustering(dimension=dim)
+    rp = np.sign(rng.standard_normal((dim, n_features))).astype(np.float32)
+    clusters = np.sign(rng.standard_normal((params["n_clusters"], dim))).astype(np.float32)
+    return Workload(
+        servable=app.as_servable(rp, clusters),
+        samples=rng.standard_normal((params["pool"], n_features)).astype(np.float32),
+    )
+
+
+def _relhd(params: dict, rng: np.random.Generator) -> Workload:
+    from repro.apps import RelHD
+
+    dim, n_classes = params["dimension"], params["n_classes"]
+    app = RelHD(dimension=dim)
+    classes = np.sign(rng.standard_normal((n_classes, dim))).astype(np.float32)
+
+    def encodings(count: int) -> np.ndarray:
+        return np.sign(rng.standard_normal((count, dim))).astype(np.float32)
+
+    return Workload(
+        servable=app.as_servable(classes),
+        samples=encodings(params["pool"]),
+        update_samples=encodings(params["update_pool"]),
+        update_labels=rng.integers(0, n_classes, size=params["update_pool"]),
+    )
+
+
+def _hashtable(params: dict, rng: np.random.Generator) -> Workload:
+    from repro.apps import HDHashtable
+    from repro.datasets.genomics import GenomicsConfig, base_indices, make_genomics_dataset
+
+    dataset = make_genomics_dataset(
+        GenomicsConfig(
+            genome_length=params["genome_length"],
+            bucket_size=params["bucket_size"],
+            read_length=params["read_length"],
+            n_reads=params["n_reads"],
+            n_decoys=0,
+            kmer_length=params["kmer_length"],
+        )
+    )
+    app = HDHashtable(dimension=params["dimension"])
+    base_hvs = app.make_base_hypervectors()
+    table = app.encode_reference_buckets(dataset, base_hvs)
+    reads = np.stack([base_indices(read) for read in dataset.reads])
+    return Workload(
+        servable=app.as_servable(
+            table,
+            read_length=params["read_length"],
+            kmer_length=params["kmer_length"],
+            base_hvs=base_hvs,
+        ),
+        samples=reads,
+    )
+
+
+@dataclass(frozen=True)
+class AppKind:
+    """One application family: its builder and its parameter schema."""
+
+    build: Callable[[dict, np.random.Generator], Workload]
+    #: Parameter defaults; the keys are also the allowed-key schema.
+    params: Dict[str, object] = field(default_factory=dict)
+    #: Whether the servable carries an online ``update_batch`` rule
+    #: (required by serve-while-retraining cells, checked at parse time).
+    updatable: bool = False
+
+
+#: Registry of application kinds, keyed by the ``kind`` field of an app
+#: spec.  Sizes default to smoke scale — a full matrix of these cells
+#: runs in seconds, not minutes; configs scale them up explicitly.
+CATALOG: Dict[str, AppKind] = {
+    "classification": AppKind(
+        build=_classification,
+        params={
+            "dimension": 512,
+            "n_features": 64,
+            "n_classes": 8,
+            "n_train": 192,
+            "n_test": 64,
+            "similarity": "hamming",
+        },
+        updatable=True,
+    ),
+    "hyperoms": AppKind(
+        build=_hyperoms,
+        params={
+            "dimension": 256,
+            "n_levels": 8,
+            "n_bins": 32,
+            "n_library": 32,
+            "pool": 128,
+            "occupancy": 0.2,
+        },
+    ),
+    "clustering": AppKind(
+        build=_clustering,
+        params={"dimension": 256, "n_features": 16, "n_clusters": 8, "pool": 128},
+    ),
+    "relhd": AppKind(
+        build=_relhd,
+        params={"dimension": 256, "n_classes": 7, "pool": 128, "update_pool": 192},
+        updatable=True,
+    ),
+    "hashtable": AppKind(
+        build=_hashtable,
+        params={
+            "dimension": 256,
+            "genome_length": 4000,
+            "bucket_size": 500,
+            "read_length": 60,
+            "n_reads": 64,
+            "kmer_length": 8,
+        },
+    ),
+}
+
+
+def build_workload(spec: dict, rng: np.random.Generator) -> Workload:
+    """Build the workload for one validated app spec (see CATALOG)."""
+    kind = CATALOG[spec["kind"]]
+    params = dict(kind.params)
+    params.update({key: value for key, value in spec.items() if key != "kind"})
+    return kind.build(params, rng)

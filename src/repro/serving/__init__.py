@@ -41,6 +41,11 @@ pushes a stream of single-sample requests through them:
   export) and the Prometheus text exposition
   (:func:`~repro.serving.observability.render_prometheus`, the transport's
   ``metrics`` op, ``tools/export_metrics.py``).
+* :class:`~repro.serving.update_log.UpdateLog` — append-only, replayable
+  log of the labelled mini-batches behind each served version; a restarted
+  server replays it into a fresh baseline and rebuilds the exact versions
+  bit-identically (and :mod:`repro.bench` feeds serve-while-retraining
+  load cells from it, so online-training scenarios replay from a file).
 * :class:`~repro.serving.broker.RequestBroker` — the transport-agnostic
   core owning the whole submit→batch→schedule→dispatch→settle path; front
   ends adapt callers onto its future contract.
@@ -108,6 +113,7 @@ from repro.serving.servable import (
     servable_signature,
 )
 from repro.serving.server import InferenceServer
+from repro.serving.update_log import UpdateLog, UpdateLogError, UpdateRecord
 
 __all__ = [
     "InferenceServer",
@@ -154,4 +160,7 @@ __all__ = [
     "chrome_trace",
     "render_prometheus",
     "parse_prometheus_text",
+    "UpdateLog",
+    "UpdateRecord",
+    "UpdateLogError",
 ]

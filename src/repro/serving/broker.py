@@ -104,6 +104,11 @@ class RequestBroker:
         trace_capacity: Per-ring trace retention of the tracer.
         trace_sample_every: Keep 1-in-N healthy traces (errors and SLO
             violators are always retained).
+        update_log: Optional :class:`~repro.serving.update_log.UpdateLog`;
+            when set, every successful :meth:`update` round appends the
+            labelled mini-batch it applied (and the version it produced),
+            making served versions rebuildable by replaying the log into
+            a freshly registered baseline.
     """
 
     def __init__(
@@ -119,9 +124,16 @@ class RequestBroker:
         tracing: bool = False,
         trace_capacity: int = 512,
         trace_sample_every: int = 1,
+        update_log=None,
     ):
         self.registry = registry
         self.pool = pool
+        #: Optional :class:`~repro.serving.update_log.UpdateLog`: every
+        #: successful :meth:`update` round appends its mini-batch (after
+        #: the hot-swap lands), so a restarted broker can
+        #: :meth:`~repro.serving.update_log.UpdateLog.replay` the log and
+        #: rebuild the exact served versions bit-identically.
+        self.update_log = update_log
         self.max_batch_size = max_batch_size
         self.max_wait_seconds = max_wait_seconds
         self.pad_to_buckets = pad_to_buckets
@@ -319,6 +331,12 @@ class RequestBroker:
             # the swap instead of being clobbered by a stale derivation.
             version = self.registry.swap(model, replacement, expected=deployment)
             self.swap(replacement)
+            if self.update_log is not None:
+                # Logged only after the swap landed, so the log never
+                # describes a version that failed to serve.  (During
+                # UpdateLog.replay the hook is a no-op — replayed rounds
+                # are already in the log.)
+                self.update_log.append(model, samples, labels, version=version)
             if deployment.servable.signature != new_servable.signature:
                 # The replaced version's compiled programs can never hit
                 # again (its content-hashed state is gone); reclaim them

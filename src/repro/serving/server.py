@@ -72,6 +72,10 @@ class InferenceServer:
             :class:`~repro.serving.observability.RequestTracer`).
         trace_sample_every: Keep 1-in-N healthy traces (errors and SLO
             violators are always retained).
+        update_log: Optional :class:`~repro.serving.update_log.UpdateLog`;
+            every successful :meth:`update` appends its mini-batch to it,
+            so a restarted server rebuilds the exact served versions by
+            replaying the log (see :meth:`UpdateLog.replay`).
     """
 
     def __init__(
@@ -88,6 +92,7 @@ class InferenceServer:
         tracing: bool = False,
         trace_capacity: int = 512,
         trace_sample_every: int = 1,
+        update_log=None,
     ):
         self.registry = registry if registry is not None else ModelRegistry()
         self.pool = WorkerPool(workers, policy=policy)
@@ -103,6 +108,7 @@ class InferenceServer:
             tracing=tracing,
             trace_capacity=trace_capacity,
             trace_sample_every=trace_sample_every,
+            update_log=update_log,
         )
 
     # Configuration and collectors live on the broker; these properties keep
@@ -307,6 +313,12 @@ class InferenceServer:
         """Zero the metrics window for per-interval reporting (SLO
         thresholds survive; see :meth:`ServingMetrics.reset`)."""
         self.broker.reset_stats()
+
+    @property
+    def update_log(self):
+        """The broker's :class:`~repro.serving.update_log.UpdateLog`
+        (``None`` unless constructed with ``update_log=...``)."""
+        return self.broker.update_log
 
     @property
     def tracer(self):

@@ -1,0 +1,273 @@
+"""Replayable update logs: persist the mini-batches behind served versions.
+
+Online re-training (:meth:`RequestBroker.update`) derives each served model
+version from the previous one plus a labelled mini-batch.  That derivation
+is deterministic — the update rule is a pure function of (constants,
+samples, labels) — so persisting the mini-batches *is* persisting the
+model: a restarted server replays the log into a freshly registered
+baseline and rebuilds the exact served version, bit-identically, without
+snapshotting any trained state.
+
+:class:`UpdateLog` is that persistence.  It is an append-only single file;
+each record is one JSON header line (model name, sequence number, array
+dtypes/shapes, the registry version the update produced) followed by the
+raw bytes of the samples and labels arrays::
+
+    {"model": "isolet", "seq": 1, "version": 2, "samples": {...}, ...}\\n
+    <samples bytes><labels bytes>
+    {"model": "isolet", "seq": 2, ...}\\n
+    ...
+
+No pickle anywhere — headers are JSON, payloads are raw C-order array
+bytes — so a log is safe to read from untrusted storage and stable across
+Python versions.
+
+Two consumers:
+
+* **Serving** — pass ``update_log=UpdateLog(path)`` to
+  :class:`~repro.serving.broker.RequestBroker` (or
+  :class:`~repro.serving.server.InferenceServer`): every successful
+  ``update`` round appends its mini-batch after the hot-swap lands, so the
+  log always describes versions that actually served.  After a restart,
+  :meth:`replay` applies the records through the same ``update`` path —
+  same rule, same arithmetic, same constants, hence the same versions and
+  bit-identical predictions.
+* **Benchmarking** — :mod:`repro.bench` feeds serve-while-retraining load
+  cells from a pre-materialized log, so online-training scenarios are
+  reproducible from a file rather than live RNG.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import threading
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+__all__ = ["UpdateLog", "UpdateRecord", "UpdateLogError"]
+
+
+class UpdateLogError(RuntimeError):
+    """A corrupt or unreadable update log (truncated payload, malformed
+    header, unsupported dtype).  Typed so callers can distinguish a bad
+    log file from the serving errors a replay might surface."""
+
+
+def _array_header(array: np.ndarray) -> dict:
+    return {"dtype": array.dtype.str, "shape": list(array.shape)}
+
+
+def _read_exact(handle, n: int, context: str) -> bytes:
+    data = handle.read(n)
+    if len(data) != n:
+        raise UpdateLogError(
+            f"truncated update log: expected {n} payload bytes for {context}, "
+            f"got {len(data)}"
+        )
+    return data
+
+
+@dataclass(frozen=True)
+class UpdateRecord:
+    """One logged re-training round: the labelled mini-batch that produced
+    a served version.
+
+    Attributes:
+        model: Deployment name the update applied to.
+        seq: 1-based position in the log (append order).
+        samples / labels: The mini-batch, exactly as passed to ``update``.
+        version: The registry version the round produced when it was
+            logged live (``None`` for pre-materialized benchmark logs
+            whose records have not been applied yet).
+    """
+
+    model: str
+    seq: int
+    samples: np.ndarray
+    labels: np.ndarray
+    version: Optional[int] = None
+
+
+class UpdateLog:
+    """Append-only, replayable log of online-update mini-batches.
+
+    Args:
+        path: Log file location.  Created (parents included) on first
+            append; reading a nonexistent log yields zero records.
+
+    Thread safety: appends are serialized under an internal lock (the
+    broker calls :meth:`append` from update rounds, which are themselves
+    serialized, but a shared log between brokers stays consistent).
+    """
+
+    def __init__(self, path):
+        self.path = pathlib.Path(path)
+        self._lock = threading.Lock()
+        # While replay() drives a broker that has this same log attached,
+        # the broker's post-update append hook must not re-log the very
+        # records being replayed (the log would double on every restart).
+        self._replaying = False
+
+    # -- writing ------------------------------------------------------------------
+    def append(
+        self,
+        model: str,
+        samples: np.ndarray,
+        labels: np.ndarray,
+        version: Optional[int] = None,
+    ) -> int:
+        """Append one mini-batch record; returns its sequence number.
+
+        The record is written with a single buffered write and flushed to
+        the OS before returning, so a crash mid-serving loses at most the
+        round being written, never an earlier one.
+        """
+        if self._replaying:
+            return len(self)
+        samples = np.ascontiguousarray(samples)
+        labels = np.ascontiguousarray(labels)
+        with self._lock:
+            seq = self._count_records() + 1
+            header = {
+                "model": str(model),
+                "seq": seq,
+                "version": None if version is None else int(version),
+                "samples": _array_header(samples),
+                "labels": _array_header(labels),
+            }
+            payload = (
+                json.dumps(header, separators=(",", ":")).encode("utf-8")
+                + b"\n"
+                + samples.tobytes()
+                + labels.tobytes()
+            )
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with self.path.open("ab") as handle:
+                handle.write(payload)
+                handle.flush()
+                os.fsync(handle.fileno())
+        return seq
+
+    # -- reading ------------------------------------------------------------------
+    def records(self) -> Iterator[UpdateRecord]:
+        """Iterate the logged records in append order."""
+        if not self.path.exists():
+            return
+        with self.path.open("rb") as handle:
+            seq = 0
+            while True:
+                line = handle.readline()
+                if not line:
+                    return
+                seq += 1
+                try:
+                    header = json.loads(line.decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                    raise UpdateLogError(
+                        f"malformed update-log header at record {seq} of {self.path}: {exc}"
+                    ) from exc
+                arrays = {}
+                for field in ("samples", "labels"):
+                    spec = header.get(field)
+                    if not isinstance(spec, dict) or "dtype" not in spec or "shape" not in spec:
+                        raise UpdateLogError(
+                            f"update-log record {seq} of {self.path} is missing "
+                            f"the {field!r} array header"
+                        )
+                    try:
+                        dtype = np.dtype(str(spec["dtype"]))
+                    except TypeError as exc:
+                        raise UpdateLogError(
+                            f"update-log record {seq}: bad {field} dtype {spec['dtype']!r}"
+                        ) from exc
+                    if dtype.hasobject:
+                        raise UpdateLogError(
+                            f"update-log record {seq}: object dtypes are not allowed"
+                        )
+                    shape = tuple(int(d) for d in spec["shape"])
+                    n_bytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+                    data = _read_exact(handle, n_bytes, f"record {seq} {field}")
+                    arrays[field] = np.frombuffer(data, dtype=dtype).reshape(shape).copy()
+                version = header.get("version")
+                yield UpdateRecord(
+                    model=str(header.get("model", "")),
+                    seq=seq,
+                    samples=arrays["samples"],
+                    labels=arrays["labels"],
+                    version=None if version is None else int(version),
+                )
+
+    def read_all(self) -> List[UpdateRecord]:
+        """Every record, materialized (convenience over :meth:`records`)."""
+        return list(self.records())
+
+    def _count_records(self) -> int:
+        count = 0
+        for _ in self.records():
+            count += 1
+        return count
+
+    def __len__(self) -> int:
+        with self._lock:
+            return self._count_records()
+
+    def models(self) -> List[str]:
+        """Distinct model names appearing in the log, in first-seen order."""
+        seen: List[str] = []
+        for record in self.records():
+            if record.model not in seen:
+                seen.append(record.model)
+        return seen
+
+    # -- replay -------------------------------------------------------------------
+    def replay(self, target, model: Optional[str] = None) -> List[int]:
+        """Re-apply the logged rounds through ``target.update``.
+
+        ``target`` is anything with the broker's update contract —
+        :class:`~repro.serving.broker.RequestBroker`,
+        :class:`~repro.serving.server.InferenceServer`, or a
+        :class:`~repro.serving.transport.ServingClient`.  Records are
+        applied in log order (optionally filtered to one ``model``); the
+        returned list holds the registry version each round produced.
+
+        Because the update rule is deterministic, replaying into a fresh
+        process that registered the same baseline servable rebuilds the
+        exact served state: same versions, bit-identical constants and
+        predictions.  When the target broker has *this* log attached, the
+        replayed rounds are not re-appended.
+
+        Raises:
+            UpdateLogError: A record's stored ``version`` disagrees with
+                the version the replayed update produced — the target was
+                not at the log's baseline (e.g. it already took updates).
+        """
+        versions: List[int] = []
+        self._replaying = True
+        try:
+            for record in self.records():
+                if model is not None and record.model != model:
+                    continue
+                version = target.update(record.model, record.samples, record.labels)
+                if record.version is not None and int(version) != record.version:
+                    raise UpdateLogError(
+                        f"replay of record {record.seq} ({record.model!r}) produced "
+                        f"version {version}, but the log recorded version "
+                        f"{record.version} — the target is not at this log's baseline"
+                    )
+                versions.append(int(version))
+        finally:
+            self._replaying = False
+        return versions
+
+    def clear(self) -> None:
+        """Delete the log file (the next append starts a fresh log)."""
+        with self._lock:
+            if self.path.exists():
+                self.path.unlink()
+
+    def __repr__(self) -> str:
+        return f"UpdateLog({str(self.path)!r}, records={self._count_records()})"

@@ -9,6 +9,8 @@ from repro.backends import compile as hdc_compile
 from repro.ir.builder import clone_program, lower_program
 from repro.ir.verifier import verify_graph, verify_program
 from repro.kernels import reference as ref
+from repro.serving.metrics import percentile as exact_percentile
+from repro.serving.observability.histogram import DEFAULT_RELATIVE_ERROR, LatencyHistogram
 from repro.transforms import ApproximationConfig, AutomaticBinarization, PerforationSpec
 
 
@@ -131,3 +133,98 @@ class TestCompilerProperties:
         )
         identity_perf = hdc_compile(prog, target="cpu", config=config).run(**inputs)
         assert int(np.asarray(exact.output)) == int(np.asarray(identity_perf.output))
+
+
+# Latency samples above the histogram's underflow threshold (1e-6 s),
+# spanning microseconds to ~3 hours — the relative-error guarantee only
+# applies above min_value, and real latencies live in this range anyway.
+latencies = st.lists(
+    st.floats(min_value=1e-5, max_value=1e4, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=200,
+)
+
+
+def _hist(samples) -> LatencyHistogram:
+    hist = LatencyHistogram()
+    hist.record_many(samples)
+    return hist
+
+
+def _same_state(a: LatencyHistogram, b: LatencyHistogram) -> None:
+    """Bucket-exact equality: merging is bucket-wise integer addition, so
+    every field except the float ``sum`` (addition-order sensitive) must
+    match exactly."""
+    assert a._counts == b._counts
+    assert a.count == b.count
+    assert a.zero_count == b.zero_count
+    assert a.min == b.min
+    assert a.max == b.max
+    assert a.sum == pytest.approx(b.sum, rel=1e-12)
+
+
+class TestLatencyHistogramProperties:
+    """The merge/serialize algebra the fleet-aggregation path relies on:
+    shard histograms must combine in any order and survive a JSON hop
+    without moving any quantile."""
+
+    @given(latencies, latencies)
+    @settings(max_examples=40, deadline=None)
+    def test_merge_is_commutative(self, xs, ys):
+        ab = _hist(xs).merge(_hist(ys))
+        ba = _hist(ys).merge(_hist(xs))
+        _same_state(ab, ba)
+
+    @given(latencies, latencies, latencies)
+    @settings(max_examples=40, deadline=None)
+    def test_merge_is_associative(self, xs, ys, zs):
+        a, b, c = _hist(xs), _hist(ys), _hist(zs)
+        left = a.copy().merge(b.copy().merge(c.copy()))
+        right = a.copy().merge(b.copy()).merge(c.copy())
+        _same_state(left, right)
+
+    @given(latencies, latencies)
+    @settings(max_examples=40, deadline=None)
+    def test_merge_equals_recording_everything_in_one(self, xs, ys):
+        merged = _hist(xs).merge(_hist(ys))
+        direct = _hist(xs + ys)
+        _same_state(merged, direct)
+
+    @given(latencies)
+    @settings(max_examples=40, deadline=None)
+    def test_to_dict_round_trips_exactly(self, xs):
+        hist = _hist(xs)
+        restored = LatencyHistogram.from_dict(hist.to_dict())
+        _same_state(hist, restored)
+        # ...and through an actual JSON hop, as on the serving transport.
+        import json
+
+        rewired = LatencyHistogram.from_dict(json.loads(json.dumps(hist.to_dict())))
+        _same_state(hist, rewired)
+        for p in (50.0, 90.0, 99.0):
+            assert restored.percentile(p) == hist.percentile(p)
+
+    @given(latencies, latencies, st.sampled_from([25.0, 50.0, 90.0, 95.0, 99.0]))
+    @settings(max_examples=60, deadline=None)
+    def test_merged_quantiles_stay_within_relative_error(self, xs, ys, p):
+        """The documented accuracy contract survives a merge: a quantile
+        of two merged shard histograms is within DEFAULT_RELATIVE_ERROR
+        of the exact nearest-rank percentile over the pooled samples."""
+        merged = _hist(xs).merge(_hist(ys))
+        exact = exact_percentile(xs + ys, p)
+        assert merged.percentile(p) == pytest.approx(exact, rel=DEFAULT_RELATIVE_ERROR)
+
+    @given(latencies)
+    @settings(max_examples=40, deadline=None)
+    def test_extreme_ranks_are_exact(self, xs):
+        hist = _hist(xs)
+        assert hist.percentile(0.0) == min(xs)
+        assert hist.percentile(100.0) == max(xs)
+
+    @given(latencies)
+    @settings(max_examples=20, deadline=None)
+    def test_incompatible_shapes_refuse_to_merge(self, xs):
+        hist = _hist(xs)
+        other = LatencyHistogram(relative_error=DEFAULT_RELATIVE_ERROR / 2)
+        with pytest.raises(ValueError, match="different shapes"):
+            hist.merge(other)

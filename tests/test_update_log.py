@@ -1,0 +1,202 @@
+"""Tests for the replayable update log (repro.serving.update_log).
+
+The central contract — same bar as the PR 5 online-retraining tests:
+because the online update rule is a pure function of (constants,
+samples, labels), persisting the labelled mini-batches behind each
+served version *is* persisting the model.  A restarted server that
+registers the same baseline and replays the log must end at the same
+registry versions with bit-identical constants and predictions.  The
+negative side: corrupt logs (truncated payloads, malformed headers,
+unsafe dtypes) fail with the typed :class:`UpdateLogError`, and a
+replay into a target that is not at the log's baseline is detected.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import HDClassificationInference
+from repro.datasets import IsoletConfig, make_isolet_like
+from repro.serving import InferenceServer, UpdateLog, UpdateLogError
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_isolet_like(
+        IsoletConfig(n_features=48, n_classes=6, n_train=180, n_test=48, seed=11)
+    )
+
+
+def make_servable(dataset):
+    app = HDClassificationInference(dimension=256, similarity="hamming")
+    return app.as_servable(dataset=dataset, name="isolet")
+
+
+def rounds(dataset, n=3):
+    return [
+        (dataset.train_features[i::n], dataset.train_labels[i::n].astype(np.int64))
+        for i in range(n)
+    ]
+
+
+class TestAppendAndRead:
+    def test_round_trips_records_bit_exactly(self, tmp_path, dataset):
+        log = UpdateLog(tmp_path / "u.log")
+        for index, (samples, labels) in enumerate(rounds(dataset)):
+            seq = log.append("isolet", samples, labels, version=index + 2)
+            assert seq == index + 1
+        records = log.read_all()
+        assert [r.seq for r in records] == [1, 2, 3]
+        assert [r.version for r in records] == [2, 3, 4]
+        for record, (samples, labels) in zip(records, rounds(dataset)):
+            assert record.model == "isolet"
+            assert record.samples.dtype == samples.dtype
+            assert np.array_equal(record.samples, samples)
+            assert np.array_equal(record.labels, labels)
+
+    def test_missing_file_is_an_empty_log(self, tmp_path):
+        log = UpdateLog(tmp_path / "never-created.log")
+        assert len(log) == 0
+        assert log.read_all() == []
+        assert log.models() == []
+
+    def test_models_in_first_seen_order(self, tmp_path):
+        log = UpdateLog(tmp_path / "u.log")
+        batch = np.zeros((2, 4), dtype=np.float32)
+        labels = np.zeros(2, dtype=np.int64)
+        for model in ("b", "a", "b"):
+            log.append(model, batch, labels)
+        assert log.models() == ["b", "a"]
+
+    def test_clear_deletes_and_restarts(self, tmp_path):
+        log = UpdateLog(tmp_path / "u.log")
+        log.append("m", np.zeros((1, 2), dtype=np.float32), np.zeros(1, dtype=np.int64))
+        assert len(log) == 1
+        log.clear()
+        assert len(log) == 0
+        assert log.append("m", np.zeros((1, 2), dtype=np.float32), np.zeros(1, dtype=np.int64)) == 1
+
+
+class TestCorruptLogs:
+    def _one_record_log(self, tmp_path):
+        log = UpdateLog(tmp_path / "u.log")
+        log.append(
+            "m",
+            np.arange(8, dtype=np.float32).reshape(2, 4),
+            np.array([0, 1], dtype=np.int64),
+        )
+        return log
+
+    def test_truncated_payload_is_typed_error(self, tmp_path):
+        log = self._one_record_log(tmp_path)
+        data = log.path.read_bytes()
+        log.path.write_bytes(data[:-5])
+        with pytest.raises(UpdateLogError, match="truncated"):
+            log.read_all()
+
+    def test_malformed_header_is_typed_error(self, tmp_path):
+        log = self._one_record_log(tmp_path)
+        log.path.write_bytes(b"not json at all\n" + b"\x00" * 16)
+        with pytest.raises(UpdateLogError, match="malformed"):
+            log.read_all()
+
+    def test_missing_array_header_is_typed_error(self, tmp_path):
+        log = UpdateLog(tmp_path / "u.log")
+        log.path.write_bytes(b'{"model": "m", "seq": 1}\n')
+        with pytest.raises(UpdateLogError, match="missing"):
+            log.read_all()
+
+    def test_object_dtype_is_rejected(self, tmp_path):
+        log = UpdateLog(tmp_path / "u.log")
+        header = (
+            b'{"model": "m", "seq": 1, "version": null, '
+            b'"samples": {"dtype": "|O", "shape": [1]}, '
+            b'"labels": {"dtype": "<i8", "shape": [1]}}\n'
+        )
+        log.path.write_bytes(header + b"\x00" * 16)
+        with pytest.raises(UpdateLogError, match="dtype"):
+            log.read_all()
+
+
+class TestReplayRebuildsServedState:
+    def test_restarted_server_is_bit_identical(self, tmp_path, dataset):
+        """Live-train a server with the log attached, then rebuild a
+        fresh server from the same baseline by replaying the log: same
+        versions, bit-identical class memories and predictions."""
+        servable = make_servable(dataset)
+        queries = list(dataset.test_features)
+
+        log = UpdateLog(tmp_path / "u.log")
+        live = InferenceServer(workers=("cpu",), update_log=log)
+        live.register(servable)
+        with live:
+            live_versions = [
+                live.update("isolet", samples, labels) for samples, labels in rounds(dataset)
+            ]
+            live_predictions = live.infer_many("isolet", queries)
+        assert live_versions == [2, 3, 4]
+        assert [r.version for r in log.read_all()] == [2, 3, 4]
+
+        # "Restart": a fresh process registers the same baseline servable
+        # and replays the persisted log through the same update path.
+        restarted = InferenceServer(workers=("cpu",), update_log=log)
+        restarted.register(make_servable(dataset))
+        with restarted:
+            replayed_versions = log.replay(restarted)
+            replayed_predictions = restarted.infer_many("isolet", queries)
+
+        assert replayed_versions == live_versions
+        live_classes = live.registry.get("isolet").servable.constants["class_hvs"]
+        replayed_classes = restarted.registry.get("isolet").servable.constants["class_hvs"]
+        assert np.array_equal(live_classes, replayed_classes)
+        for live_p, replayed_p in zip(live_predictions, replayed_predictions):
+            assert np.array_equal(np.asarray(live_p), np.asarray(replayed_p))
+
+    def test_replay_does_not_reappend_to_the_attached_log(self, tmp_path, dataset):
+        servable = make_servable(dataset)
+        log = UpdateLog(tmp_path / "u.log")
+        live = InferenceServer(workers=("cpu",), update_log=log)
+        live.register(servable)
+        with live:
+            for samples, labels in rounds(dataset):
+                live.update("isolet", samples, labels)
+        assert len(log) == 3
+
+        restarted = InferenceServer(workers=("cpu",), update_log=log)
+        restarted.register(make_servable(dataset))
+        with restarted:
+            log.replay(restarted)
+        assert len(log) == 3  # replayed rounds are already in the log
+
+    def test_replay_into_non_baseline_target_is_detected(self, tmp_path, dataset):
+        servable = make_servable(dataset)
+        log = UpdateLog(tmp_path / "u.log")
+        live = InferenceServer(workers=("cpu",), update_log=log)
+        live.register(servable)
+        with live:
+            for samples, labels in rounds(dataset):
+                live.update("isolet", samples, labels)
+
+        # The target already took an update, so its versions are ahead
+        # of the log's recorded ones.
+        drifted = InferenceServer(workers=("cpu",))
+        drifted.register(make_servable(dataset))
+        with drifted:
+            drifted.update("isolet", *rounds(dataset)[0])
+            with pytest.raises(UpdateLogError, match="baseline"):
+                log.replay(drifted)
+
+    def test_model_filter_replays_a_subset(self, tmp_path, dataset):
+        servable = make_servable(dataset)
+        log = UpdateLog(tmp_path / "u.log")
+        samples, labels = rounds(dataset)[0]
+        # Interleave records for a model this target does not serve; the
+        # filtered replay must skip them.
+        log.append("other", samples, labels)
+        log.append("isolet", samples, labels, version=2)
+        server = InferenceServer(workers=("cpu",))
+        server.register(servable)
+        with server:
+            versions = log.replay(server, model="isolet")
+        assert versions == [2]

@@ -42,15 +42,26 @@ record's ``stats``) or a single JSON document such as the
 
 which is how CI's perf-smoke step fails the build when a deployment's
 batched route silently degrades to the per-row loop.
+
+The threshold grammar is shared with the scenario-matrix harness
+(:mod:`repro.bench.gates`), including its **cell paths**: against a
+``BENCH_matrix.json`` document, ``cell.<selectors>.<metric>`` evaluates
+the metric in every cell matching the selector tokens, one violation
+per violating cell::
+
+    PYTHONPATH=src python tools/scrape_stats.py --check BENCH_matrix.json \
+        --fail-on "cell.isolet.steady.p99_ms>40" \
+        --fail-on "cell.burst.failures>0"
+
+A malformed expression exits with code 2 (usage error), distinct from
+exit code 1 (violations found).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
-import operator
 import pathlib
-import re
 import sys
 import time
 
@@ -58,109 +69,17 @@ _SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
-from repro.serving.observability.histogram import LatencyHistogram  # noqa: E402
-from repro.serving.transport import ServingClient  # noqa: E402
-
-_EXPR_RE = re.compile(
-    r"^\s*(?P<path>[A-Za-z0-9_.\- ]+?)\s*(?P<op>>=|<=|==|!=|>|<)\s*(?P<limit>-?\d+(?:\.\d+)?)\s*$"
+# The threshold grammar — expression parsing, dotted-path resolution,
+# histogram stat tokens and matrix cell paths — lives in
+# repro.bench.gates, shared with `python -m repro.bench`.  The private
+# aliases keep this module's historical surface intact.
+from repro.bench.gates import (  # noqa: E402
+    GateError,
+    Threshold,
+    histogram_stat as _histogram_stat,
+    resolve as _resolve,
 )
-
-_OPERATORS = {
-    ">": operator.gt,
-    ">=": operator.ge,
-    "<": operator.lt,
-    "<=": operator.le,
-    "==": operator.eq,
-    "!=": operator.ne,
-}
-
-
-class Threshold:
-    """One ``--fail-on`` expression: a dotted metric path, a comparison
-    operator and a numeric limit.  The expression states the *failure*
-    condition — ``fallback_stages>0`` means "fail when positive"."""
-
-    def __init__(self, expression: str):
-        match = _EXPR_RE.match(expression)
-        if match is None:
-            raise ValueError(
-                f"cannot parse threshold {expression!r} "
-                f"(expected e.g. 'fallback_stages>0' or 'model_stats.m.slo_violations>=5')"
-            )
-        self.expression = expression.strip()
-        self.path = match.group("path").strip()
-        self.op = match.group("op")
-        self.limit = float(match.group("limit"))
-
-    def violation(self, record: dict) -> "str | None":
-        """The violation message for one record, or ``None`` when clean."""
-        value = _resolve(record, self.path)
-        if value is None:
-            return f"{self.expression}: metric {self.path!r} missing from record"
-        try:
-            numeric = float(value)
-        except (TypeError, ValueError):
-            return f"{self.expression}: metric {self.path!r} is non-numeric ({value!r})"
-        if _OPERATORS[self.op](numeric, self.limit):
-            return f"{self.expression}: violated with {self.path} = {numeric:g}"
-        return None
-
-
-#: Quantile tokens a dotted path may end with when it walks into a
-#: serialized histogram: ``p99``, ``p99_9`` (99.9) — with an optional
-#: ``_ms`` suffix converting the histogram's seconds to milliseconds.
-_HIST_QUANTILE_RE = re.compile(r"^p(?P<whole>\d+)(?:_(?P<frac>\d+))?(?P<ms>_ms)?$")
-
-
-def _histogram_stat(data: dict, token: str):
-    """Resolve a stat token against a serialized log-linear histogram.
-
-    ``data`` is a :meth:`LatencyHistogram.to_dict` document (recognized
-    by its ``"buckets"`` key); tokens are exact fields (``count``,
-    ``sum``, ``min``, ``max``), ``mean`` / ``mean_ms``, or quantiles
-    like ``p50`` / ``p99_9`` / ``p99_ms``.  Returns ``None`` for an
-    unknown token, which the threshold reports as a missing metric.
-    """
-    if token in ("count", "sum", "min", "max", "zero_count"):
-        return data.get(token)
-    if token in ("mean", "mean_ms"):
-        count = data.get("count") or 0
-        mean = (float(data.get("sum", 0.0)) / count) if count else 0.0
-        return mean * 1e3 if token == "mean_ms" else mean
-    match = _HIST_QUANTILE_RE.match(token)
-    if match is None:
-        return None
-    p = float(
-        f"{match.group('whole')}.{match.group('frac')}" if match.group("frac") else match.group("whole")
-    )
-    if not 0.0 <= p <= 100.0:
-        return None
-    value = LatencyHistogram.from_dict(data).percentile(p)
-    return value * 1e3 if match.group("ms") else value
-
-
-def _resolve(record: dict, path: str):
-    """Walk a dotted path through nested dicts (None when absent).
-
-    A path whose walk lands on a serialized latency histogram may end
-    with one extra stat token resolved *from* the histogram — e.g.
-    ``model_stats.isolet.histograms.latency.p99_ms`` derives the p99 (in
-    milliseconds) from the bucket data, so thresholds can gate on any
-    quantile, not just the pre-derived ``latency_p99_ms`` fields.
-    """
-    node = record
-    parts = path.split(".")
-    for index, part in enumerate(parts):
-        if not isinstance(node, dict) or part not in node:
-            if (
-                isinstance(node, dict)
-                and "buckets" in node
-                and index == len(parts) - 1
-            ):
-                return _histogram_stat(node, part)
-            return None
-        node = node[part]
-    return node
+from repro.serving.transport import ServingClient  # noqa: E402
 
 
 def check_thresholds(record: dict, thresholds, label: str) -> int:
@@ -168,12 +87,12 @@ def check_thresholds(record: dict, thresholds, label: str) -> int:
 
     Scraped intervals carry their metrics under ``"stats"``; standalone
     documents (``--check`` on a benchmark summary) are matched directly.
+    Cell-path thresholds can violate once per matching matrix cell.
     """
     target = record.get("stats", record) if isinstance(record, dict) else record
     violations = 0
     for threshold in thresholds:
-        message = threshold.violation(target)
-        if message is not None:
+        for message in threshold.violations(target):
             violations += 1
             print(f"[{label}] FAIL {message}", file=sys.stderr)
     return violations
@@ -276,7 +195,11 @@ def check_file(path: pathlib.Path, thresholds) -> int:
 
 def main(argv=None) -> int:
     args = parse_args(argv)
-    thresholds = [Threshold(expression) for expression in args.fail_on]
+    try:
+        thresholds = [Threshold(expression) for expression in args.fail_on]
+    except GateError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
     if args.check is not None:
         violations = check_file(args.check, thresholds)
