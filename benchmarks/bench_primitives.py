@@ -74,7 +74,38 @@ def test_hamming_packed_bits(benchmark, bench_json, data):
     packed_q = binkern.pack_bipolar(data["encoded"])
     packed_c = binkern.pack_bipolar(data["classes"])
     benchmark(lambda: binkern.hamming_distance_packed(packed_q, packed_c))
-    _record(bench_json, benchmark, "hamming_packed_bits", queries=QUERIES, classes=CLASSES)
+    _record(
+        bench_json,
+        benchmark,
+        "hamming_packed_bits",
+        queries=QUERIES,
+        classes=CLASSES,
+        resident_bytes=int(packed_c.nbytes),
+        unpacked_bytes=int(data["classes"].nbytes),
+    )
+
+
+def test_pack_bipolar(benchmark, bench_json, data):
+    """Per-micro-batch query pack cost — the packed route's only per-call
+    overhead once the class memory is resident packed."""
+    packed = benchmark(lambda: binkern.pack_bipolar(data["encoded"]))
+    _record(
+        bench_json,
+        benchmark,
+        "pack_bipolar",
+        queries=QUERIES,
+        dim=DIM,
+        resident_bytes=int(packed.nbytes),
+        unpacked_bytes=int(data["encoded"].nbytes),
+        shrink_ratio=data["encoded"].nbytes / packed.nbytes,
+    )
+
+
+def test_unpack_bipolar(benchmark, bench_json, data):
+    packed = binkern.pack_bipolar(data["encoded"])
+    restored = benchmark(lambda: binkern.unpack_bipolar(packed, DIM))
+    assert np.array_equal(restored, (data["encoded"] > 0).astype(np.int8) * 2 - 1)
+    _record(bench_json, benchmark, "unpack_bipolar", queries=QUERIES, dim=DIM)
 
 
 def test_sign_kernel(benchmark, bench_json, data):

@@ -46,6 +46,16 @@ bit-identical to an offline retrain applying the same update rule to the
 same mini-batches.  Its ``failures`` / ``swaps`` fields feed the CI
 threshold gate (``tools/scrape_stats.py --check``).
 
+Two cases cover the **uint64 packed-bit serving plane**: a kernel-level
+micro-benchmark at serving micro-batch shapes asserting the packed
+Hamming route (including the per-batch query pack) beats the bipolar
+float path by >= 1.5x with bit-identical top-1 results, and a
+packed-storage case asserting a binarized deployment's resident class
+memory shrinks >= 25x (``ServerStats`` residency) while serving
+predictions bit-identical to the binarized-but-unpacked route with zero
+per-row fallbacks.  Both record their ratios in ``BENCH_serving.json``
+so the CI threshold gate can replay them offline.
+
 Every case also lands in ``BENCH_serving.json`` (see the ``bench_json``
 fixture) so the throughput trajectory is tracked across PRs.
 """
@@ -551,6 +561,163 @@ def test_registry_round_trip_hits_compile_cache(benchmark, bench_json, servable)
     )
     assert stats.misses == 2  # one compile per warmed bucket
     assert stats.hits >= 1
+
+
+# ---------------------------------------------------------------------------
+# uint64 packed-bit serving plane
+# ---------------------------------------------------------------------------
+
+#: Serving micro-batch shape for the packed-kernel comparison.  The
+#: hypervector dimension matches ``bench_primitives`` (paper-scale class
+#: memories); toy dims (<~1k) are NumPy-dispatch-bound on both sides and
+#: measure overhead, not the kernels.
+PACKED_BENCH_DIM = 8192
+PACKED_BENCH_CLASSES = 26
+PACKED_BENCH_BATCH = 64
+
+
+def test_packed_hamming_kernel_speedup(benchmark, bench_json):
+    """The packed Hamming route must beat the bipolar float path >= 1.5x
+    at serving micro-batch shapes, with bit-identical top-1 classes.
+
+    Models exactly what a packed-storage deployment does per micro-batch:
+    the class memory is already resident packed (packed once at
+    register/swap), so the packed side pays pack(queries) + XOR/popcount
+    while the bipolar side runs the batched float kernel on the same
+    operands.  Passes are interleaved and each side keeps its minimum, so
+    machine-wide noise biases both equally (same discipline as the
+    tracing-overhead case).
+    """
+    from repro.kernels import batched, binary as binkern
+
+    rng = derive_rng(bench_seed(), "bench_serving.packed_kernel")
+    queries = np.sign(rng.standard_normal((PACKED_BENCH_BATCH, PACKED_BENCH_DIM))).astype(
+        np.float32
+    )
+    classes = np.sign(rng.standard_normal((PACKED_BENCH_CLASSES, PACKED_BENCH_DIM))).astype(
+        np.float32
+    )
+    packed_classes = binkern.pack_bipolar(classes)
+
+    def bipolar_pass():
+        return np.asarray(batched.pairwise_hamming(queries, classes))
+
+    def packed_pass():
+        # The per-batch query pack is part of the served cost; the class
+        # memory is not — it is packed once per deployment install.
+        return np.asarray(
+            binkern.hamming_distance_packed(binkern.pack_bipolar(queries), packed_classes)
+        )
+
+    bipolar_out, packed_out = bipolar_pass(), packed_pass()
+    assert np.array_equal(bipolar_out, packed_out)  # exact integer counts
+    assert np.array_equal(np.argmin(bipolar_out, axis=1), np.argmin(packed_out, axis=1))
+
+    repeats, passes = 5, 20
+    best_bipolar = best_packed = float("inf")
+    for _ in range(repeats):
+        for _ in range(passes):
+            start = time.perf_counter()
+            bipolar_pass()
+            best_bipolar = min(best_bipolar, time.perf_counter() - start)
+            start = time.perf_counter()
+            packed_pass()
+            best_packed = min(best_packed, time.perf_counter() - start)
+
+    benchmark.pedantic(packed_pass, rounds=1, iterations=1)
+
+    ratio = best_bipolar / best_packed
+    benchmark.extra_info["bipolar_us"] = best_bipolar * 1e6
+    benchmark.extra_info["packed_us"] = best_packed * 1e6
+    benchmark.extra_info["throughput_ratio"] = ratio
+    print(
+        f"\npacked hamming kernel: B={PACKED_BENCH_BATCH} K={PACKED_BENCH_CLASSES} "
+        f"D={PACKED_BENCH_DIM}, bipolar {best_bipolar * 1e6:.1f}us, "
+        f"packed {best_packed * 1e6:.1f}us ({ratio:.2f}x)"
+    )
+    bench_json.record(
+        "packed_kernel",
+        batch=PACKED_BENCH_BATCH,
+        classes=PACKED_BENCH_CLASSES,
+        dim=PACKED_BENCH_DIM,
+        bipolar_seconds=best_bipolar,
+        packed_seconds=best_packed,
+        throughput_ratio=ratio,
+        bit_identical_topk=True,
+    )
+    assert ratio >= 1.5
+
+
+def test_packed_storage_serving(benchmark, bench_json, servable, requests):
+    """A binarized deployment serves from packed class memory: resident
+    bytes >= 25x smaller (``ServerStats`` residency document), zero
+    per-row fallbacks, predictions bit-identical to the
+    binarized-but-unpacked route."""
+    import repro.serving.registry as registry_mod
+    from repro.transforms import ApproximationConfig
+
+    config = ApproximationConfig(binarize=True)
+
+    # Reference: the same binarized program with packing disabled.
+    original = registry_mod.packable_entry_params
+    registry_mod.packable_entry_params = lambda program: []
+    try:
+        unpacked_server = InferenceServer(
+            workers=("cpu",), max_batch_size=64, max_wait_seconds=0.002
+        )
+        unpacked_server.register(servable, name="unpacked", config=config)
+        start = time.perf_counter()
+        with unpacked_server:
+            expected = unpacked_server.infer_many("unpacked", list(requests))
+        unpacked_seconds = time.perf_counter() - start
+    finally:
+        registry_mod.packable_entry_params = original
+    expected_labels = [int(np.asarray(r)) for r in expected]
+
+    server = InferenceServer(workers=("cpu",), max_batch_size=64, max_wait_seconds=0.002)
+    server.register(servable, name="packed", config=config)
+
+    def serve_packed():
+        with server:
+            return server.infer_many("packed", list(requests))
+
+    start = time.perf_counter()
+    results = benchmark.pedantic(serve_packed, rounds=1, iterations=1)
+    packed_seconds = time.perf_counter() - start
+
+    packed_labels = [int(np.asarray(r)) for r in results]
+    assert packed_labels == expected_labels  # bit-identical predictions
+
+    stats = server.stats().to_dict()
+    model = stats["model_stats"]["packed"]
+    residency = model["residency"]
+    assert residency is not None and residency["packed"]
+    shrink = residency["shrink_ratio"]
+    relative = unpacked_seconds / packed_seconds
+    benchmark.extra_info["resident_bytes"] = residency["class_memory_bytes"]
+    benchmark.extra_info["unpacked_bytes"] = residency["class_memory_unpacked_bytes"]
+    benchmark.extra_info["shrink_ratio"] = shrink
+    benchmark.extra_info["relative_throughput"] = relative
+    print(
+        f"\npacked storage: {requests.shape[0]} requests, class memory "
+        f"{residency['class_memory_unpacked_bytes']} -> {residency['class_memory_bytes']} bytes "
+        f"({shrink:.0f}x), throughput {relative:.2f}x vs unpacked-binarized, "
+        f"fallbacks {model['fallback_stages']}"
+    )
+    bench_json.record(
+        "packed_storage",
+        requests=requests.shape[0],
+        resident_bytes=residency["class_memory_bytes"],
+        unpacked_bytes=residency["class_memory_unpacked_bytes"],
+        shrink_ratio=shrink,
+        relative_throughput=relative,
+        fallback_stages=model["fallback_stages"],
+        failures=stats["failures"],
+        bit_identical=True,
+    )
+    assert shrink >= 25.0
+    assert model["fallback_stages"] == 0
+    assert stats["failures"] == 0
 
 
 # ---------------------------------------------------------------------------

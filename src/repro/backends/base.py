@@ -32,7 +32,7 @@ from repro.hdcpp.types import HDType, HyperMatrixType, HyperVectorType
 from repro.ir.builder import clone_program, lower_program
 from repro.ir.dataflow import DataflowGraph, Target
 from repro.ir.verifier import verify_graph
-from repro.kernels import reference as ref
+from repro.kernels import binary as binkern, reference as ref
 from repro.transforms.pipeline import ApproximationConfig, PassPipeline, PassReport
 
 __all__ = ["ExecutionReport", "ExecutionResult", "CompiledProgram", "BoundProgram", "Backend"]
@@ -164,6 +164,29 @@ class CompiledProgram:
 
     @staticmethod
     def _coerce(value, declared: HDType, name: str) -> np.ndarray:
+        if getattr(value, "__packed_bits__", False):
+            # A pre-packed operand (packed-storage class memory): validate
+            # against the declared *logical* type and pass it through —
+            # ``as_numpy`` would strip the packed wrapper to raw words.
+            if not (
+                isinstance(declared, (HyperVectorType, HyperMatrixType))
+                and declared.element.is_binary
+            ):
+                raise ValueError(
+                    f"input {name!r} is bit-packed but the program declares "
+                    f"a non-binary type for it"
+                )
+            logical = value.logical_shape
+            if logical != declared.shape:
+                raise ValueError(
+                    f"input {name!r} has logical shape {logical}, expected {declared.shape}"
+                )
+            if value.shape[-1] != binkern.packed_num_words(value.dim):
+                raise ValueError(
+                    f"input {name!r} has {value.shape[-1]} packed words, expected "
+                    f"{binkern.packed_num_words(value.dim)} for dim {value.dim}"
+                )
+            return value
         array = as_numpy(value)
         if isinstance(declared, (HyperVectorType, HyperMatrixType)):
             if array.shape != declared.shape:

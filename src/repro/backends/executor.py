@@ -210,7 +210,13 @@ class HostStageExecutor:
 
     def _apply_once(self, interpreter, op, traced, eager, args: list[np.ndarray]) -> np.ndarray:
         if traced is not None:
-            return self._call_impl_traced(interpreter, traced, [np.asarray(a) for a in args])
+            # np.asarray would strip a PackedBits class memory down to raw
+            # uint64 words; packed operands pass through unchanged.
+            return self._call_impl_traced(
+                interpreter,
+                traced,
+                [a if getattr(a, "__packed_bits__", False) else np.asarray(a) for a in args],
+            )
         wrapped = [self._wrap(a, v) for a, v in zip(args, op.operands)]
         return self._call_impl_callable(eager, wrapped)
 

@@ -46,6 +46,17 @@ def _operands_are_binary(op: Operation) -> bool:
     )
 
 
+def _binary_route(op: Operation, inputs: list[np.ndarray]) -> bool:
+    """Whether a similarity op should take the packed word-parallel kernels.
+
+    True when the IR declares 1-bit operands (the automatic-binarization
+    taint reached the comparison) — or when a packed-storage deployment
+    already delivered a :class:`~repro.kernels.binary.PackedBits` operand
+    at runtime, which the float kernels could not interpret.
+    """
+    return _operands_are_binary(op) or any(binkern.is_packed(v) for v in inputs)
+
+
 class KernelSet:
     """Base class: dispatches one operation to a kernel implementation."""
 
@@ -160,13 +171,13 @@ class KernelSet:
         return ref.l2norm(inputs[0], **_perforation(op))
 
     def op_cossim(self, op: Operation, inputs: list[np.ndarray]) -> np.ndarray:
-        if _operands_are_binary(op):
-            return binkern.cossim_bipolar(inputs[0], inputs[1], **_perforation(op))
+        if _binary_route(op, inputs):
+            return batched.pairwise_cossim_packed(inputs[0], inputs[1], **_perforation(op))
         return ref.cossim(inputs[0], inputs[1], **_perforation(op))
 
     def op_hamming(self, op: Operation, inputs: list[np.ndarray]) -> np.ndarray:
-        if _operands_are_binary(op):
-            return binkern.hamming_distance_bipolar(inputs[0], inputs[1], **_perforation(op))
+        if _binary_route(op, inputs):
+            return batched.pairwise_hamming_packed(inputs[0], inputs[1], **_perforation(op))
         return ref.hamming_distance(inputs[0], inputs[1], **_perforation(op))
 
     def op_matmul(self, op: Operation, inputs: list[np.ndarray]) -> np.ndarray:
@@ -251,15 +262,17 @@ class LibraryKernelSet(KernelSet):
         return batched.rowwise_l2norm(inputs[0], **_perforation(op))
 
     def op_cossim(self, op: Operation, inputs: list[np.ndarray]) -> np.ndarray:
-        if _operands_are_binary(op):
-            return binkern.cossim_bipolar(inputs[0], inputs[1], **_perforation(op))
+        if _binary_route(op, inputs):
+            return batched.pairwise_cossim_packed(inputs[0], inputs[1], **_perforation(op))
         return batched.pairwise_cossim(inputs[0], inputs[1], **_perforation(op))
 
     def op_hamming(self, op: Operation, inputs: list[np.ndarray]) -> np.ndarray:
-        # On the GPU target, binarized Hamming distance lowers to the
-        # tensor-core friendly GEMM identity (D - a.b)/2 rather than the
-        # packed-bit CPU kernel; pairwise_hamming applies it automatically
-        # for bipolar operands.
+        # Binarized operands take the word-parallel packed kernels (the
+        # distances are exact integer bit counts, so the result matches
+        # the GEMM identity (D - a.b)/2 this routed to previously, bit
+        # for bit); float operands keep the broadcast/GEMM route.
+        if _binary_route(op, inputs):
+            return batched.pairwise_hamming_packed(inputs[0], inputs[1], **_perforation(op))
         return batched.pairwise_hamming(inputs[0], inputs[1], **_perforation(op))
 
     def op_matmul(self, op: Operation, inputs: list[np.ndarray]) -> np.ndarray:

@@ -85,6 +85,8 @@ _RESERVED_NAMES = frozenset(
         "versions",
         "fallback_stages",
         "vectorized_stages",
+        "resident_class_memory_bytes",
+        "class_memory_shrink",
         "stream_sha1",
         "latency_histogram",
     }

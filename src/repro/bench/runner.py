@@ -205,6 +205,15 @@ def run_cell(cell: Cell, config: MatrixConfig, seed: int) -> dict:
             stats = server.stats().to_dict()
         elapsed = time.perf_counter() - start
 
+        # Packed class-memory residency, pooled over the cell's model
+        # clones: 0 bytes / 0.0 shrink when the config serves unpacked.
+        resident = unpacked = 0
+        for name in names:
+            residency = stats["model_stats"].get(name, {}).get("residency")
+            if residency:
+                resident += int(residency["class_memory_bytes"])
+                unpacked += int(residency["class_memory_unpacked_bytes"])
+
         metrics = {
             **cell.coords(),
             "requests": len(schedule),
@@ -220,6 +229,8 @@ def run_cell(cell: Cell, config: MatrixConfig, seed: int) -> dict:
             "swaps": int(stats["swaps"]),
             "vectorized_stages": int(stats["vectorized_stages"]),
             "fallback_stages": int(stats["fallback_stages"]),
+            "resident_class_memory_bytes": resident,
+            "class_memory_shrink": (unpacked / resident) if resident else 0.0,
             "stream_sha1": schedule.fingerprint(),
             "latency_histogram": stats["latency_histogram"],
         }

@@ -20,6 +20,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.kernels import binary as binkern
 from repro.kernels.reference import perforation_scale, reduction_slice
 
 __all__ = [
@@ -27,6 +28,9 @@ __all__ = [
     "pairwise_cossim",
     "pairwise_hamming",
     "pairwise_dot",
+    "pairwise_hamming_packed",
+    "pairwise_dot_packed",
+    "pairwise_cossim_packed",
     "rowwise_l2norm",
     "rowwise_argmin",
     "rowwise_argmax",
@@ -146,6 +150,51 @@ def pairwise_hamming(
     if squeeze_rhs:
         return out[:, 0]
     return out
+
+
+def pairwise_hamming_packed(
+    lhs: np.ndarray,
+    rhs: np.ndarray,
+    begin: int = 0,
+    end: Optional[int] = None,
+    stride: int = 1,
+) -> np.ndarray:
+    """All-pairs Hamming distance on the word-parallel packed plane.
+
+    The true 2-D batched form of the binarized similarity search: both
+    operands may be bipolar arrays or pre-packed
+    :class:`~repro.kernels.binary.PackedBits` (a packed-storage class
+    memory arrives packed; the query micro-batch is packed once per
+    call).  The distances are exact integer bit counts, so the result is
+    bit-identical to the per-row packed kernel — which is exactly what
+    the boundary-row gate of the batched execution plane re-asserts per
+    batch.
+    """
+    return binkern.hamming_distance_bipolar(lhs, rhs, begin, end, stride)
+
+
+def pairwise_dot_packed(
+    lhs: np.ndarray,
+    rhs: np.ndarray,
+    begin: int = 0,
+    end: Optional[int] = None,
+    stride: int = 1,
+) -> np.ndarray:
+    """All-pairs bipolar dot products via packed Hamming
+    (``dot = D_visited - 2 * hamming``, exact integers in float32)."""
+    return binkern.dot_bipolar(lhs, rhs, begin, end, stride)
+
+
+def pairwise_cossim_packed(
+    lhs: np.ndarray,
+    rhs: np.ndarray,
+    begin: int = 0,
+    end: Optional[int] = None,
+    stride: int = 1,
+) -> np.ndarray:
+    """All-pairs bipolar cosine similarity via packed Hamming (constant
+    ``sqrt(D)`` norms make it ``dot / D_visited``)."""
+    return binkern.cossim_bipolar(lhs, rhs, begin, end, stride)
 
 
 def rowwise_l2norm(

@@ -5,20 +5,41 @@ hypervectors and hypermatrices to a 1-bit element type; "the lowering of HDC
 primitives are handled using bitvector logical operations".  This module
 provides those bitvector kernels:
 
-* bipolar {+1, -1} vectors are packed into ``uint8`` words with
-  :func:`pack_bipolar` (bit = 1 encodes +1);
-* Hamming distance becomes XOR + popcount over the packed words;
+* bipolar {+1, -1} vectors are packed into ``uint64`` words with
+  :func:`pack_bipolar` (bit = 1 encodes +1; padding bits beyond the
+  logical dimension are zero);
+* Hamming distance becomes XOR + word popcount over the packed words,
+  computed blockwise over the candidate axis so the XOR intermediate
+  stays cache-resident;
 * the bipolar dot product (used by cosine similarity over binarized
   vectors) is derived from the Hamming distance via
   ``dot = D - 2 * hamming``.
 
-These kernels give a genuine throughput and memory-footprint advantage over
-the 32-bit float kernels, which is what produces the speedups of the
-binarized configurations in Figure 7.
+The word layout is **view-compatible with the historical ``uint8``
+layout**: ``np.packbits`` (big-endian bit order) produces the byte
+stream, which is zero-padded to an 8-byte multiple and viewed as native
+``uint64`` words.  ``PackedBits.payload_bytes()`` recovers exactly the
+``ceil(D / 8)`` bytes the old kernels produced (and anything serialized
+with them), so packed state round-trips across the representation
+change.
+
+Popcount uses :func:`numpy.bitwise_count` when available (NumPy >= 2.0)
+and otherwise a 256-entry table lookup over the byte view — the choice
+is made **once at import** and published as the module-global
+:func:`popcount_words`, which the distance kernels call through the
+module attribute so tests can monkeypatch the fallback path onto a
+modern NumPy.
+
+These kernels give a genuine throughput and memory-footprint advantage
+over the 32-bit float kernels (~32x smaller resident class memories,
+word-parallel similarity search), which is what produces the speedups of
+the binarized configurations in Figure 7.
 """
 
 from __future__ import annotations
 
+import threading
+import weakref
 from typing import Optional
 
 import numpy as np
@@ -26,51 +47,304 @@ import numpy as np
 from repro.kernels.reference import reduction_slice
 
 __all__ = [
+    "PackedBits",
     "pack_bipolar",
+    "pack_bipolar_cached",
     "unpack_bipolar",
     "hamming_distance_packed",
     "hamming_distance_bipolar",
     "dot_bipolar",
     "cossim_bipolar",
     "packed_num_bytes",
+    "packed_num_words",
+    "popcount_words",
 ]
 
-# Popcount lookup table for uint8 words.
+#: Bits per packed word.
+WORD_BITS = 64
+
+# 256-entry popcount lookup table for the uint8 fallback path.
 _POPCOUNT = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint16)
 
 
-def pack_bipolar(x: np.ndarray) -> np.ndarray:
-    """Pack a bipolar {+1, -1} array into bits along the last axis.
+def _popcount_words_table(words: np.ndarray) -> np.ndarray:
+    """Per-word popcount via the byte-view table lookup (NumPy < 2.0)."""
+    as_bytes = np.ascontiguousarray(words).view(np.uint8)
+    return _POPCOUNT[as_bytes].reshape(words.shape + (8,)).sum(axis=-1, dtype=np.int64)
 
-    +1 is encoded as bit value 1 and -1 as bit value 0.  The returned array
-    has dtype ``uint8`` and its last dimension is ``ceil(D / 8)``.
+
+def _popcount_words_native(words: np.ndarray) -> np.ndarray:
+    """Per-word popcount via the vectorized CPU instruction (NumPy >= 2.0)."""
+    return np.bitwise_count(words)
+
+
+#: Selected once at import; kernels call it through the module attribute
+#: (``binary.popcount_words``) so a monkeypatch reaches every call site.
+popcount_words = (
+    _popcount_words_native if hasattr(np, "bitwise_count") else _popcount_words_table
+)
+
+
+class PackedBits(np.ndarray):
+    """A bit-packed bipolar array: ``uint64`` words along the last axis.
+
+    ``shape[:-1]`` are the logical leading axes; the last axis holds
+    ``packed_num_words(dim)`` words covering ``dim`` logical bits (bit =
+    1 encodes +1).  Padding bits beyond ``dim`` are always zero —
+    :func:`pack_bipolar` constructs them that way and every kernel
+    preserves the invariant, which is what makes XOR+popcount Hamming
+    exact without masking.
+
+    The class is a thin ``ndarray`` subclass; downstream code that must
+    not accidentally strip it through ``np.asarray`` checks the
+    ``__packed_bits__`` duck-type marker instead of ``isinstance``.
     """
-    bits = (np.asarray(x) > 0).astype(np.uint8)
-    return np.packbits(bits, axis=-1)
+
+    __packed_bits__ = True
+
+    def __new__(cls, words: np.ndarray, dim: int) -> "PackedBits":
+        obj = np.ascontiguousarray(words, dtype=np.uint64).view(cls)
+        obj.dim = int(dim)
+        return obj
+
+    def __array_finalize__(self, obj) -> None:
+        if obj is not None:
+            self.dim = getattr(obj, "dim", 0)
+
+    @property
+    def logical_shape(self) -> tuple:
+        """The shape of the unpacked bipolar array this encodes."""
+        return self.shape[:-1] + (self.dim,)
+
+    @property
+    def resident_bytes(self) -> int:
+        """Bytes this packed array keeps resident (word storage)."""
+        return int(self.nbytes)
+
+    def payload_bytes(self) -> np.ndarray:
+        """The legacy ``uint8`` layout: ``ceil(dim / 8)`` bytes per row.
+
+        Byte-for-byte identical to what the historical ``uint8`` kernels
+        produced (``np.packbits`` big-endian order), so this is the
+        on-disk/wire representation.
+        """
+        as_bytes = np.ascontiguousarray(np.asarray(self)).view(np.uint8)
+        return as_bytes[..., : packed_num_bytes(self.dim)]
 
 
-def unpack_bipolar(packed: np.ndarray, dim: int) -> np.ndarray:
-    """Invert :func:`pack_bipolar`, producing an ``int8`` bipolar array."""
-    bits = np.unpackbits(packed, axis=-1)[..., :dim]
-    return (bits.astype(np.int8) * 2 - 1).astype(np.int8)
+def is_packed(x) -> bool:
+    """True when ``x`` carries the packed-bits duck-type marker."""
+    return getattr(x, "__packed_bits__", False)
 
 
 def packed_num_bytes(dim: int) -> int:
-    """Number of bytes used by one packed hypervector of dimension ``dim``."""
+    """Bytes of packed payload for one hypervector of dimension ``dim``
+    (the historical ``uint8`` on-disk layout)."""
     return (dim + 7) // 8
 
 
-def hamming_distance_packed(lhs: np.ndarray, rhs: np.ndarray) -> np.ndarray:
-    """Hamming distance between packed bit arrays.
+def packed_num_words(dim: int) -> int:
+    """``uint64`` words holding one packed hypervector of dimension ``dim``."""
+    return (dim + WORD_BITS - 1) // WORD_BITS
 
-    ``lhs`` has shape ``(..., W)`` and ``rhs`` ``(K, W)`` where ``W`` is the
-    packed word count; the result has shape ``(..., K)``.
+
+def pack_bipolar(x: np.ndarray) -> PackedBits:
+    """Pack a bipolar {+1, -1} array into ``uint64`` words (last axis).
+
+    +1 is encoded as bit value 1 and -1 as bit value 0; padding bits
+    beyond ``D`` are zero.  Packed input is returned unchanged, so the
+    function is idempotent.
     """
-    lhs = np.atleast_2d(lhs)
-    rhs = np.atleast_2d(rhs)
-    # XOR every (query, candidate) pair and popcount the result.
-    xored = np.bitwise_xor(lhs[:, None, :], rhs[None, :, :])
-    return _POPCOUNT[xored].sum(axis=-1).astype(np.float32)
+    if is_packed(x):
+        return x
+    arr = np.asarray(x)
+    dim = arr.shape[-1]
+    bits = (arr > 0).astype(np.uint8)
+    payload = np.packbits(bits, axis=-1)  # big-endian bits, zero tail
+    pad = packed_num_words(dim) * 8 - payload.shape[-1]
+    if pad:
+        payload = np.concatenate(
+            [payload, np.zeros(payload.shape[:-1] + (pad,), dtype=np.uint8)], axis=-1
+        )
+    words = np.ascontiguousarray(payload).view(np.uint64)
+    return PackedBits(words, dim)
+
+
+def unpack_bipolar(packed: np.ndarray, dim: Optional[int] = None) -> np.ndarray:
+    """Invert :func:`pack_bipolar`, producing an ``int8`` bipolar array.
+
+    Accepts :class:`PackedBits` (``dim`` optional — defaults to the
+    carried logical dimension), raw ``uint64`` word arrays, and the
+    legacy ``uint8`` byte layout.
+    """
+    if is_packed(packed):
+        if dim is None:
+            dim = packed.dim
+        payload = np.ascontiguousarray(np.asarray(packed)).view(np.uint8)
+    else:
+        arr = np.asarray(packed)
+        payload = (
+            np.ascontiguousarray(arr).view(np.uint8) if arr.dtype == np.uint64 else arr
+        )
+        if dim is None:
+            dim = payload.shape[-1] * 8
+    bits = np.unpackbits(payload, axis=-1)[..., :dim]
+    return (bits.astype(np.int8) * 2 - 1).astype(np.int8)
+
+
+# -- packed-constant cache ------------------------------------------------------------
+#
+# Serving binds one class-memory constant per compiled program and then
+# calls the similarity kernel once per micro-batch; re-packing that
+# constant on every call wastes more time than the XOR+popcount itself.
+# The cache is keyed by object identity with a weak reference guarding
+# against id() reuse, so it never keeps an array alive and never returns
+# a stale pack for a recycled address.  Entries are only ever *added*
+# for arrays the caller re-presents (bound-program constants have stable
+# identity for the life of the handle).
+
+_PACK_CACHE_CAPACITY = 128
+_pack_cache: dict = {}
+_pack_cache_lock = threading.Lock()
+
+
+def pack_bipolar_cached(x: np.ndarray) -> PackedBits:
+    """:func:`pack_bipolar` memoized on the source array's identity.
+
+    Intended for per-compiled-program constants (class memories): the
+    first call packs, subsequent calls with the *same array object*
+    return the cached words.  Arrays that die are evicted lazily via the
+    weak reference; an id() recycled onto a different array misses.
+    """
+    if is_packed(x):
+        return x
+    arr = np.asarray(x)
+    key = id(arr)
+    with _pack_cache_lock:
+        entry = _pack_cache.get(key)
+        if entry is not None:
+            ref_, packed = entry
+            if ref_() is arr:
+                return packed
+            del _pack_cache[key]
+    packed = pack_bipolar(arr)
+    try:
+        ref_ = weakref.ref(arr)
+    except TypeError:  # pragma: no cover - ndarrays are weakref-able
+        return packed
+    with _pack_cache_lock:
+        if len(_pack_cache) >= _PACK_CACHE_CAPACITY:
+            dead = [k for k, (r, _) in _pack_cache.items() if r() is None]
+            for k in dead:
+                del _pack_cache[k]
+            while len(_pack_cache) >= _PACK_CACHE_CAPACITY:
+                _pack_cache.pop(next(iter(_pack_cache)))
+        _pack_cache[key] = (ref_, packed)
+    return packed
+
+
+# -- distance kernels -----------------------------------------------------------------
+
+#: Byte budget for one XOR block — sized so the (B, block, W) intermediate
+#: stays L2-resident instead of materializing the full (B, K, W) tensor.
+_BLOCK_BYTES = 1 << 20
+
+
+def _as_word_matrix(x) -> tuple[np.ndarray, int]:
+    """Coerce a packed operand to a 2-D ``uint64`` word matrix + bit count."""
+    if is_packed(x):
+        words = np.asarray(x)
+        dim = x.dim
+    else:
+        words = np.asarray(x)
+        if words.dtype == np.uint8:  # legacy byte layout
+            pad = -words.shape[-1] % 8
+            if pad:
+                words = np.concatenate(
+                    [words, np.zeros(words.shape[:-1] + (pad,), dtype=np.uint8)],
+                    axis=-1,
+                )
+            dim = None
+            words = np.ascontiguousarray(words).view(np.uint64)
+        elif words.dtype == np.uint64:
+            dim = None
+        else:
+            raise TypeError(
+                f"packed operand must be PackedBits, uint64 words or uint8 bytes, "
+                f"got dtype {words.dtype}"
+            )
+        if dim is None:
+            dim = words.shape[-1] * WORD_BITS
+    return np.atleast_2d(words), dim
+
+
+def hamming_distance_packed(lhs: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """Hamming distance between packed bit arrays, blockwise over ``K``.
+
+    ``lhs`` has shape ``(..., W)`` and ``rhs`` ``(K, W)`` where ``W`` is
+    the packed word count; the result has shape ``(B, K)`` ``float32``.
+    The candidate axis is processed in blocks sized to keep each XOR
+    intermediate under ~1 MiB, so the kernel never materializes a full
+    ``(B, K, W)`` tensor.
+    """
+    lhs_w, _ = _as_word_matrix(lhs)
+    rhs_w, _ = _as_word_matrix(rhs)
+    n_queries, n_words = lhs_w.shape
+    n_candidates = rhs_w.shape[0]
+    out = np.empty((n_queries, n_candidates), dtype=np.float32)
+    if n_queries == 0 or n_candidates == 0 or n_words == 0:
+        if n_words == 0:
+            out[...] = 0.0
+        return out
+    # Word-axis reduction as a float32 GEMV: summing the per-word
+    # popcounts against a ones vector is several times faster than an
+    # integer axis-sum at serving shapes, and exact as long as a row's
+    # total popcount (<= dim) fits float32's integer range.
+    reduce_f32 = n_words * WORD_BITS < (1 << 24)
+    ones = np.ones(n_words, dtype=np.float32) if reduce_f32 else None
+    block = max(1, _BLOCK_BYTES // (n_queries * n_words * 8))
+    for start in range(0, n_candidates, block):
+        chunk = rhs_w[start : start + block]
+        xored = np.bitwise_xor(lhs_w[:, None, :], chunk[None, :, :])
+        counts = popcount_words(xored)
+        if reduce_f32:
+            out[:, start : start + block] = counts.astype(np.float32) @ ones
+        else:
+            out[:, start : start + block] = counts.sum(axis=-1, dtype=np.int64)
+    return out
+
+
+def _logical_dim(x) -> int:
+    return x.dim if is_packed(x) else np.asarray(x).shape[-1]
+
+
+def _prepare_2d(x) -> tuple[np.ndarray, bool]:
+    """Lift an operand (bipolar or packed) to 2-D; report if it was 1-D."""
+    if is_packed(x):
+        if x.ndim == 1:
+            return x.reshape((1,) + x.shape), True
+        return x, False
+    arr = np.asarray(x)
+    return np.atleast_2d(arr), arr.ndim == 1
+
+
+def _packed_operand(x, sl: slice, dim: int, cache: bool) -> PackedBits:
+    """Pack one (possibly pre-packed) operand under a perforation slice.
+
+    The slice is applied to the *logical* bits before packing, matching
+    the loop-perforated scalar kernel; an identity slice keeps a
+    pre-packed operand as-is (zero copies) and routes unpacked constants
+    through the identity cache when requested.
+    """
+    identity = sl.indices(dim) == (0, dim, 1)
+    if is_packed(x):
+        if identity:
+            return x
+        return pack_bipolar(unpack_bipolar(x, dim)[:, sl])
+    arr = np.asarray(x)
+    if identity:
+        return pack_bipolar_cached(arr) if cache else pack_bipolar(arr)
+    return pack_bipolar(arr[:, sl])
 
 
 def hamming_distance_bipolar(
@@ -80,20 +354,27 @@ def hamming_distance_bipolar(
     end: Optional[int] = None,
     stride: int = 1,
 ) -> np.ndarray:
-    """Hamming distance between unpacked bipolar arrays via bit packing.
+    """Hamming distance between bipolar arrays via word-parallel packing.
 
     Handles the same shape combinations as the reference kernel and the
-    same (un-rescaled) perforation semantics.  The perforation slice is
-    applied *before* packing, matching the loop-perforated scalar kernel.
+    same (un-rescaled) perforation semantics; the perforation slice is
+    applied *before* packing, matching the loop-perforated scalar
+    kernel.  Either operand may already be a :class:`PackedBits` (packed
+    class memory, packed query batch) — pre-packed operands skip the
+    per-call pack entirely, and an unpacked ``rhs`` (the class-memory
+    position) is packed once per array identity via
+    :func:`pack_bipolar_cached`.
     """
-    lhs_arr = np.asarray(lhs)
-    rhs_arr = np.asarray(rhs)
-    squeeze_lhs = lhs_arr.ndim == 1
-    squeeze_rhs = rhs_arr.ndim == 1
-    lhs2 = np.atleast_2d(lhs_arr)
-    rhs2 = np.atleast_2d(rhs_arr)
-    sl = reduction_slice(lhs2.shape[-1], begin, end, stride)
-    out = hamming_distance_packed(pack_bipolar(lhs2[:, sl]), pack_bipolar(rhs2[:, sl]))
+    lhs2, squeeze_lhs = _prepare_2d(lhs)
+    rhs2, squeeze_rhs = _prepare_2d(rhs)
+    dim = _logical_dim(lhs2)
+    sl = reduction_slice(dim, begin, end, stride)
+    out = hamming_distance_packed(
+        _packed_operand(lhs2, sl, dim, cache=False),
+        # A 1-D rhs gets a fresh 2-D view per call, so only stable 2-D
+        # objects (bound class-memory constants) are worth caching.
+        _packed_operand(rhs2, sl, dim, cache=not squeeze_rhs),
+    )
     if squeeze_lhs and squeeze_rhs:
         return out[0, 0]
     if squeeze_lhs:
@@ -115,9 +396,9 @@ def dot_bipolar(
     For bipolar vectors of effective length ``D``:
     ``dot(a, b) = D - 2 * hamming(a, b)``.
     """
-    lhs_arr = np.atleast_2d(np.asarray(lhs))
-    sl = reduction_slice(lhs_arr.shape[-1], begin, end, stride)
-    visited = len(range(*sl.indices(lhs_arr.shape[-1])))
+    dim = _logical_dim(_prepare_2d(lhs)[0])
+    sl = reduction_slice(dim, begin, end, stride)
+    visited = len(range(*sl.indices(dim)))
     ham = hamming_distance_bipolar(lhs, rhs, begin, end, stride)
     return (visited - 2.0 * ham).astype(np.float32)
 
@@ -134,9 +415,9 @@ def cossim_bipolar(
     Both operands have constant L2 norm ``sqrt(D)`` over the visited range,
     so the cosine similarity is simply ``dot / D_visited``.
     """
-    lhs_arr = np.atleast_2d(np.asarray(lhs))
-    sl = reduction_slice(lhs_arr.shape[-1], begin, end, stride)
-    visited = len(range(*sl.indices(lhs_arr.shape[-1])))
+    dim = _logical_dim(_prepare_2d(lhs)[0])
+    sl = reduction_slice(dim, begin, end, stride)
+    visited = len(range(*sl.indices(dim)))
     return (dot_bipolar(lhs, rhs, begin, end, stride) / float(visited)).astype(
         np.float32
     )

@@ -160,6 +160,10 @@ def wrap_shift(x: np.ndarray, shift_amount: int) -> np.ndarray:
 
 def sign(x: np.ndarray) -> np.ndarray:
     """Map each element to +1 / -1 by its sign (zero maps to +1)."""
+    if getattr(x, "__packed_bits__", False):
+        # sign is the identity on packed bipolar words (bit = 1 is +1);
+        # np.where would reinterpret the words as data.
+        return x
     return np.where(np.asarray(x) >= 0, np.int8(1), np.int8(-1))
 
 

@@ -201,6 +201,9 @@ class RequestBroker:
             swapped = self._install_queue_locked(deployment, float(weight), slo_ms)
         if swapped:
             self.metrics.record_swap(deployment.name, deployment.version)
+        # Recorded unconditionally: installing an unpacked deployment over
+        # a packed one must clear the stale residency document.
+        self.metrics.record_residency(deployment.name, deployment.residency())
 
     def swap(
         self,
@@ -243,6 +246,7 @@ class RequestBroker:
                 deployment, new_weight, self.metrics.slo_ms(name) if slo_ms is _KEEP else slo_ms
             )
         self.metrics.record_swap(name, deployment.version)
+        self.metrics.record_residency(name, deployment.residency())
 
     def _install_queue_locked(self, deployment: Deployment, weight: float, slo_ms) -> bool:
         """Install a fresh batcher for one deployment (caller holds the
@@ -791,6 +795,13 @@ class RequestBroker:
         the gap in which concurrent requests would vanish from every
         interval.
         """
+        # Packed-storage deployments pack constants lazily (on the first
+        # handle compile), so refresh each live deployment's residency
+        # document before the snapshot instead of trusting install time.
+        with self._lock:
+            deployments = dict(self._deployments)
+        for name, deployment in deployments.items():
+            self.metrics.record_residency(name, deployment.residency())
         return self.metrics.snapshot(
             cache=self.registry.cache,
             workers=self.pool.workers,

@@ -164,6 +164,7 @@ class _ModelCollector:
         "version",
         "swaps",
         "requests_by_version",
+        "residency",
     )
 
     def __init__(self):
@@ -196,6 +197,11 @@ class _ModelCollector:
         # gate-check seconds and the vectorized/fallback split per stage
         # label and bucket size.
         self.stage_profile: dict = {}
+        # Packed class-memory residency: the deployment's resident
+        # packed bytes vs the unpacked float source bytes (see
+        # ``Deployment.residency()``); ``None`` until a packed-storage
+        # deployment is installed.
+        self.residency: Optional[dict] = None
 
     def reset(self) -> None:
         self.requests = 0
@@ -211,6 +217,8 @@ class _ModelCollector:
         self.stage_profile = {}
         self.swaps = 0  # the current version itself survives a reset
         self.requests_by_version.clear()
+        # residency describes what is installed, not interval activity —
+        # like the SLO threshold and version, it survives a reset.
 
     def view(self) -> dict:
         requests = self.requests
@@ -239,6 +247,7 @@ class _ModelCollector:
             "stage_profile": profile,
             "version": self.version,
             "swaps": self.swaps,
+            "residency": dict(self.residency) if self.residency is not None else None,
             "requests_by_version": {
                 str(version): count for version, count in sorted(self.requests_by_version.items())
             },
@@ -413,6 +422,18 @@ class ServingMetrics:
             collector.swaps += 1
             if collector.version is None or version > collector.version:
                 collector.version = version
+
+    def record_residency(self, model: str, residency: Optional[dict]) -> None:
+        """Record (or clear, with ``None``) a deployment's packed residency.
+
+        Called by the broker whenever a deployment is installed — initial
+        registration and every hot-swap — so the snapshot always describes
+        the constants currently resident.  A swap that rebuilds the packed
+        class memory from updated float state replaces the whole document.
+        """
+        with self._lock:
+            collector = self._model(model)
+            collector.residency = dict(residency) if residency is not None else None
 
     def record_failure(self, count: int = 1) -> None:
         with self._lock:

@@ -168,6 +168,34 @@ def render_prometheus(stats: dict, namespace: str = DEFAULT_NAMESPACE) -> str:
             if series:
                 w.histogram(name, help_text, series)
 
+        residency_rows = [
+            (model, model_stats[model].get("residency"))
+            for model in sorted(model_stats)
+            if model_stats[model].get("residency")
+        ]
+        if residency_rows:
+            residency_gauges = [
+                (
+                    "model_class_memory_bytes",
+                    "class_memory_bytes",
+                    "Resident packed class-memory bytes per deployment",
+                ),
+                (
+                    "model_class_memory_unpacked_bytes",
+                    "class_memory_unpacked_bytes",
+                    "Unpacked (float source) class-memory bytes per deployment",
+                ),
+                (
+                    "model_class_memory_shrink_ratio",
+                    "shrink_ratio",
+                    "Unpacked-to-packed class-memory size ratio per deployment",
+                ),
+            ]
+            for name, key, help_text in residency_gauges:
+                full = w.family(name, "gauge", help_text)
+                for model, residency in residency_rows:
+                    w.sample(full, name_of[model], float(residency.get(key, 0) or 0))
+
         profile_rows: List[Tuple[dict, dict]] = []
         for model in sorted(model_stats):
             for slot in (model_stats[model].get("stage_profile") or {}).values():

@@ -32,7 +32,9 @@ from typing import Dict, Iterable, List, Optional, Sequence, Union
 import numpy as np
 
 from repro.backends.base import Backend, BoundProgram, ExecutionReport, ExecutionResult
+from repro.backends.packing import packable_entry_params
 from repro.ir.dataflow import Target
+from repro.kernels import binary as binkern, reference as refkern
 from repro.serving.cache import CompiledProgramCache
 from repro.serving.scheduler import default_worker_backend
 from repro.serving.servable import Servable
@@ -95,6 +97,13 @@ class Deployment:
             )
         self._default_backend: Optional[Backend] = None
         self._handles: Dict[tuple, BoundProgram] = {}
+        #: Packed class-memory constants, keyed by param name — populated
+        #: lazily by :meth:`handle_for` when the approximation config opts
+        #: this deployment into packed residency (``binarize``).  Packing
+        #: is a pure function of the servable's float constants, so every
+        #: handle (and every rebuilt deployment replaying the same
+        #: constants) binds bit-identical words.
+        self._packed_constants: Dict[str, "binkern.PackedBits"] = {}
         self._lock = threading.Lock()
         #: Monotonic deployment version, stamped by the registry on
         #: :meth:`ModelRegistry.register` / :meth:`ModelRegistry.swap`.
@@ -133,9 +142,75 @@ class Deployment:
         compiled = self.cache.get_or_compile(
             key, backend, lambda: self.servable.build_program(batch_size), config=self.config
         )
-        handle = compiled.bind(backend=backend, **self.servable.constants)
+        handle = compiled.bind(backend=backend, **self._constants_for(compiled))
         with self._lock:
             return self._handles.setdefault(handle_key, handle)
+
+    # -- packed residency ----------------------------------------------------------
+    def _constants_for(self, compiled) -> dict:
+        """The constants one compiled handle binds — packed class memory
+        when this deployment opted into packed residency.
+
+        A ``binarize`` approximation config turns eligible constants (see
+        :func:`~repro.backends.packing.packable_entry_params`) into
+        :class:`~repro.kernels.binary.PackedBits` ``uint64`` words:
+        ``pack(sign(float_constants))``, exactly the binarization the
+        program's ``_coerce`` would apply, so results are bit-identical
+        to binding the float state.  The packed words are computed once
+        per deployment and shared by every handle; the servable's float
+        constants are left untouched (``update_batch`` needs them).
+        """
+        constants = self.servable.constants
+        if self.config is None or not getattr(self.config, "binarize", False):
+            return constants
+        packable = packable_entry_params(compiled.program)
+        if not packable:
+            return constants
+        bound = dict(constants)
+        with self._lock:
+            for name in packable:
+                if name not in constants:
+                    continue
+                packed = self._packed_constants.get(name)
+                if packed is None:
+                    packed = binkern.pack_bipolar(
+                        refkern.sign(np.asarray(constants[name]))
+                    )
+                    self._packed_constants[name] = packed
+                bound[name] = packed
+        return bound
+
+    def residency(self) -> Optional[dict]:
+        """Resident class-memory accounting, or ``None`` when unpacked.
+
+        Reports, per packed constant and in total, the bytes actually
+        resident (``uint64`` words) against what the same state occupies
+        unpacked — the ~32x shrink the serving metrics and Prometheus
+        exposition surface per model.
+        """
+        with self._lock:
+            packed_map = dict(self._packed_constants)
+        if not packed_map:
+            return None
+        params = {}
+        resident = unpacked = 0
+        for name, packed in packed_map.items():
+            source = self.servable.constants.get(name)
+            source_bytes = int(np.asarray(source).nbytes) if source is not None else 0
+            params[name] = {
+                "resident_bytes": int(packed.nbytes),
+                "unpacked_bytes": source_bytes,
+                "dim": int(packed.dim),
+            }
+            resident += int(packed.nbytes)
+            unpacked += source_bytes
+        return {
+            "packed": True,
+            "params": params,
+            "class_memory_bytes": resident,
+            "class_memory_unpacked_bytes": unpacked,
+            "shrink_ratio": (unpacked / resident) if resident else 0.0,
+        }
 
     def warm(self, batch_sizes: Iterable[int], worker=None) -> None:
         """Pre-compile (or cache-hit) the handles for the given buckets."""
@@ -252,6 +327,33 @@ class ShardedDeployment(Deployment):
             config=self.config,
             default_target=self.default_target,
         )
+
+    # -- packed residency ----------------------------------------------------------
+    def residency(self) -> Optional[dict]:
+        """Aggregate resident class-memory bytes across all shards."""
+        shard_docs = [shard.residency() for shard in self.shards]
+        shard_docs = [doc for doc in shard_docs if doc is not None]
+        if not shard_docs:
+            return None
+        params: dict = {}
+        resident = unpacked = 0
+        for doc in shard_docs:
+            resident += doc["class_memory_bytes"]
+            unpacked += doc["class_memory_unpacked_bytes"]
+            for name, info in doc["params"].items():
+                merged = params.setdefault(
+                    name, {"resident_bytes": 0, "unpacked_bytes": 0, "dim": info["dim"]}
+                )
+                merged["resident_bytes"] += info["resident_bytes"]
+                merged["unpacked_bytes"] += info["unpacked_bytes"]
+        return {
+            "packed": True,
+            "params": params,
+            "class_memory_bytes": resident,
+            "class_memory_unpacked_bytes": unpacked,
+            "shrink_ratio": (unpacked / resident) if resident else 0.0,
+            "shards": len(shard_docs),
+        }
 
     # -- reduction ----------------------------------------------------------------
     def reduce(self, partials: Sequence[np.ndarray], top_k: int = 1) -> np.ndarray:

@@ -28,14 +28,65 @@ class TestPacking:
         rng = np.random.default_rng(0)
         x = (rng.integers(0, 2, size=(5, 70)) * 2 - 1).astype(np.int8)
         packed = binkern.pack_bipolar(x)
-        assert packed.dtype == np.uint8
-        assert packed.shape == (5, 9)
+        assert packed.dtype == np.uint64
+        assert packed.shape == (5, 2)  # ceil(70 / 64) words per row
+        assert packed.dim == 70
         assert np.array_equal(binkern.unpack_bipolar(packed, 70), x)
 
     def test_packed_num_bytes(self):
         assert binkern.packed_num_bytes(8) == 1
         assert binkern.packed_num_bytes(9) == 2
         assert binkern.packed_num_bytes(2048) == 256
+
+    def test_packed_num_words(self):
+        assert binkern.packed_num_words(1) == 1
+        assert binkern.packed_num_words(64) == 1
+        assert binkern.packed_num_words(65) == 2
+        assert binkern.packed_num_words(2048) == 32
+
+    def test_payload_view_matches_legacy_uint8_layout(self):
+        # The uint64 words must view back to exactly the bytes the old
+        # uint8 layout stored on disk (big-endian np.packbits order).
+        rng = np.random.default_rng(7)
+        x = (rng.integers(0, 2, size=(5, 70)) * 2 - 1).astype(np.int8)
+        packed = binkern.pack_bipolar(x)
+        legacy = np.packbits((x > 0).astype(np.uint8), axis=-1)
+        assert np.array_equal(packed.payload_bytes(), legacy)
+
+    def test_tail_bits_are_zero(self):
+        # Padding bits beyond dim must be zero: Hamming popcounts whole
+        # words, so a stray tail bit would corrupt every distance.
+        x = np.ones((3, 67), dtype=np.int8)
+        packed = binkern.pack_bipolar(x)
+        words = np.asarray(packed)
+        # Byte view: 67 bits -> 9 payload bytes; the 9th carries 3 set
+        # bits in its high (big-endian) positions, bytes 10..16 are pad.
+        raw = np.ascontiguousarray(words).view(np.uint8).reshape(3, -1)
+        assert np.all(raw[:, 8] == 0b11100000)
+        assert np.all(raw[:, 9:] == 0)
+        # All-ones row: exactly dim bits set across the row's words.
+        counts = binkern.popcount_words(words).sum(axis=-1)
+        assert np.all(counts == 67)
+
+    def test_pack_is_idempotent_on_packed(self):
+        rng = np.random.default_rng(8)
+        x = (rng.integers(0, 2, size=(2, 100)) * 2 - 1).astype(np.int8)
+        packed = binkern.pack_bipolar(x)
+        assert binkern.pack_bipolar(packed) is packed
+
+    def test_unpack_accepts_legacy_uint8_rows(self):
+        rng = np.random.default_rng(9)
+        x = (rng.integers(0, 2, size=(4, 70)) * 2 - 1).astype(np.int8)
+        legacy = np.packbits((x > 0).astype(np.uint8), axis=-1)
+        assert np.array_equal(binkern.unpack_bipolar(legacy, 70), x)
+
+    def test_pack_cache_reuses_stable_operands(self):
+        rng = np.random.default_rng(10)
+        x = (rng.integers(0, 2, size=(4, 128)) * 2 - 1).astype(np.int8)
+        p1 = binkern.pack_bipolar_cached(x)
+        p2 = binkern.pack_bipolar_cached(x)
+        assert p1 is p2
+        assert np.array_equal(binkern.unpack_bipolar(p1, 128), x)
 
     @given(bipolar_arrays())
     @settings(max_examples=25, deadline=None)
@@ -84,6 +135,33 @@ class TestPackedHamming:
         assert np.array_equal(
             binkern.hamming_distance_bipolar(a, b), binkern.hamming_distance_bipolar(b, a).T
         )
+
+    def test_accepts_prepacked_operands(self):
+        # Pre-packed lhs/rhs (any combination) produce the same distances
+        # as the bipolar inputs — the serving plane binds constants packed.
+        rng = np.random.default_rng(11)
+        a = (rng.integers(0, 2, size=(4, 130)) * 2 - 1).astype(np.int8)
+        b = (rng.integers(0, 2, size=(7, 130)) * 2 - 1).astype(np.int8)
+        pa, pb = binkern.pack_bipolar(a), binkern.pack_bipolar(b)
+        expected = ref.hamming_distance(a, b)
+        for lhs, rhs in [(pa, b), (a, pb), (pa, pb)]:
+            assert np.array_equal(binkern.hamming_distance_bipolar(lhs, rhs), expected)
+
+    def test_prepacked_perforation_matches_reference(self):
+        rng = np.random.default_rng(12)
+        a = (rng.integers(0, 2, size=(3, 100)) * 2 - 1).astype(np.int8)
+        b = (rng.integers(0, 2, size=(4, 100)) * 2 - 1).astype(np.int8)
+        pa, pb = binkern.pack_bipolar(a), binkern.pack_bipolar(b)
+        expected = ref.hamming_distance(a, b, 10, 80, 3)
+        assert np.array_equal(binkern.hamming_distance_bipolar(pa, pb, 10, 80, 3), expected)
+
+    def test_table_fallback_popcount_matches_native(self, monkeypatch):
+        rng = np.random.default_rng(13)
+        a = (rng.integers(0, 2, size=(4, 200)) * 2 - 1).astype(np.int8)
+        b = (rng.integers(0, 2, size=(6, 200)) * 2 - 1).astype(np.int8)
+        expected = binkern.hamming_distance_bipolar(a, b)
+        monkeypatch.setattr(binkern, "popcount_words", binkern._popcount_words_table)
+        assert np.array_equal(binkern.hamming_distance_bipolar(a, b), expected)
 
 
 class TestBipolarDotAndCosine:

@@ -1,0 +1,191 @@
+"""Tests for the uint64 packed-bit serving plane (packed class memory).
+
+A deployment whose approximation config enables binarization opts its
+class memory into packed residency: the packable entry constants are
+packed once per deployment (register / hot-swap), bound as
+:class:`~repro.kernels.binary.PackedBits` words, and served through the
+word-parallel Hamming kernels.  The contracts under test:
+
+* predictions are bit-identical to the binarized-but-unpacked route;
+* ``ServerStats`` surfaces the residency document (>= 25x smaller
+  resident class memory, 32x exactly for float32 sources) and the
+  Prometheus exposition renders it as per-model gauges;
+* online update -> hot-swap -> ``UpdateLog.replay()`` rebuilds
+  bit-identical packed constants, because packing is a pure function of
+  the replayed float state;
+* sharded deployments pack per shard and aggregate residency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.serving.registry as registry_mod
+from repro.apps import HDClassificationInference
+from repro.datasets import IsoletConfig, make_isolet_like
+from repro.serving import InferenceServer, UpdateLog
+from repro.serving.observability.prometheus import parse_prometheus_text, render_prometheus
+from repro.transforms import ApproximationConfig
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_isolet_like(
+        IsoletConfig(n_features=48, n_classes=6, n_train=180, n_test=48, seed=21)
+    )
+
+
+def make_servable(dataset):
+    app = HDClassificationInference(dimension=256, similarity="hamming")
+    return app.as_servable(dataset=dataset, name="isolet")
+
+
+def packed_config():
+    return ApproximationConfig(binarize=True)
+
+
+def rounds(dataset, n=3):
+    return [
+        (dataset.train_features[i::n], dataset.train_labels[i::n].astype(np.int64))
+        for i in range(n)
+    ]
+
+
+def packed_constant_bytes(server, name):
+    """The packed class-memory words a deployment currently serves."""
+    deployment = server.registry.get(name)
+    with deployment._lock:
+        return {
+            param: np.ascontiguousarray(packed).tobytes()
+            for param, packed in deployment._packed_constants.items()
+        }
+
+
+class TestPackedResidency:
+    def test_stats_surface_packed_class_memory(self, dataset):
+        servable = make_servable(dataset)
+        server = InferenceServer(workers=("cpu",))
+        server.register(servable, config=packed_config())
+        with server:
+            predictions = server.infer_many("isolet", list(dataset.test_features[:16]))
+            stats = server.stats()
+        split = stats.model_stats["isolet"]
+        residency = split["residency"]
+        assert residency is not None and residency["packed"]
+        assert "class_hvs" in residency["params"]
+        # float32 class memory packs 32x smaller; the criterion is >= 25x.
+        assert residency["shrink_ratio"] >= 25
+        assert residency["class_memory_bytes"] * 25 <= residency["class_memory_unpacked_bytes"]
+        # The packed route must never trip the per-row boundary gate.
+        assert split["fallback_stages"] == 0
+        assert len(predictions) == 16
+
+    def test_packed_predictions_match_binarized_unpacked(self, dataset, monkeypatch):
+        servable = make_servable(dataset)
+        queries = list(dataset.test_features[:24])
+
+        server = InferenceServer(workers=("cpu",))
+        server.register(servable, config=packed_config())
+        with server:
+            packed = server.infer_many("isolet", queries)
+
+        # Same binarized program, packing disabled: the reference route.
+        monkeypatch.setattr(registry_mod, "packable_entry_params", lambda program: [])
+        unpacked_server = InferenceServer(workers=("cpu",))
+        unpacked_server.register(servable, config=packed_config())
+        with unpacked_server:
+            unpacked = unpacked_server.infer_many("isolet", queries)
+
+        for a, b in zip(packed, unpacked):
+            assert np.array_equal(np.asarray(a), np.asarray(b))
+
+    def test_unpacked_deployment_reports_no_residency(self, dataset):
+        servable = make_servable(dataset)
+        server = InferenceServer(workers=("cpu",))
+        server.register(servable)  # no binarize config -> no packing
+        with server:
+            server.infer_many("isolet", list(dataset.test_features[:4]))
+            stats = server.stats()
+        assert stats.model_stats["isolet"]["residency"] is None
+
+    def test_prometheus_renders_residency_gauges(self, dataset):
+        servable = make_servable(dataset)
+        server = InferenceServer(workers=("cpu",))
+        server.register(servable, config=packed_config())
+        with server:
+            server.infer_many("isolet", list(dataset.test_features[:4]))
+            stats = server.stats()
+        samples = parse_prometheus_text(render_prometheus(stats.to_dict()))
+        by_name = {}
+        for sample in samples:
+            by_name.setdefault(sample.name, []).append(sample)
+        resident = by_name["hdc_serving_model_class_memory_bytes"]
+        unpacked = by_name["hdc_serving_model_class_memory_unpacked_bytes"]
+        assert resident[0].labels["model"] == "isolet"
+        assert unpacked[0].value >= 25 * resident[0].value
+
+    def test_sharded_deployment_aggregates_residency(self, dataset):
+        servable = make_servable(dataset)
+        server = InferenceServer(workers=("cpu", "cpu"))
+        server.register(servable, config=packed_config(), shards=2)
+        with server:
+            sharded = server.infer_many("isolet", list(dataset.test_features[:16]))
+            stats = server.stats()
+        residency = stats.model_stats["isolet"]["residency"]
+        assert residency is not None and residency["shards"] == 2
+        assert residency["shrink_ratio"] >= 25
+
+        plain = InferenceServer(workers=("cpu",))
+        plain.register(servable, config=packed_config())
+        with plain:
+            unsharded = plain.infer_many("isolet", list(dataset.test_features[:16]))
+        for a, b in zip(sharded, unsharded):
+            assert np.array_equal(np.asarray(a), np.asarray(b))
+
+
+class TestPackedReplay:
+    def test_replay_rebuilds_bit_identical_packed_constants(self, tmp_path, dataset):
+        """Online update -> hot-swap -> UpdateLog.replay(): the restarted
+        server's packed class memory is byte-identical to the live one's,
+        because packing is a deterministic function of the replayed float
+        constants."""
+        queries = list(dataset.test_features)
+        log = UpdateLog(tmp_path / "u.log")
+
+        live = InferenceServer(workers=("cpu",), update_log=log)
+        live.register(make_servable(dataset), config=packed_config())
+        with live:
+            versions = [
+                live.update("isolet", samples, labels) for samples, labels in rounds(dataset)
+            ]
+            live_predictions = live.infer_many("isolet", queries)
+            live_packed = packed_constant_bytes(live, "isolet")
+        assert versions == [2, 3, 4]
+        assert live_packed, "live server never packed its class memory"
+
+        restarted = InferenceServer(workers=("cpu",), update_log=log)
+        restarted.register(make_servable(dataset), config=packed_config())
+        with restarted:
+            assert log.replay(restarted) == versions
+            replayed_predictions = restarted.infer_many("isolet", queries)
+            replayed_packed = packed_constant_bytes(restarted, "isolet")
+
+        assert replayed_packed == live_packed
+        for a, b in zip(live_predictions, replayed_predictions):
+            assert np.array_equal(np.asarray(a), np.asarray(b))
+
+    def test_swap_repacks_updated_class_memory(self, dataset):
+        """Each online round's hot-swap serves freshly packed constants —
+        the packed bytes change with the float state they derive from."""
+        server = InferenceServer(workers=("cpu",))
+        server.register(make_servable(dataset), config=packed_config())
+        with server:
+            server.infer_many("isolet", list(dataset.test_features[:4]))
+            before = packed_constant_bytes(server, "isolet")
+            samples, labels = rounds(dataset)[0]
+            server.update("isolet", samples, labels)
+            server.infer_many("isolet", list(dataset.test_features[:4]))
+            after = packed_constant_bytes(server, "isolet")
+        assert before and after
+        assert before != after

@@ -8,6 +8,7 @@ from repro import hdcpp as H
 from repro.backends import compile as hdc_compile
 from repro.ir.builder import clone_program, lower_program
 from repro.ir.verifier import verify_graph, verify_program
+from repro.kernels import binary as binkern
 from repro.kernels import reference as ref
 from repro.serving.metrics import percentile as exact_percentile
 from repro.serving.observability.histogram import DEFAULT_RELATIVE_ERROR, LatencyHistogram
@@ -74,6 +75,91 @@ class TestKernelProperties:
         a, b, unrelated = bipolar(3, dim, seed)
         bundle = a + b
         assert float(bundle @ a) >= float(bundle @ unrelated) - dim * 0.5
+
+
+packed_dtypes = st.sampled_from([np.int8, np.int32, np.float32, np.float64])
+packed_dims = st.integers(min_value=1, max_value=150)  # crosses the 64/128 word edges
+packed_rows = st.integers(min_value=0, max_value=6)  # 0 = empty batch
+
+
+@st.composite
+def packed_cases(draw):
+    """Two bipolar matrices with a shared dim plus a perforation slice."""
+    dim = draw(packed_dims)
+    rows_a, rows_b = draw(packed_rows), draw(packed_rows)
+    dtype = draw(packed_dtypes)
+    seed = draw(seeds)
+    rng = np.random.default_rng(seed)
+    a = (rng.integers(0, 2, size=(rows_a, dim)) * 2 - 1).astype(dtype)
+    b = (rng.integers(0, 2, size=(rows_b, dim)) * 2 - 1).astype(dtype)
+    begin = draw(st.integers(0, max(0, dim - 1)))
+    end = draw(st.one_of(st.none(), st.integers(begin + 1, dim)))
+    stride = draw(st.integers(1, 7))
+    return a, b, (begin, end, stride)
+
+
+class TestPackedKernelProperties:
+    """The uint64 packed plane agrees bit-for-bit with the reference
+    kernels across dtypes, odd dims, empty batches and perforation
+    slices — the invariant the serving route's boundary gate relies on."""
+
+    @given(packed_cases())
+    @settings(max_examples=60, deadline=None)
+    def test_pack_unpack_round_trips_exactly(self, case):
+        a, _, (begin, end, stride) = case
+        dim = a.shape[1]
+        packed = binkern.pack_bipolar(a)
+        restored = binkern.unpack_bipolar(packed, dim)
+        assert np.array_equal(restored, np.where(a > 0, 1, -1).astype(np.int8))
+        # Round-trip holds under a perforation slice too: slicing the
+        # restored bipolar rows equals slicing the originals.
+        sl = slice(begin, end, stride)
+        assert np.array_equal(restored[:, sl], np.where(a[:, sl] > 0, 1, -1).astype(np.int8))
+
+    @given(packed_cases())
+    @settings(max_examples=60, deadline=None)
+    def test_packed_hamming_equals_reference(self, case):
+        a, b, (begin, end, stride) = case
+        expected = np.asarray(ref.hamming_distance(a, b, begin, end, stride))
+        out = np.asarray(binkern.hamming_distance_bipolar(a, b, begin, end, stride))
+        assert out.shape == expected.shape
+        assert np.array_equal(out, expected)
+
+    @given(packed_cases())
+    @settings(max_examples=40, deadline=None)
+    def test_packed_dot_and_cossim_equal_reference(self, case):
+        a, b, _ = case
+        expected_dot = np.asarray(a, dtype=np.float64) @ np.asarray(b, dtype=np.float64).T
+        assert np.allclose(binkern.dot_bipolar(a, b), expected_dot)
+        if a.shape[0] and b.shape[0]:
+            assert np.allclose(
+                binkern.cossim_bipolar(a, b),
+                np.asarray(ref.cossim(a, b), dtype=np.float32),
+                atol=1e-5,
+            )
+
+    @given(packed_cases())
+    @settings(max_examples=40, deadline=None)
+    def test_prepacked_operands_equal_unpacked(self, case):
+        a, b, (begin, end, stride) = case
+        pa, pb = binkern.pack_bipolar(a), binkern.pack_bipolar(b)
+        expected = np.asarray(binkern.hamming_distance_bipolar(a, b, begin, end, stride))
+        assert np.array_equal(
+            np.asarray(binkern.hamming_distance_bipolar(pa, pb, begin, end, stride)), expected
+        )
+
+    @given(packed_cases())
+    @settings(max_examples=30, deadline=None)
+    def test_table_popcount_equals_native(self, case):
+        a, b, (begin, end, stride) = case
+        expected = np.asarray(binkern.hamming_distance_bipolar(a, b, begin, end, stride))
+        original = binkern.popcount_words
+        binkern.popcount_words = binkern._popcount_words_table
+        try:
+            out = np.asarray(binkern.hamming_distance_bipolar(a, b, begin, end, stride))
+        finally:
+            binkern.popcount_words = original
+        assert np.array_equal(out, expected)
 
 
 class TestCompilerProperties:
