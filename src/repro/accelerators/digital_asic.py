@@ -53,6 +53,12 @@ class DigitalASICParameters:
     pipeline_fill_cycles: int = 64
     tops_per_watt: float = 0.78
     host_link_bps: float = 10e3
+    #: On-chip class-memory bank size in rows; ``None`` models an
+    #: unbounded bank (the pre-PR-9 behaviour).  Class memories above the
+    #: bank size cannot stay resident between executions — the host
+    #: re-streams them per round, which is exactly the data-movement wall
+    #: that sharding across devices exists to break.
+    class_mem_rows: "int | None" = None
 
     @property
     def watts(self) -> float:
@@ -69,6 +75,7 @@ class DigitalHDCASIC(HDCAcceleratorDevice):
         self.params = params or DigitalASICParameters()
         self.host_link_bps = self.params.host_link_bps
         self.device_power_watts = self.params.watts
+        self.class_mem_capacity_rows = self.params.class_mem_rows
         self._seed = seed
         self._class_accumulators: np.ndarray | None = None
         self._base_row: np.ndarray | None = None

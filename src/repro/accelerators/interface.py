@@ -106,6 +106,17 @@ class HDCAcceleratorDevice:
     #: its ARM host through a 10 kbps FPGA bridge (Section 5.2).
     host_link_bps: float = 10e3
 
+    #: Class-memory capacity in rows (class hypervectors), or ``None`` for
+    #: unbounded.  Real devices hold the class memory in a fixed on-chip
+    #: bank (the ASIC's class SRAM, the ReRAM macro's crossbar rows); a
+    #: class memory larger than the bank cannot stay resident — the host
+    #: must re-stream it per execution round.  :class:`DeviceSession`
+    #: consults this to decide whether residency-based transfer elision is
+    #: possible at all; the functional simulators still *execute*
+    #: oversized memories (streaming is functionally a reload), they just
+    #: never count them resident.
+    class_mem_capacity_rows: Optional[int] = None
+
     def __init__(self) -> None:
         self.config: Optional[AcceleratorConfig] = None
         self.counters = DeviceCounters()

@@ -114,20 +114,39 @@ def classification_servable(
         return prog
 
     def build_partial(batch_size: int, n_rows: int) -> H.Program:
-        """Partial-score program over ``n_rows`` class rows (one shard)."""
+        """Partial-score program over ``n_rows`` class rows (one shard).
+
+        With the signed-encoding convention the shard encodes through an
+        ``encoding_loop`` *stage* rather than inline granular ops: on CPU
+        workers the stage auto-vectorizes to the same sign(matmul) pass,
+        while on the HDC accelerators it offloads to the device encoder —
+        the exact encoder (cyclic projection on the digital ASIC) the
+        unsharded ``inference_loop`` uses, so sharded predictions stay
+        bit-identical to unsharded on the same target, and each pinned
+        shard worker keeps the base memory resident in its
+        ``DeviceSession`` instead of re-encoding through host kernels.
+        The raw-projection convention has no device implementation (the
+        devices always binarize), so it keeps the inline host encode.
+        """
         prog = H.Program(f"{name}_shard{n_rows}_b{batch_size}")
+
+        @prog.define(H.hv(n_features), H.hm(dimension, n_features))
+        def encode_one(features, rp):
+            return H.sign(H.matmul(features, rp))
 
         @prog.entry(
             H.hm(batch_size, n_features), H.hm(n_rows, dimension), H.hm(dimension, n_features)
         )
         def main(queries, class_hvs, rp):
-            encoded = H.matmul(queries, rp)
             if binarize_encoding:
-                encoded = H.sign(encoded)
+                encoded = H.encoding_loop(encode_one, queries, rp)
+                if similarity == "cosine":
+                    return H.cossim(encoded, class_hvs)
+                return H.hamming_distance(encoded, H.sign(class_hvs))
+            encoded = H.matmul(queries, rp)
             if similarity == "cosine":
                 return H.cossim(encoded, class_hvs)
-            bipolar = encoded if binarize_encoding else H.sign(encoded)
-            return H.hamming_distance(bipolar, H.sign(class_hvs))
+            return H.hamming_distance(H.sign(encoded), H.sign(class_hvs))
 
         return prog
 

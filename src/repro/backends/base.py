@@ -363,16 +363,17 @@ class Backend:
         this back-end instance — steps 1-3 of the compile workflow are
         restored from the payload, not repeated.
         """
-        from repro.backends.executor import _REJECTED_ATTR
+        from repro.backends.executor import _ACCEPTED_ATTR, _REJECTED_ATTR
 
         state = pickle.loads(payload)
-        # Runtime batched-route rejections are pinned per *process* (they
+        # Runtime batched-route verdicts are pinned per *process* (they
         # can be data dependent — e.g. a bit-identity gate failure on one
         # particular batch's float values); a restored artifact starts
         # with a clean slate and re-probes its batched routes.
         for fn in state["program"].functions.values():
             for op in fn.ops:
                 op.attrs.pop(_REJECTED_ATTR, None)
+                op.attrs.pop(_ACCEPTED_ATTR, None)
         self.prepare(state["program"], state["graph"], state["config"])
         return CompiledProgram(
             self, state["program"], state["graph"], state["pass_report"], state["config"]

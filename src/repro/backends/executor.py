@@ -58,11 +58,26 @@ _BATCH_FALLBACK_ERRORS = (TypeError, ValueError, IndexError)
 #: agree on the next), so pinning deliberately trades a possibly
 #: recoverable route for correct, predictable cost; the pin does not
 #: outlive the process (``Backend.deserialize_compiled`` strips it, so
-#: cache-restored artifacts re-probe).  Acceptances are *never* cached:
-#: the gate must re-verify every batch.  Writes are GIL-atomic dict
+#: cache-restored artifacts re-probe).  Writes are GIL-atomic dict
 #: stores, so handles shared across worker threads at worst attempt the
 #: doomed route once per thread.
 _REJECTED_ATTR = "_batched_route_rejected"
+
+#: Runtime attribute caching an *accepted* gate verdict per batch size on
+#: the operation of the compiled clone: ``{n_rows: (shape, dtype)}``.
+#: Handles compile per (program, bucket), so one entry is one
+#: (compiled program, bucket) verdict.  Once a bucket's batched route has
+#: proven bit-identical on its boundary rows, steady-state batches of the
+#: same bucket skip the two per-row reference rows and their exact
+#: comparisons — the dominant per-batch gate cost — and only re-verify
+#: the result's shape and dtype (O(1)).  Like the rejection pin, this
+#: trades per-batch re-verification for predictable cost: the verdict is
+#: trusted for the rest of this compiled program's life in this process.
+#: Hot-swaps re-probe for free — a swapped servable has a new
+#: content-hashed signature, hence freshly compiled clones without the
+#: attribute — and ``Backend.deserialize_compiled`` strips it, so
+#: cache-restored artifacts re-probe too.
+_ACCEPTED_ATTR = "_batched_route_accepted"
 
 
 class ExecutionError(RuntimeError):
@@ -279,6 +294,18 @@ class HostStageExecutor:
         out = np.asarray(out)
         if transform is not None:
             out = transform(out)
+        accepted = op.attrs.get(_ACCEPTED_ATTR)
+        if accepted is not None:
+            cached_verdict = accepted.get(n_rows)
+            if cached_verdict is not None and out.shape == cached_verdict[0] and out.dtype == cached_verdict[1]:
+                # This (compiled program, bucket) already passed the
+                # boundary-row gate on an earlier batch; skip the two
+                # reference rows and accept on the cheap shape/dtype
+                # re-check.  A shape or dtype surprise falls through to
+                # the full gate below, which re-probes (and possibly
+                # rejects) as if no verdict were cached.
+                self._record_vectorized(op)
+                return out
         # Everything from here to the verdict is gate cost (boundary
         # reference rows + exact comparisons) — timed separately so the
         # profile can show what bit-identity checking costs per stage.
@@ -308,6 +335,7 @@ class HostStageExecutor:
                 return None
         finally:
             self.gate_seconds += time.monotonic() - gate_started
+        op.attrs.setdefault(_ACCEPTED_ATTR, {})[n_rows] = (out.shape, out.dtype)
         self._record_vectorized(op)
         return out
 

@@ -34,8 +34,25 @@ class DeviceSession:
         self._config: Optional[AcceleratorConfig] = None
         self._resident_base: Optional[np.ndarray] = None
         self._resident_classes: Optional[np.ndarray] = None
+        # The host array object each resident memory was programmed from
+        # (a strong reference, so the identity can never be a recycled
+        # id).  Serving hands the session the *same* cached constants
+        # object on every batch (Deployment constants are immutable once
+        # registered), so an `is` check elides the transfer in O(1)
+        # instead of re-comparing the whole memory byte-for-byte — on an
+        # oversized class memory the value comparison itself costs a full
+        # memory stream per batch.  Mutating a previously ensured array
+        # in place would defeat the check; deployment constants are never
+        # mutated (updates build new arrays), matching the contract the
+        # value comparison's defensive copy already assumed.
+        self._resident_base_src: Optional[np.ndarray] = None
+        self._resident_classes_src: Optional[np.ndarray] = None
         #: Number of transfers skipped because the data was already resident.
         self.elided_transfers = 0
+        #: Class-memory transfers forced by the device's fixed bank size
+        #: (``class_mem_capacity_rows``): the memory was unchanged but too
+        #: large to stay resident, so it re-streamed to the device.
+        self.capacity_evictions = 0
 
     # -- configuration -------------------------------------------------------------
     def ensure_config(self, dimension: int, features: int, classes: int) -> None:
@@ -48,27 +65,55 @@ class DeviceSession:
         self._config = config
         self._resident_base = None
         self._resident_classes = None
+        self._resident_base_src = None
+        self._resident_classes_src = None
 
     # -- residency-aware data movement ------------------------------------------------
     def ensure_base(self, base: np.ndarray) -> None:
+        source = base
         base = np.asarray(base)
+        if source is self._resident_base_src and self._resident_base is not None:
+            self.elided_transfers += 1
+            return
         if self._resident_base is not None and np.array_equal(self._resident_base, base):
             self.elided_transfers += 1
+            self._resident_base_src = source
             return
         self.device.allocate_base_mem(base)
         self._resident_base = np.array(base, copy=True)
+        self._resident_base_src = source
 
     def ensure_classes(self, classes: np.ndarray) -> None:
+        source = classes
         classes = np.asarray(classes)
+        capacity = getattr(self.device, "class_mem_capacity_rows", None)
+        if capacity is not None and classes.shape[0] > int(capacity):
+            # Too large for the device's class-memory bank: it can never
+            # stay resident, so every execution round re-streams it.
+            # This is the cost model that makes "a memory too big for one
+            # worker" mean something — and the cost shard-pinned
+            # placement exists to avoid, by keeping each (bank-sized)
+            # slice resident on its own worker.
+            self.capacity_evictions += 1
+            self.device.allocate_class_mem(classes)
+            self._resident_classes = None
+            self._resident_classes_src = None
+            return
+        if source is self._resident_classes_src and self._resident_classes is not None:
+            self.elided_transfers += 1
+            return
         if self._resident_classes is not None and np.array_equal(self._resident_classes, classes):
             self.elided_transfers += 1
+            self._resident_classes_src = source
             return
         self.device.allocate_class_mem(classes)
         self._resident_classes = np.array(classes, copy=True)
+        self._resident_classes_src = source
 
     def invalidate_classes(self) -> None:
         """Mark device class memory as modified (after on-device training)."""
         self._resident_classes = None
+        self._resident_classes_src = None
 
     # -- counters -----------------------------------------------------------------------
     def _accumulate(self) -> None:

@@ -19,8 +19,12 @@ are JSON) declaring the four axes and the cells swept over them::
   override that kind's parameters.
 * **backends** — worker/transport topology: worker targets, optional
   class-memory ``shards``, ``transport: true`` to drive the cell over
-  the socket front end with ``clients`` concurrent clients, and the
-  micro-batching watermarks.
+  the socket front end with ``clients`` concurrent clients,
+  ``replicas: N`` to serve the cell from an N-replica
+  :class:`~repro.serving.replica.ReplicaGroup` behind a rendezvous-
+  routing client pool (implies the socket transports; per-replica
+  stats are merged into one cell view), and the micro-batching
+  watermarks.
 * **configs** — approximation presets (``binarize``,
   ``binarize_reduce``, ``perforations``); ``{}`` is exact serving.
 * **shapes** — load shapes; ``kind`` selects a
@@ -85,6 +89,7 @@ _RESERVED_NAMES = frozenset(
         "versions",
         "fallback_stages",
         "vectorized_stages",
+        "replicas",
         "resident_class_memory_bytes",
         "class_memory_shrink",
         "stream_sha1",
@@ -99,6 +104,7 @@ _TOP_LEVEL_KEYS = frozenset(
 _BACKEND_DEFAULTS = {
     "workers": ["cpu"],
     "shards": None,
+    "replicas": 1,
     "transport": False,
     "clients": 4,
     "max_batch_size": 32,
@@ -226,6 +232,13 @@ def _parse_backends(section) -> Dict[str, dict]:
         shards = merged["shards"]
         if shards is not None and (isinstance(shards, bool) or not isinstance(shards, int) or shards < 2):
             raise MatrixConfigError(f"backend {name!r}: 'shards' must be an integer >= 2 or null")
+        _positive(merged, "replicas", f"backend {name!r}", integer=True)
+        if merged["replicas"] > 1 and merged["transport"]:
+            raise MatrixConfigError(
+                f"backend {name!r}: 'transport' is implied by 'replicas' > 1 "
+                "(the replica group is always driven over its socket "
+                "transports); drop the 'transport' flag"
+            )
         _positive(merged, "clients", f"backend {name!r}", integer=True)
         _positive(merged, "max_batch_size", f"backend {name!r}", integer=True)
         _positive(merged, "max_wait_ms", f"backend {name!r}")

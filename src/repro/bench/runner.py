@@ -130,9 +130,46 @@ def _drive_transport(server, names, workload, schedule, clients):
     return sum(failures), 0
 
 
+def _drive_pool(group, names, workload, schedule, clients):
+    """Paced submission against a replica group through a rendezvous-
+    routing client pool — each model consistently lands on its replica."""
+    from repro.serving.replica import ClientPool
+
+    pool = ClientPool(group, timeout=_RESULT_TIMEOUT_S)
+    failures = [0] * clients
+    try:
+        t0 = time.perf_counter()
+
+        def client_loop(c: int) -> None:
+            for index in range(c, len(schedule), clients):
+                delay = t0 + float(schedule.at[index]) - time.perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+                try:
+                    pool.infer(
+                        names[int(schedule.model[index])],
+                        workload.samples[int(schedule.sample[index])],
+                    )
+                except Exception:
+                    failures[c] += 1
+
+        threads = [
+            threading.Thread(target=client_loop, args=(c,), name=f"bench-pool-{c}")
+            for c in range(clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    finally:
+        pool.close()
+    return sum(failures), 0
+
+
 def run_cell(cell: Cell, config: MatrixConfig, seed: int) -> dict:
     """Execute one matrix cell; returns its metrics dict."""
-    from repro.serving import InferenceServer
+    from repro.serving import InferenceServer, merge_server_stats
+    from repro.serving.replica import ReplicaGroup
     from repro.serving.update_log import UpdateLog
 
     app_spec = config.apps[cell.app]
@@ -160,13 +197,27 @@ def run_cell(cell: Cell, config: MatrixConfig, seed: int) -> dict:
             # append hook; it must end up mirroring the source log 1:1.
             live_log = UpdateLog(os.path.join(tmp, "live.updatelog"))
 
-        server = InferenceServer(
-            workers=tuple(backend["workers"]),
-            policy=backend["policy"],
-            max_batch_size=int(backend["max_batch_size"]),
-            max_wait_seconds=float(backend["max_wait_ms"]) / 1e3,
-            update_log=live_log,
-        )
+        n_replicas = int(backend.get("replicas", 1))
+        if n_replicas > 1:
+            # Replica cells front the brokers with a ReplicaGroup; the
+            # group owns the update log (it refuses one in server
+            # options) and fans register/update/drain across members.
+            server = ReplicaGroup(
+                replicas=n_replicas,
+                update_log=live_log,
+                workers=tuple(backend["workers"]),
+                policy=backend["policy"],
+                max_batch_size=int(backend["max_batch_size"]),
+                max_wait_seconds=float(backend["max_wait_ms"]) / 1e3,
+            )
+        else:
+            server = InferenceServer(
+                workers=tuple(backend["workers"]),
+                policy=backend["policy"],
+                max_batch_size=int(backend["max_batch_size"]),
+                max_wait_seconds=float(backend["max_wait_ms"]) / 1e3,
+                update_log=live_log,
+            )
         for name in names:
             server.register(
                 workload.servable, name=name, config=approx, shards=backend["shards"]
@@ -193,7 +244,11 @@ def run_cell(cell: Cell, config: MatrixConfig, seed: int) -> dict:
             if source_log is not None:
                 updater = threading.Thread(target=apply_updates, args=(start,), name="bench-updater")
                 updater.start()
-            if backend["transport"]:
+            if n_replicas > 1:
+                failures, shed = _drive_pool(
+                    server, names, workload, schedule, int(backend["clients"])
+                )
+            elif backend["transport"]:
                 failures, shed = _drive_transport(
                     server, names, workload, schedule, int(backend["clients"])
                 )
@@ -202,7 +257,13 @@ def run_cell(cell: Cell, config: MatrixConfig, seed: int) -> dict:
             if updater is not None:
                 updater.join()
             server.drain()
-            stats = server.stats().to_dict()
+            if n_replicas > 1:
+                # Per-replica snapshots, merged into one group-wide view
+                # (already dict-shaped — counters summed, histograms and
+                # quantiles merged, model versions reconciled).
+                stats = merge_server_stats(server.stats())
+            else:
+                stats = server.stats().to_dict()
         elapsed = time.perf_counter() - start
 
         # Packed class-memory residency, pooled over the cell's model
@@ -216,6 +277,7 @@ def run_cell(cell: Cell, config: MatrixConfig, seed: int) -> dict:
 
         metrics = {
             **cell.coords(),
+            "replicas": n_replicas,
             "requests": len(schedule),
             "duration_s": elapsed,
             "served_rps": len(schedule) / elapsed if elapsed > 0 else 0.0,

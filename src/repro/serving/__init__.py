@@ -57,6 +57,13 @@ pushes a stream of single-sample requests through them:
   blocking :class:`~repro.serving.transport.ServingClient`; see
   :mod:`examples.network_serving`.  (Import the subpackage explicitly —
   it is not pulled in here, so broker-only deployments skip asyncio.)
+* :mod:`repro.serving.replica` — horizontal scaling: a
+  :class:`~repro.serving.replica.ReplicaGroup` of N complete serving
+  stacks behind rendezvous routing
+  (:class:`~repro.serving.replica.ClientPool`), with group-wide
+  versioned hot-swap, ``min_version`` read-your-writes and update-log
+  resync of killed replicas.  (Also an explicit import, for the same
+  asyncio reason.)
 """
 
 from repro.serving.batching import (
@@ -76,7 +83,7 @@ from repro.serving.cache import (
     default_cache,
     program_signature,
 )
-from repro.serving.metrics import ServerStats, ServingMetrics, percentile
+from repro.serving.metrics import ServerStats, ServingMetrics, merge_server_stats, percentile
 from repro.serving.observability import (
     LatencyHistogram,
     RequestTracer,
@@ -90,6 +97,7 @@ from repro.serving.registry import (
     Deployment,
     ModelRegistry,
     ShardedDeployment,
+    StaleVersionError,
     reduce_partials,
 )
 from repro.serving.scheduler import (
@@ -121,6 +129,7 @@ __all__ = [
     "ModelRegistry",
     "Deployment",
     "ShardedDeployment",
+    "StaleVersionError",
     "reduce_partials",
     "Servable",
     "ShardSpec",
@@ -152,6 +161,7 @@ __all__ = [
     "make_policy",
     "ServingMetrics",
     "ServerStats",
+    "merge_server_stats",
     "percentile",
     "LatencyHistogram",
     "TraceContext",

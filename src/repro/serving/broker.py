@@ -65,7 +65,7 @@ from repro.serving.observability.trace import (
     record_child_shared,
     record_step_shared,
 )
-from repro.serving.registry import Deployment, ModelRegistry, ShardedDeployment
+from repro.serving.registry import Deployment, ModelRegistry, ShardedDeployment, StaleVersionError
 from repro.serving.scheduler import BatchWork, FairScheduler, ShardGather, Worker, WorkerPool
 
 __all__ = ["RequestBroker"]
@@ -155,6 +155,9 @@ class RequestBroker:
         #: registry, so a queue's requests always execute against exactly
         #: the deployment that queue was installed for.
         self._deployments: dict = {}
+        #: Pinned shard→worker plans, ``name -> ((version, n_shards),
+        #: plan)``.  Touched only by the dispatcher thread, so unlocked.
+        self._placements: dict = {}
         self._weights: dict = {}
         self._feeders: List[threading.Thread] = []
         self._dispatcher: Optional[threading.Thread] = None
@@ -459,6 +462,7 @@ class RequestBroker:
         priority: int = 0,
         deadline_ms: Optional[float] = None,
         trace=None,
+        min_version: Optional[int] = None,
     ) -> Future:
         """Enqueue one sample; returns a future resolving to its result.
 
@@ -484,8 +488,16 @@ class RequestBroker:
                 caller then owns its completion (``tracer.finish``).
                 Omitted with tracing enabled, the broker mints one and
                 finishes it when the request's future settles.
+            min_version: Version pin (read-your-writes across replicas):
+                raise :class:`~repro.serving.registry.StaleVersionError`
+                instead of enqueueing when the deployment's version is
+                older.  The check is made against the deployment the
+                request would resolve on, before any drain accounting,
+                so a refused request leaves no trace in the queues.
         """
         deployment = self.registry.get(model)
+        if min_version is not None and deployment.version < int(min_version):
+            raise StaleVersionError(deployment.name, deployment.version, int(min_version))
         if trace is None and self.tracer is not None:
             trace = self.tracer.begin(model)
             # Broker-minted traces are finished in-line wherever their
@@ -607,7 +619,9 @@ class RequestBroker:
                         BatchWork(work.deployment, work.requests, shard=i, gather=gather)
                         for i in range(work.deployment.n_shards)
                     ]
-                    self.pool.dispatch_scatter(servable, works)
+                    self.pool.dispatch_scatter(
+                        servable, works, placement=self._placement_for(work.deployment)
+                    )
                 else:
                     self.pool.dispatch(servable, work)
             except Exception as exc:  # no eligible worker — fail the batch
@@ -618,6 +632,26 @@ class RequestBroker:
                             request.trace.fail(f"{type(exc).__name__}: {exc}")
                             request.trace.finish_owned()
                         request.future.set_exception(exc)
+
+    def _placement_for(self, deployment: ShardedDeployment) -> List[Worker]:
+        """The deployment's pinned shard→worker plan, cached per version.
+
+        Pinning is what makes sharding pay on accelerator workers: shard
+        *i* always executes on the same worker, whose ``DeviceSession``
+        keeps that slice of the class memory resident, so steady-state
+        batches skip the constants transfer.  The plan itself
+        (:meth:`WorkerPool.plan_scatter`) is deterministic, so the cache
+        is purely to avoid re-sorting the pool on every batch; a hot-swap
+        bumps ``deployment.version`` and naturally rolls the cache over
+        to the replacement's (identical) plan.
+        """
+        key = (deployment.version, deployment.n_shards)
+        cached = self._placements.get(deployment.name)
+        if cached is None or cached[0] != key:
+            plan = self.pool.plan_scatter(deployment.servable, deployment.n_shards)
+            cached = (key, plan)
+            self._placements[deployment.name] = cached
+        return cached[1]
 
     def _shed_expired(self, requests: list) -> list:
         """Drop requests whose deadline lapsed while queued for dispatch.

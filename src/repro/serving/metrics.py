@@ -53,7 +53,7 @@ from typing import Dict, Iterable, Optional
 
 from repro.serving.observability.histogram import LatencyHistogram
 
-__all__ = ["ServerStats", "ServingMetrics", "percentile"]
+__all__ = ["ServerStats", "ServingMetrics", "merge_server_stats", "percentile"]
 
 
 def percentile(values: Iterable[float], p: float) -> float:
@@ -143,6 +143,190 @@ class ServerStats:
             f"shed={self.deadline_exceeded}, slo_violations={self.slo_violations}, "
             f"cache={self.cache_hits}/{self.cache_hits + self.cache_misses})"
         )
+
+
+#: Top-level ServerStats fields merged by summation across replicas.
+_SUM_FIELDS = (
+    "requests",
+    "failures",
+    "deadline_exceeded",
+    "batches",
+    "swaps",
+    "vectorized_stages",
+    "fallback_stages",
+    "slo_violations",
+    "cache_hits",
+    "cache_misses",
+    "cache_warm_hits",
+    "elided_transfers",
+)
+
+#: Per-model fields merged by summation.
+_MODEL_SUM_FIELDS = (
+    "requests",
+    "slo_violations",
+    "vectorized_stages",
+    "fallback_stages",
+    "swaps",
+)
+
+#: Per-(stage, bucket) profile slot fields merged by summation.
+_PROFILE_SUM_FIELDS = ("executions", "seconds", "gate_seconds", "vectorized", "fallbacks")
+
+
+def _merge_histograms(dicts: list) -> LatencyHistogram:
+    """Fold serialized histogram dicts into one (empty dicts skipped)."""
+    merged = None
+    for data in dicts:
+        if not data:
+            continue
+        histogram = LatencyHistogram.from_dict(data)
+        merged = histogram if merged is None else merged.merge(histogram)
+    return merged if merged is not None else LatencyHistogram()
+
+
+def merge_server_stats(snapshots: Iterable) -> dict:
+    """Merge per-replica :class:`ServerStats` snapshots into one group view.
+
+    The input is what a replica group hands out — one snapshot per
+    replica, as :class:`ServerStats` instances or their ``to_dict()``
+    JSON forms (``None`` entries, from dead or unreachable replicas, are
+    skipped).  The output is a ``to_dict()``-shaped dict:
+
+    * **Counters sum.**  Requests, failures, sheds, batches, swaps,
+      vectorized/fallback stages, SLO violations, cache counters and
+      elided transfers are totals across the group.
+    * **Histograms merge, percentiles recompute.**  The log-linear
+      latency histograms are mergeable by construction; group p50/p95/p99
+      come from the *merged* histogram — never from averaging per-replica
+      percentiles, which is statistically meaningless.
+    * **Means re-weight.**  ``mean_latency_ms`` is request-weighted,
+      ``mean_batch_size`` batch-weighted.
+    * **Throughput sums, uptime maxes.**  Replicas serve concurrently,
+      so group rps is the sum over the longest-observed window.
+    * **Model stats merge per name** (version = max across replicas —
+      the group-converged version; ``requests_by_version`` summed per
+      version, so a stale replica's old-version traffic stays visible).
+    * **Worker and scheduler stats are namespaced**, not merged:
+      ``worker_stats["r0/cpu-0"]`` keeps each replica's workers
+      distinguishable, because summing busy-time across distinct worker
+      threads would fabricate a worker that does not exist.
+
+    This is what ``tools/scrape_stats.py --replica`` emits and what the
+    replica-scaling benchmark gates read.
+    """
+    dicts = [
+        snapshot.to_dict() if hasattr(snapshot, "to_dict") else snapshot
+        for snapshot in snapshots
+        if snapshot is not None
+    ]
+    merged: dict = {field_name: 0 for field_name in _SUM_FIELDS}
+    merged["replicas"] = len(dicts)
+    merged["throughput_rps"] = 0.0
+    merged["uptime_seconds"] = 0.0
+    merged["batch_size_histogram"] = {}
+    latency_sum = 0.0  # request-weighted, in ms
+    samples_in_batches = 0.0
+    models: Dict[str, dict] = {}
+    worker_stats: dict = {}
+    scheduler_stats: dict = {}
+    for index, stats in enumerate(dicts):
+        for field_name in _SUM_FIELDS:
+            merged[field_name] += stats.get(field_name, 0)
+        merged["throughput_rps"] += stats.get("throughput_rps", 0.0)
+        merged["uptime_seconds"] = max(merged["uptime_seconds"], stats.get("uptime_seconds", 0.0))
+        latency_sum += stats.get("mean_latency_ms", 0.0) * stats.get("requests", 0)
+        samples_in_batches += stats.get("mean_batch_size", 0.0) * stats.get("batches", 0)
+        for size, count in (stats.get("batch_size_histogram") or {}).items():
+            key = str(size)
+            merged["batch_size_histogram"][key] = (
+                merged["batch_size_histogram"].get(key, 0) + count
+            )
+        for name, model in (stats.get("model_stats") or {}).items():
+            models.setdefault(name, []).append(model)
+        for name, worker in (stats.get("worker_stats") or {}).items():
+            worker_stats[f"r{index}/{name}"] = worker
+        scheduler = stats.get("scheduler_stats")
+        if scheduler:
+            scheduler_stats[f"r{index}"] = scheduler
+    requests = merged["requests"]
+    batches = merged["batches"]
+    merged["mean_latency_ms"] = latency_sum / requests if requests else 0.0
+    merged["mean_batch_size"] = samples_in_batches / batches if batches else 0.0
+    cache_lookups = merged["cache_hits"] + merged["cache_misses"]
+    merged["cache_hit_rate"] = merged["cache_hits"] / cache_lookups if cache_lookups else 0.0
+    latency_hist = _merge_histograms([stats.get("latency_histogram") for stats in dicts])
+    merged["latency_histogram"] = latency_hist.to_dict()
+    merged["latency_p50_ms"] = latency_hist.percentile(50) * 1e3
+    merged["latency_p95_ms"] = latency_hist.percentile(95) * 1e3
+    merged["latency_p99_ms"] = latency_hist.percentile(99) * 1e3
+    merged["model_stats"] = {
+        name: _merge_model_stats(views) for name, views in models.items()
+    }
+    merged["worker_stats"] = worker_stats
+    merged["scheduler_stats"] = scheduler_stats
+    return merged
+
+
+def _merge_model_stats(views: list) -> dict:
+    """Merge one model's per-replica ``model_stats`` views."""
+    out: dict = {field_name: 0 for field_name in _MODEL_SUM_FIELDS}
+    queue_wait_sum = 0.0
+    execute_sum = 0.0
+    versions = [view.get("version") for view in views if view.get("version") is not None]
+    slos = [view.get("slo_ms") for view in views if view.get("slo_ms") is not None]
+    out["version"] = max(versions) if versions else None
+    out["slo_ms"] = max(slos) if slos else None
+    out["requests_by_version"] = {}
+    out["stage_fallback_reasons"] = {}
+    out["stage_profile"] = {}
+    out["residency"] = None
+    histograms = {"latency": [], "queue_wait": [], "execute": []}
+    for view in views:
+        for field_name in _MODEL_SUM_FIELDS:
+            out[field_name] += view.get(field_name, 0)
+        view_requests = view.get("requests", 0)
+        queue_wait_sum += view.get("mean_queue_wait_ms", 0.0) * view_requests
+        execute_sum += view.get("mean_execute_ms", 0.0) * view_requests
+        for version, count in (view.get("requests_by_version") or {}).items():
+            out["requests_by_version"][version] = (
+                out["requests_by_version"].get(version, 0) + count
+            )
+        out["stage_fallback_reasons"].update(view.get("stage_fallback_reasons") or {})
+        for key, slot in (view.get("stage_profile") or {}).items():
+            merged_slot = out["stage_profile"].get(key)
+            if merged_slot is None:
+                merged_slot = out["stage_profile"][key] = {
+                    "stage": slot.get("stage"),
+                    "bucket": slot.get("bucket"),
+                    **{field_name: 0 for field_name in _PROFILE_SUM_FIELDS},
+                }
+            for field_name in _PROFILE_SUM_FIELDS:
+                merged_slot[field_name] += slot.get(field_name, 0)
+        if out["residency"] is None and view.get("residency") is not None:
+            out["residency"] = dict(view["residency"])
+        for phase, series in histograms.items():
+            series.append((view.get("histograms") or {}).get(phase))
+    for slot in out["stage_profile"].values():
+        executions = slot.get("executions", 0)
+        slot["mean_ms"] = (slot.get("seconds", 0.0) / executions * 1e3) if executions else 0.0
+    requests = out["requests"]
+    out["mean_queue_wait_ms"] = queue_wait_sum / requests if requests else 0.0
+    out["mean_execute_ms"] = execute_sum / requests if requests else 0.0
+    merged_histograms = {
+        phase: _merge_histograms(series) for phase, series in histograms.items()
+    }
+    out["histograms"] = {
+        phase: histogram.to_dict() for phase, histogram in merged_histograms.items()
+    }
+    out["latency_p50_ms"] = merged_histograms["latency"].percentile(50) * 1e3
+    out["latency_p95_ms"] = merged_histograms["latency"].percentile(95) * 1e3
+    out["latency_p99_ms"] = merged_histograms["latency"].percentile(99) * 1e3
+    out["queue_wait_p50_ms"] = merged_histograms["queue_wait"].percentile(50) * 1e3
+    out["queue_wait_p95_ms"] = merged_histograms["queue_wait"].percentile(95) * 1e3
+    out["execute_p50_ms"] = merged_histograms["execute"].percentile(50) * 1e3
+    out["execute_p95_ms"] = merged_histograms["execute"].percentile(95) * 1e3
+    return out
 
 
 class _ModelCollector:

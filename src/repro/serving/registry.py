@@ -40,7 +40,36 @@ from repro.serving.scheduler import default_worker_backend
 from repro.serving.servable import Servable
 from repro.transforms.pipeline import ApproximationConfig
 
-__all__ = ["Deployment", "ShardedDeployment", "ModelRegistry", "reduce_partials"]
+__all__ = [
+    "Deployment",
+    "ShardedDeployment",
+    "ModelRegistry",
+    "StaleVersionError",
+    "reduce_partials",
+]
+
+
+class StaleVersionError(RuntimeError):
+    """A version-pinned request (``infer(..., min_version=N)``) reached a
+    deployment still serving an older version.
+
+    Version pinning is the read-your-writes contract across replica
+    groups: after a group-wide ``update`` returns version N, a client may
+    pin follow-up reads to ``min_version=N``; a replica that missed the
+    update (killed mid-propagation, not yet resynced) refuses the read
+    with this typed error instead of silently serving stale predictions.
+    The transport maps it end to end (the HTTP gateway answers 409), so
+    callers can retry against another replica or trigger a resync.
+    """
+
+    def __init__(self, model: str, version: int, min_version: int):
+        super().__init__(
+            f"model {model!r} is at version {version}, but the request "
+            f"pinned min_version={min_version} — this replica is stale"
+        )
+        self.model = model
+        self.version = int(version)
+        self.min_version = int(min_version)
 
 
 def reduce_partials(

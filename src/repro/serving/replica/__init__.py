@@ -1,0 +1,27 @@
+"""Replica groups: horizontal scaling for the serving runtime.
+
+One serving stack's throughput is capped by its batching cadence; a
+replica group runs N complete stacks (each with its own registry,
+broker and transport, sharing only the immutable compiled-program
+cache) and spreads models across them with deterministic rendezvous
+routing.  See :mod:`repro.serving.replica.group` for the group-wide
+versioned hot-swap / read-your-writes contract, and
+``docs/SERVING.md`` ("Replica groups & HTTP gateway") for the guided
+tour.
+"""
+
+from repro.serving.replica.group import GroupUpdateError, Replica, ReplicaGroup
+from repro.serving.replica.pool import ClientPool
+from repro.serving.replica.router import ConnectionRouter
+from repro.serving.replica.routing import rendezvous_rank, rendezvous_score, route
+
+__all__ = [
+    "ClientPool",
+    "ConnectionRouter",
+    "GroupUpdateError",
+    "Replica",
+    "ReplicaGroup",
+    "rendezvous_rank",
+    "rendezvous_score",
+    "route",
+]

@@ -1,0 +1,200 @@
+"""Client-side connection pooling and routing for replica groups.
+
+:class:`ClientPool` is what callers (benchmark drivers, the HTTP
+gateway, application threads) hold instead of a bare
+:class:`~repro.serving.transport.ServingClient`:
+
+* **Per-(thread, replica) clients.**  The frame protocol is
+  request/response per connection, so a connection serializes its
+  callers; the pool gives every thread its own client per replica
+  (``threading.local``), which is the idiom that lets N gateway threads
+  drive N concurrent requests without a connection lock.
+* **Rendezvous routing.**  Each model consistently routes to one live
+  replica (:func:`~repro.serving.replica.routing.route`), so a model's
+  traffic coalesces into one replica's micro-batches no matter how many
+  threads or gateway processes are calling.  Dead replicas drop out of
+  the candidate set; only models routed to them move.
+* **Shared retry budget.**  All pooled clients draw reconnect-backoff
+  tokens from one :class:`~repro.serving.transport.RetryBudget`, so a
+  replica outage costs a bounded number of retries *per pool*, not per
+  thread — a thundering herd of per-thread retries is exactly what the
+  budget exists to prevent.
+* **Group-wide writes.**  ``update`` fans out through the owning
+  :class:`~repro.serving.replica.ReplicaGroup` when the pool wraps one
+  (keeping the group's update log authoritative), or over the wire to
+  every replica when the pool was built from bare addresses.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.serving.replica.routing import route
+from repro.serving.transport.client import RetryBudget, ServingClient
+
+__all__ = ["ClientPool"]
+
+
+class ClientPool:
+    """Pooled, rendezvous-routed clients over a replica group.
+
+    Args:
+        group_or_addresses: A started
+            :class:`~repro.serving.replica.ReplicaGroup` (liveness and
+            addresses tracked through it; ``update`` delegates to the
+            group) or a plain sequence of ``(host, port)`` transport
+            addresses (all assumed live; ``update`` fans out over the
+            wire).
+        retry_budget: Shared reconnect budget; defaults to a fresh
+            :class:`RetryBudget` so the pool is herd-safe out of the box.
+        **client_options: Extra :class:`ServingClient` keyword arguments
+            (``timeout``, ``max_retries``, backoff bounds, ...).
+    """
+
+    def __init__(
+        self,
+        group_or_addresses,
+        retry_budget: Optional[RetryBudget] = None,
+        **client_options,
+    ):
+        if hasattr(group_or_addresses, "alive_indices"):
+            self._group = group_or_addresses
+            self._addresses: List[Tuple[str, int]] = []
+        else:
+            self._group = None
+            self._addresses = [(str(h), int(p)) for h, p in group_or_addresses]
+            if not self._addresses:
+                raise ValueError("ClientPool needs at least one replica address")
+        self.retry_budget = retry_budget if retry_budget is not None else RetryBudget()
+        self.client_options = dict(client_options)
+        self._local = threading.local()
+        # Every client ever created, across threads, so close() can
+        # reach clients owned by threads that have since exited.
+        self._all_clients: List[ServingClient] = []
+        self._all_lock = threading.Lock()
+        self._closed = False
+
+    # -- membership ---------------------------------------------------------------
+    def _live_indices(self) -> List[int]:
+        if self._group is not None:
+            return self._group.alive_indices()
+        return list(range(len(self._addresses)))
+
+    def _address_of(self, index: int) -> Tuple[str, int]:
+        if self._group is not None:
+            address = self._group.replicas[index].address
+            if address is None:
+                raise ConnectionError(f"replica {index} is down")
+            return address
+        return self._addresses[index]
+
+    def route_for(self, model: str) -> int:
+        """The live replica index ``model`` currently routes to."""
+        return route(model, self._live_indices())
+
+    # -- client management --------------------------------------------------------
+    def _client(self, index: int) -> ServingClient:
+        if self._closed:
+            raise ConnectionError("client pool is closed")
+        clients: Dict[int, ServingClient] = getattr(self._local, "clients", None)
+        if clients is None:
+            clients = {}
+            self._local.clients = clients
+        client = clients.get(index)
+        if client is None:
+            host, port = self._address_of(index)
+            client = ServingClient(
+                host, port, retry_budget=self.retry_budget, **self.client_options
+            )
+            clients[index] = client
+            with self._all_lock:
+                self._all_clients.append(client)
+        elif client.address != self._address_of(index):
+            # The replica came back on a new port after a resync: retire
+            # the stale client and dial the new address.
+            client.close()
+            clients.pop(index)
+            return self._client(index)
+        return client
+
+    def close(self) -> None:
+        """Close every pooled connection (all threads' clients)."""
+        self._closed = True
+        with self._all_lock:
+            clients, self._all_clients = self._all_clients, []
+        for client in clients:
+            client.close()
+
+    def __enter__(self) -> "ClientPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- reads --------------------------------------------------------------------
+    def infer(self, model: str, sample: np.ndarray, **kwargs) -> np.ndarray:
+        """Single-sample inference on the replica ``model`` routes to.
+
+        Accepts the :meth:`ServingClient.infer` keywords, including
+        ``min_version=N`` for read-your-writes after :meth:`update`.
+        """
+        return self._client(self.route_for(model)).infer(model, sample, **kwargs)
+
+    def infer_batch(self, model: str, samples: np.ndarray, **kwargs) -> np.ndarray:
+        """Batch inference on the replica ``model`` routes to."""
+        return self._client(self.route_for(model)).infer_batch(model, samples, **kwargs)
+
+    # -- writes -------------------------------------------------------------------
+    def update(self, model: str, samples: np.ndarray, labels) -> int:
+        """Group-wide online update; returns the new model version.
+
+        Through a wrapped group this is the group's own update (one
+        log append, dead replicas skipped).  Over bare addresses it fans
+        out to every replica and returns the maximum version — replicas
+        apply the same pure update rule, so versions agree wherever the
+        round landed.
+        """
+        if self._group is not None:
+            return self._group.update(model, samples, labels)
+        versions = []
+        first_error: Optional[Exception] = None
+        for index in self._live_indices():
+            try:
+                versions.append(self._client(index).update(model, samples, labels))
+            except Exception as exc:  # noqa: BLE001 - collected, re-raised if total
+                if first_error is None:
+                    first_error = exc
+        if not versions:
+            raise first_error if first_error is not None else ConnectionError(
+                "no replica accepted the update"
+            )
+        return max(versions)
+
+    # -- observability ------------------------------------------------------------
+    def stats(self, reset: bool = False) -> List[Optional[dict]]:
+        """Per-replica stats snapshots (``None`` for unreachable ones)."""
+        snapshots: List[Optional[dict]] = []
+        for index in self._live_indices():
+            try:
+                snapshots.append(self._client(index).stats(reset=reset))
+            except (ConnectionError, OSError):
+                snapshots.append(None)
+        return snapshots
+
+    def model_versions(self) -> List[Optional[dict]]:
+        """Per-replica ``{name: version}`` maps (``None`` if unreachable)."""
+        versions: List[Optional[dict]] = []
+        for index in self._live_indices():
+            try:
+                versions.append(self._client(index).model_versions())
+            except (ConnectionError, OSError):
+                versions.append(None)
+        return versions
+
+    def __repr__(self) -> str:
+        n = len(self._live_indices())
+        backing = "group" if self._group is not None else "addresses"
+        return f"ClientPool({n} live replicas via {backing})"

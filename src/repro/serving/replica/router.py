@@ -1,0 +1,176 @@
+"""A single-port front door for a replica group.
+
+Where the platform supports ``SO_REUSEPORT`` a replica group binds every
+replica's :class:`~repro.serving.transport.TransportServer` to the same
+port and lets the kernel spread incoming connections.  Where it does not
+(or where deterministic spreading is wanted), :class:`ConnectionRouter`
+provides the same contract in userspace: it listens on one port and
+splices each accepted connection to a backend replica, chosen
+round-robin at **connect** time.
+
+Routing whole connections (not individual frames) keeps the router
+protocol-agnostic — it never parses frames, so handshakes, pipelining
+and per-connection server state all behave exactly as with a direct
+connection — and it keeps the model→replica affinity decision where it
+belongs, in the client's rendezvous hash: a :class:`ClientPool` opens
+one connection per (thread, replica) directly, while simple external
+clients that just dial the front door still get spread across the
+group.
+
+The router reuses the transport's daemon-event-loop lifecycle: byte
+pumps are asyncio tasks, so one thread multiplexes every spliced
+connection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+from typing import Optional, Sequence, Tuple
+
+__all__ = ["ConnectionRouter"]
+
+
+class ConnectionRouter:
+    """Round-robin TCP connection splicer in front of replica transports.
+
+    Args:
+        backends: ``(host, port)`` addresses of the replica transports.
+        host: Bind address of the front-door listener.
+        port: Front-door TCP port (0 picks an ephemeral port).
+    """
+
+    def __init__(
+        self,
+        backends: Sequence[Tuple[str, int]],
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        if not backends:
+            raise ValueError("ConnectionRouter needs at least one backend address")
+        self.backends = [(str(h), int(p)) for h, p in backends]
+        self.host = host
+        self.port = port
+        self.address: Optional[Tuple[str, int]] = None
+        #: Connections accepted per backend index (telemetry for tests
+        #: and for eyeballing spread; mutated only on the loop thread).
+        self.connections_routed = [0] * len(self.backends)
+        self._next = itertools.count()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._shutdown: Optional[asyncio.Event] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    # -- lifecycle ----------------------------------------------------------------
+    def start(self, timeout: float = 10.0) -> Tuple[str, int]:
+        """Start the front-door listener; returns the bound ``(host, port)``."""
+        if self._thread is not None:
+            return self.address
+        self._started.clear()
+        self._startup_error = None
+        self._thread = threading.Thread(target=self._run, name="hdc-conn-router", daemon=True)
+        self._thread.start()
+        if not self._started.wait(timeout):
+            raise TimeoutError("connection router failed to start listening")
+        if self._startup_error is not None:
+            self._thread.join()
+            self._thread = None
+            raise self._startup_error
+        return self.address
+
+    def stop(self) -> None:
+        """Close the listener and every spliced connection."""
+        if self._thread is None:
+            return
+        self._loop.call_soon_threadsafe(self._shutdown.set)
+        self._thread.join()
+        self._thread = None
+        self._loop = None
+        self.address = None
+
+    def __enter__(self) -> "ConnectionRouter":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def _run(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_until_complete(self._serve())
+        finally:
+            self._loop.close()
+
+    async def _serve(self) -> None:
+        self._shutdown = asyncio.Event()
+        try:
+            server = await asyncio.start_server(self._handle_connection, self.host, self.port)
+        except OSError as exc:
+            self._startup_error = exc
+            self._started.set()
+            return
+        self.address = server.sockets[0].getsockname()[:2]
+        self._started.set()
+        async with server:
+            await self._shutdown.wait()
+        current = asyncio.current_task()
+        pumps = [task for task in asyncio.all_tasks() if task is not current]
+        for task in pumps:
+            task.cancel()
+        await asyncio.gather(*pumps, return_exceptions=True)
+
+    # -- splicing -----------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        index = next(self._next) % len(self.backends)
+        host, port = self.backends[index]
+        try:
+            upstream_reader, upstream_writer = await asyncio.open_connection(host, port)
+        except OSError:
+            # Backend refused (e.g. a killed replica): hang up so the
+            # client's reconnect backoff re-dials and round-robin lands
+            # it on the next backend.
+            writer.close()
+            return
+        self.connections_routed[index] += 1
+        try:
+            await asyncio.gather(
+                self._pump(reader, upstream_writer),
+                self._pump(upstream_reader, writer),
+            )
+        except asyncio.CancelledError:
+            return
+        finally:
+            for w in (writer, upstream_writer):
+                w.close()
+                try:
+                    await w.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+
+    @staticmethod
+    async def _pump(reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        """Copy bytes one way until EOF or either peer resets."""
+        try:
+            while True:
+                chunk = await reader.read(65536)
+                if not chunk:
+                    break
+                writer.write(chunk)
+                await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            try:
+                writer.write_eof()
+            except (ConnectionError, OSError, RuntimeError):
+                pass
+
+    def __repr__(self) -> str:
+        state = f"listening on {self.address}" if self.address else "stopped"
+        return f"ConnectionRouter({len(self.backends)} backends, {state})"

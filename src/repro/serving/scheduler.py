@@ -373,6 +373,7 @@ class Worker:
             }
         session = getattr(self.backend, "last_session", None)
         stats["elided_transfers"] = session.elided_transfers if session is not None else 0
+        stats["capacity_evictions"] = getattr(session, "capacity_evictions", 0) if session is not None else 0
         return stats
 
     # -- thread -------------------------------------------------------------------
@@ -518,7 +519,12 @@ class WorkerPool:
         worker.submit(work)
         return worker
 
-    def dispatch_scatter(self, servable, works: Sequence[BatchWork]) -> List[Worker]:
+    def dispatch_scatter(
+        self,
+        servable,
+        works: Sequence[BatchWork],
+        placement: Optional[Sequence[Worker]] = None,
+    ) -> List[Worker]:
         """Scatter the shard tasks of one batch across distinct workers.
 
         With at least as many eligible workers as shards, the least-loaded
@@ -526,7 +532,25 @@ class WorkerPool:
         is that no single worker holds the whole class memory).  With
         fewer workers, shards wrap around the eligible set and execute
         serially on their shared workers, which stays correct.
+
+        ``placement`` pins shard *i* to ``placement[i % len(placement)]``
+        instead of re-ranking by load: a shard that always lands on the
+        same worker keeps its slice of the class memory resident in that
+        worker's ``DeviceSession`` (and its compiled handles hot), so
+        steady-state shard execution elides the per-batch constants
+        transfer entirely.  Load-ranked scatter migrates shards between
+        workers batch to batch, which re-streams slices on every
+        migration — fine for stateless CPU workers, ruinous for
+        accelerator workers whose class memory is the expensive resource.
+        Use :meth:`plan_scatter` for the canonical deterministic plan.
         """
+        if placement:
+            chosen = []
+            for index, work in enumerate(works):
+                worker = placement[index % len(placement)]
+                worker.submit(work)
+                chosen.append(worker)
+            return chosen
         workers = self._require_eligible(servable)
         ranked = sorted(workers, key=lambda w: w.pending_samples())
         chosen = []
@@ -535,6 +559,20 @@ class WorkerPool:
             worker.submit(work)
             chosen.append(worker)
         return chosen
+
+    def plan_scatter(self, servable, n_shards: int) -> List[Worker]:
+        """A deterministic shard→worker pinning for one sharded deployment.
+
+        Eligible workers in stable name order, shard *i* pinned to worker
+        ``i % len(workers)``.  Deterministic across processes and across
+        hot-swaps (the plan depends only on pool composition), so a
+        swapped deployment re-pins each shard to the worker already
+        holding that slice's predecessor — the new slice replaces the old
+        one in the same ``DeviceSession`` instead of rotating all shards
+        to new workers.
+        """
+        workers = sorted(self._require_eligible(servable), key=lambda w: w.name)
+        return [workers[index % len(workers)] for index in range(int(n_shards))]
 
     def _require_eligible(self, servable) -> List[Worker]:
         workers = self.eligible(servable)

@@ -235,6 +235,7 @@ class InferenceServer:
         sample: np.ndarray,
         priority: int = 0,
         deadline_ms: Optional[float] = None,
+        min_version: Optional[int] = None,
     ):
         """Enqueue one sample; returns a future resolving to its result.
 
@@ -243,8 +244,13 @@ class InferenceServer:
             deadline_ms: Latency budget from now, in milliseconds.  The
                 future raises :class:`DeadlineExceeded` if the budget runs
                 out before the request executes.
+            min_version: Version pin — raise
+                :class:`~repro.serving.registry.StaleVersionError` if the
+                deployment is older (read-your-writes across replicas).
         """
-        return self.broker.submit(model, sample, priority=priority, deadline_ms=deadline_ms)
+        return self.broker.submit(
+            model, sample, priority=priority, deadline_ms=deadline_ms, min_version=min_version
+        )
 
     def infer(
         self,
@@ -253,11 +259,12 @@ class InferenceServer:
         timeout: Optional[float] = None,
         priority: int = 0,
         deadline_ms: Optional[float] = None,
+        min_version: Optional[int] = None,
     ):
         """Synchronous single-sample inference through the batching queue."""
-        return self.submit(model, sample, priority=priority, deadline_ms=deadline_ms).result(
-            timeout=timeout
-        )
+        return self.submit(
+            model, sample, priority=priority, deadline_ms=deadline_ms, min_version=min_version
+        ).result(timeout=timeout)
 
     def infer_many(
         self, model: str, samples: Iterable[np.ndarray], timeout: Optional[float] = None

@@ -23,10 +23,16 @@ batches as local callers.
   thread-safe client mirroring the in-process request API
   (``infer`` / ``infer_batch`` / ``stats`` / ``list_models`` /
   ``drain``), raising the same typed
-  :class:`~repro.serving.batching.DeadlineExceeded` on sheds.
+  :class:`~repro.serving.batching.DeadlineExceeded` on sheds, with
+  decorrelated-jitter reconnect backoff drawing from an optional shared
+  :class:`~repro.serving.transport.client.RetryBudget`.
+* :class:`~repro.serving.transport.http.HttpGateway` — a REST/JSON
+  front door translating plain HTTP into frame-protocol calls through a
+  pooled client (see ``tools/http_gateway.py`` for the CLI).
 """
 
-from repro.serving.transport.client import RemoteServingError, ServingClient
+from repro.serving.transport.client import RemoteServingError, RetryBudget, ServingClient
+from repro.serving.transport.http import HttpGateway
 from repro.serving.transport.protocol import (
     FrameError,
     MAX_FRAME_BYTES,
@@ -44,6 +50,8 @@ __all__ = [
     "TransportServer",
     "ServingClient",
     "RemoteServingError",
+    "RetryBudget",
+    "HttpGateway",
     "FrameError",
     "ProtocolVersionError",
     "encode_frame",

@@ -30,6 +30,7 @@ non-idempotent extensions.
 
 from __future__ import annotations
 
+import random
 import socket
 import threading
 from typing import Optional, Tuple
@@ -37,6 +38,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.serving.batching import DeadlineExceeded
+from repro.serving.registry import StaleVersionError
 from repro.serving.transport.protocol import (
     PROTOCOL_VERSION,
     ProtocolVersionError,
@@ -46,7 +48,50 @@ from repro.serving.transport.protocol import (
     read_frame_sync,
 )
 
-__all__ = ["ServingClient", "RemoteServingError"]
+__all__ = ["ServingClient", "RemoteServingError", "RetryBudget"]
+
+
+class RetryBudget:
+    """A token-bucket retry budget shared across pooled clients.
+
+    Unbounded per-client retries compose badly: when a replica dies, every
+    pooled connection starts burning its own full retry budget against the
+    same dead address, multiplying the reconnect storm by the pool size.
+    A shared budget bounds the *aggregate*: each backoff attempt spends
+    one token, each successful request refunds ``refund`` tokens (capped
+    at ``tokens``), so a healthy pool regains headroom while a pool
+    hammering a dead replica runs dry and fails fast.
+
+    Thread-safe; hand one instance to every client in a pool via the
+    ``retry_budget`` constructor argument.
+    """
+
+    def __init__(self, tokens: float = 10.0, refund: float = 0.1):
+        self.capacity = float(tokens)
+        self.refund_tokens = float(refund)
+        self._tokens = float(tokens)
+        self._lock = threading.Lock()
+        #: Backoff attempts refused because the bucket was empty.
+        self.exhausted = 0
+
+    @property
+    def tokens(self) -> float:
+        with self._lock:
+            return self._tokens
+
+    def try_spend(self) -> bool:
+        """Take one token; ``False`` (and counted) when the bucket is dry."""
+        with self._lock:
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return True
+            self.exhausted += 1
+            return False
+
+    def refund(self) -> None:
+        """Credit one successful request back into the bucket."""
+        with self._lock:
+            self._tokens = min(self.capacity, self._tokens + self.refund_tokens)
 
 
 class RemoteServingError(RuntimeError):
@@ -69,6 +114,12 @@ def _raise_remote(header: dict) -> None:
         raise DeadlineExceeded(message)
     if error_type == "ProtocolVersionError":
         raise ProtocolVersionError(message)
+    if error_type == "StaleVersionError" and "min_version" in header:
+        raise StaleVersionError(
+            str(header.get("model", "")),
+            int(header.get("model_version", 0)),
+            int(header["min_version"]),
+        )
     raise RemoteServingError(error_type, message)
 
 
@@ -85,13 +136,21 @@ class ServingClient:
             ``ConnectionError`` / ``EOFError`` of an established
             connection — or *any* ``OSError`` while (re)connecting, where
             nothing can be in flight — the client reconnects and resends,
-            sleeping ``backoff_seconds * 2**attempt`` (capped at
-            ``max_backoff_seconds``) between attempts, outside the
-            request lock.  The default 0 keeps the fail-fast behaviour:
-            the first transport failure marks the connection dead and the
-            error propagates.
-        backoff_seconds: Initial reconnect backoff (doubled per attempt).
+            sleeping a **decorrelated-jitter** backoff between attempts,
+            outside the request lock.  The default 0 keeps the fail-fast
+            behaviour: the first transport failure marks the connection
+            dead and the error propagates.
+        backoff_seconds: Backoff floor.  Each sleep is drawn uniformly
+            from ``[backoff_seconds, 3 * previous_sleep]`` and capped at
+            ``max_backoff_seconds`` (AWS-style decorrelated jitter), so N
+            clients reconnecting after the same replica restart spread
+            out instead of thundering the listener in lockstep; the
+            previous-sleep state resets on every successful connection.
         max_backoff_seconds: Upper bound on one backoff sleep.
+        retry_budget: Optional :class:`RetryBudget` shared across pooled
+            clients; when it runs dry, backoff attempts fail fast even
+            with ``max_retries`` remaining.  Successful requests refund
+            it.
     """
 
     #: Transport failures that are safe to heal with reconnect + resend:
@@ -108,13 +167,20 @@ class ServingClient:
         max_retries: int = 0,
         backoff_seconds: float = 0.05,
         max_backoff_seconds: float = 1.0,
+        retry_budget: Optional[RetryBudget] = None,
     ):
         self.address: Tuple[str, int] = (host, int(port))
         self.timeout = timeout
         self.max_retries = int(max_retries)
         self.backoff_seconds = float(backoff_seconds)
         self.max_backoff_seconds = float(max_backoff_seconds)
+        self.retry_budget = retry_budget
         self.reconnects = 0
+        # Decorrelated-jitter state: the previous sleep, seeded at the
+        # floor.  Per-client RNG — pooled clients must not share a
+        # sequence, or their "jitter" would correlate right back.
+        self._rng = random.Random()
+        self._backoff_delay = self.backoff_seconds
         self._lock = threading.Lock()
         self._sock: Optional[socket.socket] = None
         self._stream = None
@@ -142,6 +208,7 @@ class ServingClient:
         self._stream = self._sock.makefile("rb")
         self._broken = False
         self._handshake_locked()
+        self._backoff_delay = self.backoff_seconds
 
     def _handshake_locked(self) -> None:
         """Open the connection with the mandatory version handshake.
@@ -161,14 +228,25 @@ class ServingClient:
             _raise_remote(response)
 
     def _backoff_or_raise(self, attempt: int) -> int:
-        """Sleep one capped-exponential step; re-raise when the budget is
+        """Sleep one decorrelated-jitter step; re-raise when the budget is
         spent or the client is closing.  Called outside the lock."""
         if attempt >= self.max_retries:
             raise
-        delay = min(self.max_backoff_seconds, self.backoff_seconds * (2.0 ** attempt))
+        if self.retry_budget is not None and not self.retry_budget.try_spend():
+            raise
+        # Decorrelated jitter: uniform over [floor, 3 * previous sleep],
+        # capped.  Deterministic exponential backoff synchronizes every
+        # client that observed the same failure instant — after a replica
+        # restart the whole pool would reconnect in lockstep waves; the
+        # jittered draw spreads the herd across the interval while the
+        # 3x growth still backs a persistent outage off exponentially.
+        self._backoff_delay = min(
+            self.max_backoff_seconds,
+            self._rng.uniform(self.backoff_seconds, max(self._backoff_delay, self.backoff_seconds) * 3.0),
+        )
         # Event-based sleep: close() interrupts the backoff instead of
         # waiting out the whole retry budget.
-        if self._closing.wait(delay):
+        if self._closing.wait(self._backoff_delay):
             raise ConnectionError("client closed while retrying")
         return attempt + 1
 
@@ -232,6 +310,8 @@ class ServingClient:
                 # sharing the client fail fast on the (broken) connection
                 # instead of queueing behind the sleeper's retry budget.
                 attempt = self._backoff_or_raise(attempt)
+        if self.retry_budget is not None:
+            self.retry_budget.refund()
         if not response.get("ok"):
             _raise_remote(response)  # stream still in sync: server replied
         return response, response_payload
@@ -243,8 +323,16 @@ class ServingClient:
         sample: np.ndarray,
         priority: int = 0,
         deadline_ms: Optional[float] = None,
+        min_version: Optional[int] = None,
     ) -> np.ndarray:
-        """One sample through the remote micro-batching queue."""
+        """One sample through the remote micro-batching queue.
+
+        ``min_version`` pins the read: the server refuses with a typed
+        :class:`~repro.serving.registry.StaleVersionError` if the model's
+        deployment is older — the read-your-writes contract after a
+        group-wide update.  Omitted from the wire when ``None``, so
+        un-pinned requests stay byte-compatible with older servers.
+        """
         fields, payload = encode_array_header(np.asarray(sample))
         header = {
             "op": "infer",
@@ -253,6 +341,8 @@ class ServingClient:
             "deadline_ms": deadline_ms,
             **fields,
         }
+        if min_version is not None:
+            header["min_version"] = int(min_version)
         response, response_payload = self._request(header, payload)
         return decode_array(response, response_payload)
 
@@ -262,6 +352,7 @@ class ServingClient:
         samples: np.ndarray,
         priority: int = 0,
         deadline_ms: Optional[float] = None,
+        min_version: Optional[int] = None,
     ) -> np.ndarray:
         """A whole batch in one frame; results come back row-aligned."""
         fields, payload = encode_array_header(np.asarray(samples))
@@ -272,6 +363,8 @@ class ServingClient:
             "deadline_ms": deadline_ms,
             **fields,
         }
+        if min_version is not None:
+            header["min_version"] = int(min_version)
         response, response_payload = self._request(header, payload)
         return decode_array(response, response_payload)
 

@@ -37,6 +37,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.serving.observability.prometheus import DEFAULT_NAMESPACE, render_prometheus
+from repro.serving.registry import StaleVersionError
 from repro.serving.transport.protocol import (
     FrameError,
     PROTOCOL_VERSION,
@@ -61,12 +62,20 @@ class TransportServer:
             explicitly to serve remote machines).
         port: TCP port; the default 0 picks an ephemeral free port —
             read the bound address from :meth:`start`'s return value.
+        reuse_port: Bind with ``SO_REUSEPORT`` so several transport
+            servers (one per replica) can share one well-known port and
+            let the kernel spread incoming connections across them.
+            Requires a fixed ``port`` and a platform that supports the
+            option; replica groups fall back to a userspace
+            :class:`~repro.serving.replica.ConnectionRouter` where it is
+            unavailable.
     """
 
-    def __init__(self, server, host: str = "127.0.0.1", port: int = 0):
+    def __init__(self, server, host: str = "127.0.0.1", port: int = 0, reuse_port: bool = False):
         self.broker = getattr(server, "broker", server)
         self.host = host
         self.port = port
+        self.reuse_port = reuse_port
         self.address: Optional[Tuple[str, int]] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._thread: Optional[threading.Thread] = None
@@ -123,8 +132,14 @@ class TransportServer:
     async def _serve(self) -> None:
         self._shutdown = asyncio.Event()
         try:
-            server = await asyncio.start_server(self._handle_connection, self.host, self.port)
-        except OSError as exc:
+            kwargs = {"reuse_port": True} if self.reuse_port else {}
+            server = await asyncio.start_server(
+                self._handle_connection, self.host, self.port, **kwargs
+            )
+        except (OSError, ValueError) as exc:
+            # ValueError: asyncio rejects reuse_port on platforms without
+            # SO_REUSEPORT — surfaced as a startup error like a bind
+            # failure, so callers can fall back to a userspace router.
             self._startup_error = exc
             self._started.set()
             return
@@ -202,12 +217,18 @@ class TransportServer:
 
     @staticmethod
     def _error_header(exc: BaseException) -> dict:
-        return {
+        header = {
             "ok": False,
             "version": PROTOCOL_VERSION,
             "error_type": type(exc).__name__,
             "error": str(exc),
         }
+        if isinstance(exc, StaleVersionError):
+            # Structured fields so the client rebuilds the typed error
+            # (and the HTTP gateway can answer 409 with machine-readable
+            # versions) instead of parsing the message string.
+            header.update(model=exc.model, model_version=exc.version, min_version=exc.min_version)
+        return header
 
     @staticmethod
     def _handshake_response(header: dict) -> dict:
@@ -264,6 +285,7 @@ class TransportServer:
                 priority=int(header.get("priority", 0)),
                 deadline_ms=header.get("deadline_ms"),
                 trace=trace,
+                min_version=header.get("min_version"),
             )
             output = await asyncio.wrap_future(future)
             fields, out_payload = encode_array_header(output)
@@ -293,6 +315,7 @@ class TransportServer:
                 row,
                 priority=int(header.get("priority", 0)),
                 deadline_ms=header.get("deadline_ms"),
+                min_version=header.get("min_version"),
             )
             for row in batch
         ]

@@ -110,6 +110,18 @@ class TestConfigNegatives:
         with pytest.raises(MatrixConfigError, match="'batchsize'"):
             parse_config(config)
 
+    def test_replicas_must_be_a_positive_integer(self):
+        config = tiny_config(backends={"b": {"workers": ["cpu"], "replicas": 0}})
+        with pytest.raises(MatrixConfigError, match="'replicas' must be a positive integer"):
+            parse_config(config)
+
+    def test_replicas_conflicts_with_explicit_transport_flag(self):
+        config = tiny_config(
+            backends={"b": {"workers": ["cpu"], "replicas": 2, "transport": True}}
+        )
+        with pytest.raises(MatrixConfigError, match="implied by 'replicas'"):
+            parse_config(config)
+
     def test_malformed_gate_limit(self):
         config = tiny_config(gates=["cell.iso.steady.p99_ms>fast"])
         with pytest.raises(MatrixConfigError, match="malformed gate"):
@@ -304,6 +316,36 @@ class TestExecution:
             assert metrics["swaps"] == 2
             assert metrics["update_log_records"] == 2
             assert metrics["update_errors"] == []
+
+    def test_replica_cell_serves_through_the_group(self):
+        config = parse_config(
+            tiny_config(
+                backends={"rep": {"workers": ["cpu"], "replicas": 2, "clients": 2}}
+            )
+        )
+        metrics = run_cell(config.cells[0], config, seed=DEFAULT_SEED)
+        assert metrics["backend"] == "rep"
+        assert metrics["replicas"] == 2
+        assert metrics["failures"] == 0
+        assert metrics["shed"] == 0
+        # The merged group view still accounts every request exactly once.
+        assert metrics["latency_histogram"]["count"] == metrics["requests"]
+
+    def test_replica_retraining_cell_logs_each_round_once(self):
+        config = parse_config(
+            tiny_config(
+                backends={"rep": {"workers": ["cpu"], "replicas": 2, "clients": 2}},
+                shapes={"retrain": SHAPE_SPECS["retrain"]},
+                matrix={"shapes": ["retrain"]},
+            )
+        )
+        metrics = run_cell(config.cells[0], config, seed=DEFAULT_SEED)
+        assert metrics["failures"] == 0
+        # Both replicas applied both rounds, but the group log records
+        # each round exactly once — never once per replica.
+        assert metrics["versions"] == [2, 3]
+        assert metrics["update_log_records"] == 2
+        assert metrics["update_errors"] == []
 
     def test_binarized_cell_runs(self):
         config = parse_config(tiny_config(configs={"bin": {"binarize": True}}))

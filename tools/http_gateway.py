@@ -1,0 +1,111 @@
+"""REST front door for a running serving replica group.
+
+Starts an :class:`~repro.serving.transport.HttpGateway` translating
+HTTP/JSON requests into frame-protocol calls against one or more
+transport servers.  Point it at each replica's transport address
+(repeat ``--replica``); the gateway's client pool rendezvous-routes
+every model to a consistent replica and shares one reconnect retry
+budget across all pooled connections, so a replica outage costs a
+bounded number of retries for the whole gateway, not per thread.
+
+Run with::
+
+    PYTHONPATH=src python tools/http_gateway.py \
+        --replica 127.0.0.1:8757 --replica 127.0.0.1:8758 \
+        --host 127.0.0.1 --port 8080
+
+then::
+
+    curl -s http://127.0.0.1:8080/healthz
+    curl -s http://127.0.0.1:8080/v1/models
+    curl -s -X POST http://127.0.0.1:8080/v1/models/isolet:infer \
+        -d '{"sample": [0.1, 0.2, ...], "min_version": 3}'
+
+A version-pinned request against a replica that missed the latest
+group-wide update answers **409** with the model's current and required
+versions in the body; a shed deadline answers **504**; an unknown model
+**404** — typed failures, not opaque 500s, so load balancers and
+clients can react per cause.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import signal
+import sys
+import threading
+
+_SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.serving.replica import ClientPool  # noqa: E402
+from repro.serving.transport import HttpGateway, RetryBudget  # noqa: E402
+
+
+def _address(text: str):
+    host, _, port = text.rpartition(":")
+    if not host or not port.isdigit():
+        raise argparse.ArgumentTypeError(f"expected HOST:PORT, got {text!r}")
+    return host, int(port)
+
+
+def parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--replica",
+        action="append",
+        type=_address,
+        default=[],
+        metavar="HOST:PORT",
+        help="transport address of one replica (repeatable, at least one)",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="gateway bind address")
+    parser.add_argument("--port", type=int, default=8080, help="gateway TCP port (0=ephemeral)")
+    parser.add_argument(
+        "--timeout", type=float, default=30.0, help="per-request frame-protocol timeout"
+    )
+    parser.add_argument(
+        "--retries", type=int, default=8, help="per-request reconnect retries (jittered backoff)"
+    )
+    parser.add_argument(
+        "--budget-tokens",
+        type=float,
+        default=20.0,
+        help="shared retry-budget tokens across all pooled clients",
+    )
+    args = parser.parse_args(argv)
+    if not args.replica:
+        parser.error("at least one --replica HOST:PORT is required")
+    return args
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    pool = ClientPool(
+        args.replica,
+        retry_budget=RetryBudget(tokens=args.budget_tokens),
+        timeout=args.timeout,
+        max_retries=args.retries,
+    )
+    gateway = HttpGateway(pool, host=args.host, port=args.port)
+    host, port = gateway.start()
+    print(
+        f"gateway listening on http://{host}:{port} "
+        f"({len(args.replica)} replica(s))",
+        file=sys.stderr,
+    )
+    stop = threading.Event()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(signum, lambda *_: stop.set())
+    try:
+        stop.wait()
+    finally:
+        gateway.stop()
+        pool.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

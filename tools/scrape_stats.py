@@ -23,6 +23,22 @@ Run with::
 the scrape into a cumulative poll (no ``reset_stats``), for servers whose
 stats another consumer also resets.
 
+**Replica-group mode** scrapes a whole group per tick: repeat
+``--replica HOST:PORT`` once per replica transport and each interval
+record carries ONE merged snapshot
+(:func:`repro.serving.metrics.merge_server_stats`) — counters summed,
+the log-linear latency histograms merged and the group percentiles
+recomputed from the merged histogram (never averaged), per-replica
+worker stats namespaced ``r<i>/<worker>``.  Threshold expressions
+evaluate against the merged view, so ``--fail-on "deadline_exceeded>0"``
+gates the *group*; replicas that are down are skipped and counted in
+``unreachable_replicas`` (gate with ``--fail-on "unreachable_replicas>0"``
+to alert on partial outages)::
+
+    PYTHONPATH=src python tools/scrape_stats.py \
+        --replica 127.0.0.1:8757 --replica 127.0.0.1:8758 \
+        --interval 5 --count 12 --out group_metrics.jsonl
+
 **Threshold mode** turns the scraper into an alerting gate: every
 ``--fail-on "metric>limit"`` expression (repeatable; dotted paths reach
 nested fields, e.g. ``model_stats.my-model.fallback_stages>0``) is
@@ -79,6 +95,7 @@ from repro.bench.gates import (  # noqa: E402
     histogram_stat as _histogram_stat,
     resolve as _resolve,
 )
+from repro.serving.metrics import merge_server_stats  # noqa: E402
 from repro.serving.transport import ServingClient  # noqa: E402
 
 
@@ -98,11 +115,30 @@ def check_thresholds(record: dict, thresholds, label: str) -> int:
     return violations
 
 
+def _address(text: str):
+    host, _, port = text.rpartition(":")
+    if not host or not port.isdigit():
+        raise argparse.ArgumentTypeError(f"expected HOST:PORT, got {text!r}")
+    return host, int(port)
+
+
 def parse_args(argv=None) -> argparse.Namespace:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--host", default="127.0.0.1", help="transport server host")
     parser.add_argument(
         "--port", type=int, default=None, help="transport server port (required unless --check)"
+    )
+    parser.add_argument(
+        "--replica",
+        action="append",
+        type=_address,
+        default=[],
+        metavar="HOST:PORT",
+        help="replica-group mode: scrape each replica's transport "
+        "(repeatable) and emit one merged group snapshot per interval — "
+        "counters summed, latency histograms merged and group percentiles "
+        "recomputed, worker stats namespaced per replica; thresholds "
+        "evaluate against the merged view",
     )
     parser.add_argument(
         "--interval", type=float, default=5.0, help="seconds between scrapes (default 5)"
@@ -146,8 +182,10 @@ def parse_args(argv=None) -> argparse.Namespace:
         "instead of scraping a live server",
     )
     args = parser.parse_args(argv)
-    if args.check is None and args.port is None:
-        parser.error("--port is required unless --check FILE is given")
+    if args.check is None and args.port is None and not args.replica:
+        parser.error("--port (or --replica) is required unless --check FILE is given")
+    if args.port is not None and args.replica:
+        parser.error("--port and --replica are mutually exclusive")
     if args.check is not None and not args.fail_on:
         parser.error("--check needs at least one --fail-on expression")
     return args
@@ -168,6 +206,35 @@ def scrape_once(client: ServingClient, interval: float, reset: bool) -> dict:
         "interval_seconds": interval,
         "stats": client.stats(reset=reset),
     }
+
+
+def scrape_group(clients, interval: float, reset: bool) -> dict:
+    """One merged interval record across a replica group.
+
+    Each replica is scraped with the same atomic snapshot-and-reset;
+    unreachable replicas contribute nothing to the merge (they are
+    counted in ``unreachable_replicas`` so a gate like
+    ``unreachable_replicas>0`` can alert on partial outages).  Only when
+    *every* replica is unreachable does the interval count as lost.
+    """
+    snapshots = []
+    unreachable = 0
+    for client in clients:
+        try:
+            snapshots.append(client.stats(reset=reset))
+        except (ConnectionError, EOFError, OSError):
+            snapshots.append(None)
+            unreachable += 1
+    if unreachable == len(clients):
+        raise ConnectionError(f"all {len(clients)} replicas unreachable")
+    record = {
+        "scraped_at": time.time(),
+        "interval_seconds": interval,
+        "replicas": len(clients),
+        "unreachable_replicas": unreachable,
+        "stats": merge_server_stats(snapshots),
+    }
+    return record
 
 
 def check_file(path: pathlib.Path, thresholds) -> int:
@@ -212,16 +279,23 @@ def main(argv=None) -> int:
     # max_retries covers the initial connection too, so launching the
     # scraper before (or while) the serving process restarts just waits
     # out the gap with capped exponential backoff.
-    client = ServingClient(args.host, args.port, timeout=30.0, max_retries=args.retries)
+    addresses = args.replica if args.replica else [(args.host, args.port)]
+    clients = [
+        ServingClient(host, port, timeout=30.0, max_retries=args.retries)
+        for host, port in addresses
+    ]
     scraped = 0
     violations = 0
     try:
-        with client, args.out.open("a", encoding="utf-8") as out:
+        with args.out.open("a", encoding="utf-8") as out:
             while args.count == 0 or scraped < args.count:
                 if scraped:
                     time.sleep(args.interval)
                 try:
-                    record = scrape_once(client, args.interval, reset=not args.no_reset)
+                    if args.replica:
+                        record = scrape_group(clients, args.interval, reset=not args.no_reset)
+                    else:
+                        record = scrape_once(clients[0], args.interval, reset=not args.no_reset)
                 except (ConnectionError, EOFError, OSError) as exc:
                     # The scrape (and possibly its reset) was lost in
                     # flight.  Mark the gap explicitly — the next tick
@@ -245,6 +319,9 @@ def main(argv=None) -> int:
                     )
     except KeyboardInterrupt:
         pass
+    finally:
+        for client in clients:
+            client.close()
     if violations:
         print(f"{violations} threshold violation(s) across {scraped} scrape(s)", file=sys.stderr)
         return 1
