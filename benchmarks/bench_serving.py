@@ -44,7 +44,12 @@ three online re-training hot-swaps (``InferenceServer.update``): zero
 dropped or errored requests end to end, and the post-swap predictions
 bit-identical to an offline retrain applying the same update rule to the
 same mini-batches.  Its ``failures`` / ``swaps`` fields feed the CI
-threshold gate (``tools/scrape_stats.py --check``).
+threshold gate (``tools/scrape_stats.py --check``).  A **streaming
+growth** benchmark is its shape-changing counterpart: sustained load
+across three ``InferenceServer.append`` hot-swaps that grow the served
+hash table's row count, zero drops, and post-growth predictions
+bit-identical to an offline rebuild of the full grown index — gated the
+same way.
 
 Two cases cover the **uint64 packed-bit serving plane**: a kernel-level
 micro-benchmark at serving micro-batch shapes asserting the packed
@@ -392,6 +397,139 @@ def test_serve_while_retraining(benchmark, bench_json, servable, requests, isole
     )
     assert len(labels) > 0
     assert all(0 <= label < isolet.n_classes for label in labels)
+
+
+def test_streaming_growth(benchmark, bench_json):
+    """Zero-downtime shape-changing growth: sustained load across >= 3
+    append hot-swaps with zero dropped/errored requests, and post-growth
+    predictions bit-identical to an offline rebuild of the grown index.
+
+    The shape-changing counterpart of ``test_serve_while_retraining``:
+    instead of re-training weights at a fixed shape, each round appends
+    new reference buckets to the served hash table's ``table`` constant
+    (``InferenceServer.append``), re-traces the programs for the grown
+    row count and hot-swaps — loader threads submitting the whole time.
+    Every future must resolve; the grown servable's content-hashed
+    signature and its predictions must equal an offline rebuild from the
+    full sequence set.
+    """
+    from repro.apps import HDHashtable
+    from repro.datasets.genomics import GenomicsConfig, base_indices, make_genomics_dataset
+
+    n_appends, rows_per_append, kmer_length = 3, 2, 8
+    dataset = make_genomics_dataset(
+        GenomicsConfig(
+            genome_length=2000, bucket_size=200, read_length=60, n_reads=24,
+            n_decoys=0, kmer_length=kmer_length,
+        )
+    )
+    app = HDHashtable(dimension=256)
+    base_hvs = app.make_base_hypervectors()
+    table = app.encode_reference_buckets(dataset, base_hvs)
+
+    def make_servable(bucket_table):
+        return app.as_servable(
+            bucket_table,
+            dataset.config.read_length,
+            kmer_length,
+            base_hvs=base_hvs,
+            name="growing-table",
+            append_length=dataset.config.bucket_size,
+        )
+
+    servable = make_servable(table)
+    queries = np.stack([base_indices(read) for read in dataset.reads])
+    rng = derive_rng(bench_seed(), "bench_serving.streaming_growth")
+    rounds = [
+        rng.integers(0, 4, (rows_per_append, dataset.config.bucket_size), dtype=np.int64)
+        for _ in range(n_appends)
+    ]
+
+    server = InferenceServer(workers=("cpu",), max_batch_size=64, max_wait_seconds=0.002)
+    server.register(servable)
+    stop = threading.Event()
+    futures, errors = [], []
+    futures_lock = threading.Lock()
+
+    def loader(seed: int) -> None:
+        i = seed
+        while not stop.is_set():
+            try:
+                future = server.submit(servable.name, queries[i % queries.shape[0]])
+                with futures_lock:
+                    futures.append(future)
+            except Exception as exc:
+                errors.append(exc)
+            i += 1
+            time.sleep(0.0005)
+
+    def run_case():
+        threads = [threading.Thread(target=loader, args=(t,)) for t in range(4)]
+        with server:
+            for thread in threads:
+                thread.start()
+            versions = []
+            for rows in rounds:
+                versions.append(server.append(servable.name, rows))
+                time.sleep(0.02)  # keep serving between shape changes
+            stop.set()
+            for thread in threads:
+                thread.join()
+            server.drain()
+            post_growth = server.infer_many(servable.name, list(queries))
+            server.drain()
+            return versions, post_growth, server.stats()
+
+    start = time.perf_counter()
+    versions, post_growth, stats = benchmark.pedantic(run_case, rounds=1, iterations=1)
+    elapsed = time.perf_counter() - start
+
+    assert not errors, errors  # zero requests errored at submit time
+    labels = [int(np.asarray(f.result(timeout=10.0))) for f in futures]  # zero dropped
+    assert stats.failures == 0 and stats.deadline_exceeded == 0
+    assert versions == [2, 3, 4] and stats.swaps == n_appends
+
+    # Bit identity vs an offline rebuild of the full grown table: same
+    # content-hashed signature, identical predictions.
+    encode_read = app._make_read_encoder(base_hvs, kmer_length)
+    extra = np.stack(
+        [np.sign(encode_read(row)) for row in np.vstack(rounds)]
+    ).astype(np.float32)
+    offline = make_servable(np.vstack([table, extra]))
+    live = server.registry.get(servable.name).servable
+    assert live.signature == offline.signature
+    handle = hdc_compile(
+        offline.build_program(queries.shape[0]), target="cpu"
+    ).bind(**offline.constants)
+    expected = [int(v) for v in np.asarray(handle.run(**{offline.query_param: queries}).output)]
+    assert [int(np.asarray(r)) for r in post_growth] == expected
+
+    served_rps = len(labels) / elapsed if elapsed > 0 else 0.0
+    appended = n_appends * rows_per_append
+    append_rows_per_s = appended / elapsed if elapsed > 0 else 0.0
+    benchmark.extra_info["requests_during_growth"] = len(labels)
+    benchmark.extra_info["swaps"] = stats.swaps
+    benchmark.extra_info["served_rps"] = served_rps
+    benchmark.extra_info["append_rows_per_s"] = append_rows_per_s
+    print(
+        f"\nstreaming growth: {len(labels)} requests across {stats.swaps} append "
+        f"hot-swaps ({served_rps:.0f} req/s), table {table.shape[0]} -> "
+        f"{table.shape[0] + appended} rows, failures {stats.failures}, "
+        f"bit-identical post-growth"
+    )
+    bench_json.record(
+        "streaming_growth",
+        requests=len(labels),
+        swaps=stats.swaps,
+        failures=stats.failures,
+        deadline_exceeded=stats.deadline_exceeded,
+        served_rps=served_rps,
+        appended_rows=appended,
+        append_rows_per_s=append_rows_per_s,
+        bit_identical=True,
+    )
+    assert len(labels) > 0
+    assert all(0 <= label < table.shape[0] + appended for label in labels)
 
 
 def test_tracing_overhead_under_steady_load(benchmark, bench_json, servable, requests):

@@ -204,6 +204,22 @@ class HDClustering:
 
             return prog
 
+        def append_batch(bound: dict, rows: np.ndarray) -> dict:
+            # Rows are new cluster hypervectors (dim,), e.g. centroids
+            # promoted from an offline fit of fresh data; appending them is
+            # exactly how the offline path would extend the cluster bank.
+            new_hvs = np.asarray(rows, dtype=np.float32)
+            grown = dict(bound)
+            grown["cluster_hvs"] = np.concatenate(
+                [np.asarray(bound["cluster_hvs"]), new_hvs], axis=0
+            )
+            return grown
+
+        def rebuild(grown: dict) -> Servable:
+            return self.as_servable(
+                np.asarray(grown["rp"]), np.asarray(grown["cluster_hvs"]), name=name
+            )
+
         constants = {"rp": rp_matrix, "cluster_hvs": clusters}
         return Servable(
             name=name,
@@ -214,6 +230,10 @@ class HDClustering:
             signature=servable_signature(name, (n_features,), constants, extra=f"dim={dim}"),
             supported_targets=ALL_TARGETS,
             shard_spec=ShardSpec(param="cluster_hvs", build_partial=build_partial, reduce="argmin"),
+            append_batch=append_batch,
+            growable=("cluster_hvs",),
+            rebuild=rebuild,
+            append_row_shape=(dim,),
             description=f"HDC cluster assignment, D={dim}, k={n_clusters}",
         )
 

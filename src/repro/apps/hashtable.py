@@ -217,15 +217,26 @@ class HDHashtable:
         kmer_length: int,
         base_hvs: Optional[np.ndarray] = None,
         name: str = "hd-hashtable",
+        append_length: Optional[int] = None,
     ) -> Servable:
         """Serve genome-read bucket search against a prebuilt HD hash table.
 
         Requests are fixed-length reads as base indices (see
         :func:`repro.datasets.genomics.base_indices`); the reference-side
         table (``encode_reference_buckets``) is the deployment's constant.
+
+        The table is *growable*: the servable's ``append_batch`` rule takes
+        a batch of new bucket sequences — base-index rows of length
+        ``append_length`` (default ``read_length``) — k-mer encodes each
+        one exactly as :meth:`encode_reference_buckets` does (same
+        ``base_hvs``, same exact-in-float32 arithmetic), and appends the
+        signed encodings as new rows of ``table``.  Serving the grown
+        servable is therefore bit-identical to rebuilding the hash table
+        offline from the full sequence set.
         """
         bucket_table = np.asarray(bucket_table, dtype=np.float32)
         base_hvs = self.make_base_hypervectors() if base_hvs is None else np.asarray(base_hvs)
+        append_length = read_length if append_length is None else int(append_length)
         dim = self.dimension
         n_buckets = bucket_table.shape[0]
         encode_read = self._make_read_encoder(base_hvs, kmer_length)
@@ -261,6 +272,26 @@ class HDHashtable:
 
             return prog
 
+        def append_batch(bound: dict, rows: np.ndarray) -> dict:
+            sequences = np.asarray(rows, dtype=np.int64)
+            # Same encoding as encode_reference_buckets: per-sequence k-mer
+            # bundle, then sign.  encode_reads is bit-identical to the
+            # per-read reference, so growth matches an offline rebuild.
+            encoded = np.sign(encode_reads(sequences)).astype(np.float32)
+            grown = dict(bound)
+            grown["table"] = np.concatenate([np.asarray(bound["table"]), encoded], axis=0)
+            return grown
+
+        def rebuild(grown: dict) -> Servable:
+            return self.as_servable(
+                np.asarray(grown["table"]),
+                read_length,
+                kmer_length,
+                base_hvs=base_hvs,
+                name=name,
+                append_length=append_length,
+            )
+
         constants = {"table": bucket_table}
         return Servable(
             name=name,
@@ -276,5 +307,9 @@ class HDHashtable:
             ),
             supported_targets=HOST_TARGETS,
             shard_spec=ShardSpec(param="table", build_partial=build_partial, reduce="argmin"),
+            append_batch=append_batch,
+            growable=("table",),
+            rebuild=rebuild,
+            append_row_shape=(append_length,),
             description=f"HD hash-table read search, D={dim}, k-mer={kmer_length}",
         )

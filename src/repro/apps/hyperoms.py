@@ -243,6 +243,19 @@ class HyperOMS:
 
             return prog
 
+        def append_batch(bound: dict, rows: np.ndarray) -> dict:
+            # Rows are raw reference spectra (n_bins,); level-ID encode them
+            # with the same id/level hypervectors encode_library derives
+            # from the seed, so growth equals re-encoding the full library.
+            spectra = np.atleast_2d(np.asarray(rows, dtype=np.float32))
+            encoded = np.asarray(encode_spectra(spectra), dtype=np.float32)
+            grown = dict(bound)
+            grown["library"] = np.concatenate([np.asarray(bound["library"]), encoded], axis=0)
+            return grown
+
+        def rebuild(grown: dict) -> Servable:
+            return self.as_servable(np.asarray(grown["library"]), n_bins, name=name)
+
         constants = {"library": library_encodings}
         return Servable(
             name=name,
@@ -255,5 +268,9 @@ class HyperOMS:
             ),
             supported_targets=HOST_TARGETS,
             shard_spec=ShardSpec(param="library", build_partial=build_partial, reduce="argmin"),
+            append_batch=append_batch,
+            growable=("library",),
+            rebuild=rebuild,
+            append_row_shape=(n_bins,),
             description=f"HyperOMS spectral search, D={dim}, library={n_library}",
         )

@@ -39,7 +39,8 @@ are JSON) declaring the four axes and the cells swept over them::
 Everything wrong with a config raises :class:`MatrixConfigError` with a
 message naming the offending key — unknown axis/kind/parameter names,
 malformed gate limits, duplicate cell IDs, an empty matrix, a
-retraining shape paired with a non-updatable app.  The CLI maps this
+retraining shape paired with a non-updatable app, a growth shape
+paired with a non-appendable one.  The CLI maps this
 error class to exit code 2 (usage error), distinct from exit code 1
 (gate violations).
 """
@@ -94,6 +95,9 @@ _RESERVED_NAMES = frozenset(
         "class_memory_shrink",
         "stream_sha1",
         "latency_histogram",
+        "dropped",
+        "appended_rows",
+        "append_rows_per_s",
     }
 )
 
@@ -289,7 +293,7 @@ def _parse_shapes(section) -> Dict[str, dict]:
         allowed = set(SHAPE_KINDS[kind].params) | {"kind"}
         _check_keys(spec, allowed, f"shape {name!r} (kind {kind!r})")
         for key in SHAPE_KINDS[kind].params:
-            integer = key in ("requests", "bursts", "burst_size", "periods", "clones", "updates", "update_batch")
+            integer = key in ("requests", "bursts", "burst_size", "periods", "clones", "updates", "update_batch", "appends", "append_rows")
             _positive(spec, key, f"shape {name!r}", integer=integer)
         merged = dict(SHAPE_KINDS[kind].params)
         merged.update(spec)
@@ -380,6 +384,13 @@ def _resolve_cells(data: dict, apps, backends, configs, shapes) -> List[Cell]:
                 f"but app {cell.app!r} (kind {apps[cell.app]['kind']!r}) has no "
                 f"update rule (updatable kinds: "
                 f"{', '.join(sorted(k for k, v in CATALOG.items() if v.updatable))})"
+            )
+        if shape_kind.growing and not app_kind.appendable:
+            raise MatrixConfigError(
+                f"cell {cell.cell_id}: shape {cell.shape!r} applies shape-changing "
+                f"appends, but app {cell.app!r} (kind {apps[cell.app]['kind']!r}) has "
+                f"no append rule (appendable kinds: "
+                f"{', '.join(sorted(k for k, v in CATALOG.items() if v.appendable))})"
             )
     return cells
 

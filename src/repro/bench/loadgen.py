@@ -30,6 +30,10 @@ Load shapes (the glossary lives in ``docs/BENCHMARKING.md``):
   re-training rounds evenly spaced through the run; the mini-batches
   come from a pre-materialized :class:`~repro.serving.update_log
   .UpdateLog`, never from live RNG.
+* ``growth`` — steady arrivals with ``appends`` shape-changing append
+  rounds (``append_rows`` rows each) evenly spaced through the run; the
+  rows come from the workload's pre-materialized append pool, so the
+  grown constants are a pure function of the bench seed.
 """
 
 from __future__ import annotations
@@ -216,6 +220,21 @@ def _serve_while_retraining(params: dict, rng: np.random.Generator, n_pool: int)
     )
 
 
+def _growth(params: dict, rng: np.random.Generator, n_pool: int) -> Schedule:
+    n, appends = params["requests"], params["appends"]
+    at = np.cumsum(_arrival_gaps(rng, n, params["rate_rps"]))
+    span = float(at[-1]) if n else 1.0
+    # Append rounds land at the same evenly spaced instants retraining
+    # rounds would; the ``updates`` field carries their offsets.
+    offsets = tuple(span * (a + 1) / (appends + 1) for a in range(appends))
+    return Schedule(
+        at=at,
+        sample=rng.integers(0, n_pool, size=n),
+        model=np.zeros(n, dtype=np.int64),
+        updates=offsets,
+    )
+
+
 @dataclass(frozen=True)
 class ShapeKind:
     """One load-shape family: its builder and its parameter schema."""
@@ -227,6 +246,9 @@ class ShapeKind:
     #: Whether cells of this shape apply online updates (and therefore
     #: need an updatable app and a pre-materialized update log).
     retraining: bool = False
+    #: Whether cells of this shape apply shape-changing appends (and
+    #: therefore need an appendable app with a pre-materialized row pool).
+    growing: bool = False
 
 
 #: Registry of load-shape kinds, keyed by the ``kind`` field of a shape
@@ -259,6 +281,16 @@ SHAPE_KINDS: Dict[str, ShapeKind] = {
             "update_batch": 48,
         },
         retraining=True,
+    ),
+    "growth": ShapeKind(
+        build=_growth,
+        params={
+            "requests": 128,
+            "rate_rps": 300.0,
+            "appends": 3,
+            "append_rows": 4,
+        },
+        growing=True,
     ),
 }
 

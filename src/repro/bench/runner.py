@@ -45,6 +45,25 @@ def _clone_names(cell: Cell, n_models: int) -> List[str]:
     return [f"{cell.app}-{k}" for k in range(n_models)]
 
 
+def _append_pool_rows(cell, workload, shape_params):
+    """The growth shape's append rounds, sliced from the workload pool.
+
+    The pool — materialized by the workload builder from the derived
+    RNG — is what the run appends, so the grown constants are a pure
+    function of (bench seed, cell ID), like every other stream choice.
+    """
+    appends, batch = shape_params["appends"], shape_params["append_rows"]
+    pool = workload.append_rows
+    if pool is None or appends * batch > pool.shape[0]:
+        have = 0 if pool is None else pool.shape[0]
+        raise MatrixConfigError(
+            f"cell {cell.cell_id}: {appends} append rounds x {batch} rows "
+            f"need {appends * batch} pooled rows, but app {cell.app!r} "
+            f"provides {have} — shrink the shape or grow the app's append_pool"
+        )
+    return [pool[round_index * batch : (round_index + 1) * batch] for round_index in range(appends)]
+
+
 def _materialize_update_log(cell, workload, shape_params, model_name, directory):
     """Slice the workload's labelled pool into the cell's update log.
 
@@ -191,10 +210,16 @@ def run_cell(cell: Cell, config: MatrixConfig, seed: int) -> dict:
     with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
         source_log = None
         live_log = None
+        append_rounds = None
         if shape_kind.retraining:
             source_log = _materialize_update_log(cell, workload, shape, names[0], tmp)
             # The server also keeps its own log, so the run exercises the
             # append hook; it must end up mirroring the source log 1:1.
+            live_log = UpdateLog(os.path.join(tmp, "live.updatelog"))
+        if shape_kind.growing:
+            append_rounds = _append_pool_rows(cell, workload, shape)
+            # Growth cells log too: every applied append must land as a
+            # typed growth record in the server's own log.
             live_log = UpdateLog(os.path.join(tmp, "live.updatelog"))
 
         n_replicas = int(backend.get("replicas", 1))
@@ -225,7 +250,9 @@ def run_cell(cell: Cell, config: MatrixConfig, seed: int) -> dict:
 
         versions: List[int] = []
         update_errors: List[str] = []
+        appended_rows = 0
         updater = None
+        apply_rounds = None
         if source_log is not None:
             records = source_log.read_all()
 
@@ -239,10 +266,27 @@ def run_cell(cell: Cell, config: MatrixConfig, seed: int) -> dict:
                     except Exception as exc:  # surfaced as cell failures below
                         update_errors.append(f"{type(exc).__name__}: {exc}")
 
+            apply_rounds = apply_updates
+        if append_rounds is not None:
+
+            def apply_appends(t0: float) -> None:
+                nonlocal appended_rows
+                for offset, rows in zip(schedule.updates, append_rounds):
+                    delay = t0 + offset - time.perf_counter()
+                    if delay > 0:
+                        time.sleep(delay)
+                    try:
+                        versions.append(server.append(names[0], rows))
+                        appended_rows += int(rows.shape[0])
+                    except Exception as exc:  # surfaced as cell failures below
+                        update_errors.append(f"{type(exc).__name__}: {exc}")
+
+            apply_rounds = apply_appends
+
         start = time.perf_counter()
         with server:
-            if source_log is not None:
-                updater = threading.Thread(target=apply_updates, args=(start,), name="bench-updater")
+            if apply_rounds is not None:
+                updater = threading.Thread(target=apply_rounds, args=(start,), name="bench-updater")
                 updater.start()
             if n_replicas > 1:
                 failures, shed = _drive_pool(
@@ -296,16 +340,28 @@ def run_cell(cell: Cell, config: MatrixConfig, seed: int) -> dict:
             "stream_sha1": schedule.fingerprint(),
             "latency_histogram": stats["latency_histogram"],
         }
+        # ``dropped`` is the zero-drop contract in one number: every
+        # request that failed or was shed, server- or client-side.
+        metrics["dropped"] = int(metrics["failures"]) + int(metrics["shed"])
         if source_log is not None:
             metrics["versions"] = versions
             metrics["update_errors"] = update_errors
             # The hook must have mirrored every applied round.
             metrics["update_log_records"] = len(live_log)
+        if append_rounds is not None:
+            metrics["versions"] = versions
+            metrics["update_errors"] = update_errors
+            metrics["appended_rows"] = appended_rows
+            metrics["append_rows_per_s"] = appended_rows / elapsed if elapsed > 0 else 0.0
+            # Every applied append must land as a typed growth record.
+            metrics["update_log_records"] = len(live_log)
         return metrics
 
 
 #: (metric, higher_is_better) pairs the trend block reports deltas for.
-_TREND_METRICS = (("served_rps", True), ("p99_ms", False))
+#: ``append_rows_per_s`` only exists on growth cells; trend_deltas skips
+#: metrics absent from either run.
+_TREND_METRICS = (("served_rps", True), ("p99_ms", False), ("append_rows_per_s", True))
 
 
 def trend_deltas(metrics: dict, baseline: dict) -> dict:

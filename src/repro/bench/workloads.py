@@ -37,6 +37,9 @@ class Workload:
     #: ``None`` for apps without an online-update rule.
     update_samples: Optional[np.ndarray] = None
     update_labels: Optional[np.ndarray] = None
+    #: Row pool for growth shapes — raw rows for the servable's
+    #: ``append_batch`` rule; ``None`` for apps without one.
+    append_rows: Optional[np.ndarray] = None
 
 
 def _classification(params: dict, rng: np.random.Generator) -> Workload:
@@ -83,6 +86,9 @@ def _hyperoms(params: dict, rng: np.random.Generator) -> Workload:
     return Workload(
         servable=app.as_servable(app.encode_library(library), n_bins=n_bins),
         samples=sparse_spectra(params["pool"]),
+        # Growth pool: raw spectra the servable's append rule encodes
+        # into new library rows server-side.
+        append_rows=sparse_spectra(params["append_pool"]),
     )
 
 
@@ -96,6 +102,10 @@ def _clustering(params: dict, rng: np.random.Generator) -> Workload:
     return Workload(
         servable=app.as_servable(rp, clusters),
         samples=rng.standard_normal((params["pool"], n_features)).astype(np.float32),
+        # Growth pool: new cluster hypervectors appended verbatim.
+        append_rows=np.sign(
+            rng.standard_normal((params["append_pool"], dim))
+        ).astype(np.float32),
     )
 
 
@@ -143,6 +153,11 @@ def _hashtable(params: dict, rng: np.random.Generator) -> Workload:
             base_hvs=base_hvs,
         ),
         samples=reads,
+        # Growth pool: fresh reference sequences (base-index rows) the
+        # servable's append rule k-mer encodes into new table rows.
+        append_rows=rng.integers(
+            0, 4, (params["append_pool"], params["read_length"]), dtype=np.int64
+        ),
     )
 
 
@@ -156,6 +171,10 @@ class AppKind:
     #: Whether the servable carries an online ``update_batch`` rule
     #: (required by serve-while-retraining cells, checked at parse time).
     updatable: bool = False
+    #: Whether the servable carries a shape-changing ``append_batch``
+    #: rule and the builder materializes an append-row pool (required by
+    #: growth cells, checked at parse time).
+    appendable: bool = False
 
 
 #: Registry of application kinds, keyed by the ``kind`` field of an app
@@ -183,11 +202,20 @@ CATALOG: Dict[str, AppKind] = {
             "n_library": 32,
             "pool": 128,
             "occupancy": 0.2,
+            "append_pool": 24,
         },
+        appendable=True,
     ),
     "clustering": AppKind(
         build=_clustering,
-        params={"dimension": 256, "n_features": 16, "n_clusters": 8, "pool": 128},
+        params={
+            "dimension": 256,
+            "n_features": 16,
+            "n_clusters": 8,
+            "pool": 128,
+            "append_pool": 24,
+        },
+        appendable=True,
     ),
     "relhd": AppKind(
         build=_relhd,
@@ -203,7 +231,9 @@ CATALOG: Dict[str, AppKind] = {
             "read_length": 60,
             "n_reads": 64,
             "kmer_length": 8,
+            "append_pool": 24,
         },
+        appendable=True,
     ),
 }
 

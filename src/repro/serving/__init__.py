@@ -115,13 +115,19 @@ from repro.serving.scheduler import (
 from repro.serving.servable import (
     ALL_TARGETS,
     HOST_TARGETS,
+    NotAppendableError,
     NotUpdatableError,
     Servable,
     ShardSpec,
     servable_signature,
 )
 from repro.serving.server import InferenceServer
-from repro.serving.update_log import UpdateLog, UpdateLogError, UpdateRecord
+from repro.serving.update_log import (
+    AppendRecord,
+    UpdateLog,
+    UpdateLogError,
+    UpdateRecord,
+)
 
 __all__ = [
     "InferenceServer",
@@ -134,6 +140,7 @@ __all__ = [
     "Servable",
     "ShardSpec",
     "NotUpdatableError",
+    "NotAppendableError",
     "servable_signature",
     "ALL_TARGETS",
     "HOST_TARGETS",
@@ -172,5 +179,6 @@ __all__ = [
     "parse_prometheus_text",
     "UpdateLog",
     "UpdateRecord",
+    "AppendRecord",
     "UpdateLogError",
 ]

@@ -205,8 +205,11 @@ class RequestBroker:
         if swapped:
             self.metrics.record_swap(deployment.name, deployment.version)
         # Recorded unconditionally: installing an unpacked deployment over
-        # a packed one must clear the stale residency document.
-        self.metrics.record_residency(deployment.name, deployment.residency())
+        # a packed one must clear the stale residency document.  Eagerly
+        # materialized (ensure_packed, not residency) so the class-memory
+        # gauges reflect the installed constant bytes immediately even for
+        # an unwarmed deployment, not lazily at the next stats() pass.
+        self.metrics.record_residency(deployment.name, deployment.ensure_packed())
 
     def swap(
         self,
@@ -249,7 +252,9 @@ class RequestBroker:
                 deployment, new_weight, self.metrics.slo_ms(name) if slo_ms is _KEEP else slo_ms
             )
         self.metrics.record_swap(name, deployment.version)
-        self.metrics.record_residency(name, deployment.residency())
+        # Eager: the swapped-in constants' packed bytes are gauged now, at
+        # swap time, even if the replacement was never warmed.
+        self.metrics.record_residency(name, deployment.ensure_packed())
 
     def _install_queue_locked(self, deployment: Deployment, weight: float, slo_ms) -> bool:
         """Install a fresh batcher for one deployment (caller holds the
@@ -350,6 +355,54 @@ class RequestBroker:
                 # so periodic updates don't grow the cache without bound.
                 # In-flight batches of the old deployment are unaffected —
                 # their handles are already bound.
+                self.registry.cache.evict_signature(deployment.servable.signature)
+            return version
+
+    # -- append-style growth ------------------------------------------------------
+    def append(self, model: str, rows: np.ndarray) -> int:
+        """One shape-changing growth round; returns the new model version.
+
+        The append-side twin of :meth:`update`, for servables whose online
+        mutation is *growth* (new k-mer buckets, new reference spectra,
+        new centroids) rather than re-training.  Same zero-downtime
+        choreography — grow (:meth:`Servable.appended`), rebuild the
+        deployment for the new shapes, warm the full bucket ladder on
+        every eligible worker, version-bump + CAS, queue cutover — but the
+        replacement's program family is re-traced for the grown shapes
+        (the signature changes on every round, so the old family's cache
+        entries are evicted, shard derivatives included), packed class
+        memories are repacked from the grown constants and the residency
+        gauges refreshed at swap time, and a sharded deployment whose
+        grown constant crosses its ``shard_capacity`` re-partitions live
+        (:meth:`ShardedDeployment.with_servable`).
+
+        Raises:
+            NotAppendableError: The servable carries no append rule.
+            KeyError: ``model`` is not registered (or has no live queue).
+            RuntimeError: The model was re-registered concurrently during
+                the round (compare-and-swap refused); re-issue the append.
+        """
+        with self._update_lock:
+            with self._lock:
+                if model not in self._batchers:
+                    raise KeyError(
+                        f"no model {model!r} with a live queue to append to "
+                        f"(have {sorted(self._batchers)})"
+                    )
+            deployment = self.registry.get(model)
+            new_servable = deployment.servable.appended(rows)
+            replacement = deployment.with_servable(new_servable)
+            buckets = self._swap_warm_buckets()
+            for worker in self.pool.eligible(new_servable):
+                replacement.warm(buckets, worker=worker)
+            version = self.registry.swap(model, replacement, expected=deployment)
+            self.swap(replacement)
+            if self.update_log is not None:
+                self.update_log.append_rows(model, rows, version=version)
+            # Growth always changes the content hash; reclaim the old
+            # program family (evict_signature's prefix match also drops
+            # the ":shardIofN" derivatives of a sharded deployment).
+            if deployment.servable.signature != new_servable.signature:
                 self.registry.cache.evict_signature(deployment.servable.signature)
             return version
 

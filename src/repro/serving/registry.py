@@ -241,6 +241,25 @@ class Deployment:
             "shrink_ratio": (unpacked / resident) if resident else 0.0,
         }
 
+    def ensure_packed(self) -> Optional[dict]:
+        """Materialize packed residency *now* and return the accounting.
+
+        :meth:`residency` only reports words that already exist, so a
+        deployment registered with ``warm=False`` — or swapped in without
+        a warm pass — would report ``None`` (and leave the Prometheus
+        class-memory gauges stale) until the first handle compiled.  The
+        broker calls this at register/swap time so the gauges reflect the
+        new constant bytes eagerly, not lazily at the next ``stats()``.
+        Compiling the smallest bucket is what triggers the one-time pack;
+        for unpacked configs this is a no-op returning ``None``.
+        """
+        if self.config is not None and getattr(self.config, "binarize", False):
+            with self._lock:
+                packed = bool(self._packed_constants)
+            if not packed:
+                self.handle_for(1)
+        return self.residency()
+
     def warm(self, batch_sizes: Iterable[int], worker=None) -> None:
         """Pre-compile (or cache-hit) the handles for the given buckets."""
         for batch_size in batch_sizes:
@@ -298,6 +317,7 @@ class ShardedDeployment(Deployment):
         n_shards: int,
         config: Optional[ApproximationConfig] = None,
         default_target: Union[str, Target] = Target.CPU,
+        shard_capacity: Optional[int] = None,
     ):
         super().__init__(name, servable, cache, config=config, default_target=default_target)
         spec = servable.shard_spec
@@ -305,11 +325,18 @@ class ShardedDeployment(Deployment):
             raise ValueError(f"{servable.name!r} has no shard_spec; cannot deploy sharded")
         full = np.asarray(servable.constants[spec.param])
         rows = full.shape[spec.axis]
+        if shard_capacity is not None and shard_capacity < 1:
+            raise ValueError(f"shard_capacity must be >= 1, got {shard_capacity}")
         if n_shards < 2:
             raise ValueError(f"n_shards must be >= 2, got {n_shards}")
         if n_shards > rows:
             raise ValueError(f"cannot split {rows} rows into {n_shards} shards")
         self.n_shards = n_shards
+        #: Maximum class-memory rows one shard may hold.  With a capacity
+        #: declared, :meth:`with_servable` re-partitions when append-style
+        #: growth would push any shard past it — the live shard-rebalance
+        #: path of shape-changing swap.
+        self.shard_capacity = shard_capacity
         self.spec = spec
         self.shards: List[Deployment] = []
         for index, block in enumerate(np.array_split(np.arange(rows), n_shards)):
@@ -346,18 +373,45 @@ class ShardedDeployment(Deployment):
 
     # -- hot-swap -----------------------------------------------------------------
     def with_servable(self, servable: Servable) -> "ShardedDeployment":
-        """A same-shaped sharded deployment serving a different servable
-        (same shard count, cache, config and target)."""
+        """A sharded deployment serving a different servable (same cache,
+        config and target), re-partitioned live when growth demands it.
+
+        With a ``shard_capacity`` declared, a replacement whose sharded
+        constant has grown past ``n_shards * shard_capacity`` rows gets
+        more shards — the smallest count that fits every contiguous block
+        within capacity again.  Construction rebuilds every shard's
+        partial servable from the new row partition (signatures carry the
+        new shard coordinates, so the bucket ladder re-warms per shard),
+        and the broker cuts over atomically exactly as for a same-shape
+        swap; scatter/gather stays bit-identical because ordered
+        concatenation of the new blocks restores the same full score
+        matrix.
+        """
+        n_shards = self.n_shards
+        if self.shard_capacity is not None:
+            rows = int(
+                np.asarray(servable.constants[self.spec.param]).shape[self.spec.axis]
+            )
+            n_shards = max(n_shards, -(-rows // self.shard_capacity))
         return ShardedDeployment(
             self.name,
             servable,
             self.cache,
-            self.n_shards,
+            n_shards,
             config=self.config,
             default_target=self.default_target,
+            shard_capacity=self.shard_capacity,
         )
 
     # -- packed residency ----------------------------------------------------------
+    def ensure_packed(self) -> Optional[dict]:
+        """Materialize every shard's packed residency (the parent's full
+        program is never compiled — only shard partials serve)."""
+        if self.config is not None and getattr(self.config, "binarize", False):
+            for shard in self.shards:
+                shard.ensure_packed()
+        return self.residency()
+
     def residency(self) -> Optional[dict]:
         """Aggregate resident class-memory bytes across all shards."""
         shard_docs = [shard.residency() for shard in self.shards]
@@ -441,6 +495,7 @@ class ModelRegistry:
         config: Optional[ApproximationConfig] = None,
         warm_batch_sizes: Iterable[int] = (1,),
         shards: Optional[int] = None,
+        shard_capacity: Optional[int] = None,
     ) -> Deployment:
         """Deploy a servable under a name, warming the compile cache.
 
@@ -451,11 +506,19 @@ class ModelRegistry:
             shards: Deploy sharded across this many class-memory slices
                 (requires ``servable.shard_spec``); ``None`` deploys the
                 ordinary single-memory program.
+            shard_capacity: Maximum rows per shard; append-style growth
+                past it re-partitions live at swap time (sharded only).
         """
         name = name or servable.name
         if shards is not None:
             deployment: Deployment = ShardedDeployment(
-                name, servable, self.cache, shards, config=config, default_target=target
+                name,
+                servable,
+                self.cache,
+                shards,
+                config=config,
+                default_target=target,
+                shard_capacity=shard_capacity,
             )
         else:
             deployment = Deployment(name, servable, self.cache, config=config, default_target=target)

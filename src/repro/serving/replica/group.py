@@ -322,6 +322,45 @@ class ReplicaGroup:
             self.update_log.append(model, samples, labels, version=version)
         return version
 
+    def append(self, model: str, rows: np.ndarray) -> int:
+        """One group-wide shape-changing growth round; returns the version.
+
+        The append-side twin of :meth:`update`: every live replica grows
+        the same rows through its own ``append`` path — determinism of
+        the growth rule makes the grown deployments bit-identical at the
+        same version — failed replicas are killed (stale shapes must not
+        serve pinned reads), and the round lands in the group log exactly
+        once as a typed growth record, which :meth:`resync`'s replay
+        re-applies through ``append`` to rebuild byte-identical grown
+        constants.
+
+        Raises:
+            GroupUpdateError: No live replica landed the round (the
+                first per-replica error is chained as the cause).
+        """
+        rows = np.asarray(rows)
+        versions: Dict[int, int] = {}
+        errors: Dict[int, Exception] = {}
+        for replica in self.replicas:
+            if not replica.alive:
+                continue
+            try:
+                versions[replica.index] = replica.server.append(model, rows)
+            except Exception as exc:  # noqa: BLE001 - recorded per replica
+                errors[replica.index] = exc
+        if not versions:
+            raise GroupUpdateError(
+                f"group append to {model!r} failed on every live replica "
+                f"({len(errors)} errors)"
+            ) from (next(iter(errors.values())) if errors else None)
+        if errors:
+            for index in errors:
+                self.kill(index)
+        version = max(versions.values())
+        if self.update_log is not None:
+            self.update_log.append_rows(model, rows, version=version)
+        return version
+
     # -- observability ------------------------------------------------------------
     def model_versions(self) -> List[Optional[dict]]:
         """Per-replica ``{name: version}`` maps (``None`` for dead ones)."""

@@ -173,6 +173,32 @@ class ClientPool:
             )
         return max(versions)
 
+    def append(self, model: str, rows: np.ndarray) -> int:
+        """Group-wide shape-changing append; returns the new model version.
+
+        Through a wrapped group this is the group's own append (one typed
+        growth record in the log, dead replicas skipped).  Over bare
+        addresses it fans out to every replica and returns the maximum
+        version — the growth rule is pure, so versions agree wherever the
+        round landed.  Never resent per replica (appending twice grows
+        the index twice).
+        """
+        if self._group is not None:
+            return self._group.append(model, rows)
+        versions = []
+        first_error: Optional[Exception] = None
+        for index in self._live_indices():
+            try:
+                versions.append(self._client(index).append(model, rows))
+            except Exception as exc:  # noqa: BLE001 - collected, re-raised if total
+                if first_error is None:
+                    first_error = exc
+        if not versions:
+            raise first_error if first_error is not None else ConnectionError(
+                "no replica accepted the append"
+            )
+        return max(versions)
+
     # -- observability ------------------------------------------------------------
     def stats(self, reset: bool = False) -> List[Optional[dict]]:
         """Per-replica stats snapshots (``None`` for unreachable ones)."""

@@ -32,6 +32,7 @@ from repro.hdcpp.program import Program
 
 __all__ = [
     "NotUpdatableError",
+    "NotAppendableError",
     "Servable",
     "ShardSpec",
     "servable_signature",
@@ -47,6 +48,17 @@ class NotUpdatableError(TypeError):
     Typed (rather than a bare ``TypeError`` message) so the transport can
     report it by name and clients can distinguish "this model cannot
     learn online" from transient serving failures.
+    """
+
+
+class NotAppendableError(TypeError):
+    """Raised when append-style growth is requested for a servable that
+    carries no ``append_batch`` rule (or no ``rebuild`` factory to
+    re-derive its shape-dependent program family).
+
+    Typed for the same reason as :class:`NotUpdatableError`: the
+    transport reports it by name, so clients can tell "this index is
+    frozen" from transient serving failures.
     """
 
 #: Targets every fully stage-mapped application supports.
@@ -145,6 +157,27 @@ class Servable:
             deployment's bound state.  ``None`` means the model's state
             is frozen; :meth:`updated` then raises the typed
             :class:`NotUpdatableError`.
+        append_batch: Optional append-style growth rule
+            ``(constants, rows) -> new constants`` — how a batch of new
+            index entries (centroids, reference sequences, spectra)
+            grows the declared ``growable`` constants along axis 0.
+            Unlike ``update_batch``, the resulting constants may
+            *change shape*; :meth:`appended` verifies the growth is
+            strictly append-only (old rows stay a bit-identical prefix).
+            ``None`` means the index is frozen; :meth:`appended` then
+            raises the typed :class:`NotAppendableError`.
+        growable: Names of the constants ``append_batch`` may grow
+            (axis 0).  Every other constant must pass through untouched.
+        rebuild: ``new constants -> Servable`` factory re-deriving the
+            whole servable for the grown shapes.  Required alongside
+            ``append_batch``, because program factories close over row
+            counts (``n_clusters`` / ``n_buckets`` / ``n_library``) —
+            only the application adapter can re-trace the program family
+            and re-derive the content-hashed signature for a new shape.
+        append_row_shape: Shape of one append row as it crosses the
+            request boundary (e.g. ``(sequence_length,)`` base indices
+            for the hashtable) — validated by :meth:`appended`.  May
+            differ from ``sample_shape``; ``None`` skips the check.
         description: Human-readable note for registries/dashboards.
     """
 
@@ -159,6 +192,10 @@ class Servable:
     postprocess: Optional[Callable[[np.ndarray], np.ndarray]] = None
     shard_spec: Optional[ShardSpec] = None
     update_batch: Optional[Callable[[dict, np.ndarray, np.ndarray], dict]] = None
+    append_batch: Optional[Callable[[dict, np.ndarray], dict]] = None
+    growable: tuple = ()
+    rebuild: Optional[Callable[[dict], "Servable"]] = None
+    append_row_shape: Optional[tuple] = None
     description: str = ""
 
     def __post_init__(self) -> None:
@@ -235,6 +272,96 @@ class Servable:
         # (signature_extra rides along), so the compile cache treats the
         # re-trained state as a distinct program family.
         return dataclasses.replace(self, constants=dict(new_constants), signature="")
+
+    @property
+    def appendable(self) -> bool:
+        """Whether this servable carries an append-style growth rule."""
+        return self.append_batch is not None and self.rebuild is not None
+
+    def appended(self, rows: np.ndarray) -> "Servable":
+        """One append-style growth step: a new servable with grown state.
+
+        Applies ``append_batch`` — the application's rule for turning a
+        batch of new index entries into extra rows of its ``growable``
+        constants — over *read-only views* of the bound constants, checks
+        the growth is strictly append-only (every grown constant keeps
+        the old rows as a bit-identical prefix; everything else passes
+        through untouched), and hands the new constants to ``rebuild`` so
+        the program family is re-traced for the grown shapes and the
+        signature re-derived from the new contents.  The same rule and
+        the same arithmetic drive an offline rebuild of the grown index,
+        so serving the appended servable is bit-identical to rebuilding
+        offline from the full entry set.
+
+        Raises:
+            NotAppendableError: The servable has no ``append_batch`` rule
+                (or no ``rebuild`` factory).
+        """
+        if self.append_batch is None or self.rebuild is None:
+            missing = "append_batch rule" if self.append_batch is None else "rebuild factory"
+            raise NotAppendableError(
+                f"servable {self.name!r} is not appendable: it carries no "
+                f"{missing} (its index shape is frozen)"
+            )
+        rows = np.asarray(rows)
+        if rows.ndim < 1 or rows.shape[0] == 0:
+            raise ValueError(
+                f"{self.name}: append needs a non-empty batch of rows, got shape {rows.shape}"
+            )
+        if self.append_row_shape is not None and tuple(rows.shape[1:]) != tuple(
+            self.append_row_shape
+        ):
+            raise ValueError(
+                f"{self.name}: append rows have shape {rows.shape}, expected "
+                f"(n, *{tuple(self.append_row_shape)})"
+            )
+        # Same read-only-view guard as updated(): a growth rule that
+        # mutates the bound constants in place fails loudly instead of
+        # corrupting state the old deployment is still serving mid-swap.
+        working = {}
+        for key, value in self.constants.items():
+            if isinstance(value, np.ndarray):
+                view = value.view()
+                view.flags.writeable = False
+                working[key] = view
+            else:
+                working[key] = value
+        new_constants = dict(self.append_batch(working, rows))
+        for key, value in list(new_constants.items()):
+            if value is working.get(key):
+                new_constants[key] = self.constants[key]
+        if set(new_constants) != set(self.constants):
+            raise ValueError(
+                f"{self.name}: append_batch changed the constant set "
+                f"({sorted(self.constants)} -> {sorted(new_constants)})"
+            )
+        for key, value in new_constants.items():
+            old = self.constants[key]
+            if key in self.growable:
+                old_arr, new_arr = np.asarray(old), np.asarray(value)
+                if (
+                    new_arr.ndim != old_arr.ndim
+                    or new_arr.shape[1:] != old_arr.shape[1:]
+                    or new_arr.shape[0] < old_arr.shape[0]
+                    or not np.array_equal(new_arr[: old_arr.shape[0]], old_arr)
+                ):
+                    raise ValueError(
+                        f"{self.name}: append_batch must grow {key!r} by appending rows "
+                        f"(old rows bit-identical as a prefix); got "
+                        f"{old_arr.shape} -> {new_arr.shape}"
+                    )
+            elif value is not old:
+                raise ValueError(
+                    f"{self.name}: append_batch touched non-growable constant {key!r} "
+                    f"(growable: {tuple(self.growable)})"
+                )
+        fresh = self.rebuild(dict(new_constants))
+        if fresh.name != self.name:
+            raise ValueError(
+                f"{self.name}: rebuild produced a servable named {fresh.name!r}; "
+                f"growth must keep the served name"
+            )
+        return fresh
 
     def supports_target(self, target) -> bool:
         value = getattr(target, "value", target)

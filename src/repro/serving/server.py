@@ -136,6 +136,7 @@ class InferenceServer:
         weight: float = 1.0,
         shards: Optional[int] = None,
         slo_ms: Optional[float] = None,
+        shard_capacity: Optional[int] = None,
     ) -> Deployment:
         """Register a servable and set up its request queue.
 
@@ -162,6 +163,9 @@ class InferenceServer:
             slo_ms: Optional end-to-end latency SLO for this deployment;
                 served requests exceeding it are counted in
                 ``stats().model_stats[name]["slo_violations"]``.
+            shard_capacity: Maximum class-memory rows per shard; when an
+                :meth:`append` grows the sharded constant past it, the
+                swap re-partitions onto more shards live.
         """
         deployment = self.registry.register(
             servable,
@@ -170,6 +174,7 @@ class InferenceServer:
             config=config,
             warm_batch_sizes=(),
             shards=shards,
+            shard_capacity=shard_capacity,
         )
         if warm:
             buckets = self._warm_buckets(full_ladder=warm == "full")
@@ -289,6 +294,21 @@ class InferenceServer:
             NotUpdatableError: The model's servable has no update rule.
         """
         return self.broker.update(model, samples, labels)
+
+    def append(self, model: str, rows: np.ndarray) -> int:
+        """One shape-changing growth round; returns the new model version.
+
+        Applies the servable's ``append_batch`` rule (the application's
+        growth rule — new bucket sequences, spectra, centroids) and
+        hot-swaps the grown deployment with zero downtime, re-tracing the
+        program family for the new shapes.  Serving the grown model is
+        bit-identical to an offline rebuild of the full index (see
+        :meth:`RequestBroker.append`).
+
+        Raises:
+            NotAppendableError: The model's servable has no append rule.
+        """
+        return self.broker.append(model, rows)
 
     def model_versions(self) -> dict:
         """``{name: version}`` for every served deployment (versions bump

@@ -400,6 +400,28 @@ class ServingClient:
         response, _ = self._request(header, sample_payload + label_payload, resend=False)
         return int(response["model_version"])
 
+    def append(self, model: str, rows: np.ndarray) -> int:
+        """One shape-changing growth round on the server; returns the new
+        monotonic model version.
+
+        The raw rows (new bucket sequences, spectra, centroids — whatever
+        the servable's ``append_batch`` rule consumes) cross the wire as
+        one frame's binary payload.  The server grows the designated
+        constants, re-traces the program family for the new shapes, warms
+        it and hot-swaps with zero downtime.  **Never resent** on
+        transport failure — appending is non-idempotent (a blind resend
+        would grow the index twice); check :meth:`model_versions` to
+        disambiguate a round that died mid-flight.
+
+        Raises:
+            RemoteServingError: With ``error_type == "NotAppendableError"``
+                when the model's servable carries no append rule.
+        """
+        fields, payload = encode_array_header(np.ascontiguousarray(rows))
+        header = {"op": "append", "model": model, **fields}
+        response, _ = self._request(header, payload, resend=False)
+        return int(response["model_version"])
+
     def model_versions(self) -> dict:
         """``{name: version}`` for every deployment served by the peer."""
         response, _ = self._request({"op": "model_versions"})

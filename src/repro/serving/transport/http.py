@@ -10,6 +10,7 @@ a replica group::
     POST /v1/models/<name>:infer        {"sample": [...], "min_version": 3}
     POST /v1/models/<name>:infer_batch  {"samples": [[...], ...]}
     POST /v1/models/<name>:update       {"samples": [[...]], "labels": [...]}
+    POST /v1/models/<name>:append       {"rows": [[...]], "dtype": "int64"?}
     GET  /v1/models                     -> {"models": {...}}
     GET  /v1/versions                   -> per-replica version maps
     GET  /v1/stats[?reset=1]            -> per-replica ServerStats
@@ -60,6 +61,7 @@ _REMOTE_STATUS = {
     "ValueError": 400,
     "DeadlineExceeded": 504,
     "NotUpdatableError": 400,
+    "NotAppendableError": 400,
     "StaleVersionError": 409,
 }
 
@@ -212,6 +214,14 @@ class _GatewayHandler(BaseHTTPRequestHandler):
                 samples = self._array(body, "samples")
                 labels = np.asarray(body.get("labels", []), dtype=np.int64)
                 version = self.pool.update(model, samples, labels)
+                self._reply(200, {"model": model, "model_version": int(version)})
+            elif action == "append":
+                # Shape-changing growth: rows for the servable's
+                # append_batch rule (an explicit "dtype" pins e.g. int64
+                # base indices for the hashtable).  Non-idempotent end to
+                # end — the pool never resends it.
+                rows = self._array(body, "rows")
+                version = self.pool.append(model, rows)
                 self._reply(200, {"model": model, "model_version": int(version)})
             else:
                 self._reply(

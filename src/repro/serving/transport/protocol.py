@@ -31,6 +31,7 @@ Request headers (post-handshake)::
      "deadline_ms": float|null, "dtype": str, "shape": [n,..]} + samples
     {"op": "update",      "model": str, "dtype": str, "shape": [n,..],
      "labels": {"dtype": "int64", "shape": [n]}}   + samples ++ labels
+    {"op": "append",      "model": str, "dtype": str, "shape": [n,..]} + rows
     {"op": "stats", "reset": bool} | {"op": "reset_stats"}
     {"op": "list_models"} | {"op": "model_versions"} | {"op": "ping"}
     {"op": "drain", "timeout": float|null}
@@ -43,6 +44,11 @@ payload concatenates the sample matrix and the int64 label vector
 (described by the header's top-level and ``"labels"`` array metadata —
 labels are arrays, so like all arrays they stay out of the JSON), and
 its response carries the new monotonic ``"model_version"``.
+``append`` runs one shape-changing growth round (the servable's
+``append_batch`` rule) and hot-swaps the grown deployment; its payload
+is the raw row matrix alone.  Like ``update`` it is **non-idempotent**
+— re-running it grows the index twice — so the client never resends it
+on a dropped connection.
 ``model_versions`` returns the ``{name: version}`` map.  ``metrics``
 returns the Prometheus text exposition in the response *payload* (the
 header carries its ``"content_type"``); ``traces`` returns retained
@@ -81,8 +87,9 @@ __all__ = [
 
 #: Bumped on incompatible wire changes; servers reject mismatched clients
 #: during the mandatory hello handshake.  v2 introduced the enforced
-#: handshake itself plus the ``update`` / ``model_versions`` operations.
-PROTOCOL_VERSION = 2
+#: handshake itself plus the ``update`` / ``model_versions`` operations;
+#: v3 added the shape-changing ``append`` operation.
+PROTOCOL_VERSION = 3
 
 #: Upper bound on either frame section, guarding both peers against
 #: corrupt prefixes (a desynchronized stream would otherwise be read as a

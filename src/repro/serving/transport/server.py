@@ -368,6 +368,23 @@ class TransportServer:
             "model_version": int(model_version),
         }, b""
 
+    async def _op_append(self, header: dict, payload: bytes) -> Tuple[dict, bytes]:
+        # One shape-changing growth round: append the raw rows to the
+        # model's growable constants, re-trace for the grown shapes, warm,
+        # bump the version, hot-swap.  Blocking like update, so it runs on
+        # the default executor — inference frames on other connections
+        # keep flowing while the grown deployment cuts over.
+        rows = decode_array(header, payload)
+        loop = asyncio.get_running_loop()
+        model_version = await loop.run_in_executor(
+            None, functools.partial(self.broker.append, header["model"], rows)
+        )
+        return {
+            "ok": True,
+            "version": PROTOCOL_VERSION,
+            "model_version": int(model_version),
+        }, b""
+
     async def _op_model_versions(self, header: dict, payload: bytes) -> Tuple[dict, bytes]:
         return {
             "ok": True,
@@ -421,6 +438,7 @@ class TransportServer:
         "infer": _op_infer,
         "infer_batch": _op_infer_batch,
         "update": _op_update,
+        "append": _op_append,
         "model_versions": _op_model_versions,
         "stats": _op_stats,
         "reset_stats": _op_reset_stats,

@@ -35,6 +35,21 @@ Two consumers:
 * **Benchmarking** — :mod:`repro.bench` feeds serve-while-retraining load
   cells from a pre-materialized log, so online-training scenarios are
   reproducible from a file rather than live RNG.
+
+Alongside re-training records the log holds **append records**
+(``{"op": "append", ...}`` headers followed by the raw row bytes): the
+shape-changing growth rounds of :meth:`RequestBroker.append`.  Growth is
+deterministic too — ``append_batch`` is a pure function of (constants,
+rows) — so replaying a growth log through ``target.append`` rebuilds
+byte-identical grown constants (packed and unpacked) at the exact
+recorded versions.
+
+Crash safety: each record is one buffered write + fsync, so a crash can
+only tear the *final* record.  Reads recover from a torn tail — they
+warn and stop at the last valid record instead of raising — and the next
+append truncates the torn bytes before writing.  The typed
+:class:`UpdateLogError` is reserved for genuine mid-file corruption
+(malformed complete headers, bad dtypes).
 """
 
 from __future__ import annotations
@@ -43,32 +58,25 @@ import json
 import os
 import pathlib
 import threading
+import warnings
 from dataclasses import dataclass
-from typing import Iterator, List, Optional
+from typing import Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
-__all__ = ["UpdateLog", "UpdateRecord", "UpdateLogError"]
+__all__ = ["UpdateLog", "UpdateRecord", "AppendRecord", "UpdateLogError"]
 
 
 class UpdateLogError(RuntimeError):
-    """A corrupt or unreadable update log (truncated payload, malformed
-    header, unsupported dtype).  Typed so callers can distinguish a bad
-    log file from the serving errors a replay might surface."""
+    """A corrupt or unreadable update log (malformed header, unsupported
+    dtype, unknown record op).  Typed so callers can distinguish a bad
+    log file from the serving errors a replay might surface.  A *torn
+    final record* (crash mid-append) is not corruption — reads recover
+    by stopping at the last valid record with a warning."""
 
 
 def _array_header(array: np.ndarray) -> dict:
     return {"dtype": array.dtype.str, "shape": list(array.shape)}
-
-
-def _read_exact(handle, n: int, context: str) -> bytes:
-    data = handle.read(n)
-    if len(data) != n:
-        raise UpdateLogError(
-            f"truncated update log: expected {n} payload bytes for {context}, "
-            f"got {len(data)}"
-        )
-    return data
 
 
 @dataclass(frozen=True)
@@ -90,6 +98,29 @@ class UpdateRecord:
     samples: np.ndarray
     labels: np.ndarray
     version: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class AppendRecord:
+    """One logged growth round: the raw rows appended to a served model's
+    growable constants (new bucket sequences, spectra, centroids).
+
+    Attributes:
+        model: Deployment name the append applied to.
+        seq: 1-based position in the log (append order, shared with
+            re-training records).
+        rows: The appended rows, exactly as passed to ``append``.
+        version: The registry version the round produced when it was
+            logged live.
+    """
+
+    model: str
+    seq: int
+    rows: np.ndarray
+    version: Optional[int] = None
+
+
+LogRecord = Union[UpdateRecord, AppendRecord]
 
 
 class UpdateLog:
@@ -131,7 +162,7 @@ class UpdateLog:
         samples = np.ascontiguousarray(samples)
         labels = np.ascontiguousarray(labels)
         with self._lock:
-            seq = self._count_records() + 1
+            seq = self._repair_locked() + 1
             header = {
                 "model": str(model),
                 "seq": seq,
@@ -139,22 +170,82 @@ class UpdateLog:
                 "samples": _array_header(samples),
                 "labels": _array_header(labels),
             }
-            payload = (
-                json.dumps(header, separators=(",", ":")).encode("utf-8")
-                + b"\n"
-                + samples.tobytes()
-                + labels.tobytes()
-            )
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            with self.path.open("ab") as handle:
-                handle.write(payload)
-                handle.flush()
-                os.fsync(handle.fileno())
+            self._write_locked(header, samples.tobytes() + labels.tobytes())
         return seq
 
+    def append_rows(
+        self,
+        model: str,
+        rows: np.ndarray,
+        version: Optional[int] = None,
+    ) -> int:
+        """Append one growth record (raw appended rows); returns its seq.
+
+        The payload is the raw C-order bytes of ``rows`` exactly as passed
+        to the broker's ``append`` — replay re-applies the same pure
+        growth rule to rebuild byte-identical grown constants.
+        """
+        if self._replaying:
+            return len(self)
+        rows = np.ascontiguousarray(rows)
+        with self._lock:
+            seq = self._repair_locked() + 1
+            header = {
+                "op": "append",
+                "model": str(model),
+                "seq": seq,
+                "version": None if version is None else int(version),
+                "rows": _array_header(rows),
+            }
+            self._write_locked(header, rows.tobytes())
+        return seq
+
+    def _write_locked(self, header: dict, payload: bytes) -> None:
+        """One buffered write + fsync (caller holds the lock), so a crash
+        mid-serving loses at most the record being written — as a torn,
+        recoverable tail — never an earlier one."""
+        blob = json.dumps(header, separators=(",", ":")).encode("utf-8") + b"\n" + payload
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("ab") as handle:
+            handle.write(blob)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def _repair_locked(self) -> int:
+        """Truncate a torn final record if present (caller holds the
+        lock); returns the count of valid records."""
+        if not self.path.exists():
+            return 0
+        count, end = 0, 0
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            for _, offset in self._scan():
+                count += 1
+                end = offset
+        actual = self.path.stat().st_size
+        if actual > end:
+            warnings.warn(
+                f"update log {self.path} ends with a torn record (crash "
+                f"mid-append); truncating {actual - end} trailing bytes to "
+                f"the last valid record before appending",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            with self.path.open("r+b") as handle:
+                handle.truncate(end)
+        return count
+
     # -- reading ------------------------------------------------------------------
-    def records(self) -> Iterator[UpdateRecord]:
-        """Iterate the logged records in append order."""
+    def _scan(self) -> Iterator[Tuple[LogRecord, int]]:
+        """Yield ``(record, end_offset)`` pairs in append order.
+
+        A torn final record — the header line missing its newline, or the
+        payload cut short at end of file (both only a crash mid-append can
+        produce, because each record is one write) — ends the scan with a
+        :class:`RuntimeWarning` instead of raising.  A *complete* but
+        malformed record is mid-file corruption and raises the typed
+        :class:`UpdateLogError`.
+        """
         if not self.path.exists():
             return
         with self.path.open("rb") as handle:
@@ -163,6 +254,15 @@ class UpdateLog:
                 line = handle.readline()
                 if not line:
                     return
+                if not line.endswith(b"\n"):
+                    warnings.warn(
+                        f"update log {self.path} ends with a torn record header "
+                        f"(crash mid-append); ignoring it and stopping at the "
+                        f"last valid record",
+                        RuntimeWarning,
+                        stacklevel=3,
+                    )
+                    return
                 seq += 1
                 try:
                     header = json.loads(line.decode("utf-8"))
@@ -170,8 +270,18 @@ class UpdateLog:
                     raise UpdateLogError(
                         f"malformed update-log header at record {seq} of {self.path}: {exc}"
                     ) from exc
+                op = str(header.get("op") or "update")
+                if op == "append":
+                    fields = ("rows",)
+                elif op == "update":
+                    fields = ("samples", "labels")
+                else:
+                    raise UpdateLogError(
+                        f"update-log record {seq} of {self.path} has unknown op {op!r}"
+                    )
                 arrays = {}
-                for field in ("samples", "labels"):
+                torn = False
+                for field in fields:
                     spec = header.get(field)
                     if not isinstance(spec, dict) or "dtype" not in spec or "shape" not in spec:
                         raise UpdateLogError(
@@ -190,18 +300,48 @@ class UpdateLog:
                         )
                     shape = tuple(int(d) for d in spec["shape"])
                     n_bytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
-                    data = _read_exact(handle, n_bytes, f"record {seq} {field}")
+                    data = handle.read(n_bytes)
+                    if len(data) != n_bytes:
+                        # A short read on a regular file means end of file:
+                        # the record's header landed but its payload did
+                        # not — a torn tail, not corruption.
+                        warnings.warn(
+                            f"update log {self.path} ends with a torn record "
+                            f"payload (record {seq}, {field}: got {len(data)} of "
+                            f"{n_bytes} bytes — crash mid-append); stopping at "
+                            f"the last valid record",
+                            RuntimeWarning,
+                            stacklevel=3,
+                        )
+                        torn = True
+                        break
                     arrays[field] = np.frombuffer(data, dtype=dtype).reshape(shape).copy()
+                if torn:
+                    return
                 version = header.get("version")
-                yield UpdateRecord(
-                    model=str(header.get("model", "")),
-                    seq=seq,
-                    samples=arrays["samples"],
-                    labels=arrays["labels"],
-                    version=None if version is None else int(version),
-                )
+                version = None if version is None else int(version)
+                model = str(header.get("model", ""))
+                if op == "append":
+                    record: LogRecord = AppendRecord(
+                        model=model, seq=seq, rows=arrays["rows"], version=version
+                    )
+                else:
+                    record = UpdateRecord(
+                        model=model,
+                        seq=seq,
+                        samples=arrays["samples"],
+                        labels=arrays["labels"],
+                        version=version,
+                    )
+                yield record, handle.tell()
 
-    def read_all(self) -> List[UpdateRecord]:
+    def records(self) -> Iterator[LogRecord]:
+        """Iterate the logged records (re-training and growth) in append
+        order, recovering from a torn final record with a warning."""
+        for record, _ in self._scan():
+            yield record
+
+    def read_all(self) -> List[LogRecord]:
         """Every record, materialized (convenience over :meth:`records`)."""
         return list(self.records())
 
@@ -225,24 +365,28 @@ class UpdateLog:
 
     # -- replay -------------------------------------------------------------------
     def replay(self, target, model: Optional[str] = None) -> List[int]:
-        """Re-apply the logged rounds through ``target.update``.
+        """Re-apply the logged rounds through ``target.update`` /
+        ``target.append``.
 
         ``target`` is anything with the broker's update contract —
         :class:`~repro.serving.broker.RequestBroker`,
         :class:`~repro.serving.server.InferenceServer`, or a
         :class:`~repro.serving.transport.ServingClient`.  Records are
-        applied in log order (optionally filtered to one ``model``); the
-        returned list holds the registry version each round produced.
+        applied in log order (optionally filtered to one ``model``):
+        re-training records through ``update``, growth records through
+        ``append``.  The returned list holds the registry version each
+        round produced.
 
-        Because the update rule is deterministic, replaying into a fresh
+        Because both rules are deterministic, replaying into a fresh
         process that registered the same baseline servable rebuilds the
-        exact served state: same versions, bit-identical constants and
-        predictions.  When the target broker has *this* log attached, the
-        replayed rounds are not re-appended.
+        exact served state: same versions, bit-identical (and, for packed
+        deployments, byte-identical packed) constants and predictions.
+        When the target broker has *this* log attached, the replayed
+        rounds are not re-appended.
 
         Raises:
             UpdateLogError: A record's stored ``version`` disagrees with
-                the version the replayed update produced — the target was
+                the version the replayed round produced — the target was
                 not at the log's baseline (e.g. it already took updates).
         """
         versions: List[int] = []
@@ -251,7 +395,10 @@ class UpdateLog:
             for record in self.records():
                 if model is not None and record.model != model:
                     continue
-                version = target.update(record.model, record.samples, record.labels)
+                if isinstance(record, AppendRecord):
+                    version = target.append(record.model, record.rows)
+                else:
+                    version = target.update(record.model, record.samples, record.labels)
                 if record.version is not None and int(version) != record.version:
                     raise UpdateLogError(
                         f"replay of record {record.seq} ({record.model!r}) produced "

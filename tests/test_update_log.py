@@ -6,9 +6,13 @@ samples, labels), persisting the labelled mini-batches behind each
 served version *is* persisting the model.  A restarted server that
 registers the same baseline and replays the log must end at the same
 registry versions with bit-identical constants and predictions.  The
-negative side: corrupt logs (truncated payloads, malformed headers,
-unsafe dtypes) fail with the typed :class:`UpdateLogError`, and a
-replay into a target that is not at the log's baseline is detected.
+negative side: genuinely corrupt logs (malformed complete headers,
+unsafe dtypes) fail with the typed :class:`UpdateLogError`; a *torn
+final record* — the only damage a crash mid-append can cause, since
+each record is one write — is recovered from by stopping at the last
+valid record with a warning, and the next append truncates the torn
+bytes; and a replay into a target that is not at the log's baseline is
+detected.
 """
 
 from __future__ import annotations
@@ -55,6 +59,25 @@ class TestAppendAndRead:
             assert np.array_equal(record.samples, samples)
             assert np.array_equal(record.labels, labels)
 
+    def test_growth_records_round_trip_typed(self, tmp_path):
+        """Append records interleave with re-training records, carry the
+        raw row bytes, and come back as the typed AppendRecord."""
+        from repro.serving.update_log import AppendRecord, UpdateRecord
+
+        log = UpdateLog(tmp_path / "u.log")
+        rows = np.arange(12, dtype=np.int64).reshape(3, 4)
+        log.append(
+            "m", np.zeros((1, 2), dtype=np.float32), np.zeros(1, dtype=np.int64), version=2
+        )
+        assert log.append_rows("m", rows, version=3) == 2
+        records = log.read_all()
+        assert isinstance(records[0], UpdateRecord)
+        assert isinstance(records[1], AppendRecord)
+        assert records[1].seq == 2
+        assert records[1].version == 3
+        assert records[1].rows.dtype == np.int64
+        assert np.array_equal(records[1].rows, rows)
+
     def test_missing_file_is_an_empty_log(self, tmp_path):
         log = UpdateLog(tmp_path / "never-created.log")
         assert len(log) == 0
@@ -88,12 +111,45 @@ class TestCorruptLogs:
         )
         return log
 
-    def test_truncated_payload_is_typed_error(self, tmp_path):
+    def test_torn_final_payload_recovers_with_warning(self, tmp_path):
+        """A crash mid-append tears the last record's payload; reads warn
+        and stop at the last valid record instead of raising."""
         log = self._one_record_log(tmp_path)
+        log.append(
+            "m",
+            np.arange(8, dtype=np.float32).reshape(2, 4),
+            np.array([1, 0], dtype=np.int64),
+        )
         data = log.path.read_bytes()
         log.path.write_bytes(data[:-5])
-        with pytest.raises(UpdateLogError, match="truncated"):
-            log.read_all()
+        with pytest.warns(RuntimeWarning, match="torn"):
+            records = log.read_all()
+        assert [r.seq for r in records] == [1]
+
+    def test_torn_final_header_recovers_with_warning(self, tmp_path):
+        """A crash can also land mid-header (no trailing newline)."""
+        log = self._one_record_log(tmp_path)
+        with log.path.open("ab") as handle:
+            handle.write(b'{"model": "m", "seq": 2, "vers')
+        with pytest.warns(RuntimeWarning, match="torn"):
+            records = log.read_all()
+        assert [r.seq for r in records] == [1]
+
+    def test_append_truncates_a_torn_tail_first(self, tmp_path):
+        """The next append repairs the file: torn bytes are truncated to
+        the last valid record, then the new record lands cleanly."""
+        log = self._one_record_log(tmp_path)
+        data = log.path.read_bytes()
+        log.path.write_bytes(data + b'{"model": "m", "seq": 2')
+        with pytest.warns(RuntimeWarning, match="truncating"):
+            seq = log.append(
+                "m",
+                np.arange(8, dtype=np.float32).reshape(2, 4),
+                np.array([0, 1], dtype=np.int64),
+            )
+        assert seq == 2
+        records = log.read_all()  # clean again: no warning, both records
+        assert [r.seq for r in records] == [1, 2]
 
     def test_malformed_header_is_typed_error(self, tmp_path):
         log = self._one_record_log(tmp_path)
